@@ -1,0 +1,337 @@
+package wcm
+
+// One benchmark per paper artifact (see DESIGN.md §4): each regenerates the
+// corresponding figure/table from scratch, so `go test -bench=.` doubles as
+// the reproduction harness timing report. Small instances are used so a
+// benchmark iteration stays in the millisecond range; cmd/paperfigs runs
+// the full-size experiment.
+
+import (
+	"testing"
+
+	"wcm/internal/casestudy"
+	"wcm/internal/core"
+	"wcm/internal/events"
+	"wcm/internal/mpeg2"
+	"wcm/internal/netcalc"
+	"wcm/internal/rms"
+	"wcm/internal/sched"
+)
+
+// BenchmarkFig1EventSequence regenerates Fig. 1: workload-curve extraction
+// from the typed event sequence with the worked γ_b(3,4)/γ_w(3,4) values.
+func BenchmarkFig1EventSequence(b *testing.B) {
+	ts := events.MustNewTypeSet(
+		events.Type{Name: "a", BCET: 2, WCET: 4},
+		events.Type{Name: "b", BCET: 1, WCET: 3},
+		events.Type{Name: "c", BCET: 1, WCET: 3},
+	)
+	seq := events.MustNewSequence(ts, "a", "b", "a", "b", "c", "c", "a", "a", "c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gb, err := seq.GammaB(3, 4)
+		if err != nil || gb != 5 {
+			b.Fatalf("γ_b(3,4) = %d, %v", gb, err)
+		}
+		gw, err := seq.GammaW(3, 4)
+		if err != nil || gw != 13 {
+			b.Fatalf("γ_w(3,4) = %d, %v", gw, err)
+		}
+		if _, err := core.FromSequence(seq, seq.Len()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2PollingCurves regenerates Fig. 2: the analytic polling-task
+// workload curves with θmin = 3T, θmax = 5T.
+func BenchmarkFig2PollingCurves(b *testing.B) {
+	p := core.PollingTask{Period: 10, ThetaMin: 30, ThetaMax: 50, Ep: 9, Ec: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w, err := p.Workload(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if w.Upper.MustAt(3) != 20 || w.Lower.MustAt(5) != 17 {
+			b.Fatal("Fig. 2 golden values broken")
+		}
+	}
+}
+
+// BenchmarkTableRMS regenerates the Sec. 3.1 comparison: the classical
+// Lehoczky test vs the workload-curve test on the polling task set.
+func BenchmarkTableRMS(b *testing.B) {
+	p := core.PollingTask{Period: 10, ThetaMin: 30, ThetaMax: 50, Ep: 9, Ec: 2}
+	w, err := p.Workload(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, err := rms.WCETTask("worker", 40, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := rms.NewTaskSet(rms.Task{Name: "poller", Period: 10, Gamma: w.Upper}, lo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cmp, err := ts.Compare()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cmp.WCET.Schedulable() || !cmp.Curve.Schedulable() {
+			b.Fatal("Sec. 3.1 outcome broken")
+		}
+	}
+}
+
+// benchParams is the reduced case-study instance used by the Fig. 6 / Fmin
+// / Fig. 7 benchmarks.
+func benchParams() casestudy.Params {
+	p := casestudy.DefaultParams(4)
+	p.Clips = mpeg2.Library()[:2]
+	return p
+}
+
+// BenchmarkFig6WorkloadCurves regenerates Fig. 6: trace generation plus
+// workload-curve extraction for the MPEG-2 decoder's PE2 subtask.
+func BenchmarkFig6WorkloadCurves(b *testing.B) {
+	p := benchParams()
+	ct, err := casestudy.BuildClipTrace(p, p.Clips[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	maxK := p.WindowFrames * 1620
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := core.FromTrace(ct.D2, maxK)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if w.WCET() <= w.BCET() {
+			b.Fatal("degenerate curves")
+		}
+	}
+}
+
+// BenchmarkTableFmin regenerates the headline numbers: Fᵞmin (eq. 9) vs
+// Fʷmin (eq. 10) for the two-clip instance, end to end.
+func BenchmarkTableFmin(b *testing.B) {
+	p := benchParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, err := casestudy.Analyze(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.FGamma.Hz >= a.FWCET.Hz {
+			b.Fatal("workload curves must beat WCET")
+		}
+	}
+}
+
+// BenchmarkFig7Backlogs regenerates Fig. 7: the per-clip maximum FIFO
+// backlog simulation at Fᵞmin.
+func BenchmarkFig7Backlogs(b *testing.B) {
+	p := benchParams()
+	a, err := casestudy.Analyze(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := casestudy.SimulateBacklogs(p, a.Traces, a.FGamma.Hz*1.001)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Overflowed {
+				b.Fatal("eq. 8 guarantee broken")
+			}
+		}
+	}
+}
+
+// --- ablations (EXPERIMENTS.md §Ablations) --------------------------------
+
+// BenchmarkAblationBufferSweep regenerates ABL-BUFFER: Fᵞmin/Fʷmin as a
+// function of FIFO size, from ¼ frame to 3 frames.
+func BenchmarkAblationBufferSweep(b *testing.B) {
+	p := benchParams()
+	a, err := casestudy.Analyze(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buffers := []int{405, 810, 1620, 2430, 3000} // within the 2-frame window table
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := casestudy.BufferSweep(a, buffers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 1; j < len(pts); j++ {
+			if pts[j].FGammaHz > pts[j-1].FGammaHz {
+				b.Fatal("Fmin must fall with buffer size")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationWindowSweep regenerates ABL-WINDOW: how Fᵞmin loosens
+// when the trace-analysis window shrinks.
+func BenchmarkAblationWindowSweep(b *testing.B) {
+	p := benchParams()
+	a, err := casestudy.Analyze(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	windows := []int{1, 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := casestudy.WindowSweep(a, windows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pts[0].FGammaHz < pts[len(pts)-1].FGammaHz-1 {
+			b.Fatal("shorter windows must not yield tighter bounds")
+		}
+	}
+}
+
+// --- micro-benchmarks for the hot paths ----------------------------------
+
+// BenchmarkAnalyzerUpperAt measures the O(n) single-k workload query on a
+// frame-sized trace.
+func BenchmarkAnalyzerUpperAt(b *testing.B) {
+	d, err := events.ModalDemands([]events.Mode{
+		{Lo: 100, Hi: 900, MinRun: 3, MaxRun: 9},
+		{Lo: 2000, Hi: 9000, MinRun: 1, MaxRun: 2},
+	}, 16200, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := core.NewAnalyzer(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.UpperAt(1620); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinFrequency measures the eq. 9 search over a 10k-entry span
+// table.
+func BenchmarkMinFrequency(b *testing.B) {
+	tt, err := events.Sporadic(0, 10_000, 40_000, 12_000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spans, err := SpansFromTrace(tt, 10_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := events.ModalDemands([]events.Mode{
+		{Lo: 500, Hi: 800, MinRun: 4, MaxRun: 9},
+		{Lo: 5000, Hi: 9000, MinRun: 1, MaxRun: 1},
+	}, 12_000, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := core.FromTrace(d, 10_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netcalc.MinFrequency(spans, w.Upper, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineRun measures the transaction-level two-PE simulation on
+// one frame of macroblocks.
+func BenchmarkPipelineRun(b *testing.B) {
+	p := benchParams()
+	ct, err := casestudy.BuildClipTrace(p, p.Clips[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := PipelineConfig{BitRate: 9_780_000, F1Hz: 300e6, F2Hz: 350e6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunPipeline(ct.Items, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactExtraction and BenchmarkApproxExtraction quantify the
+// EXT-APPROX tradeoff: full O(n·K) curve extraction vs the strided
+// conservative variant on a one-second-of-video-sized trace.
+func BenchmarkExactExtraction(b *testing.B) {
+	a := extractionAnalyzer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Workload(4000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApproxExtraction(b *testing.B) {
+	a := extractionAnalyzer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ApproxWorkload(a, 4000, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func extractionAnalyzer(b *testing.B) *core.Analyzer {
+	b.Helper()
+	d, err := events.ModalDemands([]events.Mode{
+		{Lo: 100, Hi: 900, MinRun: 3, MaxRun: 9},
+		{Lo: 2000, Hi: 9000, MinRun: 1, MaxRun: 2},
+	}, 40_000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := core.NewAnalyzer(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// BenchmarkSchedSimulate measures the fixed-priority scheduler over a
+// 100k-unit horizon with three tasks.
+func BenchmarkSchedSimulate(b *testing.B) {
+	tasks := []sched.Task{
+		{Name: "a", Period: 10, Demands: []int64{2, 1, 1}},
+		{Name: "b", Period: 35, Demands: []int64{9}},
+		{Name: "c", Period: 100, Demands: []int64{20, 5}},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := sched.Simulate(tasks, 100_000)
+		if err != nil || res.Misses != 0 {
+			b.Fatalf("misses=%d err=%v", res.Misses, err)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Command chaincheck analyzes a multi-stage processing chain: per-stage
+// delay and backlog bounds, buffer verdicts (eq. 8) and the end-to-end
+// delay, from an input timed trace and a stage description file.
+//
+// Stage file format, one stage per line ('#' comments allowed):
+//
+//	<name> <freqHz> <bufferEvents> curvefile <path>   γᵘ from a wcurve/1 file
+//	<name> <freqHz> <bufferEvents> wcet <C>           γᵘ(k) = C·k
+//	<name> <freqHz> <bufferEvents> demand <path>      γᵘ extracted from a demand trace
+//
+// Usage:
+//
+//	chaincheck -timed input.txt [-k 64] stages.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wcm/internal/arrival"
+	"wcm/internal/chain"
+	"wcm/internal/core"
+	"wcm/internal/curve"
+	"wcm/internal/tracefmt"
+)
+
+func main() {
+	timed := flag.String("timed", "", "timed trace of the input stream (ns timestamps)")
+	maxK := flag.Int("k", 64, "maximum window size for span/curve extraction")
+	flag.Parse()
+	if *timed == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: chaincheck -timed input.txt [-k N] stages.txt")
+		os.Exit(2)
+	}
+	if err := run(*timed, flag.Arg(0), *maxK); err != nil {
+		fmt.Fprintln(os.Stderr, "chaincheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(timedPath, stagePath string, maxK int) error {
+	tt, err := tracefmt.ReadTimedTrace(timedPath)
+	if err != nil {
+		return err
+	}
+	if maxK > len(tt) {
+		maxK = len(tt)
+	}
+	spans, err := arrival.FromTrace(tt, maxK)
+	if err != nil {
+		return err
+	}
+	stages, err := parseStages(stagePath, maxK)
+	if err != nil {
+		return err
+	}
+	horizon := tt.Span() * 2
+	if horizon <= 0 {
+		horizon = 1
+	}
+	reports, err := chain.Analyze(spans, stages, horizon)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("input: %d events over %.3f ms; window k ≤ %d\n",
+		len(tt), float64(tt.Span())/1e6, maxK)
+	fmt.Printf("%-16s %12s %12s %10s\n", "stage", "delay ≤ (µs)", "backlog ≤", "buffer ok")
+	for i, r := range reports {
+		fmt.Printf("%-16s %12.1f %12d %10v\n",
+			r.Name, float64(r.DelayNs)/1000, r.BacklogEvents, r.BufferOK)
+		_ = i
+	}
+	fmt.Printf("end-to-end delay bound: %.1f µs\n", float64(chain.EndToEndDelay(reports))/1000)
+	return nil
+}
+
+func parseStages(path string, maxK int) ([]chain.Stage, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var stages []chain.Stage
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("%s:%d: need 5 fields", path, line)
+		}
+		freq, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: freq: %w", path, line, err)
+		}
+		buffer, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: buffer: %w", path, line, err)
+		}
+		var gamma curve.Curve
+		switch fields[3] {
+		case "curvefile":
+			gamma, err = tracefmt.ReadCurve(fields[4])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+		case "wcet":
+			c, err := strconv.ParseInt(fields[4], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: wcet: %w", path, line, err)
+			}
+			gamma, err = curve.Linear(c)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+		case "demand":
+			d, err := tracefmt.ReadDemandTrace(fields[4])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			k := maxK
+			if k > len(d) {
+				k = len(d)
+			}
+			w, err := core.FromTrace(d, k)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			gamma = w.Upper
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown curve kind %q", path, line, fields[3])
+		}
+		stages = append(stages, chain.Stage{
+			Name: fields[0], FreqHz: freq, BufferEvents: buffer, Gamma: gamma,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("%s: no stages", path)
+	}
+	return stages, nil
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wcm/internal/tracefmt"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func scenario(t *testing.T) (timed, stages string) {
+	t.Helper()
+	dir := t.TempDir()
+	// Periodic input: one event per µs.
+	vals := make([]int64, 200)
+	for i := range vals {
+		vals[i] = int64(i) * 1000
+	}
+	timed = filepath.Join(dir, "input.txt")
+	if err := tracefmt.WriteIntsFile(timed, "input", vals); err != nil {
+		t.Fatal(err)
+	}
+	// Demand trace for the "demand" kind.
+	demands := make([]int64, 200)
+	for i := range demands {
+		demands[i] = 300 + int64(i%5)*50
+	}
+	dpath := filepath.Join(dir, "demand.txt")
+	if err := tracefmt.WriteIntsFile(dpath, "demand", demands); err != nil {
+		t.Fatal(err)
+	}
+	// Curve file for the "curvefile" kind.
+	cpath := writeFile(t, dir, "gamma.wcurve", "wcurve/1 period=1 delta=400 vals=0,400\n")
+	stages = writeFile(t, dir, "stages.txt", fmt.Sprintf(`# three-stage chain
+parse 1e9 8 wcet 500
+transform 1e9 8 demand %s
+encode 1e9 8 curvefile %s
+`, dpath, cpath))
+	return timed, stages
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	timed, stages := scenario(t)
+	if err := run(timed, stages, 32); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseStagesErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := []string{
+		"a 1e9 8\n",                    // too few fields
+		"a x 8 wcet 5\n",               // bad freq
+		"a 1e9 x wcet 5\n",             // bad buffer
+		"a 1e9 8 wcet x\n",             // bad wcet
+		"a 1e9 8 wcet -5\n",            // negative wcet
+		"a 1e9 8 curvefile /missing\n", // missing curve
+		"a 1e9 8 demand /missing\n",    // missing demand
+		"a 1e9 8 nonsense 5\n",         // unknown kind
+		"# empty\n",                    // no stages
+	}
+	for i, c := range cases {
+		p := writeFile(t, dir, fmt.Sprintf("s%d.txt", i), c)
+		if _, err := parseStages(p, 16); err == nil {
+			t.Fatalf("case %d must fail: %q", i, c)
+		}
+	}
+	if _, err := parseStages(filepath.Join(dir, "missing"), 16); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	stages := writeFile(t, dir, "stages.txt", "a 1e9 8 wcet 5\n")
+	unsorted := writeFile(t, dir, "bad.txt", "9\n5\n")
+	if err := run(unsorted, stages, 8); err == nil {
+		t.Fatal("unsorted timed trace must fail")
+	}
+}

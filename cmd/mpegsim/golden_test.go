@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The whole case study is deterministic: the exact mpegsim output for a
+// fixed small configuration is pinned here as a regression net. Any change
+// to the generators, demand models, pipeline timing or analysis will show
+// up as a diff in this golden text.
+func TestGoldenOutputPinned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 4, 2, 1620, 400, "newsdesk,football"); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if got != goldenSmall {
+		t.Fatalf("output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, goldenSmall)
+	}
+}
+
+const goldenSmall = `clips	2
+frames	4
+window_frames	2
+buffer_mbs	1620
+wcet_cycles	18500
+bcet_cycles	600
+f_gamma_mhz	341.9
+f_wcet_mhz	703.5
+savings_pct	51.4
+pe2_sim_mhz	400.0
+clip	max_backlog	normalized	overflow
+newsdesk	1056	0.652	false
+football	1248	0.770	false
+backlog_summary	min=1056 max=1248 mean=1152 p90=1248
+`

@@ -1,0 +1,153 @@
+// Command mpegsim runs the MPEG-2 decoder case study end to end and prints
+// a machine-readable summary: the computed minimum frequencies and the
+// per-clip maximum FIFO backlogs at a chosen PE2 frequency.
+//
+// Usage:
+//
+//	mpegsim [-frames N] [-window N] [-buffer N] [-f2mhz F] [-clips a,b,...]
+//
+// With -f2mhz 0 (default) PE2 runs at the computed Fᵞmin.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"wcm/internal/casestudy"
+	"wcm/internal/mpeg2"
+	"wcm/internal/stats"
+)
+
+func main() {
+	frames := flag.Int("frames", 24, "frames per clip")
+	window := flag.Int("window", 0, "analysis window in frames (0 = default)")
+	buffer := flag.Int("buffer", 1620, "FIFO size in macroblocks")
+	f2mhz := flag.Float64("f2mhz", 0, "PE2 clock in MHz (0 = computed Fᵞmin)")
+	clips := flag.String("clips", "", "comma-separated clip names (default: all 14)")
+	asJSON := flag.Bool("json", false, "emit a JSON report instead of TSV")
+	flag.Parse()
+
+	runner := run
+	if *asJSON {
+		runner = runJSON
+	}
+	if err := runner(os.Stdout, *frames, *window, *buffer, *f2mhz, *clips); err != nil {
+		fmt.Fprintln(os.Stderr, "mpegsim:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the JSON shape of one experiment run.
+type Report struct {
+	Clips        int             `json:"clips"`
+	Frames       int             `json:"frames"`
+	WindowFrames int             `json:"window_frames"`
+	BufferMBs    int             `json:"buffer_mbs"`
+	WCETCycles   int64           `json:"wcet_cycles"`
+	BCETCycles   int64           `json:"bcet_cycles"`
+	FGammaMHz    float64         `json:"f_gamma_mhz"`
+	FWCETMHz     float64         `json:"f_wcet_mhz"`
+	SavingsPct   float64         `json:"savings_pct"`
+	PE2SimMHz    float64         `json:"pe2_sim_mhz"`
+	Backlogs     []BacklogReport `json:"backlogs"`
+}
+
+// BacklogReport is one Fig. 7 bar in the JSON report.
+type BacklogReport struct {
+	Clip       string  `json:"clip"`
+	MaxBacklog int     `json:"max_backlog"`
+	Normalized float64 `json:"normalized"`
+	Overflow   bool    `json:"overflow"`
+}
+
+func runJSON(w io.Writer, frames, window, buffer int, f2mhz float64, clips string) error {
+	p, a, f2, res, err := analyze(frames, window, buffer, f2mhz, clips)
+	if err != nil {
+		return err
+	}
+	rep := Report{
+		Clips:        len(p.Clips),
+		Frames:       p.Frames,
+		WindowFrames: p.WindowFrames,
+		BufferMBs:    p.BufferMBs,
+		WCETCycles:   a.Gamma.WCET(),
+		BCETCycles:   a.Gamma.BCET(),
+		FGammaMHz:    a.FGamma.Hz / 1e6,
+		FWCETMHz:     a.FWCET.Hz / 1e6,
+		SavingsPct:   a.Savings() * 100,
+		PE2SimMHz:    f2 / 1e6,
+	}
+	for _, r := range res {
+		rep.Backlogs = append(rep.Backlogs, BacklogReport{
+			Clip: r.Clip, MaxBacklog: r.MaxBacklog, Normalized: r.Normalized, Overflow: r.Overflowed,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// analyze runs parameter selection, the trace analysis and the backlog
+// simulation shared by both output formats.
+func analyze(frames, window, buffer int, f2mhz float64, clips string) (casestudy.Params, *casestudy.Analysis, float64, []casestudy.BacklogResult, error) {
+	p := casestudy.DefaultParams(frames)
+	if window > 0 {
+		p.WindowFrames = window
+	}
+	p.BufferMBs = buffer
+	if clips != "" {
+		var selected []mpeg2.Clip
+		byName := map[string]mpeg2.Clip{}
+		for _, c := range mpeg2.Library() {
+			byName[c.Name] = c
+		}
+		for _, name := range strings.Split(clips, ",") {
+			c, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				return p, nil, 0, nil, fmt.Errorf("unknown clip %q (have %d in library)", name, len(byName))
+			}
+			selected = append(selected, c)
+		}
+		p.Clips = selected
+	}
+	a, err := casestudy.Analyze(p)
+	if err != nil {
+		return p, nil, 0, nil, err
+	}
+	f2 := a.FGamma.Hz * 1.001
+	if f2mhz > 0 {
+		f2 = f2mhz * 1e6
+	}
+	res, err := casestudy.SimulateBacklogs(p, a.Traces, f2)
+	if err != nil {
+		return p, nil, 0, nil, err
+	}
+	return p, a, f2, res, nil
+}
+
+func run(w io.Writer, frames, window, buffer int, f2mhz float64, clips string) error {
+	p, a, f2, res, err := analyze(frames, window, buffer, f2mhz, clips)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "clips\t%d\nframes\t%d\nwindow_frames\t%d\nbuffer_mbs\t%d\n",
+		len(p.Clips), p.Frames, p.WindowFrames, p.BufferMBs)
+	fmt.Fprintf(w, "wcet_cycles\t%d\nbcet_cycles\t%d\n", a.Gamma.WCET(), a.Gamma.BCET())
+	fmt.Fprintf(w, "f_gamma_mhz\t%.1f\nf_wcet_mhz\t%.1f\nsavings_pct\t%.1f\n",
+		a.FGamma.Hz/1e6, a.FWCET.Hz/1e6, a.Savings()*100)
+	fmt.Fprintf(w, "pe2_sim_mhz\t%.1f\n", f2/1e6)
+	fmt.Fprintln(w, "clip\tmax_backlog\tnormalized\toverflow")
+	backlogs := make([]int64, len(res))
+	for i, r := range res {
+		backlogs[i] = int64(r.MaxBacklog)
+		fmt.Fprintf(w, "%s\t%d\t%.3f\t%v\n", r.Clip, r.MaxBacklog, r.Normalized, r.Overflowed)
+	}
+	if s, err := stats.Summarize(backlogs); err == nil {
+		fmt.Fprintf(w, "backlog_summary\tmin=%d max=%d mean=%.0f p90=%d\n", s.Min, s.Max, s.Mean, s.P90)
+	}
+	return nil
+}

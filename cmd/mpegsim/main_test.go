@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallSubset(t *testing.T) {
+	if err := run(io.Discard, 4, 2, 1620, 0, "newsdesk,football"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExplicitFrequency(t *testing.T) {
+	if err := run(io.Discard, 4, 0, 1620, 500, "newsdesk"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownClip(t *testing.T) {
+	err := run(io.Discard, 4, 0, 1620, 0, "nosuchclip")
+	if err == nil || !strings.Contains(err.Error(), "unknown clip") {
+		t.Fatalf("err = %v, want unknown clip", err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runJSON(&buf, 4, 2, 1620, 400, "newsdesk"); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Clips != 1 || rep.Frames != 4 || len(rep.Backlogs) != 1 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	if rep.FGammaMHz <= 0 || rep.FGammaMHz >= rep.FWCETMHz {
+		t.Fatalf("frequency relation broken: %+v", rep)
+	}
+	if rep.Backlogs[0].Overflow {
+		t.Fatal("unexpected overflow")
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestFig1(t *testing.T) {
+	if err := fig1(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig2(t *testing.T) {
+	if err := fig2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRMS(t *testing.T) {
+	if err := tableRMS(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaseStudySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study skipped in -short mode")
+	}
+	// Tiny instance: 4 frames, 2-frame window, still runs all 14 clips
+	// through the whole analysis + all three outputs.
+	if err := caseStudy("all", 4, 2, 1620); err != nil {
+		t.Fatal(err)
+	}
+}

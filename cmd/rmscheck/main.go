@@ -1,0 +1,161 @@
+// Command rmscheck runs rate-monotonic schedulability analysis on a task
+// set description, with both the classical WCET test (eq. 3 of the paper)
+// and the workload-curve test (eq. 4).
+//
+// Task set file format, one task per line ('#' comments allowed):
+//
+//	<name> <period> wcet <C>
+//	<name> <period> polling <T> <thetaMin> <thetaMax> <ep> <ec>
+//	<name> <period> curve <g1> <g2> <g3> ...     (γᵘ values from k=1)
+//	<name> <period> curvefile <path>             (wcurve/1 file, see cmd/wcurve -emit)
+//
+// Usage:
+//
+//	rmscheck taskset.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wcm/internal/core"
+	"wcm/internal/curve"
+	"wcm/internal/rms"
+	"wcm/internal/tracefmt"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rmscheck <taskset-file>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "rmscheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	tasks, err := parse(path)
+	if err != nil {
+		return err
+	}
+	ts, err := rms.NewTaskSet(tasks...)
+	if err != nil {
+		return err
+	}
+	cmp, err := ts.Compare()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tasks: %d, utilization (WCET view): %.3f, Liu&Layland bound: %.3f\n",
+		len(ts), ts.Utilization(), rms.UtilizationBound(len(ts)))
+	fmt.Printf("%-16s %10s %10s %10s\n", "task", "period", "L_i (eq.3)", "L̃_i (eq.4)")
+	for i, t := range ts {
+		fmt.Printf("%-16s %10d %10.3f %10.3f\n", t.Name, t.Period,
+			cmp.WCET.PerTask[i], cmp.Curve.PerTask[i])
+	}
+	fmt.Printf("\nL = %.3f  → WCET test:          %s\n", cmp.WCET.Set, verdict(cmp.WCET.Schedulable()))
+	fmt.Printf("L̃ = %.3f  → workload-curve test: %s\n", cmp.Curve.Set, verdict(cmp.Curve.Schedulable()))
+	return nil
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "SCHEDULABLE"
+	}
+	return "not schedulable"
+}
+
+func parse(path string) ([]rms.Task, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var tasks []rms.Task
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("%s:%d: need at least 4 fields", path, line)
+		}
+		name := fields[0]
+		period, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: period: %w", path, line, err)
+		}
+		switch fields[2] {
+		case "wcet":
+			c, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: wcet: %w", path, line, err)
+			}
+			t, err := rms.WCETTask(name, period, c)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			tasks = append(tasks, t)
+		case "polling":
+			if len(fields) != 8 {
+				return nil, fmt.Errorf("%s:%d: polling needs T θmin θmax ep ec", path, line)
+			}
+			vals := make([]int64, 5)
+			for i := range vals {
+				vals[i], err = strconv.ParseInt(fields[3+i], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: polling arg %d: %w", path, line, i, err)
+				}
+			}
+			p := core.PollingTask{Period: vals[0], ThetaMin: vals[1], ThetaMax: vals[2], Ep: vals[3], Ec: vals[4]}
+			w, err := p.Workload(256)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			tasks = append(tasks, rms.Task{Name: name, Period: period, Gamma: w.Upper})
+		case "curve":
+			vals := []int64{0}
+			for _, fstr := range fields[3:] {
+				v, err := strconv.ParseInt(fstr, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: curve value: %w", path, line, err)
+				}
+				vals = append(vals, v)
+			}
+			g, err := curve.NewFinite(vals)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			tasks = append(tasks, rms.Task{Name: name, Period: period, Gamma: g})
+		case "curvefile":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("%s:%d: curvefile needs a path", path, line)
+			}
+			g, err := tracefmt.ReadCurve(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			tasks = append(tasks, rms.Task{Name: name, Period: period, Gamma: g})
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown kind %q", path, line, fields[2])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("%s: no tasks", path)
+	}
+	return tasks, nil
+}

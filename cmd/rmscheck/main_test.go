@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTaskset(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "taskset.txt")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseAllKinds(t *testing.T) {
+	p := writeTaskset(t, `# demo task set
+worker 40 wcet 16
+poller 10 polling 10 30 50 9 2
+custom 25 curve 7 9 15 17
+`)
+	tasks, err := parse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 3 {
+		t.Fatalf("tasks = %d", len(tasks))
+	}
+	if tasks[0].WCET() != 16 {
+		t.Fatalf("worker WCET = %d", tasks[0].WCET())
+	}
+	if tasks[1].Gamma.MustAt(3) != 20 {
+		t.Fatalf("poller γᵘ(3) = %d", tasks[1].Gamma.MustAt(3))
+	}
+	if tasks[2].Gamma.MustAt(4) != 17 {
+		t.Fatalf("custom γᵘ(4) = %d", tasks[2].Gamma.MustAt(4))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"x 10\n",                     // too few fields
+		"x ten wcet 5\n",             // bad period
+		"x 10 wcet five\n",           // bad wcet
+		"x 10 polling 1 2 3\n",       // wrong polling arity
+		"x 10 polling 10 5 50 9 2\n", // θmin ≤ T
+		"x 10 curve 5 3\n",           // non-monotone curve
+		"x 10 nonsense 5\n",          // unknown kind
+		"# nothing but comments\n",   // no tasks
+	}
+	for i, c := range cases {
+		if _, err := parse(writeTaskset(t, c)); err == nil {
+			t.Fatalf("case %d must fail: %q", i, c)
+		}
+	}
+	if _, err := parse(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	p := writeTaskset(t, `poller 10 polling 10 30 50 9 2
+worker 40 wcet 16
+`)
+	if err := run(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCurveFile(t *testing.T) {
+	dir := t.TempDir()
+	curveFile := filepath.Join(dir, "gamma.wcurve")
+	if err := os.WriteFile(curveFile, []byte("wcurve/1 period=3 delta=13 vals=0,9,11,20\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := writeTaskset(t, "poller 10 curvefile "+curveFile+"\n")
+	tasks, err := parse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks[0].Gamma.MustAt(3) != 20 || tasks[0].Gamma.MustAt(6) != 33 {
+		t.Fatalf("curvefile values: %d, %d", tasks[0].Gamma.MustAt(3), tasks[0].Gamma.MustAt(6))
+	}
+	// Error paths: missing file, garbage content, wrong arity.
+	if _, err := parse(writeTaskset(t, "x 10 curvefile /nonexistent\n")); err == nil {
+		t.Fatal("missing curve file must fail")
+	}
+	garbage := filepath.Join(dir, "bad.wcurve")
+	if err := os.WriteFile(garbage, []byte("not a curve"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parse(writeTaskset(t, "x 10 curvefile "+garbage+"\n")); err == nil {
+		t.Fatal("garbage curve file must fail")
+	}
+	if _, err := parse(writeTaskset(t, "x 10 curvefile\n")); err == nil {
+		t.Fatal("missing path must fail")
+	}
+}
+
+func TestVerdict(t *testing.T) {
+	if verdict(true) != "SCHEDULABLE" || verdict(false) != "not schedulable" {
+		t.Fatal("verdict strings broken")
+	}
+}

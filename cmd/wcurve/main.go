@@ -1,0 +1,153 @@
+// Command wcurve extracts workload and arrival curves from trace files.
+//
+// Input formats (one value per line, '#' comments allowed):
+//
+//	demand traces: per-activation cycle demands (integers)
+//	timed traces:  event timestamps in nanoseconds (sorted integers)
+//
+// Usage:
+//
+//	wcurve -demand trace.txt [-k 64]          γᵘ/γˡ from a demand trace
+//	wcurve -timed trace.txt [-k 64]           d(k) spans from a timed trace
+//	wcurve -demand d.txt -timed t.txt -b 16   Fᵞmin/Fʷmin for a buffer of b
+//
+// Multiple comma-separated files take the envelope over all of them, as
+// the paper does over its 14 video clips.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wcm/internal/arrival"
+	"wcm/internal/core"
+	"wcm/internal/events"
+	"wcm/internal/netcalc"
+	"wcm/internal/tracefmt"
+)
+
+func main() {
+	demandFiles := flag.String("demand", "", "comma-separated demand trace files (cycles per activation)")
+	timedFiles := flag.String("timed", "", "comma-separated timed trace files (timestamps in ns)")
+	maxK := flag.Int("k", 64, "maximum window size k")
+	buffer := flag.Int("b", 0, "buffer size in events; with both trace kinds, compute Fmin")
+	emit := flag.String("emit", "", "write the extracted γᵘ in wcurve/1 format to this file (usable by rmscheck's curvefile kind)")
+	flag.Parse()
+
+	if *demandFiles == "" && *timedFiles == "" {
+		fmt.Fprintln(os.Stderr, "wcurve: need -demand and/or -timed trace files")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*demandFiles, *timedFiles, *maxK, *buffer, *emit); err != nil {
+		fmt.Fprintln(os.Stderr, "wcurve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(demandFiles, timedFiles string, maxK, buffer int, emit string) error {
+	var gamma core.Workload
+	var spans arrival.Spans
+
+	if demandFiles != "" {
+		var traces []events.DemandTrace
+		for _, f := range strings.Split(demandFiles, ",") {
+			vals, err := readInts(f)
+			if err != nil {
+				return err
+			}
+			traces = append(traces, events.DemandTrace(vals))
+		}
+		k := clampK(maxK, shortest(traces))
+		w, err := core.FromTraces(traces, k)
+		if err != nil {
+			return err
+		}
+		gamma = w
+		fmt.Printf("# workload curves from %d demand trace(s), k ≤ %d\n", len(traces), k)
+		fmt.Printf("# WCET=%d BCET=%d\n", w.WCET(), w.BCET())
+		fmt.Println("# k\tgamma_u\tgamma_l")
+		for i := 0; i <= k; i++ {
+			fmt.Printf("%d\t%d\t%d\n", i, w.Upper.MustAt(i), w.Lower.MustAt(i))
+		}
+		if emit != "" {
+			text, err := w.Upper.MarshalText()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(emit, append(text, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("# γᵘ written to %s\n", emit)
+		}
+	}
+
+	if timedFiles != "" {
+		var tables []arrival.Spans
+		for _, f := range strings.Split(timedFiles, ",") {
+			vals, err := readInts(f)
+			if err != nil {
+				return err
+			}
+			tt := events.TimedTrace(vals)
+			k := clampK(maxK, len(tt))
+			s, err := arrival.FromTrace(tt, k)
+			if err != nil {
+				return fmt.Errorf("%s: %w", f, err)
+			}
+			tables = append(tables, s)
+		}
+		s, err := arrival.Merge(tables...)
+		if err != nil {
+			return err
+		}
+		spans = s
+		fmt.Printf("# minimal spans d(k) from %d timed trace(s)\n", len(tables))
+		fmt.Println("# k\td(k)_ns")
+		for k := 1; k <= s.MaxK(); k++ {
+			d, _ := s.At(k)
+			fmt.Printf("%d\t%d\n", k, d)
+		}
+	}
+
+	if demandFiles != "" && timedFiles != "" && buffer > 0 {
+		fg, err := netcalc.MinFrequency(spans, gamma.Upper, buffer)
+		if err != nil {
+			return err
+		}
+		fw, err := netcalc.MinFrequencyWCET(spans, gamma.WCET(), buffer)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# Fmin with buffer b=%d events\n", buffer)
+		fmt.Printf("F_gamma_min_Hz\t%.0f\n", fg.Hz)
+		fmt.Printf("F_wcet_min_Hz\t%.0f\n", fw.Hz)
+		if fw.Hz > 0 {
+			fmt.Printf("savings\t%.1f%%\n", (1-fg.Hz/fw.Hz)*100)
+		}
+	}
+	return nil
+}
+
+func shortest(traces []events.DemandTrace) int {
+	n := 1 << 30
+	for _, t := range traces {
+		if len(t) < n {
+			n = len(t)
+		}
+	}
+	return n
+}
+
+func clampK(k, n int) int {
+	if k > n {
+		return n
+	}
+	return k
+}
+
+func readInts(path string) ([]int64, error) {
+	return tracefmt.ReadIntsFile(path)
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReadInts(t *testing.T) {
+	p := writeTemp(t, "trace.txt", "# comment\n10\n 20 \n\n30\n")
+	vals, err := readInts(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{10, 20, 30}
+	if len(vals) != len(want) {
+		t.Fatalf("vals = %v", vals)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("vals = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestReadIntsErrors(t *testing.T) {
+	if _, err := readInts(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	bad := writeTemp(t, "bad.txt", "10\nnot-a-number\n")
+	if _, err := readInts(bad); err == nil {
+		t.Fatal("non-numeric line must fail")
+	}
+	empty := writeTemp(t, "empty.txt", "# only comments\n")
+	if _, err := readInts(empty); err == nil {
+		t.Fatal("empty trace must fail")
+	}
+}
+
+func TestRunDemandOnly(t *testing.T) {
+	p := writeTemp(t, "d.txt", "5\n1\n9\n2\n2\n7\n")
+	if err := run(p, "", 4, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTimedOnly(t *testing.T) {
+	p := writeTemp(t, "t.txt", "0\n10\n15\n40\n41\n90\n")
+	if err := run("", p, 4, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFminEndToEnd(t *testing.T) {
+	d := writeTemp(t, "d.txt", "100\n10\n10\n10\n100\n10\n10\n10\n")
+	tt := writeTemp(t, "t.txt", "0\n50\n100\n150\n200\n250\n300\n350\n")
+	if err := run(d, tt, 8, 2, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultipleFilesEnvelope(t *testing.T) {
+	d1 := writeTemp(t, "d1.txt", "5\n5\n5\n5\n")
+	d2 := writeTemp(t, "d2.txt", "1\n9\n1\n9\n")
+	if err := run(d1+","+d2, "", 4, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmitWritesCodecFile(t *testing.T) {
+	d := writeTemp(t, "d.txt", "9\n2\n2\n9\n2\n2\n")
+	out := filepath.Join(t.TempDir(), "gamma.wcurve")
+	if err := run(d, "", 4, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "wcurve/1 period=0 delta=0 vals=0,9,11,13,22\n"; string(raw) != want {
+		t.Fatalf("emitted %q, want %q", raw, want)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if clampK(10, 5) != 5 || clampK(3, 5) != 3 {
+		t.Fatal("clampK broken")
+	}
+}

@@ -1,0 +1,118 @@
+package wcm_test
+
+// Godoc examples: each runs under `go test` and its output is verified,
+// so the documentation cannot drift from the implementation.
+
+import (
+	"fmt"
+	"log"
+
+	"wcm"
+)
+
+// The elementary workflow: extract workload curves from a measured demand
+// trace and compare against the single-value WCET abstraction.
+func ExampleFromDemandTrace() {
+	demands := wcm.DemandTrace{900, 120, 130, 110, 880, 140}
+	w, err := wcm.FromDemandTrace(demands, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("WCET:", w.WCET())
+	fmt.Println("γᵘ(3):", w.Upper.MustAt(3), "– the WCET model would assume", 3*w.WCET())
+	// Output:
+	// WCET: 900
+	// γᵘ(3): 1150 – the WCET model would assume 2700
+}
+
+// Example 1 of the paper: analytic workload curves of a polling task with
+// θmin = 3T and θmax = 5T (Fig. 2).
+func ExamplePollingTask() {
+	task := wcm.PollingTask{Period: 10, ThetaMin: 30, ThetaMax: 50, Ep: 9, Ec: 2}
+	w, err := task.Workload(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, k := range []int{1, 3, 6, 9} {
+		fmt.Printf("γᵘ(%d) = %d\n", k, w.Upper.MustAt(k))
+	}
+	// Output:
+	// γᵘ(1) = 9
+	// γᵘ(3) = 20
+	// γᵘ(6) = 33
+	// γᵘ(9) = 46
+}
+
+// The paper's Sec. 3.1 result: the workload-curve schedulability test
+// (eq. 4) accepts a task set the classical WCET test (eq. 3) rejects.
+func ExampleRMSTaskSet() {
+	poll := wcm.PollingTask{Period: 10, ThetaMin: 30, ThetaMax: 50, Ep: 9, Ec: 2}
+	w, err := poll.Workload(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worker, err := wcm.NewWCETTask("worker", 40, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := wcm.NewRMSTaskSet(wcm.RMSTask{Name: "poller", Period: 10, Gamma: w.Upper}, worker)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := set.Compare()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("WCET test: %v, curve test: %v\n", cmp.WCET.Schedulable(), cmp.Curve.Schedulable())
+	// Output:
+	// WCET test: false, curve test: true
+}
+
+// Eq. (9) vs eq. (10): the minimum processor frequency that keeps a FIFO of
+// b events overflow-free, with and without workload curves.
+func ExampleMinFrequency() {
+	// Periodic stream, one event per 100ns; every 4th event is expensive.
+	spans, err := wcm.PeriodicSpans(100, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	demands := make(wcm.DemandTrace, 400)
+	for i := range demands {
+		if i%4 == 0 {
+			demands[i] = 400
+		} else {
+			demands[i] = 40
+		}
+	}
+	w, err := wcm.FromDemandTrace(demands, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fg, err := wcm.MinFrequency(spans, w.Upper, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := wcm.MinFrequencyWCET(spans, w.WCET(), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fγ = %.0f MHz, Fw = %.0f MHz\n", fg.Hz/1e6, fw.Hz/1e6)
+	// Output:
+	// Fγ = 1267 MHz, Fw = 3859 MHz
+}
+
+// A modal (SPI-style) task characterized analytically: at most 2 expensive
+// activations before at least 3 cheap ones.
+func ExampleModalTask() {
+	m := wcm.ModalTask{Modes: []wcm.ModalMode{
+		{Name: "busy", Lo: 80, Hi: 100, MinRun: 1, MaxRun: 2},
+		{Name: "idle", Lo: 5, Hi: 10, MinRun: 3, MaxRun: 6},
+	}}
+	w, err := m.Workload(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("γᵘ:", w.Upper.Values()[1:])
+	// Output:
+	// γᵘ: [100 200 210 220 230 330 430]
+}

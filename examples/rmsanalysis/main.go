@@ -1,0 +1,68 @@
+// RMS analysis (Sec. 3.1 of the paper): the workload-curve schedulability
+// test accepts task sets the classical WCET-based exact test rejects, and
+// a preemptive fixed-priority simulation confirms the acceptance is sound.
+//
+// Run with:
+//
+//	go run ./examples/rmsanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wcm"
+)
+
+func main() {
+	// High-priority task: the Fig. 2 polling task — its WCET is 9 cycles
+	// per 10-unit period, but at most every 3rd activation is expensive.
+	poll := wcm.PollingTask{Period: 10, ThetaMin: 30, ThetaMax: 50, Ep: 9, Ec: 2}
+	w, err := poll.Workload(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hi := wcm.RMSTask{Name: "poller", Period: 10, Gamma: w.Upper}
+
+	// Low-priority worker: C=16 per T=40.
+	lo, err := wcm.NewWCETTask("worker", 40, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	set, err := wcm.NewRMSTaskSet(hi, lo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := set.Compare()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classical test (eq. 3):       L = %.3f → schedulable: %v\n",
+		cmp.WCET.Set, cmp.WCET.Schedulable())
+	fmt.Printf("workload-curve test (eq. 4):  L̃ = %.3f → schedulable: %v\n",
+		cmp.Curve.Set, cmp.Curve.Schedulable())
+
+	// Validate by simulation: generate polling demand traces and schedule
+	// them under preemptive fixed priorities.
+	totalMisses := 0
+	for seed := uint64(1); seed <= 20; seed++ {
+		demands, err := wcm.GeneratePollingDemands(poll.Period, poll.ThetaMin, poll.ThetaMax,
+			poll.Ep, poll.Ec, 400, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := wcm.SimulateFixedPriority([]wcm.SchedTask{
+			{Name: "poller", Period: 10, Demands: demands},
+			{Name: "worker", Period: 40, Demands: []int64{16}},
+		}, 4000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalMisses += res.Misses
+	}
+	fmt.Printf("simulation over 20 random traces: %d deadline misses\n", totalMisses)
+	fmt.Println("\nThe WCET view over-books the poller (0.9 utilization) and rejects the")
+	fmt.Println("set; the workload curve knows expensive polls cannot cluster, accepts")
+	fmt.Println("it, and the simulation confirms every deadline is met.")
+}

@@ -1,0 +1,3 @@
+module wcm
+
+go 1.22

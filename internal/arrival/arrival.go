@@ -1,0 +1,237 @@
+// Package arrival implements event arrival curves ᾱ(Δ): upper bounds on the
+// number of events seen in any time window of length Δ.
+//
+// The paper follows the Network-Calculus convention (Le Boudec & Thiran,
+// generalized to event flows by Chakraborty, Künzli, Thiele, DATE'03): an
+// arrival curve characterizes a whole class of event streams, and for the
+// MPEG-2 case study it is extracted from simulator traces.
+//
+// The central extraction artifact is the minimal-span table
+//
+//	d(k) = min_j ( t[j+k−1] − t[j] )   for k = 1..K
+//
+// — the shortest time in which k consecutive events ever arrive. The
+// arrival curve is its (pseudo-)inverse: ᾱ(Δ) = max{k : d(k) ≤ Δ}. Keeping
+// the span table explicit lets downstream analyses (the Fmin search of
+// eq. 9) iterate exactly over event counts with no time discretization.
+package arrival
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"wcm/internal/events"
+	"wcm/internal/pwl"
+)
+
+// Errors returned by this package.
+var (
+	ErrBadMaxK    = errors.New("arrival: maxK must be within 1..trace length")
+	ErrEmptySpans = errors.New("arrival: empty span table")
+	ErrBadSpans   = errors.New("arrival: spans must be non-negative and non-decreasing")
+)
+
+// Spans is the minimal-span table of a trace: Spans[k-1] = d(k), the
+// shortest observed duration containing k consecutive events. d(1) = 0 by
+// convention (a single event occupies no time). Spans are non-decreasing.
+type Spans []int64
+
+// Validate checks the span-table invariants.
+func (s Spans) Validate() error {
+	if len(s) == 0 {
+		return ErrEmptySpans
+	}
+	if s[0] != 0 {
+		return fmt.Errorf("%w: d(1)=%d, want 0", ErrBadSpans, s[0])
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return fmt.Errorf("%w: d(%d)=%d after d(%d)=%d", ErrBadSpans, i+1, s[i], i, s[i-1])
+		}
+	}
+	return nil
+}
+
+// MaxK returns the largest event count the table covers.
+func (s Spans) MaxK() int { return len(s) }
+
+// At returns d(k). k must be in 1..MaxK().
+func (s Spans) At(k int) (int64, error) {
+	if k < 1 || k > len(s) {
+		return 0, fmt.Errorf("%w: k=%d of %d", ErrBadMaxK, k, len(s))
+	}
+	return s[k-1], nil
+}
+
+// Alpha evaluates the arrival curve ᾱ(Δ) = max{k : d(k) ≤ Δ} implied by the
+// span table. For Δ ≥ d(MaxK) the result saturates at MaxK (the table is a
+// finite observation; callers must choose horizons within it).
+func (s Spans) Alpha(dt int64) int {
+	if dt < 0 {
+		return 0
+	}
+	// Spans are sorted: find the last k with d(k) ≤ dt.
+	return sort.Search(len(s), func(i int) bool { return s[i] > dt })
+}
+
+// FromTrace computes the minimal-span table of a timed trace for
+// k = 1..maxK: d(k) = min over j of t[j+k−1] − t[j].
+func FromTrace(tt events.TimedTrace, maxK int) (Spans, error) {
+	if err := tt.Validate(); err != nil {
+		return nil, err
+	}
+	if maxK < 1 || maxK > len(tt) {
+		return nil, fmt.Errorf("%w: maxK=%d, n=%d", ErrBadMaxK, maxK, len(tt))
+	}
+	spans := make(Spans, maxK)
+	for k := 2; k <= maxK; k++ {
+		best := tt[k-1] - tt[0]
+		for j := 1; j+k-1 < len(tt); j++ {
+			if d := tt[j+k-1] - tt[j]; d < best {
+				best = d
+			}
+		}
+		spans[k-1] = best
+	}
+	return spans, nil
+}
+
+// Merge combines span tables from several traces into a table valid for all
+// of them: the arrival curve must upper-bound every trace, so the merged
+// d(k) is the MINIMUM of the individual d(k) (a shorter span means more
+// events per window). Tables are truncated to the shortest.
+func Merge(tables ...Spans) (Spans, error) {
+	if len(tables) == 0 {
+		return nil, ErrEmptySpans
+	}
+	n := tables[0].MaxK()
+	for _, t := range tables[1:] {
+		if t.MaxK() < n {
+			n = t.MaxK()
+		}
+	}
+	if n == 0 {
+		return nil, ErrEmptySpans
+	}
+	out := make(Spans, n)
+	for i := range out {
+		best := tables[0][i]
+		for _, t := range tables[1:] {
+			if t[i] < best {
+				best = t[i]
+			}
+		}
+		out[i] = best
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Curve renders the span table as a piecewise-linear arrival-curve envelope
+// (see pwl.Staircase): ᾱ_pwl(Δ) ≥ ᾱ(Δ) everywhere, equality at the span
+// breakpoints. The base is 0 events at Δ "just below" d(1)=0; the first
+// step at Δ=0 yields ᾱ(0) ≥ 1 as usual for closed windows.
+func (s Spans) Curve() (pwl.Curve, error) {
+	if err := s.Validate(); err != nil {
+		return pwl.Curve{}, err
+	}
+	return pwl.Staircase(0, s)
+}
+
+// Periodic returns the exact span table of a strictly periodic stream:
+// d(k) = (k−1)·period.
+func Periodic(period int64, maxK int) (Spans, error) {
+	if period <= 0 || maxK < 1 {
+		return nil, fmt.Errorf("arrival: Periodic(period=%d, maxK=%d)", period, maxK)
+	}
+	s := make(Spans, maxK)
+	for k := 1; k <= maxK; k++ {
+		s[k-1] = int64(k-1) * period
+	}
+	return s, nil
+}
+
+// PeriodicJitter returns the span table of a periodic-with-jitter stream
+// (period p, jitter j): d(k) = max(0, (k−1)·p − j). This is the standard
+// PJD event model with no minimum distance.
+func PeriodicJitter(period, jitter int64, maxK int) (Spans, error) {
+	if period <= 0 || jitter < 0 || maxK < 1 {
+		return nil, fmt.Errorf("arrival: PeriodicJitter(p=%d, j=%d, maxK=%d)", period, jitter, maxK)
+	}
+	s := make(Spans, maxK)
+	for k := 1; k <= maxK; k++ {
+		d := int64(k-1)*period - jitter
+		if d < 0 {
+			d = 0
+		}
+		s[k-1] = d
+	}
+	return s, nil
+}
+
+// Sporadic returns the span table of a sporadic stream with minimum
+// inter-arrival θmin: d(k) = (k−1)·θmin — the densest packing permitted.
+func Sporadic(thetaMin int64, maxK int) (Spans, error) {
+	return Periodic(thetaMin, maxK)
+}
+
+// PJD holds the parameters of the standard periodic-with-jitter event
+// model (SymTA/S-style): nominal period P, jitter J.
+type PJD struct {
+	Period int64
+	Jitter int64
+}
+
+// FitPJD fits the tightest periodic-with-jitter model that upper-bounds an
+// observed span table: the model's spans max(0, (k−1)·P − J) must lower-
+// bound the observed d(k) (so its arrival curve dominates the trace's).
+// P is the largest period with (k−1)·P − d(k) bounded (the long-run
+// slope), J the smallest jitter that covers every observation. Returns an
+// error for tables too short to estimate a slope.
+//
+// Fitting maps trace-derived characterizations into the parameter space of
+// classical event-model-based frameworks, at the cost of the precision the
+// paper's curves retain.
+func FitPJD(s Spans) (PJD, error) {
+	if err := s.Validate(); err != nil {
+		return PJD{}, err
+	}
+	if s.MaxK() < 2 {
+		return PJD{}, fmt.Errorf("%w: need at least d(2)", ErrBadMaxK)
+	}
+	// Long-run period: the tail increment d(n) − d(n−1), which equals P
+	// exactly once the jitter clamp max(0, ·) is inactive. Soundness does
+	// not depend on the estimate — J below is computed to cover every
+	// observation for whatever P we pick.
+	n := s.MaxK()
+	period := s[n-1] - s[n-2]
+	if period < 1 {
+		period = 1
+	}
+	var jitter int64
+	for k := 2; k <= n; k++ {
+		if j := int64(k-1)*period - s[k-1]; j > jitter {
+			jitter = j
+		}
+	}
+	return PJD{Period: period, Jitter: jitter}, nil
+}
+
+// Spans returns the span table of the fitted model for k = 1..maxK:
+// d(k) = max(0, (k−1)·P − J).
+func (m PJD) Spans(maxK int) (Spans, error) {
+	return PeriodicJitter(m.Period, m.Jitter, maxK)
+}
+
+// LeakyBucket returns the piecewise-linear arrival curve α(Δ) = b + r·Δ
+// (burst b events, sustained rate r events/ns). Provided for analyses that
+// start from a declarative flow specification rather than a trace.
+func LeakyBucket(burst float64, rate float64) (pwl.Curve, error) {
+	if burst < 0 || rate < 0 {
+		return pwl.Curve{}, fmt.Errorf("arrival: LeakyBucket(b=%g, r=%g)", burst, rate)
+	}
+	return pwl.New([]pwl.Point{{X: 0, Y: burst}}, rate)
+}

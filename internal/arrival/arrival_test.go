@@ -1,0 +1,344 @@
+package arrival
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"wcm/internal/events"
+)
+
+// bruteSpan computes d(k) directly from the definition.
+func bruteSpan(tt events.TimedTrace, k int) int64 {
+	best := int64(1) << 62
+	for j := 0; j+k <= len(tt); j++ {
+		if d := tt[j+k-1] - tt[j]; d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func TestFromTraceMatchesBruteForce(t *testing.T) {
+	tt := events.TimedTrace{0, 3, 4, 10, 11, 12, 30, 31}
+	spans, err := FromTrace(tt, len(tt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spans.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= len(tt); k++ {
+		got, err := spans.At(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteSpan(tt, k); got != want {
+			t.Fatalf("d(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if _, err := spans.At(0); err == nil {
+		t.Fatal("At(0) must fail")
+	}
+	if _, err := spans.At(len(tt) + 1); err == nil {
+		t.Fatal("At beyond table must fail")
+	}
+}
+
+func TestFromTraceValidation(t *testing.T) {
+	if _, err := FromTrace(events.TimedTrace{}, 1); err == nil {
+		t.Fatal("empty trace must fail")
+	}
+	if _, err := FromTrace(events.TimedTrace{0, 10}, 3); !errors.Is(err, ErrBadMaxK) {
+		t.Fatalf("maxK > n err = %v", err)
+	}
+	if _, err := FromTrace(events.TimedTrace{10, 0}, 2); err == nil {
+		t.Fatal("unsorted trace must fail")
+	}
+}
+
+func TestAlphaInverseOfSpans(t *testing.T) {
+	// Periodic 10ns: d(k) = 10(k−1); ᾱ(Δ) = 1 + ⌊Δ/10⌋ (within the table).
+	spans, err := Periodic(10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dt   int64
+		want int
+	}{{-1, 0}, {0, 1}, {9, 1}, {10, 2}, {35, 4}, {70, 8}, {1000, 8}}
+	for _, tc := range cases {
+		if got := spans.Alpha(tc.dt); got != tc.want {
+			t.Fatalf("ᾱ(%d) = %d, want %d", tc.dt, got, tc.want)
+		}
+	}
+}
+
+func TestAlphaGaloisWithSpans(t *testing.T) {
+	// ᾱ(Δ) ≥ k ⇔ d(k) ≤ Δ.
+	tt, err := events.Sporadic(0, 5, 17, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := FromTrace(tt, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dt := int64(0); dt < 300; dt += 7 {
+		a := spans.Alpha(dt)
+		for k := 1; k <= spans.MaxK(); k++ {
+			d, _ := spans.At(k)
+			if (a >= k) != (d <= dt) {
+				t.Fatalf("Galois violated at Δ=%d k=%d: ᾱ=%d d(k)=%d", dt, k, a, d)
+			}
+		}
+	}
+}
+
+func TestAlphaBoundsWindowCounts(t *testing.T) {
+	// The arrival curve must upper-bound the count in EVERY window of the
+	// trace it was extracted from.
+	tt, err := events.Bursty(0, 5, 6, 2, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := FromTrace(tt, len(tt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, from := range []int64{0, 1, 5, 40, 95, 200} {
+		for _, width := range []int64{1, 3, 11, 50, 200} {
+			count := tt.CountIn(from, width)
+			// Closed-window convention: CountIn uses [from, from+width), the
+			// span d(k) measures t_last − t_first, so a window of width w
+			// holds counts bounded by ᾱ(w) (spans are closed differences,
+			// width-1 suffices but w is safe).
+			if count > spans.Alpha(width) {
+				t.Fatalf("window [%d,+%d) holds %d > ᾱ = %d", from, width, count, spans.Alpha(width))
+			}
+		}
+	}
+}
+
+func TestMergeTakesMinimum(t *testing.T) {
+	a := Spans{0, 10, 25}
+	b := Spans{0, 8, 30}
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spans{0, 8, 25}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("merge[%d] = %d, want %d", i, m[i], want[i])
+		}
+	}
+	// Merged curve dominates both.
+	for dt := int64(0); dt < 40; dt++ {
+		if m.Alpha(dt) < a.Alpha(dt) || m.Alpha(dt) < b.Alpha(dt) {
+			t.Fatalf("merged ᾱ below an operand at Δ=%d", dt)
+		}
+	}
+	if _, err := Merge(); err == nil {
+		t.Fatal("no tables must fail")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	if err := (Spans{}).Validate(); !errors.Is(err, ErrEmptySpans) {
+		t.Fatal("empty must fail")
+	}
+	if err := (Spans{5}).Validate(); !errors.Is(err, ErrBadSpans) {
+		t.Fatal("d(1) ≠ 0 must fail")
+	}
+	if err := (Spans{0, 10, 5}).Validate(); !errors.Is(err, ErrBadSpans) {
+		t.Fatal("decreasing spans must fail")
+	}
+}
+
+func TestPeriodicJitterSpans(t *testing.T) {
+	s, err := PeriodicJitter(100, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spans{0, 70, 170, 270, 370}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("pjd span[%d] = %d, want %d", i, s[i], want[i])
+		}
+	}
+	// Jitter spans must bound actual jittered traces.
+	tt, err := events.PeriodicJitter(0, 100, 30, 400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := FromTrace(tt, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 5; k++ {
+		model, _ := s.At(k)
+		trace, _ := obs.At(k)
+		if trace < model {
+			t.Fatalf("trace denser than PJD model at k=%d: %d < %d", k, trace, model)
+		}
+	}
+}
+
+func TestSporadicSpans(t *testing.T) {
+	s, err := Sporadic(40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spans{0, 40, 80, 120}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sporadic span[%d] = %d", i, s[i])
+		}
+	}
+}
+
+func TestCurveEnvelope(t *testing.T) {
+	spans := Spans{0, 10, 10, 35}
+	c, err := spans.Curve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Envelope must dominate ᾱ everywhere.
+	for dt := int64(0); dt <= 40; dt++ {
+		if c.At(dt) < float64(spans.Alpha(dt))-1e-9 {
+			t.Fatalf("envelope below ᾱ at Δ=%d: %g < %d", dt, c.At(dt), spans.Alpha(dt))
+		}
+	}
+	// Exact at breakpoints: ᾱ(0)=1, ᾱ(10)=3, ᾱ(35)=4.
+	if c.At(0) != 1 || c.At(10) != 3 || c.At(35) != 4 {
+		t.Fatalf("envelope breakpoints: %g %g %g", c.At(0), c.At(10), c.At(35))
+	}
+}
+
+func TestLeakyBucket(t *testing.T) {
+	c, err := LeakyBucket(5, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.At(0) != 5 || c.At(100) != 30 {
+		t.Fatalf("leaky bucket values: %g %g", c.At(0), c.At(100))
+	}
+	if _, err := LeakyBucket(-1, 0); err == nil {
+		t.Fatal("negative burst must fail")
+	}
+}
+
+func TestFitPJDExactOnPJDModel(t *testing.T) {
+	orig, err := PeriodicJitter(100, 30, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FitPJD(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Period != 100 || m.Jitter != 30 {
+		t.Fatalf("fit = %+v, want P=100 J=30", m)
+	}
+	back, err := m.Spans(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 20; k++ {
+		if back[k-1] != orig[k-1] {
+			t.Fatalf("round trip diverges at k=%d", k)
+		}
+	}
+}
+
+func TestFitPJDDominatesObservedTrace(t *testing.T) {
+	tt, err := events.PeriodicJitter(0, 200, 80, 300, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := FromTrace(tt, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FitPJD(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := m.Spans(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model's spans must lower-bound the observed ones (so its ᾱ
+	// dominates the trace's), and the fitted jitter must stay sane.
+	for k := 1; k <= 40; k++ {
+		if model[k-1] > spans[k-1] {
+			t.Fatalf("model denser violated at k=%d: %d > %d", k, model[k-1], spans[k-1])
+		}
+	}
+	if m.Jitter > 200 {
+		t.Fatalf("fitted jitter %d implausibly large for J=80 input", m.Jitter)
+	}
+	if _, err := FitPJD(Spans{0}); err == nil {
+		t.Fatal("single-entry table must fail")
+	}
+}
+
+func TestQuickFitPJDSound(t *testing.T) {
+	f := func(seed uint64) bool {
+		tt, err := events.Sporadic(0, 10, 60, 150, seed)
+		if err != nil {
+			return false
+		}
+		spans, err := FromTrace(tt, 30)
+		if err != nil {
+			return false
+		}
+		m, err := FitPJD(spans)
+		if err != nil {
+			return false
+		}
+		model, err := m.Spans(30)
+		if err != nil {
+			return false
+		}
+		for k := 1; k <= 30; k++ {
+			if model[k-1] > spans[k-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSpansBoundTraces(t *testing.T) {
+	f := func(seed uint64) bool {
+		tt, err := events.Sporadic(0, 3, 23, 100, seed)
+		if err != nil {
+			return false
+		}
+		spans, err := FromTrace(tt, 30)
+		if err != nil {
+			return false
+		}
+		if spans.Validate() != nil {
+			return false
+		}
+		// Every actual window of k events spans at least d(k).
+		for j := 0; j+30 <= len(tt); j += 7 {
+			for k := 2; k <= 30; k += 3 {
+				d, _ := spans.At(k)
+				if tt[j+k-1]-tt[j] < d {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

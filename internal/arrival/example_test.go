@@ -1,0 +1,59 @@
+package arrival_test
+
+import (
+	"fmt"
+	"log"
+
+	"wcm/internal/arrival"
+	"wcm/internal/events"
+)
+
+// Extracting the minimal-span table (the arrival-curve representation the
+// whole analysis runs on) from a timed trace.
+func ExampleFromTrace() {
+	tt := events.TimedTrace{0, 3, 4, 10, 11, 12}
+	spans, err := arrival.FromTrace(tt, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k := 1; k <= 4; k++ {
+		d, _ := spans.At(k)
+		if k > 1 {
+			fmt.Print(" ")
+		}
+		fmt.Printf("d(%d)=%d", k, d)
+	}
+	fmt.Println()
+	fmt.Println("ᾱ(4ns) =", spans.Alpha(4))
+	// Output:
+	// d(1)=0 d(2)=1 d(3)=2 d(4)=8
+	// ᾱ(4ns) = 3
+}
+
+// Fitting a periodic-with-jitter event model to an observed table, for
+// interoperability with classical event-model frameworks.
+func ExampleFitPJD() {
+	spans, err := arrival.PeriodicJitter(100, 30, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := arrival.FitPJD(spans)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P=%d J=%d\n", m.Period, m.Jitter)
+	// Output:
+	// P=100 J=30
+}
+
+// Lower arrival curves: the throughput side — how many events any window
+// is guaranteed to contain.
+func ExampleMaxSpans_AlphaLower() {
+	spans, err := arrival.PeriodicMax(10, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("any 35ns window holds ≥", spans.AlphaLower(35), "events")
+	// Output:
+	// any 35ns window holds ≥ 3 events
+}

@@ -1,0 +1,147 @@
+package arrival
+
+import (
+	"fmt"
+
+	"wcm/internal/events"
+)
+
+// Lower arrival curves: ᾱˡ(Δ) is a LOWER bound on the number of events in
+// any window of length Δ — the throughput side of the framework (how many
+// events are guaranteed to arrive, hence how much output a downstream
+// consumer is guaranteed). The extraction artifact is the maximal-span
+// table
+//
+//	D(k) = max_j ( t[j+k−1] − t[j] )   for k = 1..K
+//
+// — the longest time k consecutive events ever take to arrive. A window of
+// length Δ placed anywhere contains at least k events iff even the
+// sparsest k+2 consecutive events cannot straddle it:
+//
+//	ᾱˡ(Δ) = min{ k ≥ 0 : D(k+2) > Δ }        (D(m) = ∞ beyond the table)
+//
+// (a window with only k events inside fits strictly between events j and
+// j+k+1 for some j, i.e. inside a span of k+2 consecutive events).
+
+// MaxSpans is the maximal-span table: MaxSpans[k-1] = D(k), non-decreasing
+// with D(1) = 0.
+type MaxSpans []int64
+
+// Validate checks the table invariants.
+func (s MaxSpans) Validate() error {
+	if len(s) == 0 {
+		return ErrEmptySpans
+	}
+	if s[0] != 0 {
+		return fmt.Errorf("%w: D(1)=%d, want 0", ErrBadSpans, s[0])
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return fmt.Errorf("%w: D(%d)=%d after D(%d)=%d", ErrBadSpans, i+1, s[i], i, s[i-1])
+		}
+	}
+	return nil
+}
+
+// MaxK returns the largest event count the table covers.
+func (s MaxSpans) MaxK() int { return len(s) }
+
+// At returns D(k) for k in 1..MaxK().
+func (s MaxSpans) At(k int) (int64, error) {
+	if k < 1 || k > len(s) {
+		return 0, fmt.Errorf("%w: k=%d of %d", ErrBadMaxK, k, len(s))
+	}
+	return s[k-1], nil
+}
+
+// AlphaLower evaluates ᾱˡ(Δ): the number of events guaranteed inside any
+// window of length Δ, based on the finite table (conservative: beyond the
+// table's knowledge the bound stays flat).
+func (s MaxSpans) AlphaLower(dt int64) int {
+	if dt < 0 {
+		return 0
+	}
+	// Find the smallest k with D(k+2) > dt; table indices are k-1.
+	for k := 0; k+2 <= len(s); k++ {
+		if s[k+2-1] > dt {
+			return k
+		}
+	}
+	// Even the sparsest observed MaxK() events fit: the table cannot
+	// certify more than MaxK()−2 (a longer window may straddle unseen
+	// gaps).
+	if len(s) < 2 {
+		return 0
+	}
+	return len(s) - 2
+}
+
+// MaxSpansFromTrace computes D(k) = max_j t[j+k−1] − t[j] for k = 1..maxK.
+func MaxSpansFromTrace(tt events.TimedTrace, maxK int) (MaxSpans, error) {
+	if err := tt.Validate(); err != nil {
+		return nil, err
+	}
+	if maxK < 1 || maxK > len(tt) {
+		return nil, fmt.Errorf("%w: maxK=%d, n=%d", ErrBadMaxK, maxK, len(tt))
+	}
+	spans := make(MaxSpans, maxK)
+	for k := 2; k <= maxK; k++ {
+		worst := int64(0)
+		for j := 0; j+k-1 < len(tt); j++ {
+			if d := tt[j+k-1] - tt[j]; d > worst {
+				worst = d
+			}
+		}
+		spans[k-1] = worst
+	}
+	return spans, nil
+}
+
+// MergeMax combines maximal-span tables from several traces into one valid
+// for all of them: the merged D(k) is the MAXIMUM of the individual tables
+// (a longer span means fewer guaranteed events). Tables truncate to the
+// shortest.
+func MergeMax(tables ...MaxSpans) (MaxSpans, error) {
+	if len(tables) == 0 {
+		return nil, ErrEmptySpans
+	}
+	n := tables[0].MaxK()
+	for _, t := range tables[1:] {
+		if t.MaxK() < n {
+			n = t.MaxK()
+		}
+	}
+	if n == 0 {
+		return nil, ErrEmptySpans
+	}
+	out := make(MaxSpans, n)
+	for i := range out {
+		worst := tables[0][i]
+		for _, t := range tables[1:] {
+			if t[i] > worst {
+				worst = t[i]
+			}
+		}
+		out[i] = worst
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PeriodicMax returns the exact maximal-span table of a strictly periodic
+// stream: D(k) = (k−1)·period (identical to the minimal table — no jitter).
+func PeriodicMax(period int64, maxK int) (MaxSpans, error) {
+	s, err := Periodic(period, maxK)
+	if err != nil {
+		return nil, err
+	}
+	return MaxSpans(s), nil
+}
+
+// SporadicMax returns the maximal-span table of a stream with maximum
+// inter-arrival θmax: D(k) = (k−1)·θmax.
+func SporadicMax(thetaMax int64, maxK int) (MaxSpans, error) {
+	return PeriodicMax(thetaMax, maxK)
+}

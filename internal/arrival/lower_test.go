@@ -1,0 +1,183 @@
+package arrival
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"wcm/internal/events"
+)
+
+func bruteMaxSpan(tt events.TimedTrace, k int) int64 {
+	worst := int64(0)
+	for j := 0; j+k <= len(tt); j++ {
+		if d := tt[j+k-1] - tt[j]; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// bruteMinCount counts the fewest events in any half-open window of length
+// dt that lies fully inside the observed trace span (windows hanging past
+// the last event would spuriously count unobserved time as empty).
+func bruteMinCount(tt events.TimedTrace, dt int64) int {
+	min := len(tt) + 1
+	last := tt[len(tt)-1]
+	consider := func(from int64) {
+		if from < tt[0] || from+dt > last {
+			return
+		}
+		n := tt.CountIn(from, dt)
+		if n < min {
+			min = n
+		}
+	}
+	for _, t := range tt {
+		consider(t + 1) // just after an event: the adversarial placement
+		consider(t)
+	}
+	return min
+}
+
+func TestMaxSpansMatchesBruteForce(t *testing.T) {
+	tt := events.TimedTrace{0, 3, 4, 10, 11, 12, 30, 31}
+	spans, err := MaxSpansFromTrace(tt, len(tt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spans.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= len(tt); k++ {
+		got, err := spans.At(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteMaxSpan(tt, k); got != want {
+			t.Fatalf("D(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if _, err := spans.At(0); err == nil {
+		t.Fatal("At(0) must fail")
+	}
+}
+
+func TestAlphaLowerPeriodic(t *testing.T) {
+	// Period 10: a window of length Δ is guaranteed ⌈(Δ−10)/10⌉... check
+	// against the formula via the table: D(k+2) = (k+1)·10 > Δ.
+	spans, err := PeriodicMax(10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dt   int64
+		want int
+	}{{-1, 0}, {0, 0}, {9, 0}, {10, 1}, {11, 1}, {20, 2}, {21, 2}, {95, 9}, {10000, 10}}
+	for _, tc := range cases {
+		if got := spans.AlphaLower(tc.dt); got != tc.want {
+			t.Fatalf("ᾱˡ(%d) = %d, want %d", tc.dt, got, tc.want)
+		}
+	}
+}
+
+// The guarantee: every actual window of the trace holds at least ᾱˡ(Δ)
+// events.
+func TestAlphaLowerBoundsWindowCounts(t *testing.T) {
+	tt, err := events.Sporadic(0, 5, 17, 200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := MaxSpansFromTrace(tt, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dt := range []int64{1, 10, 40, 100, 300} {
+		bound := spans.AlphaLower(dt)
+		got := bruteMinCount(tt, dt)
+		if got < bound {
+			t.Fatalf("Δ=%d: observed window with %d events < guaranteed %d", dt, got, bound)
+		}
+	}
+}
+
+func TestMergeMaxTakesMaximum(t *testing.T) {
+	a := MaxSpans{0, 10, 25}
+	b := MaxSpans{0, 8, 30}
+	m, err := MergeMax(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MaxSpans{0, 10, 30}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("merge[%d] = %d, want %d", i, m[i], want[i])
+		}
+	}
+	if _, err := MergeMax(); !errors.Is(err, ErrEmptySpans) {
+		t.Fatal("no tables must fail")
+	}
+}
+
+func TestMaxSpansValidate(t *testing.T) {
+	if err := (MaxSpans{}).Validate(); !errors.Is(err, ErrEmptySpans) {
+		t.Fatal("empty must fail")
+	}
+	if err := (MaxSpans{5}).Validate(); !errors.Is(err, ErrBadSpans) {
+		t.Fatal("D(1)≠0 must fail")
+	}
+	if err := (MaxSpans{0, 10, 5}).Validate(); !errors.Is(err, ErrBadSpans) {
+		t.Fatal("decreasing must fail")
+	}
+	if _, err := MaxSpansFromTrace(events.TimedTrace{0, 1}, 5); !errors.Is(err, ErrBadMaxK) {
+		t.Fatal("maxK beyond trace must fail")
+	}
+}
+
+func TestMinLeqMaxSpans(t *testing.T) {
+	tt, err := events.Bursty(0, 6, 8, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := FromTrace(tt, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := MaxSpansFromTrace(tt, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 30; k++ {
+		dmin, _ := lo.At(k)
+		dmax, _ := hi.At(k)
+		if dmin > dmax {
+			t.Fatalf("d(%d)=%d > D(%d)=%d", k, dmin, k, dmax)
+		}
+	}
+}
+
+func TestQuickAlphaLowerSound(t *testing.T) {
+	f := func(seed uint64, dtRaw uint16) bool {
+		tt, err := events.Sporadic(0, 3, 29, 120, seed)
+		if err != nil {
+			return false
+		}
+		spans, err := MaxSpansFromTrace(tt, 40)
+		if err != nil {
+			return false
+		}
+		dt := int64(dtRaw % 600)
+		bound := spans.AlphaLower(dt)
+		// Check a sample of interior windows.
+		for j := 10; j < 60; j += 7 {
+			from := tt[j] + 1
+			if tt.CountIn(from, dt) < bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

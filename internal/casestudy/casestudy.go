@@ -1,0 +1,364 @@
+// Package casestudy orchestrates the paper's MPEG-2 case study (Sec. 3.2)
+// end to end:
+//
+//  1. generate the 14 synthetic clips (internal/mpeg2);
+//  2. run each through PE1 of the two-PE pipeline (internal/pipeline) to
+//     obtain the macroblock arrival process at the FIFO;
+//  3. extract the arrival spans ᾱ and the PE2 workload curves γᵘ/γˡ from
+//     the traces, taking the envelope over all clips (Fig. 6);
+//  4. compute Fᵞmin (eq. 9) and Fʷmin (eq. 10) for the given FIFO size;
+//  5. re-simulate every clip with PE2 at Fᵞmin and record the maximum
+//     FIFO backlog, normalized to the buffer size (Fig. 7).
+//
+// The same entry points drive cmd/paperfigs, the benchmark harness and the
+// integration tests; clips are processed concurrently.
+package casestudy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"wcm/internal/arrival"
+	"wcm/internal/core"
+	"wcm/internal/curve"
+	"wcm/internal/events"
+	"wcm/internal/mpeg2"
+	"wcm/internal/netcalc"
+	"wcm/internal/pipeline"
+)
+
+// Errors returned by this package.
+var (
+	ErrBadParams = errors.New("casestudy: invalid parameters")
+)
+
+// Params configures the case study.
+type Params struct {
+	Frames       int     // frames generated per clip
+	WindowFrames int     // trace-analysis window (paper: 24 full frames)
+	BufferMBs    int     // FIFO size b in macroblocks (paper: 1620 = 1 frame)
+	F1Hz         float64 // PE1 clock (fixed; PE1 only has to keep up with the bitstream)
+	PE1          mpeg2.PE1Costs
+	PE2          mpeg2.PE2Costs
+	Clips        []mpeg2.Clip
+}
+
+// DefaultParams returns the paper's setup scaled to the given clip length.
+// The analysis window is capped to half the clip so every window position
+// is observed many times.
+func DefaultParams(frames int) Params {
+	window := 24
+	if window > frames/2 {
+		window = frames / 2
+	}
+	if window < 1 {
+		window = 1
+	}
+	return Params{
+		Frames:       frames,
+		WindowFrames: window,
+		BufferMBs:    1620,
+		F1Hz:         300e6,
+		PE1:          mpeg2.DefaultPE1Costs(),
+		PE2:          mpeg2.DefaultPE2Costs(),
+		Clips:        mpeg2.Library(),
+	}
+}
+
+// Validate checks parameter invariants.
+func (p Params) Validate() error {
+	switch {
+	case p.Frames < 2:
+		return fmt.Errorf("%w: frames=%d", ErrBadParams, p.Frames)
+	case p.WindowFrames < 1 || p.WindowFrames > p.Frames:
+		return fmt.Errorf("%w: window=%d of %d frames", ErrBadParams, p.WindowFrames, p.Frames)
+	case p.BufferMBs < 1:
+		return fmt.Errorf("%w: buffer=%d", ErrBadParams, p.BufferMBs)
+	case p.F1Hz <= 0:
+		return fmt.Errorf("%w: F1=%g", ErrBadParams, p.F1Hz)
+	case len(p.Clips) == 0:
+		return fmt.Errorf("%w: no clips", ErrBadParams)
+	}
+	return nil
+}
+
+// stream returns the stream configuration for this parameter set.
+func (p Params) stream() mpeg2.StreamConfig { return mpeg2.DefaultStream(p.Frames) }
+
+// windowMBs returns the analysis window in macroblocks (the maximum k for
+// curve extraction).
+func (p Params) windowMBs() int { return p.WindowFrames * p.stream().MBPerFrame() }
+
+// ClipTrace holds the per-clip simulation artifacts the analysis consumes.
+type ClipTrace struct {
+	Clip     mpeg2.Clip
+	Items    []pipeline.Item    // per-macroblock bits and stage demands
+	Arrivals events.TimedTrace  // PE1 completion times (FIFO arrival process)
+	D2       events.DemandTrace // PE2 demand per macroblock
+	// VBVDelayNs is the minimal decoder startup delay: the first frame's
+	// decode timestamp such that every frame's bits have arrived over the
+	// CBR link by its DTS.
+	VBVDelayNs int64
+	// VBVBits is the peak occupancy of the decoder's bit buffer (bits
+	// arrived but not yet consumed at a frame decode instant) — the VBV
+	// buffer size this clip requires.
+	VBVBits int64
+}
+
+// BuildClipTrace generates one clip and simulates PE1 to obtain the FIFO
+// arrival trace. PE2's speed does not influence PE1 completions (the FIFO
+// is unbounded in measurement mode), so an arbitrary PE2 clock is used here.
+func BuildClipTrace(p Params, clip mpeg2.Clip) (ClipTrace, error) {
+	if err := p.Validate(); err != nil {
+		return ClipTrace{}, err
+	}
+	s, err := mpeg2.Generate(p.stream(), clip)
+	if err != nil {
+		return ClipTrace{}, err
+	}
+	d1, err := s.DemandsPE1(p.PE1)
+	if err != nil {
+		return ClipTrace{}, err
+	}
+	d2, err := s.DemandsPE2(p.PE2)
+	if err != nil {
+		return ClipTrace{}, err
+	}
+	bits := s.Bits()
+	items := make([]pipeline.Item, len(d1))
+	for i := range items {
+		items[i] = pipeline.Item{Bits: bits[i], D1: d1[i], D2: d2[i]}
+	}
+	vbvDelay, vbvBits := applyVBVGating(p.stream(), items)
+	st, err := pipeline.Run(items, pipeline.Config{
+		BitRate: p.stream().BitRate,
+		F1Hz:    p.F1Hz,
+		F2Hz:    1e9, // irrelevant for PE1 completions
+	})
+	if err != nil {
+		return ClipTrace{}, err
+	}
+	return ClipTrace{
+		Clip: clip, Items: items, Arrivals: st.PE1Done, D2: d2,
+		VBVDelayNs: vbvDelay, VBVBits: vbvBits,
+	}, nil
+}
+
+// applyVBVGating sets each macroblock's ReadyAt to its frame's decode
+// timestamp DTS(f) = D + f·framePeriod, with the startup delay D chosen
+// minimally so every frame's bits have fully arrived over the CBR link by
+// its DTS (the video-buffering-verifier discipline of a real decoder).
+// Within a frame PE1 then runs at compute speed; across frames it follows
+// the 25 fps decode cadence — exactly the bursty FIFO arrival process the
+// paper's arrival curves capture.
+//
+// It returns the startup delay and the peak occupancy of the bit buffer:
+// the largest amount of compressed data buffered ahead of decoding, i.e.
+// the VBV size this stream needs under the minimal-delay schedule.
+func applyVBVGating(cfg mpeg2.StreamConfig, items []pipeline.Item) (startup, maxBufferedBits int64) {
+	perFrame := cfg.MBPerFrame()
+	period := cfg.FramePeriodNs()
+	frames := len(items) / perFrame
+
+	// Arrival time of the last bit of each frame over the CBR link.
+	var cum int64
+	frameBits := make([]int64, frames)
+	cumBits := make([]int64, frames) // through frame f inclusive
+	tBits := make([]int64, frames)
+	for f := 0; f < frames; f++ {
+		for i := f * perFrame; i < (f+1)*perFrame; i++ {
+			frameBits[f] += items[i].Bits
+		}
+		cum += frameBits[f]
+		cumBits[f] = cum
+		num := cum * 1_000_000_000
+		t := num / cfg.BitRate
+		if num%cfg.BitRate != 0 {
+			t++
+		}
+		tBits[f] = t
+		if d := t - int64(f)*period; d > startup {
+			startup = d
+		}
+	}
+	for f := 0; f < frames; f++ {
+		dts := startup + int64(f)*period
+		for i := f * perFrame; i < (f+1)*perFrame; i++ {
+			items[i].ReadyAt = dts
+		}
+		// Buffer occupancy just before frame f is consumed at its DTS:
+		// bits arrived by DTS minus bits of frames already consumed.
+		arrived := dts * cfg.BitRate / 1_000_000_000
+		if arrived > cumBits[frames-1] {
+			arrived = cumBits[frames-1]
+		}
+		consumed := int64(0)
+		if f > 0 {
+			consumed = cumBits[f-1]
+		}
+		if occ := arrived - consumed; occ > maxBufferedBits {
+			maxBufferedBits = occ
+		}
+	}
+	return startup, maxBufferedBits
+}
+
+// clipAnalysis is the per-clip extraction result.
+type clipAnalysis struct {
+	trace ClipTrace
+	spans arrival.Spans
+	gamma core.Workload
+}
+
+// Analysis is the merged result over all clips: the inputs to eq. (9)/(10)
+// and everything needed to print Fig. 6.
+type Analysis struct {
+	Params Params
+	Traces []ClipTrace
+	Spans  arrival.Spans // merged minimal spans (ᾱ over all clips)
+	Gamma  core.Workload // merged workload curves (γᵘ max, γˡ min over clips)
+	FGamma netcalc.MinFrequencyResult
+	FWCET  netcalc.MinFrequencyResult
+}
+
+// WCET returns the trace WCET w = γᵘ(1) used by eq. (10).
+func (a *Analysis) WCET() int64 { return a.Gamma.WCET() }
+
+// Savings returns 1 − Fᵞmin/Fʷmin (the paper reports "over 50%").
+func (a *Analysis) Savings() float64 {
+	if a.FWCET.Hz == 0 {
+		return 0
+	}
+	return 1 - a.FGamma.Hz/a.FWCET.Hz
+}
+
+// Analyze runs the full trace-extraction pipeline concurrently over the
+// clips and computes both minimum frequencies.
+func Analyze(p Params) (*Analysis, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxK := p.windowMBs()
+
+	results := make([]clipAnalysis, len(p.Clips))
+	errs := make([]error, len(p.Clips))
+	var wg sync.WaitGroup
+	for i, clip := range p.Clips {
+		wg.Add(1)
+		go func(i int, clip mpeg2.Clip) {
+			defer wg.Done()
+			ct, err := BuildClipTrace(p, clip)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			spans, err := arrival.FromTrace(ct.Arrivals, maxK)
+			if err != nil {
+				errs[i] = fmt.Errorf("clip %q spans: %w", clip.Name, err)
+				return
+			}
+			gamma, err := core.FromTrace(ct.D2, maxK)
+			if err != nil {
+				errs[i] = fmt.Errorf("clip %q curves: %w", clip.Name, err)
+				return
+			}
+			results[i] = clipAnalysis{trace: ct, spans: spans, gamma: gamma}
+		}(i, clip)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Merge: ᾱ takes the per-k minimum span, γᵘ the maximum, γˡ the minimum.
+	tables := make([]arrival.Spans, len(results))
+	for i, r := range results {
+		tables[i] = r.spans
+	}
+	spans, err := arrival.Merge(tables...)
+	if err != nil {
+		return nil, err
+	}
+	gamma := results[0].gamma
+	for _, r := range results[1:] {
+		up, err := curve.Max(gamma.Upper, r.gamma.Upper)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := curve.Min(gamma.Lower, r.gamma.Lower)
+		if err != nil {
+			return nil, err
+		}
+		gamma = core.Workload{Upper: up, Lower: lo}
+	}
+
+	a := &Analysis{Params: p, Spans: spans, Gamma: gamma}
+	a.Traces = make([]ClipTrace, len(results))
+	for i, r := range results {
+		a.Traces[i] = r.trace
+	}
+	a.FGamma, err = netcalc.MinFrequency(spans, gamma.Upper, p.BufferMBs)
+	if err != nil {
+		return nil, fmt.Errorf("casestudy: eq. 9: %w", err)
+	}
+	a.FWCET, err = netcalc.MinFrequencyWCET(spans, gamma.WCET(), p.BufferMBs)
+	if err != nil {
+		return nil, fmt.Errorf("casestudy: eq. 10: %w", err)
+	}
+	return a, nil
+}
+
+// BacklogResult is one bar of Fig. 7.
+type BacklogResult struct {
+	Clip       string
+	MaxBacklog int
+	Normalized float64 // MaxBacklog / buffer size
+	Overflowed bool
+}
+
+// SimulateBacklogs re-runs every clip through the full two-PE pipeline with
+// PE2 clocked at f2Hz and reports the maximum FIFO backlog per clip,
+// normalized to the buffer size (Fig. 7 of the paper).
+func SimulateBacklogs(p Params, traces []ClipTrace, f2Hz float64) ([]BacklogResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if f2Hz <= 0 {
+		return nil, fmt.Errorf("%w: F2=%g", ErrBadParams, f2Hz)
+	}
+	out := make([]BacklogResult, len(traces))
+	errs := make([]error, len(traces))
+	var wg sync.WaitGroup
+	for i := range traces {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := pipeline.Run(traces[i].Items, pipeline.Config{
+				BitRate: p.stream().BitRate,
+				F1Hz:    p.F1Hz,
+				F2Hz:    f2Hz,
+				FifoCap: p.BufferMBs,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			out[i] = BacklogResult{
+				Clip:       traces[i].Clip.Name,
+				MaxBacklog: st.MaxBacklog,
+				Normalized: float64(st.MaxBacklog) / float64(p.BufferMBs),
+				Overflowed: st.Overflowed,
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package casestudy
+
+import (
+	"errors"
+	"testing"
+
+	"wcm/internal/mpeg2"
+	"wcm/internal/netcalc"
+	"wcm/internal/service"
+)
+
+// fastParams returns a small configuration (few frames, few clips) for
+// quick tests; the full-size experiment lives in cmd/paperfigs and the
+// benchmark harness.
+func fastParams(clips int) Params {
+	p := DefaultParams(4)
+	p.Clips = mpeg2.Library()[:clips]
+	return p
+}
+
+func TestParamsValidation(t *testing.T) {
+	bad := []Params{
+		{Frames: 1, WindowFrames: 1, BufferMBs: 1, F1Hz: 1, Clips: mpeg2.Library()},
+		{Frames: 4, WindowFrames: 0, BufferMBs: 1, F1Hz: 1, Clips: mpeg2.Library()},
+		{Frames: 4, WindowFrames: 5, BufferMBs: 1, F1Hz: 1, Clips: mpeg2.Library()},
+		{Frames: 4, WindowFrames: 2, BufferMBs: 0, F1Hz: 1, Clips: mpeg2.Library()},
+		{Frames: 4, WindowFrames: 2, BufferMBs: 1, F1Hz: 0, Clips: mpeg2.Library()},
+		{Frames: 4, WindowFrames: 2, BufferMBs: 1, F1Hz: 1, Clips: nil},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrBadParams) {
+			t.Fatalf("case %d must fail, got %v", i, err)
+		}
+	}
+	if err := DefaultParams(24).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultParamsWindowCap(t *testing.T) {
+	if p := DefaultParams(100); p.WindowFrames != 24 {
+		t.Fatalf("window = %d, want paper's 24", p.WindowFrames)
+	}
+	if p := DefaultParams(10); p.WindowFrames != 5 {
+		t.Fatalf("window = %d, want frames/2", p.WindowFrames)
+	}
+	if p := DefaultParams(2); p.WindowFrames != 1 {
+		t.Fatalf("window = %d, want 1", p.WindowFrames)
+	}
+}
+
+func TestBuildClipTraceShape(t *testing.T) {
+	p := fastParams(1)
+	ct, err := BuildClipTrace(p, p.Clips[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := p.Frames * 1620
+	if len(ct.Items) != wantLen || len(ct.Arrivals) != wantLen || len(ct.D2) != wantLen {
+		t.Fatalf("lengths: items=%d arrivals=%d d2=%d, want %d",
+			len(ct.Items), len(ct.Arrivals), len(ct.D2), wantLen)
+	}
+	if err := ct.Arrivals.Validate(); err != nil {
+		t.Fatalf("arrival trace not sorted: %v", err)
+	}
+	// VBV gating: macroblocks of frame f are never emitted before
+	// startup + f·40ms.
+	for i, at := range ct.Arrivals {
+		frame := int64(i / 1620)
+		if at < frame*40_000_000 {
+			t.Fatalf("MB %d emitted at %d, before its frame cadence", i, at)
+		}
+	}
+}
+
+func TestAnalyzeInvariants(t *testing.T) {
+	p := fastParams(3)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Traces) != 3 {
+		t.Fatalf("traces = %d", len(a.Traces))
+	}
+	// Relation from the paper: Fᵞmin ≤ Fʷmin always.
+	if a.FGamma.Hz > a.FWCET.Hz+1e-6 {
+		t.Fatalf("Fγ %g > Fw %g", a.FGamma.Hz, a.FWCET.Hz)
+	}
+	if a.Savings() <= 0 {
+		t.Fatalf("no savings: %g", a.Savings())
+	}
+	// Computed Fγ satisfies eq. (8); 0.9·Fγ must not.
+	beta, _ := service.Full(a.FGamma.Hz * (1 + 1e-9))
+	ok, err := netcalc.CheckServiceConstraint(a.Spans, beta, a.Gamma.Upper, p.BufferMBs)
+	if err != nil || !ok {
+		t.Fatalf("Fγ violates eq. 8: %v %v", ok, err)
+	}
+	lower, _ := service.Full(a.FGamma.Hz * 0.9)
+	ok, err = netcalc.CheckServiceConstraint(a.Spans, lower, a.Gamma.Upper, p.BufferMBs)
+	if err != nil || ok {
+		t.Fatalf("0.9·Fγ still satisfies eq. 8 — Fγ not minimal")
+	}
+	// The merged γᵘ must dominate every per-clip trace curve at k=1:
+	// WCET is the global maximum single-MB demand.
+	for _, tr := range a.Traces {
+		if tr.D2.Max() > a.Gamma.WCET() {
+			t.Fatalf("clip %s has demand %d > merged WCET %d",
+				tr.Clip.Name, tr.D2.Max(), a.Gamma.WCET())
+		}
+	}
+}
+
+// The end-to-end guarantee of eq. (8): simulating at Fᵞmin (with rounding
+// headroom) never overflows the buffer — the Fig. 7 property.
+func TestBacklogGuaranteeAtFGamma(t *testing.T) {
+	p := fastParams(3)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateBacklogs(p, a.Traces, a.FGamma.Hz*1.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %d", len(res))
+	}
+	for _, r := range res {
+		if r.Overflowed || r.Normalized > 1 {
+			t.Fatalf("clip %s overflowed: backlog %d (%.3f)", r.Clip, r.MaxBacklog, r.Normalized)
+		}
+		if r.MaxBacklog <= 0 {
+			t.Fatalf("clip %s reports no backlog at all", r.Clip)
+		}
+	}
+}
+
+// Backlogs grow when PE2 slows down.
+func TestBacklogMonotoneInFrequency(t *testing.T) {
+	p := fastParams(2)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := SimulateBacklogs(p, a.Traces, a.FGamma.Hz*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := SimulateBacklogs(p, a.Traces, a.FGamma.Hz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fast {
+		if fast[i].MaxBacklog > slow[i].MaxBacklog {
+			t.Fatalf("clip %s: backlog at 2F (%d) exceeds backlog at F (%d)",
+				fast[i].Clip, fast[i].MaxBacklog, slow[i].MaxBacklog)
+		}
+	}
+	if _, err := SimulateBacklogs(p, a.Traces, 0); !errors.Is(err, ErrBadParams) {
+		t.Fatal("zero frequency must fail")
+	}
+}
+
+// The savings mechanism: the WCET line w·k must strictly dominate γᵘ at the
+// window scale (the grey area of Fig. 6).
+func TestFig6CurveSeparation(t *testing.T) {
+	p := fastParams(3)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := p.WindowFrames * 1620
+	up := a.Gamma.Upper.MustAt(k)
+	wcetLine := a.Gamma.WCET() * int64(k)
+	if up*2 > wcetLine {
+		t.Fatalf("γᵘ(%d)=%d not well below WCET line %d — savings shape lost", k, up, wcetLine)
+	}
+	lo := a.Gamma.Lower.MustAt(k)
+	bcetLine := a.Gamma.BCET() * int64(k)
+	if lo < bcetLine {
+		t.Fatalf("γˡ(%d)=%d below BCET line %d", k, lo, bcetLine)
+	}
+	if err := a.Gamma.Validate(k); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package casestudy
+
+import (
+	"fmt"
+
+	"wcm/internal/arrival"
+	"wcm/internal/core"
+	"wcm/internal/events"
+	"wcm/internal/mpeg2"
+	"wcm/internal/netcalc"
+	"wcm/internal/service"
+)
+
+// AnalyzePE1 dimensions the FIRST processing element the same way eq. (9)
+// dimensions PE2: macroblocks become available to PE1 at their VBV release
+// instants (frame-granular bursts), the input queue holds bufferMBs
+// macroblocks, and PE1's per-macroblock demand is the VLD/IQ model. The
+// paper fixes PE1 and asks only about PE2; this closes the loop by
+// verifying the assumed PE1 clock is sufficient.
+func AnalyzePE1(p Params, traces []ClipTrace, bufferMBs int) (netcalc.MinFrequencyResult, error) {
+	if err := p.Validate(); err != nil {
+		return netcalc.MinFrequencyResult{}, err
+	}
+	if len(traces) == 0 {
+		return netcalc.MinFrequencyResult{}, fmt.Errorf("%w: no traces", ErrBadParams)
+	}
+	maxK := p.windowMBs()
+	var spanTables []arrival.Spans
+	var demandTraces []events.DemandTrace
+	for _, ct := range traces {
+		release := make(events.TimedTrace, len(ct.Items))
+		d1 := make(events.DemandTrace, len(ct.Items))
+		for i, it := range ct.Items {
+			release[i] = it.ReadyAt
+			d1[i] = it.D1
+		}
+		s, err := arrival.FromTrace(release, maxK)
+		if err != nil {
+			return netcalc.MinFrequencyResult{}, err
+		}
+		spanTables = append(spanTables, s)
+		demandTraces = append(demandTraces, d1)
+	}
+	spans, err := arrival.Merge(spanTables...)
+	if err != nil {
+		return netcalc.MinFrequencyResult{}, err
+	}
+	gamma, err := core.FromTraces(demandTraces, maxK)
+	if err != nil {
+		return netcalc.MinFrequencyResult{}, err
+	}
+	return netcalc.MinFrequency(spans, gamma.Upper, bufferMBs)
+}
+
+// SharedAudio is the EXT-SHARED experiment: PE2 additionally decodes an
+// MPEG audio stream at LOW priority while the video subtask preempts it.
+// The video side keeps its eq. (8) guarantee untouched (it is the high-
+// priority stream); the audio side is bounded through the leftover
+// service.
+type SharedAudio struct {
+	F2Hz          float64 // PE2 clock used
+	AudioDelayNs  int64   // delay bound for an audio frame
+	AudioBacklog  int     // backlog bound in audio frames
+	AudioDeadline int64   // the audio frame period (its implicit deadline)
+	MeetsDeadline bool    // delay bound ≤ deadline
+}
+
+// AnalyzeSharedAudio bounds the audio task on PE2 at frequency f2Hz, using
+// the video analysis's merged spans/curves as the high-priority stream.
+func AnalyzeSharedAudio(a *Analysis, f2Hz float64, audioFrames int, seed uint64) (SharedAudio, error) {
+	if f2Hz <= 0 || audioFrames < 4 {
+		return SharedAudio{}, fmt.Errorf("%w: f2=%g audioFrames=%d", ErrBadParams, f2Hz, audioFrames)
+	}
+	tt, d, err := mpeg2.AudioTrace(audioFrames, mpeg2.DefaultAudioCosts(), seed)
+	if err != nil {
+		return SharedAudio{}, err
+	}
+	maxK := audioFrames / 2
+	audioSpans, err := arrival.FromTrace(tt, maxK)
+	if err != nil {
+		return SharedAudio{}, err
+	}
+	audioGamma, err := core.FromTrace(d, maxK)
+	if err != nil {
+		return SharedAudio{}, err
+	}
+	beta, err := service.Full(f2Hz)
+	if err != nil {
+		return SharedAudio{}, err
+	}
+	horizon := tt.Span()
+	rep, err := netcalc.AnalyzeSharedPE(beta, a.Spans, a.Gamma.Upper,
+		audioSpans, audioGamma.Upper, horizon)
+	if err != nil {
+		return SharedAudio{}, err
+	}
+	return SharedAudio{
+		F2Hz:          f2Hz,
+		AudioDelayNs:  rep.DelayNs,
+		AudioBacklog:  rep.BacklogEvents,
+		AudioDeadline: mpeg2.AudioFramePeriodNs,
+		MeetsDeadline: rep.DelayNs <= mpeg2.AudioFramePeriodNs,
+	}, nil
+}

@@ -1,0 +1,115 @@
+package casestudy
+
+import (
+	"testing"
+
+	"wcm/internal/netcalc"
+	"wcm/internal/service"
+)
+
+func TestAnalyzePE1FrequencySufficient(t *testing.T) {
+	p := fastParams(3)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzePE1(p, a.Traces, 1620)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hz <= 0 {
+		t.Fatalf("degenerate PE1 frequency %g", res.Hz)
+	}
+	// The default PE1 clock (300 MHz) must cover the computed minimum with
+	// a one-frame input buffer — otherwise the whole case study would be
+	// built on an under-provisioned front end.
+	if res.Hz > p.F1Hz {
+		t.Fatalf("PE1 needs %.1f MHz, configured only %.1f MHz", res.Hz/1e6, p.F1Hz/1e6)
+	}
+	if _, err := AnalyzePE1(p, nil, 1620); err == nil {
+		t.Fatal("no traces must fail")
+	}
+}
+
+func TestAnalyzeSharedAudio(t *testing.T) {
+	p := fastParams(2)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 2·Fγ the leftover absorbs even an I-frame burst within one audio
+	// period: the 24ms frame deadline holds.
+	rep, err := AnalyzeSharedAudio(a, a.FGamma.Hz*2, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.MeetsDeadline {
+		t.Fatalf("audio misses deadline at 2·Fγ: delay %.2f ms", float64(rep.AudioDelayNs)/1e6)
+	}
+	if rep.AudioBacklog < 1 {
+		t.Fatalf("degenerate audio backlog %d", rep.AudioBacklog)
+	}
+	// With barely more than Fγ, the video bursts blank out PE2 for longer
+	// than an audio period: the deadline bound fails, but the backlog
+	// bound shows a 2-frame output buffer rides it out — the kind of
+	// design conclusion the analysis is for.
+	tight, err := AnalyzeSharedAudio(a, a.FGamma.Hz*1.2, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.MeetsDeadline {
+		t.Fatal("1.2·Fγ should not meet the per-frame audio deadline")
+	}
+	if tight.AudioBacklog > 3 {
+		t.Fatalf("audio backlog bound %d; expected a small buffer to suffice", tight.AudioBacklog)
+	}
+	if _, err := AnalyzeSharedAudio(a, 0, 40, 5); err == nil {
+		t.Fatal("zero frequency must fail")
+	}
+	if _, err := AnalyzeSharedAudio(a, 1e9, 2, 5); err == nil {
+		t.Fatal("too few audio frames must fail")
+	}
+}
+
+// The video guarantee is untouched by the audio add-on: eq. (8) holds for
+// the video stream at the same frequency because video has priority.
+func TestSharedAudioPreservesVideoGuarantee(t *testing.T) {
+	p := fastParams(2)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := a.FGamma.Hz * 1.3
+	beta, err := service.Full(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := netcalc.CheckServiceConstraint(a.Spans, beta, a.Gamma.Upper, p.BufferMBs)
+	if err != nil || !ok {
+		t.Fatalf("video eq. 8 must hold at 1.3·Fγ: %v %v", ok, err)
+	}
+}
+
+func TestVBVReportPlausible(t *testing.T) {
+	p := fastParams(2)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range a.Traces {
+		// Startup delay must cover the biggest frame skew: positive and
+		// below a handful of frame periods for a CBR 5:3:1 GOP split.
+		if tr.VBVDelayNs <= 0 || tr.VBVDelayNs > 8*40_000_000 {
+			t.Fatalf("%s: implausible VBV delay %.1f ms", tr.Clip.Name, float64(tr.VBVDelayNs)/1e6)
+		}
+		// The bit buffer must hold at least one I frame's worth of data
+		// and no more than the whole startup window of CBR bits.
+		if tr.VBVBits < 391_200 { // one average frame
+			t.Fatalf("%s: VBV %d bits too small", tr.Clip.Name, tr.VBVBits)
+		}
+		upper := (tr.VBVDelayNs + 40_000_000) * 9_780_000 / 1_000_000_000
+		if tr.VBVBits > upper {
+			t.Fatalf("%s: VBV %d bits exceeds CBR window bound %d", tr.Clip.Name, tr.VBVBits, upper)
+		}
+	}
+}

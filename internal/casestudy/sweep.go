@@ -1,0 +1,108 @@
+package casestudy
+
+import (
+	"fmt"
+
+	"wcm/internal/arrival"
+	"wcm/internal/curve"
+	"wcm/internal/netcalc"
+)
+
+// BufferPoint is one row of the ABL-BUFFER ablation: the minimum PE2
+// frequencies for a given FIFO size.
+type BufferPoint struct {
+	BufferMBs int
+	FGammaHz  float64
+	FWCETHz   float64
+}
+
+// BufferSweep recomputes eq. (9) and eq. (10) for each buffer size, reusing
+// the analysis's extracted spans and curves (no re-simulation needed: the
+// buffer only enters the frequency computation).
+func BufferSweep(a *Analysis, buffers []int) ([]BufferPoint, error) {
+	out := make([]BufferPoint, 0, len(buffers))
+	for _, b := range buffers {
+		if b < 1 || b >= a.Spans.MaxK() {
+			return nil, fmt.Errorf("%w: buffer %d outside 1..%d", ErrBadParams, b, a.Spans.MaxK()-1)
+		}
+		fg, err := netcalc.MinFrequency(a.Spans, a.Gamma.Upper, b)
+		if err != nil {
+			return nil, err
+		}
+		fw, err := netcalc.MinFrequencyWCET(a.Spans, a.Gamma.WCET(), b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BufferPoint{BufferMBs: b, FGammaHz: fg.Hz, FWCETHz: fw.Hz})
+	}
+	return out, nil
+}
+
+// WindowPoint is one row of the ABL-WINDOW ablation: curve tightness and
+// the resulting frequency bound when the trace-analysis window is
+// truncated to fewer frames.
+type WindowPoint struct {
+	WindowFrames int
+	// GammaPerMB is γᵘ(K)/K at the window end — the effective per-event
+	// demand the analysis can prove (lower = tighter).
+	GammaPerMB float64
+	FGammaHz   float64
+}
+
+// WindowSweep quantifies what a shorter trace-analysis window costs: the
+// curves are truncated to each window length and then extended back to the
+// full analysis range by their additivity properties — γᵘ by subadditive
+// decomposition (a valid but looser upper bound), d(k) by superadditive
+// decomposition (a valid but looser lower bound) — before recomputing
+// eq. (9). Short windows therefore yield Fᵞmin at or above the full-window
+// value; the sweep shows how quickly the bound tightens with window length.
+func WindowSweep(a *Analysis, windowsFrames []int) ([]WindowPoint, error) {
+	perFrame := a.Params.stream().MBPerFrame()
+	fullK := a.Spans.MaxK()
+	out := make([]WindowPoint, 0, len(windowsFrames))
+	for _, wf := range windowsFrames {
+		m := wf * perFrame
+		if wf < 1 || m < 2 || m > fullK {
+			return nil, fmt.Errorf("%w: window %d frames outside extracted range", ErrBadParams, wf)
+		}
+		// Conservative extensions to the full range.
+		gammaVals := make([]int64, fullK+1)
+		spanVals := make(arrival.Spans, fullK)
+		short, err := a.Gamma.Upper.Truncate(m)
+		if err != nil {
+			return nil, err
+		}
+		for k := 1; k <= fullK; k++ {
+			gv, err := short.UpperBoundAt(k)
+			if err != nil {
+				return nil, err
+			}
+			gammaVals[k] = gv
+			// Superadditive span extension over event GAPS: k events have
+			// k−1 gaps; d(m) covers m−1 gaps, so
+			// d(k) ≥ q·d(m) + d(r+1) with k−1 = q·(m−1) + r.
+			gaps := k - 1
+			q, r := gaps/(m-1), gaps%(m-1)
+			dm, _ := a.Spans.At(m)
+			var dr int64
+			if r > 0 {
+				dr, _ = a.Spans.At(r + 1)
+			}
+			spanVals[k-1] = int64(q)*dm + dr
+		}
+		gamma, err := curve.NewFinite(gammaVals)
+		if err != nil {
+			return nil, err
+		}
+		fg, err := netcalc.MinFrequency(spanVals, gamma, a.Params.BufferMBs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WindowPoint{
+			WindowFrames: wf,
+			GammaPerMB:   float64(gamma.MustAt(fullK)) / float64(fullK),
+			FGammaHz:     fg.Hz,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package casestudy
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func sweepAnalysis(t *testing.T) (*Analysis, Params) {
+	t.Helper()
+	p := fastParams(2)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, p
+}
+
+func TestBufferSweepMonotone(t *testing.T) {
+	a, _ := sweepAnalysis(t)
+	buffers := []int{100, 500, 1620, 3000}
+	pts, err := BufferSweep(a, buffers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(buffers) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FGammaHz > pts[i-1].FGammaHz+1e-6 {
+			t.Fatalf("Fγ not monotone in buffer: %+v", pts)
+		}
+		if pts[i].FWCETHz > pts[i-1].FWCETHz+1e-6 {
+			t.Fatalf("Fw not monotone in buffer: %+v", pts)
+		}
+	}
+	for _, pt := range pts {
+		if pt.FGammaHz > pt.FWCETHz+1e-6 {
+			t.Fatalf("Fγ exceeds Fw at b=%d", pt.BufferMBs)
+		}
+	}
+	// The baseline buffer must reproduce the analysis numbers.
+	base, err := BufferSweep(a, []int{a.Params.BufferMBs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(base[0].FGammaHz-a.FGamma.Hz) > 1e-6 {
+		t.Fatalf("sweep at baseline buffer diverges: %g vs %g", base[0].FGammaHz, a.FGamma.Hz)
+	}
+}
+
+func TestBufferSweepValidation(t *testing.T) {
+	a, _ := sweepAnalysis(t)
+	if _, err := BufferSweep(a, []int{0}); !errors.Is(err, ErrBadParams) {
+		t.Fatal("buffer 0 must fail")
+	}
+	if _, err := BufferSweep(a, []int{a.Spans.MaxK()}); !errors.Is(err, ErrBadParams) {
+		t.Fatal("buffer ≥ maxK must fail")
+	}
+}
+
+func TestWindowSweepShortWindowsAreLooser(t *testing.T) {
+	a, p := sweepAnalysis(t)
+	full := p.WindowFrames
+	pts, err := WindowSweep(a, []int{1, full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full window must reproduce the baseline exactly.
+	if math.Abs(pts[1].FGammaHz-a.FGamma.Hz) > 1e-6 {
+		t.Fatalf("full-window sweep %g ≠ baseline %g", pts[1].FGammaHz, a.FGamma.Hz)
+	}
+	// A 1-frame window must be at least as conservative (and in practice
+	// strictly worse).
+	if pts[0].FGammaHz < pts[1].FGammaHz-1e-6 {
+		t.Fatalf("short window below full-window bound: %g < %g", pts[0].FGammaHz, pts[1].FGammaHz)
+	}
+	if pts[0].GammaPerMB < pts[1].GammaPerMB {
+		t.Fatalf("short window claims tighter per-MB demand: %+v", pts)
+	}
+}
+
+func TestWindowSweepValidation(t *testing.T) {
+	a, p := sweepAnalysis(t)
+	if _, err := WindowSweep(a, []int{0}); !errors.Is(err, ErrBadParams) {
+		t.Fatal("window 0 must fail")
+	}
+	if _, err := WindowSweep(a, []int{p.WindowFrames + 1}); !errors.Is(err, ErrBadParams) {
+		t.Fatal("window beyond extraction must fail")
+	}
+}

@@ -1,0 +1,172 @@
+// Package chain composes the Network-Calculus results of the paper across
+// multi-stage streaming architectures: given the arrival spans of the input
+// stream and each stage's workload curve and clock, it derives per-stage
+// delay and backlog bounds and propagates a sound arrival bound to the next
+// stage.
+//
+// Propagation rule: a work-conserving FIFO stage delays each event by at
+// most its delay bound D and preserves order, so k consecutive OUTPUT
+// events span at least
+//
+//	d_out(k) ≥ max(0, d_in(k) − D)
+//
+// (the first event of the window leaves no later than its arrival + D, the
+// last no earlier than its arrival). This is the standard "jitter increase"
+// bound of compositional performance analysis; it lets the single-node
+// results of Sec. 3.2 dimension whole PE chains.
+package chain
+
+import (
+	"errors"
+	"fmt"
+
+	"wcm/internal/arrival"
+	"wcm/internal/curve"
+	"wcm/internal/netcalc"
+	"wcm/internal/pwl"
+	"wcm/internal/service"
+)
+
+// Errors returned by this package.
+var (
+	ErrNoStages = errors.New("chain: no stages")
+	ErrBadStage = errors.New("chain: invalid stage")
+)
+
+// Stage is one processing element of the chain.
+type Stage struct {
+	Name         string
+	Gamma        curve.Curve // upper workload curve of the stage's subtask
+	FreqHz       float64     // clock frequency
+	BufferEvents int         // FIFO size in front of the stage (for the eq. 8 check); 0 skips the check
+}
+
+// Report is the analysis outcome of one stage.
+type Report struct {
+	Name          string
+	DelayNs       int64         // delay bound of the stage (horizontal deviation)
+	BacklogEvents int           // eq. (7) backlog bound in events
+	BufferOK      bool          // eq. (8) satisfied for the configured buffer (true when BufferEvents = 0)
+	OutSpans      arrival.Spans // sound arrival bound for the next stage
+}
+
+// Analyze walks the chain front to back. `in` is the span table of the
+// external input stream, `horizon` bounds the delay search (use the trace
+// span).
+func Analyze(in arrival.Spans, stages []Stage, horizon int64) ([]Report, error) {
+	if len(stages) == 0 {
+		return nil, ErrNoStages
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	spans := in
+	out := make([]Report, 0, len(stages))
+	for i, st := range stages {
+		if st.FreqHz <= 0 || st.BufferEvents < 0 {
+			return nil, fmt.Errorf("%w: %d (%q)", ErrBadStage, i, st.Name)
+		}
+		beta, err := service.Full(st.FreqHz)
+		if err != nil {
+			return nil, err
+		}
+		delay, err := netcalc.DelayBound(spans, beta, st.Gamma, horizon)
+		if err != nil {
+			return nil, fmt.Errorf("chain: stage %d (%q): %w", i, st.Name, err)
+		}
+		backlog, err := netcalc.BacklogEvents(spans, beta, st.Gamma)
+		if err != nil {
+			return nil, fmt.Errorf("chain: stage %d (%q): %w", i, st.Name, err)
+		}
+		bufferOK := true
+		if st.BufferEvents > 0 {
+			bufferOK, err = netcalc.CheckServiceConstraint(spans, beta, st.Gamma, st.BufferEvents)
+			if err != nil {
+				return nil, fmt.Errorf("chain: stage %d (%q): %w", i, st.Name, err)
+			}
+		}
+		next := propagate(spans, delay)
+		out = append(out, Report{
+			Name:          st.Name,
+			DelayNs:       delay,
+			BacklogEvents: backlog,
+			BufferOK:      bufferOK,
+			OutSpans:      next,
+		})
+		spans = next
+	}
+	return out, nil
+}
+
+// EndToEndDelay sums the per-stage delay bounds.
+func EndToEndDelay(reports []Report) int64 {
+	var sum int64
+	for _, r := range reports {
+		sum += r.DelayNs
+	}
+	return sum
+}
+
+// EndToEndDelayPBOO computes a (usually tighter) end-to-end delay bound by
+// the "pay bursts only once" principle: each stage's cycle service curve is
+// converted to the event domain through its workload curve (Fig. 4 of the
+// paper), the event-domain service curves are min-plus convolved into one
+// tandem service curve, and the input stream's burstiness is paid against
+// it once instead of at every stage.
+//
+// The event-domain conversion is sample-based (512 grid points per stage,
+// see netcalc.CyclesToEvents); between samples the staircase is
+// interpolated, so the bound carries a grid-resolution error of up to one
+// event's service time per stage. Both bounds are reported by callers that
+// need a certified number: take max(EndToEndDelayPBOO, observed) or fall
+// back to EndToEndDelay, which is conservative throughout.
+func EndToEndDelayPBOO(in arrival.Spans, stages []Stage, horizon int64) (int64, error) {
+	if len(stages) == 0 {
+		return 0, ErrNoStages
+	}
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	var tandem pwl.Curve
+	for i, st := range stages {
+		if st.FreqHz <= 0 {
+			return 0, fmt.Errorf("%w: %d (%q)", ErrBadStage, i, st.Name)
+		}
+		beta, err := service.Full(st.FreqHz)
+		if err != nil {
+			return 0, err
+		}
+		ev, err := netcalc.CyclesToEvents(beta, st.Gamma, horizon, 512)
+		if err != nil {
+			return 0, fmt.Errorf("chain: stage %d (%q): %w", i, st.Name, err)
+		}
+		if i == 0 {
+			tandem = ev
+		} else {
+			tandem = pwl.Convolve(tandem, ev)
+		}
+	}
+	alpha, err := in.Curve()
+	if err != nil {
+		return 0, err
+	}
+	d, ok := pwl.HorizontalDeviation(alpha, tandem, horizon)
+	if !ok {
+		return 0, fmt.Errorf("chain: tandem service never catches up within horizon %d", horizon)
+	}
+	return d, nil
+}
+
+// propagate applies d_out(k) = max(0, d_in(k) − delay) keeping the table
+// monotone with d(1) = 0.
+func propagate(in arrival.Spans, delay int64) arrival.Spans {
+	out := make(arrival.Spans, len(in))
+	for i, d := range in {
+		v := d - delay
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+
+	"wcm/internal/arrival"
+	"wcm/internal/core"
+	"wcm/internal/curve"
+	"wcm/internal/events"
+	"wcm/internal/pipeline"
+)
+
+// buildChainScenario creates a 3-stage workload: a bursty released input
+// stream and per-stage modal demand traces, plus the matching analysis
+// inputs (spans, workload curves).
+func buildChainScenario(t *testing.T) (items []pipeline.ChainItem, in arrival.Spans, gammas []curve.Curve, release events.TimedTrace) {
+	t.Helper()
+	release, err := events.Bursty(0, 12, 10, 2_000, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(release)
+	demand := make([]events.DemandTrace, 3)
+	for s := range demand {
+		demand[s], err = events.ModalDemands([]events.Mode{
+			{Lo: 200, Hi: 500, MinRun: 2, MaxRun: 6},
+			{Lo: 2000, Hi: 4000, MinRun: 1, MaxRun: 2},
+		}, n, uint64(s)+7)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	items = make([]pipeline.ChainItem, n)
+	for i := range items {
+		items[i] = pipeline.ChainItem{
+			Bits:    0,
+			ReadyAt: release[i],
+			D:       []int64{demand[0][i], demand[1][i], demand[2][i]},
+		}
+	}
+	maxK := 60
+	in, err = arrival.FromTrace(release, maxK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gammas = make([]curve.Curve, 3)
+	for s := range gammas {
+		w, err := core.FromTrace(demand[s], maxK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gammas[s] = w.Upper
+	}
+	return items, in, gammas, release
+}
+
+func chainStages(gammas []curve.Curve, freqs []float64, buffers []int) []Stage {
+	stages := make([]Stage, len(gammas))
+	for i := range gammas {
+		stages[i] = Stage{
+			Name:         string(rune('A' + i)),
+			Gamma:        gammas[i],
+			FreqHz:       freqs[i],
+			BufferEvents: buffers[i],
+		}
+	}
+	return stages
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	_, in, gammas, _ := buildChainScenario(t)
+	if _, err := Analyze(in, nil, 1000); !errors.Is(err, ErrNoStages) {
+		t.Fatal("no stages must fail")
+	}
+	bad := chainStages(gammas, []float64{0, 1e9, 1e9}, []int{0, 0, 0})
+	if _, err := Analyze(in, bad, 1000); !errors.Is(err, ErrBadStage) {
+		t.Fatal("zero frequency must fail")
+	}
+	if _, err := Analyze(arrival.Spans{}, chainStages(gammas, []float64{1e9, 1e9, 1e9}, []int{0, 0, 0}), 1000); err == nil {
+		t.Fatal("bad spans must fail")
+	}
+}
+
+// The central soundness test: analytic per-stage bounds dominate a full
+// chain simulation of the very traces the curves were extracted from.
+func TestAnalysisBoundsSimulation(t *testing.T) {
+	items, in, gammas, release := buildChainScenario(t)
+	freqs := []float64{1.2e9, 1.0e9, 1.4e9}
+	buffers := []int{0, 0, 0}
+	horizon := release.Span() * 2
+
+	reports, err := Analyze(in, chainStages(gammas, freqs, buffers), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pipeline.RunChain(items, pipeline.ChainConfig{
+		BitRate: 1, // bits are zero; ReadyAt gates
+		Stages: []pipeline.StageConfig{
+			{Hz: freqs[0]}, {Hz: freqs[1]}, {Hz: freqs[2]},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-stage backlog bound.
+	for s, r := range reports {
+		if st.MaxBacklog[s] > r.BacklogEvents {
+			t.Fatalf("stage %d: simulated backlog %d exceeds bound %d",
+				s, st.MaxBacklog[s], r.BacklogEvents)
+		}
+	}
+	// Per-stage delay bound: completion − arrival at the stage.
+	prev := release
+	for s, r := range reports {
+		for i := range items {
+			if d := st.Done[s][i] - prev[i]; d > r.DelayNs {
+				t.Fatalf("stage %d item %d: delay %d exceeds bound %d", s, i, d, r.DelayNs)
+			}
+		}
+		prev = st.Done[s]
+	}
+	// End-to-end.
+	e2e := EndToEndDelay(reports)
+	for i := range items {
+		if d := st.Done[2][i] - release[i]; d > e2e {
+			t.Fatalf("item %d: end-to-end %d exceeds bound %d", i, d, e2e)
+		}
+	}
+}
+
+// Output spans must be a sound arrival bound for the observed stage output.
+func TestPropagatedSpansBoundStageOutputs(t *testing.T) {
+	items, in, gammas, release := buildChainScenario(t)
+	freqs := []float64{1.2e9, 1.0e9, 1.4e9}
+	horizon := release.Span() * 2
+	reports, err := Analyze(in, chainStages(gammas, freqs, []int{0, 0, 0}), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pipeline.RunChain(items, pipeline.ChainConfig{
+		BitRate: 1,
+		Stages:  []pipeline.StageConfig{{Hz: freqs[0]}, {Hz: freqs[1]}, {Hz: freqs[2]}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, r := range reports {
+		observed, err := arrival.FromTrace(st.Done[s], r.OutSpans.MaxK())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= r.OutSpans.MaxK(); k++ {
+			bound, _ := r.OutSpans.At(k)
+			obs, _ := observed.At(k)
+			if obs < bound {
+				t.Fatalf("stage %d: observed d(%d)=%d below propagated bound %d", s, k, obs, bound)
+			}
+		}
+	}
+}
+
+// Buffer verdicts follow eq. (8): generous buffers pass, tiny ones fail.
+func TestBufferVerdicts(t *testing.T) {
+	_, in, gammas, release := buildChainScenario(t)
+	freqs := []float64{1.2e9, 1.0e9, 1.4e9}
+	horizon := release.Span() * 2
+
+	generous, err := Analyze(in, chainStages(gammas, freqs, []int{50, 50, 50}), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, r := range generous {
+		if !r.BufferOK {
+			t.Fatalf("stage %d: buffer 50 should satisfy eq. 8 (backlog bound %d)", s, r.BacklogEvents)
+		}
+	}
+	tiny, err := Analyze(in, chainStages(gammas, freqs, []int{1, 1, 1}), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyFail := false
+	for _, r := range tiny {
+		anyFail = anyFail || !r.BufferOK
+	}
+	if !anyFail {
+		t.Fatal("1-event buffers should violate eq. 8 somewhere in a bursty chain")
+	}
+}
+
+// The PBOO end-to-end bound must be sound (dominates the simulation) and
+// at least as tight as the sum of per-stage bounds.
+func TestEndToEndDelayPBOO(t *testing.T) {
+	items, in, gammas, release := buildChainScenario(t)
+	freqs := []float64{1.2e9, 1.0e9, 1.4e9}
+	horizon := release.Span() * 2
+	stages := chainStages(gammas, freqs, []int{0, 0, 0})
+
+	reports, err := Analyze(in, stages, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := EndToEndDelay(reports)
+	pboo, err := EndToEndDelayPBOO(in, stages, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pboo > sum {
+		t.Fatalf("PBOO bound %d worse than per-stage sum %d", pboo, sum)
+	}
+	st, err := pipeline.RunChain(items, pipeline.ChainConfig{
+		BitRate: 1,
+		Stages:  []pipeline.StageConfig{{Hz: freqs[0]}, {Hz: freqs[1]}, {Hz: freqs[2]}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range items {
+		if d := st.Done[2][i] - release[i]; d > pboo {
+			t.Fatalf("item %d: observed delay %d exceeds PBOO bound %d", i, d, pboo)
+		}
+	}
+	if _, err := EndToEndDelayPBOO(in, nil, horizon); err == nil {
+		t.Fatal("no stages must fail")
+	}
+}

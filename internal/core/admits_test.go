@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wcm/internal/events"
+)
+
+func TestAdmitsAcceptsOwnTrace(t *testing.T) {
+	d := events.DemandTrace{9, 2, 2, 9, 2, 2, 9}
+	w, err := FromTrace(d, len(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := w.Admits(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("own trace rejected: %+v", v)
+	}
+}
+
+func TestAdmitsDetectsUpperViolation(t *testing.T) {
+	p := fig2Task()
+	w, err := p.Workload(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two expensive polls back to back violate γᵘ(2) = ep + ec = 11.
+	bad := events.DemandTrace{2, 9, 9, 2, 2}
+	v, err := w.Admits(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || !v.Upper {
+		t.Fatalf("violation missed: %+v", v)
+	}
+	if v.Len != 2 || v.Start != 1 || v.Sum != 18 || v.Bound != 11 {
+		t.Fatalf("wrong violation report: %+v", v)
+	}
+}
+
+func TestAdmitsDetectsLowerViolation(t *testing.T) {
+	p := fig2Task()
+	w, err := p.Workload(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// γˡ(5) = 17 (at least one event per 5 polls): five cheap polls
+	// undercut it.
+	bad := events.DemandTrace{2, 2, 2, 2, 2}
+	v, err := w.Admits(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || v.Upper {
+		t.Fatalf("lower violation missed: %+v", v)
+	}
+	if v.Len != 5 || v.Sum != 10 || v.Bound != 17 {
+		t.Fatalf("wrong violation report: %+v", v)
+	}
+}
+
+func TestAdmitsRejectsInvalidTrace(t *testing.T) {
+	p := fig2Task()
+	w, _ := p.Workload(10)
+	if _, err := w.Admits(events.DemandTrace{}); err == nil {
+		t.Fatal("empty trace must error")
+	}
+}
+
+// Failure injection: the eq. (8)/backlog guarantee breaks exactly when the
+// model is violated, and Admits pinpoints the violation.
+func TestQuickAdmitsSeparatesGoodFromBad(t *testing.T) {
+	p := fig2Task()
+	w, err := p.Workload(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64, corruptAt uint8) bool {
+		d, err := events.PollingDemands(p.Period, p.ThetaMin, p.ThetaMax, p.Ep, p.Ec, 60, seed)
+		if err != nil {
+			return false
+		}
+		v, err := w.Admits(d)
+		if err != nil || v != nil {
+			return false // a generated trace must always be admissible
+		}
+		// Inject a fault: one activation takes 3× the WCET (a model
+		// violation, e.g. a cache-thrash outlier the curves never covered).
+		i := int(corruptAt) % len(d)
+		d[i] = 3 * p.Ep
+		v, err = w.Admits(d)
+		return err == nil && v != nil && v.Upper
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"wcm/internal/curve"
+)
+
+// PollingTask holds the parameters of Example 1 of the paper: a task polls
+// for an event with period T; when an event is pending the activation costs
+// Ep cycles, otherwise Ec. The polled event stream has inter-arrival times
+// in [ThetaMin, ThetaMax]. The paper requires T < ThetaMin (so at most one
+// event is pending per poll) and assumes each activation finishes before the
+// next poll.
+type PollingTask struct {
+	Period   int64 // polling period T (any time unit; only ratios matter)
+	ThetaMin int64 // minimum event inter-arrival time, > Period
+	ThetaMax int64 // maximum event inter-arrival time, ≥ ThetaMin
+	Ep       int64 // cycles when an event is processed (WCET)
+	Ec       int64 // cycles when the processing step is skipped (BCET), ≤ Ep
+}
+
+// Validate checks the Example 1 preconditions.
+func (p PollingTask) Validate() error {
+	switch {
+	case p.Period <= 0:
+		return fmt.Errorf("%w: period %d", ErrBadPolling, p.Period)
+	case p.ThetaMin <= p.Period:
+		return fmt.Errorf("%w: need θmin > T (got θmin=%d, T=%d)", ErrBadPolling, p.ThetaMin, p.Period)
+	case p.ThetaMax < p.ThetaMin:
+		return fmt.Errorf("%w: θmax=%d < θmin=%d", ErrBadPolling, p.ThetaMax, p.ThetaMin)
+	case p.Ec <= 0 || p.Ep < p.Ec:
+		return fmt.Errorf("%w: need 0 < ec ≤ ep (got ec=%d, ep=%d)", ErrBadPolling, p.Ec, p.Ep)
+	}
+	return nil
+}
+
+// NMax returns the paper's n_max(k) = 1 + ⌊kT/θmin⌋ capped at k: the
+// maximum number of events detected in any k consecutive polls. The cap
+// applies because a poll detects at most one event (T < θmin).
+func (p PollingTask) NMax(k int) int64 {
+	if k <= 0 {
+		return 0
+	}
+	n := 1 + (int64(k)*p.Period)/p.ThetaMin
+	if n > int64(k) {
+		n = int64(k)
+	}
+	return n
+}
+
+// NMin returns the paper's n_min(k) = ⌊kT/θmax⌋: the minimum number of
+// events detected in any k consecutive polls.
+func (p PollingTask) NMin(k int) int64 {
+	if k <= 0 {
+		return 0
+	}
+	return int64(k) * p.Period / p.ThetaMax
+}
+
+// Workload derives the analytic workload curves of Example 1:
+//
+//	γᵘ(k) = n_max(k)·ep + (k − n_max(k))·ec
+//	γˡ(k) = n_min(k)·ep + (k − n_min(k))·ec
+//
+// The curves are materialized for k = 0..maxK and, when θmin (resp. θmax)
+// is an exact multiple of T, extended with an exact periodic tail so the
+// curves have infinite support (the staircases repeat every θ/T polls).
+func (p PollingTask) Workload(maxK int) (Workload, error) {
+	if err := p.Validate(); err != nil {
+		return Workload{}, err
+	}
+	if maxK < 1 {
+		return Workload{}, fmt.Errorf("%w: maxK=%d", ErrBadK, maxK)
+	}
+	upVals := make([]int64, maxK+1)
+	loVals := make([]int64, maxK+1)
+	for k := 1; k <= maxK; k++ {
+		nmax, nmin := p.NMax(k), p.NMin(k)
+		upVals[k] = nmax*p.Ep + (int64(k)-nmax)*p.Ec
+		loVals[k] = nmin*p.Ep + (int64(k)-nmin)*p.Ec
+	}
+	up, err := p.withTail(upVals, p.ThetaMin, maxK)
+	if err != nil {
+		return Workload{}, err
+	}
+	lo, err := p.withTail(loVals, p.ThetaMax, maxK)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{Upper: up, Lower: lo}, nil
+}
+
+// withTail attaches the exact periodic tail when theta divides into whole
+// polls and the prefix covers at least one full period (plus the burst-in
+// transient), otherwise returns the finite curve.
+func (p PollingTask) withTail(vals []int64, theta int64, maxK int) (curve.Curve, error) {
+	if theta%p.Period == 0 {
+		period := int(theta / p.Period)
+		if maxK >= 2*period {
+			// Over one period of `period` polls the event count grows by
+			// exactly 1 ⇒ demand grows by (period−1)·ec + ep.
+			delta := int64(period-1)*p.Ec + p.Ep
+			return curve.New(vals, period, delta)
+		}
+	}
+	return curve.NewFinite(vals)
+}
+
+// TypeCountBound bounds how often a given event type can occur: at most
+// Count(k) events of this type within any k consecutive activations, each
+// costing at most WCET cycles (and at least BCET for the lower bound).
+// Count must be monotone in k; Count(k) values exceeding k are clamped.
+type TypeCountBound struct {
+	Name  string
+	BCET  int64
+	WCET  int64
+	Count func(k int) int64
+}
+
+// UpperFromTypeCounts derives an upper workload curve from per-type
+// occurrence bounds: for each k the k activations are filled greedily with
+// the most expensive types first, each capped by its Count(k) bound; any
+// remaining activations cost `defaultWCET` (the cost of the cheapest,
+// unconstrained behaviour). This generalizes the polling-task construction
+// to arbitrary typed streams — an analytic route to γᵘ when event patterns
+// are constrained by the specification rather than observed in traces.
+func UpperFromTypeCounts(bounds []TypeCountBound, defaultWCET int64, maxK int) (curve.Curve, error) {
+	if maxK < 1 {
+		return curve.Curve{}, fmt.Errorf("%w: maxK=%d", ErrBadK, maxK)
+	}
+	if defaultWCET < 0 {
+		return curve.Curve{}, fmt.Errorf("core: negative default WCET %d", defaultWCET)
+	}
+	for _, b := range bounds {
+		if b.WCET < b.BCET || b.BCET < 0 || b.Count == nil {
+			return curve.Curve{}, fmt.Errorf("core: bad type bound %q", b.Name)
+		}
+	}
+	sorted := make([]TypeCountBound, len(bounds))
+	copy(sorted, bounds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].WCET > sorted[j].WCET })
+
+	vals := make([]int64, maxK+1)
+	for k := 1; k <= maxK; k++ {
+		remaining := int64(k)
+		var total int64
+		for _, b := range sorted {
+			if remaining == 0 {
+				break
+			}
+			if b.WCET <= defaultWCET {
+				// Cheaper than the default: filling with the default is the
+				// worse (safe) choice for all remaining slots.
+				break
+			}
+			n := b.Count(k)
+			if n < 0 {
+				n = 0
+			}
+			if n > remaining {
+				n = remaining
+			}
+			total += n * b.WCET
+			remaining -= n
+		}
+		total += remaining * defaultWCET
+		vals[k] = total
+		if k > 1 && vals[k] < vals[k-1] {
+			// Count bounds that shrink with k would break monotonicity;
+			// repair by taking the running maximum (still a valid upper
+			// bound because any k−1 window extends to a k window).
+			vals[k] = vals[k-1]
+		}
+	}
+	return curve.NewFinite(vals)
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"wcm/internal/events"
+)
+
+// fig2Task is the polling task of Fig. 2: θmin = 3T, θmax = 5T.
+func fig2Task() PollingTask {
+	return PollingTask{Period: 10, ThetaMin: 30, ThetaMax: 50, Ep: 9, Ec: 2}
+}
+
+func TestPollingValidate(t *testing.T) {
+	bad := []PollingTask{
+		{Period: 0, ThetaMin: 30, ThetaMax: 50, Ep: 9, Ec: 2},
+		{Period: 10, ThetaMin: 10, ThetaMax: 50, Ep: 9, Ec: 2}, // θmin ≤ T
+		{Period: 10, ThetaMin: 30, ThetaMax: 20, Ep: 9, Ec: 2}, // θmax < θmin
+		{Period: 10, ThetaMin: 30, ThetaMax: 50, Ep: 2, Ec: 9}, // ep < ec
+		{Period: 10, ThetaMin: 30, ThetaMax: 50, Ep: 9, Ec: 0}, // ec ≤ 0
+	}
+	for i, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrBadPolling) {
+			t.Fatalf("case %d: err = %v, want ErrBadPolling", i, err)
+		}
+	}
+	if err := fig2Task().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPollingNMaxNMin(t *testing.T) {
+	p := fig2Task()
+	// θmin = 3T: n_max(k) = min(k, 1+⌊k/3⌋); θmax = 5T: n_min(k) = ⌊k/5⌋.
+	wantMax := []int64{0, 1, 1, 2, 2, 2, 3, 3, 3, 4, 4}
+	wantMin := []int64{0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 2}
+	for k := 0; k <= 10; k++ {
+		if got := p.NMax(k); got != wantMax[k] {
+			t.Fatalf("NMax(%d) = %d, want %d", k, got, wantMax[k])
+		}
+		if got := p.NMin(k); got != wantMin[k] {
+			t.Fatalf("NMin(%d) = %d, want %d", k, got, wantMin[k])
+		}
+	}
+}
+
+// Golden reproduction of Fig. 2: the analytic curves for θmin=3T, θmax=5T.
+func TestPollingWorkloadFig2Golden(t *testing.T) {
+	p := fig2Task()
+	w, err := p.Workload(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// γᵘ(k) = n_max·ep + (k−n_max)·ec with ep=9, ec=2:
+	// k:  1  2  3  4  5  6  7  8  9  10
+	// nmax:1 1  2  2  2  3  3  3  4  4
+	// γᵘ:  9 11 20 22 24 33 35 37 46 48
+	wantUp := []int64{0, 9, 11, 20, 22, 24, 33, 35, 37, 46, 48}
+	// nmin: 0 0 0 0 1 1 1 1 1 2
+	// γˡ:   2 4 6 8 17 19 21 23 25 34
+	wantLo := []int64{0, 2, 4, 6, 8, 17, 19, 21, 23, 25, 34}
+	for k := 0; k <= 10; k++ {
+		if got := w.Upper.MustAt(k); got != wantUp[k] {
+			t.Fatalf("γᵘ(%d) = %d, want %d", k, got, wantUp[k])
+		}
+		if got := w.Lower.MustAt(k); got != wantLo[k] {
+			t.Fatalf("γˡ(%d) = %d, want %d", k, got, wantLo[k])
+		}
+	}
+	if err := w.Validate(15); err != nil {
+		t.Fatal(err)
+	}
+	// WCET/BCET as in the figure: γᵘ(1)=ep, γˡ(1)=ec.
+	if w.WCET() != 9 || w.BCET() != 2 {
+		t.Fatalf("WCET/BCET = %d/%d", w.WCET(), w.BCET())
+	}
+}
+
+// The analytic tails must reproduce the formula far beyond the prefix.
+func TestPollingTailExtendsFormula(t *testing.T) {
+	p := fig2Task()
+	w, err := p.Workload(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Upper.Infinite() || !w.Lower.Infinite() {
+		t.Fatal("divisible θ/T must yield infinite curves")
+	}
+	for _, k := range []int{13, 20, 50, 99, 100, 3001} {
+		nmax, nmin := p.NMax(k), p.NMin(k)
+		wantUp := nmax*p.Ep + (int64(k)-nmax)*p.Ec
+		wantLo := nmin*p.Ep + (int64(k)-nmin)*p.Ec
+		if got := w.Upper.MustAt(k); got != wantUp {
+			t.Fatalf("tail γᵘ(%d) = %d, want %d", k, got, wantUp)
+		}
+		if got := w.Lower.MustAt(k); got != wantLo {
+			t.Fatalf("tail γˡ(%d) = %d, want %d", k, got, wantLo)
+		}
+	}
+}
+
+func TestPollingNonDivisibleThetaStaysFinite(t *testing.T) {
+	p := PollingTask{Period: 10, ThetaMin: 35, ThetaMax: 52, Ep: 9, Ec: 2}
+	w, err := p.Workload(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Upper.Infinite() || w.Lower.Infinite() {
+		t.Fatal("non-divisible θ/T must yield finite curves")
+	}
+	if w.Upper.MaxK() != 20 {
+		t.Fatalf("MaxK = %d", w.Upper.MaxK())
+	}
+}
+
+// The analytic curves must bound every simulated polling trace — the bridge
+// between the analytic route (Sec. 2.2) and the trace route (Sec. 2) of the
+// paper.
+func TestPollingCurvesBoundSimulatedTraces(t *testing.T) {
+	p := fig2Task()
+	w, err := p.Workload(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 10; seed++ {
+		d, err := events.PollingDemands(p.Period, p.ThetaMin, p.ThetaMax, p.Ep, p.Ec, 400, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := FromTrace(d, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= 60; k++ {
+			if tr.Upper.MustAt(k) > w.Upper.MustAt(k) {
+				t.Fatalf("seed %d: trace upper exceeds analytic γᵘ at k=%d: %d > %d",
+					seed, k, tr.Upper.MustAt(k), w.Upper.MustAt(k))
+			}
+			if tr.Lower.MustAt(k) < w.Lower.MustAt(k) {
+				t.Fatalf("seed %d: trace lower below analytic γˡ at k=%d: %d < %d",
+					seed, k, tr.Lower.MustAt(k), w.Lower.MustAt(k))
+			}
+		}
+	}
+}
+
+func TestUpperFromTypeCountsReproducesPolling(t *testing.T) {
+	// The polling construction is the special case with one constrained
+	// type ("event processed", count n_max) over a default of ec.
+	p := fig2Task()
+	want, err := p.Workload(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UpperFromTypeCounts([]TypeCountBound{{
+		Name:  "event",
+		BCET:  p.Ep,
+		WCET:  p.Ep,
+		Count: func(k int) int64 { return p.NMax(k) },
+	}}, p.Ec, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 30; k++ {
+		if got.MustAt(k) != want.Upper.MustAt(k) {
+			t.Fatalf("type-count route diverges at k=%d: %d vs %d",
+				k, got.MustAt(k), want.Upper.MustAt(k))
+		}
+	}
+}
+
+func TestUpperFromTypeCountsGreedyOrder(t *testing.T) {
+	// Two constrained types; the most expensive must be consumed first.
+	bounds := []TypeCountBound{
+		{Name: "mid", BCET: 5, WCET: 5, Count: func(k int) int64 { return 2 }},
+		{Name: "big", BCET: 10, WCET: 10, Count: func(k int) int64 { return 1 }},
+	}
+	c, err := UpperFromTypeCounts(bounds, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=1: one "big" = 10. k=2: big+mid = 15. k=3: big+2mid = 20.
+	// k=4: big+2mid+default = 21.
+	want := []int64{0, 10, 15, 20, 21}
+	for k := 0; k <= 4; k++ {
+		if got := c.MustAt(k); got != want[k] {
+			t.Fatalf("γᵘ(%d) = %d, want %d", k, got, want[k])
+		}
+	}
+}
+
+func TestUpperFromTypeCountsValidation(t *testing.T) {
+	if _, err := UpperFromTypeCounts(nil, 1, 0); !errors.Is(err, ErrBadK) {
+		t.Fatal("maxK=0 must fail")
+	}
+	if _, err := UpperFromTypeCounts(nil, -1, 5); err == nil {
+		t.Fatal("negative default must fail")
+	}
+	if _, err := UpperFromTypeCounts([]TypeCountBound{{Name: "x", BCET: 5, WCET: 2, Count: func(int) int64 { return 1 }}}, 1, 5); err == nil {
+		t.Fatal("wcet < bcet must fail")
+	}
+	if _, err := UpperFromTypeCounts([]TypeCountBound{{Name: "x", BCET: 1, WCET: 2}}, 1, 5); err == nil {
+		t.Fatal("nil Count must fail")
+	}
+}
+
+func TestQuickPollingInvariants(t *testing.T) {
+	f := func(tRaw, minMul, maxExtra, epRaw, ecRaw uint8) bool {
+		T := 1 + int64(tRaw%20)
+		thetaMin := T * (2 + int64(minMul%6))
+		thetaMax := thetaMin + int64(maxExtra%40)
+		ec := 1 + int64(ecRaw%50)
+		ep := ec + int64(epRaw%100)
+		p := PollingTask{Period: T, ThetaMin: thetaMin, ThetaMax: thetaMax, Ep: ep, Ec: ec}
+		w, err := p.Workload(40)
+		if err != nil {
+			return false
+		}
+		if w.Validate(40) != nil {
+			return false
+		}
+		ok, err := w.Upper.Subadditive(40)
+		if err != nil || !ok {
+			return false
+		}
+		ok, err = w.Lower.Superadditive(40)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

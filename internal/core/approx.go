@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"wcm/internal/curve"
+)
+
+// Approximate extraction: the exact curve extraction is O(n) per window
+// size, O(n·K) for a full curve — the dominant cost of the MPEG-2 case
+// study. ApproxWorkload evaluates the exact values only at a strided
+// subset of window sizes and fills the gaps conservatively using
+// monotonicity:
+//
+//	γᵘ(k) ≤ γᵘ(next sampled k′ ≥ k)     (upper stays an upper bound)
+//	γˡ(k) ≥ γˡ(previous sampled k′ ≤ k) (lower stays a lower bound)
+//
+// so every downstream bound (eq. 8/9, the RMS test) remains sound, only
+// looser by at most one stride of demand. Cost drops to O(n·K/stride).
+func ApproxWorkload(a *Analyzer, maxK, stride int) (Workload, error) {
+	if stride < 1 {
+		return Workload{}, fmt.Errorf("core: stride %d", stride)
+	}
+	if maxK < 1 || maxK > a.Len() {
+		return Workload{}, fmt.Errorf("%w: maxK=%d, n=%d", ErrBadK, maxK, a.Len())
+	}
+	upVals := make([]int64, maxK+1)
+	loVals := make([]int64, maxK+1)
+
+	// Sampled exact values. k=1 is always sampled so WCET/BCET stay exact.
+	sampled := []int{1}
+	for k := stride; k <= maxK; k += stride {
+		if k != 1 {
+			sampled = append(sampled, k)
+		}
+	}
+	if sampled[len(sampled)-1] != maxK {
+		sampled = append(sampled, maxK)
+	}
+	upAt := make(map[int]int64, len(sampled))
+	loAt := make(map[int]int64, len(sampled))
+	for _, k := range sampled {
+		u, err := a.UpperAt(k)
+		if err != nil {
+			return Workload{}, err
+		}
+		l, err := a.LowerAt(k)
+		if err != nil {
+			return Workload{}, err
+		}
+		upAt[k], loAt[k] = u, l
+	}
+
+	// Fill: upper rounds up to the next sample, lower down to the previous.
+	si := 0
+	for k := 1; k <= maxK; k++ {
+		for sampled[si] < k {
+			si++
+		}
+		upVals[k] = upAt[sampled[si]]
+		if sampled[si] == k {
+			loVals[k] = loAt[k]
+		} else {
+			prev := 0
+			if si > 0 {
+				prev = sampled[si-1]
+			}
+			if prev > 0 {
+				loVals[k] = loAt[prev]
+			}
+		}
+	}
+	up, err := curve.NewFinite(upVals)
+	if err != nil {
+		return Workload{}, err
+	}
+	lo, err := curve.NewFinite(loVals)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{Upper: up, Lower: lo}, nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wcm/internal/events"
+)
+
+func TestApproxWorkloadSoundness(t *testing.T) {
+	d, err := events.ModalDemands([]events.Mode{
+		{Lo: 10, Hi: 40, MinRun: 2, MaxRun: 6},
+		{Lo: 200, Hi: 400, MinRun: 1, MaxRun: 2},
+	}, 600, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalyzer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := a.Workload(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stride := range []int{1, 4, 16, 50} {
+		approx, err := ApproxWorkload(a, 200, stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= 200; k++ {
+			if approx.Upper.MustAt(k) < exact.Upper.MustAt(k) {
+				t.Fatalf("stride %d: approx upper below exact at k=%d", stride, k)
+			}
+			if approx.Lower.MustAt(k) > exact.Lower.MustAt(k) {
+				t.Fatalf("stride %d: approx lower above exact at k=%d", stride, k)
+			}
+		}
+		// Exact at sampled points; stride 1 everywhere.
+		if stride == 1 {
+			for k := 1; k <= 200; k++ {
+				if approx.Upper.MustAt(k) != exact.Upper.MustAt(k) {
+					t.Fatalf("stride 1 must be exact (upper, k=%d)", k)
+				}
+			}
+		}
+		// WCET/BCET always exact (k=1 sampled).
+		if approx.WCET() != exact.WCET() || approx.BCET() != exact.BCET() {
+			t.Fatalf("stride %d: WCET/BCET drift", stride)
+		}
+	}
+}
+
+func TestApproxWorkloadLoosenessBounded(t *testing.T) {
+	// The upper approximation at k equals the exact value at the next
+	// sample, so the slack is at most the demand of one stride of events.
+	d := make(events.DemandTrace, 500)
+	for i := range d {
+		d[i] = 10 // constant demand: exact curve is 10k
+	}
+	a, err := NewAnalyzer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := ApproxWorkload(a, 300, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 300; k++ {
+		slack := approx.Upper.MustAt(k) - int64(10*k)
+		if slack < 0 || slack > 10*25 {
+			t.Fatalf("slack %d at k=%d outside [0, stride·demand]", slack, k)
+		}
+	}
+}
+
+func TestApproxWorkloadValidation(t *testing.T) {
+	a, err := NewAnalyzer(events.DemandTrace{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApproxWorkload(a, 3, 0); err == nil {
+		t.Fatal("stride 0 must fail")
+	}
+	if _, err := ApproxWorkload(a, 9, 2); err == nil {
+		t.Fatal("maxK beyond trace must fail")
+	}
+}
+
+func TestQuickApproxAlwaysSandwichesExact(t *testing.T) {
+	f := func(seed int64, strideRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(60)
+		d := make(events.DemandTrace, n)
+		for i := range d {
+			d[i] = rng.Int63n(100)
+		}
+		a, err := NewAnalyzer(d)
+		if err != nil {
+			return false
+		}
+		maxK := 1 + rng.Intn(n)
+		stride := 1 + int(strideRaw%10)
+		exact, err := a.Workload(maxK)
+		if err != nil {
+			return false
+		}
+		approx, err := ApproxWorkload(a, maxK, stride)
+		if err != nil {
+			return false
+		}
+		for k := 0; k <= maxK; k++ {
+			if approx.Upper.MustAt(k) < exact.Upper.MustAt(k) {
+				return false
+			}
+			if approx.Lower.MustAt(k) > exact.Lower.MustAt(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

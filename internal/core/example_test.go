@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"wcm/internal/core"
+	"wcm/internal/events"
+)
+
+// Extracting workload curves from a measured demand trace (Definition 1).
+func ExampleAnalyzer() {
+	demands := events.DemandTrace{900, 120, 130, 110, 880, 140}
+	a, err := core.NewAnalyzer(demands)
+	if err != nil {
+		log.Fatal(err)
+	}
+	up, _ := a.UpperAt(2)
+	lo, _ := a.LowerAt(2)
+	fmt.Printf("γᵘ(2)=%d γˡ(2)=%d\n", up, lo)
+	// Output:
+	// γᵘ(2)=1020 γˡ(2)=240
+}
+
+// The analytic construction of Example 1 (Fig. 2).
+func ExamplePollingTask_Workload() {
+	p := core.PollingTask{Period: 10, ThetaMin: 30, ThetaMax: 50, Ep: 9, Ec: 2}
+	w, err := p.Workload(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(w.Upper.Values()[1:])
+	// Output:
+	// [9 11 20 22 24 33]
+}
+
+// Runtime monitoring: checking a live demand stream against the curves its
+// schedulability argument assumed.
+func ExampleMonitor() {
+	p := core.PollingTask{Period: 10, ThetaMin: 30, ThetaMax: 50, Ep: 9, Ec: 2}
+	w, _ := p.Workload(30)
+	m, _ := core.NewMonitor(w, 30)
+	for _, demand := range []int64{2, 9, 2, 2, 9, 9} { // last two 9s too close
+		if v, _ := m.Push(demand); v != nil {
+			fmt.Printf("violation: window of %d starting at activation %d needs %d > γᵘ=%d\n",
+				v.Len, v.Start, v.Sum, v.Bound)
+		}
+	}
+	// Output:
+	// violation: window of 2 starting at activation 4 needs 18 > γᵘ=11
+}
+
+// Exact workload curves of an SPI-style multi-mode task.
+func ExampleModalTask_Workload() {
+	m := core.ModalTask{Modes: []core.ModalMode{
+		{Name: "busy", Lo: 80, Hi: 100, MinRun: 1, MaxRun: 2},
+		{Name: "idle", Lo: 5, Hi: 10, MinRun: 3, MaxRun: 6},
+	}}
+	w, err := m.Workload(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(w.Upper.Values()[1:])
+	// Output:
+	// [100 200 210 220 230 330 430]
+}

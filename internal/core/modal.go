@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"wcm/internal/curve"
+)
+
+// ModalMode is one operating mode of a multi-mode process in the SPI sense
+// (Ziegenbein et al., Wolf): while the process stays in the mode, each
+// activation demands between Lo and Hi cycles; the process remains in the
+// mode for MinRun..MaxRun consecutive activations before it may switch.
+type ModalMode struct {
+	Name   string
+	Lo, Hi int64 // per-activation demand interval, 0 < Lo ≤ Hi
+	MinRun int   // minimum consecutive activations in the mode, ≥ 1
+	MaxRun int   // maximum consecutive activations (≥ MinRun)
+}
+
+// ModalTask is a task whose behaviour is an arbitrary walk over a mode
+// transition graph: after finishing a run in mode i the process may enter
+// any mode j with Adj[i][j] = true. The paper's characterization "method to
+// characterize sequences of such process activations (i.e. modes) with
+// bounds" is realized by ModalTask.Workload, which computes the exact
+// worst/best demand over ALL walks of length k by dynamic programming.
+type ModalTask struct {
+	Modes []ModalMode
+	// Adj[i][j] permits a run of mode j directly after a run of mode i.
+	// A nil Adj means any OTHER mode may follow (self-loops excluded —
+	// otherwise a run boundary back into the same mode would void MaxRun).
+	// Provide an explicit Adj with Adj[i][i] = true to permit re-entry.
+	Adj [][]bool
+}
+
+// Validate checks structural invariants.
+func (m ModalTask) Validate() error {
+	if len(m.Modes) == 0 {
+		return fmt.Errorf("core: modal task needs at least one mode")
+	}
+	for i, md := range m.Modes {
+		if md.Lo <= 0 || md.Hi < md.Lo || md.MinRun < 1 || md.MaxRun < md.MinRun {
+			return fmt.Errorf("core: bad mode %d (%q): %+v", i, md.Name, md)
+		}
+	}
+	if m.Adj == nil && len(m.Modes) < 2 {
+		return fmt.Errorf("core: a single-mode task needs an explicit adjacency (self-loop)")
+	}
+	if m.Adj != nil {
+		if len(m.Adj) != len(m.Modes) {
+			return fmt.Errorf("core: adjacency size %d ≠ %d modes", len(m.Adj), len(m.Modes))
+		}
+		for i, row := range m.Adj {
+			if len(row) != len(m.Modes) {
+				return fmt.Errorf("core: adjacency row %d has %d entries", i, len(row))
+			}
+			any := false
+			for _, ok := range row {
+				any = any || ok
+			}
+			if !any {
+				// Every mode needs a successor so that arbitrarily long
+				// activation sequences exist (the DP assumes no dead ends).
+				return fmt.Errorf("core: mode %d (%q) has no admissible successor", i, m.Modes[i].Name)
+			}
+		}
+	}
+	return nil
+}
+
+func (m ModalTask) allows(from, to int) bool {
+	if m.Adj == nil {
+		return from != to
+	}
+	return m.Adj[from][to]
+}
+
+// Workload computes the exact workload curves of the modal task for
+// k = 0..maxK: γᵘ(k) is the maximum demand of any k consecutive activations
+// over all admissible mode walks (each activation contributing its mode's
+// Hi), γˡ(k) the minimum (contributing Lo).
+//
+// The DP state is (mode, activations already spent in the current run); a
+// window may begin anywhere inside a run, so every residual run length is a
+// valid start state.
+func (m ModalTask) Workload(maxK int) (Workload, error) {
+	if err := m.Validate(); err != nil {
+		return Workload{}, err
+	}
+	if maxK < 1 {
+		return Workload{}, fmt.Errorf("%w: maxK=%d", ErrBadK, maxK)
+	}
+	up, err := m.solve(maxK, true)
+	if err != nil {
+		return Workload{}, err
+	}
+	lo, err := m.solve(maxK, false)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{Upper: up, Lower: lo}, nil
+}
+
+// solve runs the DP. State: (mode i, r = activations REMAINING before the
+// run may end, capped bookkeeping below). We track, for each mode and each
+// "remaining-run budget" r in 1..MaxRun, the best demand of k more
+// activations given the process must spend min(r, …) more steps in mode i
+// before switching (it may also extend its stay while r counts down to the
+// point where MaxRun is exhausted).
+//
+// To keep the state finite we encode r as the number of activations the
+// process may still perform in the current run (1..MaxRun_i) together with
+// whether it is already free to switch. A run of length L ∈ [MinRun, MaxRun]
+// is modelled as: L activations, switching allowed only when the remaining
+// budget ≥ 0 and at least MinRun activations were taken — equivalently the
+// window-start states enumerate every (mode, taken ∈ [0, MaxRun)) pair.
+func (m ModalTask) solve(maxK int, upper bool) (curve.Curve, error) {
+	n := len(m.Modes)
+	// stateDemand[i][taken]: best over walks where the current run of mode
+	// i has already performed `taken` activations (0 ≤ taken < MaxRun_i).
+	type key struct{ mode, taken int }
+	states := make([]key, 0)
+	for i, md := range m.Modes {
+		for taken := 0; taken < md.MaxRun; taken++ {
+			states = append(states, key{i, taken})
+		}
+	}
+	idx := make(map[key]int, len(states))
+	for s, k := range states {
+		idx[k] = s
+	}
+
+	// best[s] = extremal demand of k activations starting from state s.
+	best := make([]int64, len(states))
+	next := make([]int64, len(states))
+	vals := make([]int64, maxK+1)
+
+	for k := 1; k <= maxK; k++ {
+		for s, st := range states {
+			md := m.Modes[st.mode]
+			var demand int64
+			if upper {
+				demand = md.Hi
+			} else {
+				demand = md.Lo
+			}
+			// Option 1: stay in the run (if budget remains after this
+			// activation).
+			var bestNext int64
+			haveNext := false
+			if st.taken+1 < md.MaxRun {
+				v := best[idx[key{st.mode, st.taken + 1}]]
+				bestNext, haveNext = v, true
+			}
+			// Option 2: end the run after this activation (if the run
+			// reaches MinRun) and start any admissible successor mode.
+			if st.taken+1 >= md.MinRun {
+				for j := 0; j < n; j++ {
+					if !m.allows(st.mode, j) {
+						continue
+					}
+					v := best[idx[key{j, 0}]]
+					if !haveNext || (upper && v > bestNext) || (!upper && v < bestNext) {
+						bestNext, haveNext = v, true
+					}
+				}
+			}
+			if !haveNext {
+				// Dead end beyond this activation: only possible with k=1
+				// remaining, where bestNext (k=0 demand) is 0 anyway.
+				bestNext = 0
+			}
+			next[s] = demand + bestNext
+		}
+		best, next = next, best
+		// A window may start at any state (any point inside any run).
+		var ext int64
+		for s := range states {
+			if s == 0 || (upper && best[s] > ext) || (!upper && best[s] < ext) {
+				ext = best[s]
+			}
+		}
+		vals[k] = ext
+	}
+	return curve.NewFinite(vals)
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wcm/internal/events"
+)
+
+func twoModeTask() ModalTask {
+	return ModalTask{Modes: []ModalMode{
+		{Name: "busy", Lo: 80, Hi: 100, MinRun: 1, MaxRun: 2},
+		{Name: "idle", Lo: 5, Hi: 10, MinRun: 3, MaxRun: 6},
+	}}
+}
+
+func TestModalValidate(t *testing.T) {
+	bad := []ModalTask{
+		{},
+		{Modes: []ModalMode{{Lo: 0, Hi: 1, MinRun: 1, MaxRun: 1}}},
+		{Modes: []ModalMode{{Lo: 2, Hi: 1, MinRun: 1, MaxRun: 1}}},
+		{Modes: []ModalMode{{Lo: 1, Hi: 1, MinRun: 0, MaxRun: 1}}},
+		{Modes: []ModalMode{{Lo: 1, Hi: 1, MinRun: 2, MaxRun: 1}}},
+		{Modes: []ModalMode{{Lo: 1, Hi: 1, MinRun: 1, MaxRun: 1}}, Adj: [][]bool{}},
+		{Modes: []ModalMode{{Lo: 1, Hi: 1, MinRun: 1, MaxRun: 1}}, Adj: [][]bool{{false}}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("case %d must fail validation", i)
+		}
+	}
+	if err := twoModeTask().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModalWorkloadHandValues(t *testing.T) {
+	// busy: Hi=100, ≤2 consecutive; idle: Hi=10, ≥3 between busy runs.
+	m := twoModeTask()
+	w, err := m.Workload(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// γᵘ(1) = 100, γᵘ(2) = 200 (busy run of 2).
+	if w.Upper.MustAt(1) != 100 || w.Upper.MustAt(2) != 200 {
+		t.Fatalf("γᵘ(1,2) = %d, %d", w.Upper.MustAt(1), w.Upper.MustAt(2))
+	}
+	// γᵘ(3): after 2 busy the task must take ≥3 idle → 210.
+	if got := w.Upper.MustAt(3); got != 210 {
+		t.Fatalf("γᵘ(3) = %d, want 210", got)
+	}
+	// γᵘ(7): busy,busy,idle,idle,idle,busy,busy = 430.
+	if got := w.Upper.MustAt(7); got != 430 {
+		t.Fatalf("γᵘ(7) = %d, want 430", got)
+	}
+	// γˡ(1) = 5 (idle Lo); γˡ(6) = 6 idle = 30... but idle MaxRun=6, so a
+	// window of 6 can be all idle: 30.
+	if w.Lower.MustAt(1) != 5 || w.Lower.MustAt(6) != 30 {
+		t.Fatalf("γˡ(1,6) = %d, %d", w.Lower.MustAt(1), w.Lower.MustAt(6))
+	}
+	// γˡ(7): 6 idle + 1 busy = 110.
+	if got := w.Lower.MustAt(7); got != 110 {
+		t.Fatalf("γˡ(7) = %d, want 110", got)
+	}
+}
+
+func TestModalAdjacencyRestricts(t *testing.T) {
+	// Three modes in a forced cycle a→b→c→a, all runs exactly 1.
+	m := ModalTask{
+		Modes: []ModalMode{
+			{Name: "a", Lo: 1, Hi: 1, MinRun: 1, MaxRun: 1},
+			{Name: "b", Lo: 10, Hi: 10, MinRun: 1, MaxRun: 1},
+			{Name: "c", Lo: 100, Hi: 100, MinRun: 1, MaxRun: 1},
+		},
+		Adj: [][]bool{
+			{false, true, false},
+			{false, false, true},
+			{true, false, false},
+		},
+	}
+	w, err := m.Workload(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any window of 3 is a rotation of (1,10,100): γᵘ(3) = γˡ(3) = 111.
+	if w.Upper.MustAt(3) != 111 || w.Lower.MustAt(3) != 111 {
+		t.Fatalf("cycle window: %d/%d, want 111/111", w.Upper.MustAt(3), w.Lower.MustAt(3))
+	}
+	// γᵘ(1) = 100 (start anywhere), γˡ(1) = 1.
+	if w.Upper.MustAt(1) != 100 || w.Lower.MustAt(1) != 1 {
+		t.Fatalf("single: %d/%d", w.Upper.MustAt(1), w.Lower.MustAt(1))
+	}
+	// γᵘ(2): windows (10,100)=110 max; γˡ(2): (1,10)=11 min.
+	if w.Upper.MustAt(2) != 110 || w.Lower.MustAt(2) != 11 {
+		t.Fatalf("pairs: %d/%d", w.Upper.MustAt(2), w.Lower.MustAt(2))
+	}
+}
+
+// The modal curves must bound every trace of events.ModalDemands with the
+// same mode structure (the generator cycles modes in order, a special case
+// of the fully-connected graph).
+func TestModalCurvesBoundGeneratedTraces(t *testing.T) {
+	m := twoModeTask()
+	w, err := m.Workload(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genModes := []events.Mode{
+		{Lo: 80, Hi: 100, MinRun: 1, MaxRun: 2},
+		{Lo: 5, Hi: 10, MinRun: 3, MaxRun: 6},
+	}
+	for seed := uint64(1); seed <= 10; seed++ {
+		d, err := events.ModalDemands(genModes, 500, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := FromTrace(d, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= 40; k++ {
+			if tr.Upper.MustAt(k) > w.Upper.MustAt(k) {
+				t.Fatalf("seed %d k=%d: trace %d > modal bound %d",
+					seed, k, tr.Upper.MustAt(k), w.Upper.MustAt(k))
+			}
+			if tr.Lower.MustAt(k) < w.Lower.MustAt(k) {
+				t.Fatalf("seed %d k=%d: trace %d < modal bound %d",
+					seed, k, tr.Lower.MustAt(k), w.Lower.MustAt(k))
+			}
+		}
+	}
+}
+
+func TestQuickModalInvariants(t *testing.T) {
+	f := func(loRaw, hiRaw, runRaw uint8) bool {
+		lo := 1 + int64(loRaw%50)
+		hi := lo + int64(hiRaw%50)
+		maxRun := 1 + int(runRaw%4)
+		m := ModalTask{Modes: []ModalMode{
+			{Name: "x", Lo: lo, Hi: hi, MinRun: 1, MaxRun: maxRun},
+			{Name: "y", Lo: 1, Hi: 2, MinRun: 1, MaxRun: 3},
+		}}
+		w, err := m.Workload(20)
+		if err != nil {
+			return false
+		}
+		if w.Validate(20) != nil {
+			return false
+		}
+		ok, err := w.Upper.Subadditive(20)
+		if err != nil || !ok {
+			return false
+		}
+		ok, err = w.Lower.Superadditive(20)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

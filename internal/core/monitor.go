@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Monitor is the streaming counterpart of Workload.Admits: it watches a
+// live sequence of per-activation demands and reports, at each new
+// activation, whether some window ENDING at it violates the upper or lower
+// workload curve. A deployed system can run one next to each task whose
+// schedulability argument assumed the curves, turning the model into an
+// enforceable runtime contract (cf. the paper's requirement that curves
+// "represent guaranteed bounds").
+//
+// The monitor keeps the last `window` demands; each Push costs O(window).
+type Monitor struct {
+	w      Workload
+	window int
+	buf    []int64 // ring buffer of the last ≤ window demands
+	head   int     // next write position
+	count  int     // filled entries (≤ window)
+	pushed int64   // total activations observed
+}
+
+// NewMonitor builds a monitor checking windows up to `window` activations
+// (capped to the curves' common domain).
+func NewMonitor(w Workload, window int) (*Monitor, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("%w: window=%d", ErrBadK, window)
+	}
+	if !w.Upper.Infinite() && w.Upper.MaxK() < window {
+		window = w.Upper.MaxK()
+	}
+	if !w.Lower.Infinite() && w.Lower.MaxK() < window {
+		window = w.Lower.MaxK()
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("%w: curves define no window", ErrBadK)
+	}
+	return &Monitor{w: w, window: window, buf: make([]int64, window)}, nil
+}
+
+// Window returns the effective window length.
+func (m *Monitor) Window() int { return m.window }
+
+// Pushed returns the total number of activations observed.
+func (m *Monitor) Pushed() int64 { return m.pushed }
+
+// Push records the demand of the next activation and checks every window
+// ending at it. A non-nil Violation reports the tightest (shortest)
+// violated window; Start is the absolute activation index (0-based).
+func (m *Monitor) Push(demand int64) (*Violation, error) {
+	if demand < 0 {
+		return nil, fmt.Errorf("core: negative demand %d", demand)
+	}
+	m.buf[m.head] = demand
+	m.head = (m.head + 1) % m.window
+	if m.count < m.window {
+		m.count++
+	}
+	m.pushed++
+
+	var sum int64
+	for k := 1; k <= m.count; k++ {
+		idx := (m.head - k + m.window*2) % m.window
+		sum += m.buf[idx]
+		up, err := m.w.Upper.At(k)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := m.w.Lower.At(k)
+		if err != nil {
+			return nil, err
+		}
+		if sum > up {
+			return &Violation{
+				Start: int(m.pushed) - k, Len: k, Sum: sum, Bound: up, Upper: true,
+			}, nil
+		}
+		if sum < lo {
+			return &Violation{
+				Start: int(m.pushed) - k, Len: k, Sum: sum, Bound: lo, Upper: false,
+			}, nil
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wcm/internal/curve"
+	"wcm/internal/events"
+)
+
+// bruteUpper/bruteLower are reference implementations of Definition 1
+// directly from the formula, used to cross-check the Analyzer.
+func bruteUpper(d events.DemandTrace, k int) int64 {
+	best := int64(-1)
+	for j := 0; j+k <= len(d); j++ {
+		var s int64
+		for i := j; i < j+k; i++ {
+			s += d[i]
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+func bruteLower(d events.DemandTrace, k int) int64 {
+	best := int64(-1)
+	for j := 0; j+k <= len(d); j++ {
+		var s int64
+		for i := j; i < j+k; i++ {
+			s += d[i]
+		}
+		if best < 0 || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+func TestAnalyzerMatchesBruteForce(t *testing.T) {
+	d := events.DemandTrace{5, 1, 9, 2, 2, 7, 1, 1, 8, 3}
+	a, err := NewAnalyzer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != len(d) {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	for k := 0; k <= len(d); k++ {
+		up, err := a.UpperAt(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, err := a.LowerAt(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == 0 {
+			if up != 0 || lo != 0 {
+				t.Fatalf("γ(0) must be 0, got %d/%d", up, lo)
+			}
+			continue
+		}
+		if want := bruteUpper(d, k); up != want {
+			t.Fatalf("UpperAt(%d) = %d, want %d", k, up, want)
+		}
+		if want := bruteLower(d, k); lo != want {
+			t.Fatalf("LowerAt(%d) = %d, want %d", k, lo, want)
+		}
+	}
+	if _, err := a.UpperAt(len(d) + 1); !errors.Is(err, ErrBadK) {
+		t.Fatalf("UpperAt beyond n err = %v", err)
+	}
+	if _, err := a.LowerAt(-1); !errors.Is(err, ErrBadK) {
+		t.Fatalf("LowerAt(-1) err = %v", err)
+	}
+}
+
+func TestAnalyzerRejectsBadTrace(t *testing.T) {
+	if _, err := NewAnalyzer(events.DemandTrace{}); err == nil {
+		t.Fatal("empty trace must fail")
+	}
+	if _, err := NewAnalyzer(events.DemandTrace{1, -1}); err == nil {
+		t.Fatal("negative demand must fail")
+	}
+}
+
+func TestFromTraceInvariants(t *testing.T) {
+	d := events.DemandTrace{5, 1, 9, 2, 2, 7, 1, 1, 8, 3}
+	w, err := FromTrace(d, len(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(len(d)); err != nil {
+		t.Fatal(err)
+	}
+	if w.WCET() != 9 || w.BCET() != 1 {
+		t.Fatalf("WCET/BCET = %d/%d, want 9/1", w.WCET(), w.BCET())
+	}
+	// γᵘ subadditive, γˡ superadditive (paper properties).
+	if ok, err := w.Upper.Subadditive(len(d)); err != nil || !ok {
+		t.Fatalf("γᵘ not subadditive: %v %v", ok, err)
+	}
+	if ok, err := w.Lower.Superadditive(len(d)); err != nil || !ok {
+		t.Fatalf("γˡ not superadditive: %v %v", ok, err)
+	}
+	// γᵘ ⊗ γᵘ = γᵘ (min-plus fixpoint of subadditive curves).
+	conv, err := curve.MinPlusConv(w.Upper, w.Upper, len(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= len(d); k++ {
+		if conv.MustAt(k) != w.Upper.MustAt(k) {
+			t.Fatalf("γᵘ⊗γᵘ ≠ γᵘ at k=%d", k)
+		}
+	}
+}
+
+func TestWorkloadGain(t *testing.T) {
+	// Demands alternate 10, 2: γᵘ(2) = 12 < 2·10 ⇒ gain at k=2 is 0.4.
+	d := events.DemandTrace{10, 2, 10, 2, 10, 2}
+	w, err := FromTrace(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := w.Gain(1)
+	if err != nil || g1 != 0 {
+		t.Fatalf("Gain(1) = %g, %v; want 0", g1, err)
+	}
+	g2, err := w.Gain(2)
+	if err != nil || g2 != 0.4 {
+		t.Fatalf("Gain(2) = %g, %v; want 0.4", g2, err)
+	}
+	if _, err := w.Gain(0); !errors.Is(err, ErrBadK) {
+		t.Fatal("Gain(0) must fail")
+	}
+}
+
+func TestFromTracesTakesEnvelope(t *testing.T) {
+	t1 := events.DemandTrace{1, 1, 1, 9, 1, 1}
+	t2 := events.DemandTrace{4, 4, 4, 4, 4, 4}
+	w, err := FromTraces([]events.DemandTrace{t1, t2}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, _ := FromTrace(t1, 6)
+	w2, _ := FromTrace(t2, 6)
+	for k := 0; k <= 6; k++ {
+		upWant := maxI64(w1.Upper.MustAt(k), w2.Upper.MustAt(k))
+		loWant := minI64(w1.Lower.MustAt(k), w2.Lower.MustAt(k))
+		if w.Upper.MustAt(k) != upWant {
+			t.Fatalf("envelope upper at %d: %d want %d", k, w.Upper.MustAt(k), upWant)
+		}
+		if w.Lower.MustAt(k) != loWant {
+			t.Fatalf("envelope lower at %d: %d want %d", k, w.Lower.MustAt(k), loWant)
+		}
+	}
+	if _, err := FromTraces(nil, 5); !errors.Is(err, ErrNoTraces) {
+		t.Fatal("no traces must fail")
+	}
+}
+
+// Fig. 1 of the paper, end to end through the typed-sequence route.
+func TestFromSequenceFig1(t *testing.T) {
+	ts := events.MustNewTypeSet(
+		events.Type{Name: "a", BCET: 2, WCET: 4},
+		events.Type{Name: "b", BCET: 1, WCET: 3},
+		events.Type{Name: "c", BCET: 1, WCET: 3},
+	)
+	seq := events.MustNewSequence(ts, "a", "b", "a", "b", "c", "c", "a", "a", "c")
+	w, err := FromSequence(seq, seq.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// γᵘ(1) = max wcet = 4, γˡ(1) = min bcet = 1.
+	if w.WCET() != 4 || w.BCET() != 1 {
+		t.Fatalf("WCET/BCET = %d/%d", w.WCET(), w.BCET())
+	}
+	// γᵘ(4) must dominate γ_w(j,4) for every j; window starting at 7 (a,a,c)
+	// plus... brute-force check against all windows.
+	for k := 1; k <= seq.Len(); k++ {
+		var wBest, bBest int64
+		bBest = 1 << 62
+		for j := 1; j+k-1 <= seq.Len(); j++ {
+			gw, _ := seq.GammaW(j, k)
+			gb, _ := seq.GammaB(j, k)
+			if gw > wBest {
+				wBest = gw
+			}
+			if gb < bBest {
+				bBest = gb
+			}
+		}
+		if got := w.Upper.MustAt(k); got != wBest {
+			t.Fatalf("γᵘ(%d) = %d, want %d", k, got, wBest)
+		}
+		if got := w.Lower.MustAt(k); got != bBest {
+			t.Fatalf("γˡ(%d) = %d, want %d", k, got, bBest)
+		}
+	}
+	if err := w.Validate(seq.Len()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAnalyzerAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		d := make(events.DemandTrace, n)
+		for i := range d {
+			d[i] = rng.Int63n(50)
+		}
+		a, err := NewAnalyzer(d)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			k := 1 + rng.Intn(n)
+			up, err := a.UpperAt(k)
+			if err != nil || up != bruteUpper(d, k) {
+				return false
+			}
+			lo, err := a.LowerAt(k)
+			if err != nil || lo != bruteLower(d, k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWorkloadInvariants(t *testing.T) {
+	// For any random positive trace: monotone curves, γˡ ≤ γᵘ, subadditive
+	// upper, superadditive lower, sandwiched by BCET/WCET lines.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(25)
+		d := make(events.DemandTrace, n)
+		for i := range d {
+			d[i] = 1 + rng.Int63n(30)
+		}
+		w, err := FromTrace(d, n)
+		if err != nil {
+			return false
+		}
+		if w.Validate(n) != nil {
+			return false
+		}
+		if ok, err := w.Upper.Subadditive(n); err != nil || !ok {
+			return false
+		}
+		if ok, err := w.Lower.Superadditive(n); err != nil || !ok {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestWorkloadParallelMatchesSerial(t *testing.T) {
+	d, err := events.ModalDemands([]events.Mode{
+		{Lo: 10, Hi: 40, MinRun: 2, MaxRun: 6},
+		{Lo: 200, Hi: 400, MinRun: 1, MaxRun: 2},
+	}, 800, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalyzer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := a.Workload(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		par, err := a.WorkloadParallel(300, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= 300; k++ {
+			if par.Upper.MustAt(k) != serial.Upper.MustAt(k) ||
+				par.Lower.MustAt(k) != serial.Lower.MustAt(k) {
+				t.Fatalf("workers=%d diverges at k=%d", workers, k)
+			}
+		}
+	}
+	if _, err := a.WorkloadParallel(300, 0); err == nil {
+		t.Fatal("workers=0 must fail")
+	}
+	if _, err := a.WorkloadParallel(9999, 2); err == nil {
+		t.Fatal("maxK beyond trace must fail")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wcm/internal/events"
+)
+
+func TestWorstTraceRealizesCurvePrefix(t *testing.T) {
+	p := fig2Task()
+	w, err := p.Workload(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := WorstTrace(w.Upper, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefix sums equal γᵘ exactly.
+	var sum int64
+	for k, v := range d {
+		sum += v
+		if sum != w.Upper.MustAt(k+1) {
+			t.Fatalf("prefix %d sums to %d, want γᵘ=%d", k+1, sum, w.Upper.MustAt(k+1))
+		}
+	}
+}
+
+func TestWorstTraceAdmissible(t *testing.T) {
+	// Every window of the worst trace stays within the curve.
+	d0 := events.DemandTrace{9, 2, 2, 9, 2, 2, 9, 2, 2, 9, 2, 2}
+	w, err := FromTrace(d0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := WorstTrace(w.Upper, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check, err := FromTrace(worst, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 12; k++ {
+		if check.Upper.MustAt(k) > w.Upper.MustAt(k) {
+			t.Fatalf("worst trace violates its own curve at k=%d: %d > %d",
+				k, check.Upper.MustAt(k), w.Upper.MustAt(k))
+		}
+	}
+	if _, err := WorstTrace(w.Upper, 0); err == nil {
+		t.Fatal("n=0 must fail")
+	}
+	if _, err := WorstTrace(w.Upper, 99); err == nil {
+		t.Fatal("n beyond a finite curve's domain must fail")
+	}
+}
+
+func TestQuickWorstTraceAdmissible(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := events.NewLCG(seed)
+		n := 5 + int(g.Intn(25))
+		d := make(events.DemandTrace, n)
+		for i := range d {
+			d[i] = 1 + g.Intn(40)
+		}
+		w, err := FromTrace(d, n)
+		if err != nil {
+			return false
+		}
+		worst, err := WorstTrace(w.Upper, n)
+		if err != nil {
+			return false
+		}
+		check, err := FromTrace(worst, n)
+		if err != nil {
+			return false
+		}
+		for k := 1; k <= n; k++ {
+			if check.Upper.MustAt(k) > w.Upper.MustAt(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package curve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Text codec: a curve serializes to a single line
+//
+//	wcurve/1 period=<p> delta=<d> vals=<v0>,<v1>,...
+//
+// so curves can be stored next to traces, exchanged between the command-
+// line tools, and embedded in golden tests. The format is versioned; only
+// version 1 exists.
+
+const codecHeader = "wcurve/1"
+
+// MarshalText implements encoding.TextMarshaler.
+func (c Curve) MarshalText() ([]byte, error) {
+	if len(c.vals) == 0 {
+		return nil, ErrEmpty
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s period=%d delta=%d vals=", codecHeader, c.period, c.delta)
+	for i, v := range c.vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(v, 10))
+	}
+	return []byte(b.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler; the result passes the
+// same validation as New.
+func (c *Curve) UnmarshalText(text []byte) error {
+	fields := strings.Fields(string(text))
+	if len(fields) != 4 || fields[0] != codecHeader {
+		return fmt.Errorf("curve: bad encoding (want %q header and 3 fields)", codecHeader)
+	}
+	period, err := parseKV(fields[1], "period")
+	if err != nil {
+		return err
+	}
+	delta, err := parseKV(fields[2], "delta")
+	if err != nil {
+		return err
+	}
+	raw, ok := strings.CutPrefix(fields[3], "vals=")
+	if !ok {
+		return fmt.Errorf("curve: missing vals= field")
+	}
+	parts := strings.Split(raw, ",")
+	vals := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return fmt.Errorf("curve: vals[%d]: %w", i, err)
+		}
+		vals[i] = v
+	}
+	parsed, err := New(vals, int(period), delta)
+	if err != nil {
+		return err
+	}
+	*c = parsed
+	return nil
+}
+
+func parseKV(field, key string) (int64, error) {
+	raw, ok := strings.CutPrefix(field, key+"=")
+	if !ok {
+		return 0, fmt.Errorf("curve: missing %s= field", key)
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("curve: %s: %w", key, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,113 @@
+package curve
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	orig := MustNew([]int64{0, 3, 5, 9}, 2, 9)
+	text, err := orig.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Curve
+	if err := back.UnmarshalText(text); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 20; k++ {
+		if back.MustAt(k) != orig.MustAt(k) {
+			t.Fatalf("round trip diverges at k=%d", k)
+		}
+	}
+	p1, d1 := orig.Tail()
+	p2, d2 := back.Tail()
+	if p1 != p2 || d1 != d2 {
+		t.Fatalf("tail lost: (%d,%d) vs (%d,%d)", p1, d1, p2, d2)
+	}
+}
+
+func TestCodecFormatStable(t *testing.T) {
+	c := MustNew([]int64{0, 4, 7}, 1, 3)
+	text, err := c.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "wcurve/1 period=1 delta=3 vals=0,4,7"
+	if string(text) != want {
+		t.Fatalf("encoding = %q, want %q", text, want)
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"wcurve/2 period=0 delta=0 vals=0",
+		"wcurve/1 period=0 delta=0",
+		"wcurve/1 period=x delta=0 vals=0",
+		"wcurve/1 period=0 delta=y vals=0",
+		"wcurve/1 period=0 delta=0 vals=0,abc",
+		"wcurve/1 period=0 delta=0 values=0",
+		"wcurve/1 period=0 delta=0 vals=5",     // v0 ≠ 0
+		"wcurve/1 period=0 delta=0 vals=0,9,3", // not monotone
+		"wcurve/1 period=9 delta=1 vals=0,1",   // period > prefix
+	}
+	for _, s := range bad {
+		var c Curve
+		if err := c.UnmarshalText([]byte(s)); err == nil {
+			t.Fatalf("accepted garbage %q", s)
+		}
+	}
+}
+
+func TestCodecMarshalEmptyFails(t *testing.T) {
+	var c Curve
+	if _, err := c.MarshalText(); err == nil {
+		t.Fatal("zero-value curve must not marshal")
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		vals := randomMonotone(rng, n, 30)
+		period := 0
+		var delta int64
+		if rng.Intn(2) == 1 {
+			period = 1 + rng.Intn(n)
+			delta = vals[n-1] - vals[n-period] + rng.Int63n(5)
+		}
+		c, err := New(vals, period, delta)
+		if err != nil {
+			return false
+		}
+		text, err := c.MarshalText()
+		if err != nil {
+			return false
+		}
+		if !strings.HasPrefix(string(text), "wcurve/1 ") {
+			return false
+		}
+		var back Curve
+		if err := back.UnmarshalText(text); err != nil {
+			return false
+		}
+		for k := 0; k < n+5; k++ {
+			a, errA := c.At(k)
+			b, errB := back.At(k)
+			if (errA == nil) != (errB == nil) {
+				return false
+			}
+			if errA == nil && a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,674 @@
+// Package curve implements integer-valued curves over the event-count
+// domain k ∈ {0, 1, 2, ...}.
+//
+// A Curve maps a number of consecutive task activations k to a number of
+// processor cycles. Workload curves (γᵘ, γˡ), cumulative demand functions and
+// demand-bound functions are all represented with this one type. Values are
+// stored explicitly for a finite prefix and may be extended to infinite
+// support by an exact periodic tail: beyond the stored prefix the curve
+// repeats its last `period` increments, adding `delta` cycles per period.
+// This makes analytic curves such as the polling-task curves of the paper
+// (ultimately periodic staircases) exactly representable.
+//
+// All curves in this package satisfy C(0) = 0 and are monotone
+// (non-decreasing). Constructors enforce this and return an error otherwise.
+package curve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Errors returned by constructors and operations.
+var (
+	ErrEmpty        = errors.New("curve: need at least the k=0 point")
+	ErrNonZeroStart = errors.New("curve: value at k=0 must be 0")
+	ErrNotMonotone  = errors.New("curve: values must be non-decreasing")
+	ErrBadTail      = errors.New("curve: periodic tail must have period ≥ 1 and delta ≥ 0")
+	ErrTailTooLong  = errors.New("curve: tail period exceeds stored prefix")
+	ErrOutOfDomain  = errors.New("curve: argument outside finite domain")
+	ErrNegativeK    = errors.New("curve: k must be ≥ 0")
+)
+
+// Curve is an integer-valued, monotone curve on k ≥ 0 with C(0) = 0.
+//
+// The zero value is not usable; build curves with New, NewFinite or the
+// helpers in this package. Curve values are immutable after construction;
+// operations return new curves.
+type Curve struct {
+	// vals[k] is the curve value at k for k in [0, len(vals)).
+	vals []int64
+	// period and delta describe the periodic tail. If period == 0 the curve
+	// is finite: evaluation beyond len(vals)-1 is an error. If period ≥ 1,
+	// for k ≥ len(vals): C(k) = C(k - period) + delta.
+	period int
+	delta  int64
+}
+
+// New builds a curve from explicit values vals[k] for k = 0..len(vals)-1 and
+// an exact periodic tail: for k ≥ len(vals), C(k) = C(k-period) + delta.
+// Pass period 0 (and delta 0) for a finite curve.
+func New(vals []int64, period int, delta int64) (Curve, error) {
+	if len(vals) == 0 {
+		return Curve{}, ErrEmpty
+	}
+	if vals[0] != 0 {
+		return Curve{}, ErrNonZeroStart
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			return Curve{}, fmt.Errorf("%w: value %d at k=%d after %d at k=%d",
+				ErrNotMonotone, vals[i], i, vals[i-1], i-1)
+		}
+	}
+	if period < 0 || (period == 0 && delta != 0) {
+		return Curve{}, ErrBadTail
+	}
+	if period > 0 {
+		if delta < 0 {
+			return Curve{}, ErrBadTail
+		}
+		if period > len(vals) {
+			return Curve{}, ErrTailTooLong
+		}
+		// The tail must preserve monotonicity across the prefix/tail seam:
+		// C(len(vals)) = C(len(vals)-period) + delta ≥ C(len(vals)-1).
+		seam := vals[len(vals)-period] + delta
+		if seam < vals[len(vals)-1] {
+			return Curve{}, fmt.Errorf("%w: tail value %d at k=%d below last prefix value %d",
+				ErrNotMonotone, seam, len(vals), vals[len(vals)-1])
+		}
+	}
+	cp := make([]int64, len(vals))
+	copy(cp, vals)
+	return Curve{vals: cp, period: period, delta: delta}, nil
+}
+
+// NewFinite builds a finite curve from explicit values (no tail).
+func NewFinite(vals []int64) (Curve, error) { return New(vals, 0, 0) }
+
+// MustNew is New but panics on error; for package-level constants and tests.
+func MustNew(vals []int64, period int, delta int64) Curve {
+	c, err := New(vals, period, delta)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Zero returns the curve that is identically 0 on all k ≥ 0.
+func Zero() Curve {
+	return Curve{vals: []int64{0}, period: 1, delta: 0}
+}
+
+// Linear returns the curve C(k) = rate·k on all k ≥ 0. It models the
+// single-value execution-time abstraction of the paper: with rate = WCET it
+// is the "WCET only" line of Fig. 2 and Fig. 6, with rate = BCET the
+// "BCET only" line. rate must be ≥ 0.
+func Linear(rate int64) (Curve, error) {
+	if rate < 0 {
+		return Curve{}, fmt.Errorf("curve: negative rate %d: %w", rate, ErrNotMonotone)
+	}
+	return Curve{vals: []int64{0, rate}, period: 1, delta: rate}, nil
+}
+
+// MustLinear is Linear but panics on error.
+func MustLinear(rate int64) Curve {
+	c, err := Linear(rate)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Infinite reports whether the curve has a periodic tail (is defined for
+// every k ≥ 0) rather than only on its finite stored prefix.
+func (c Curve) Infinite() bool { return c.period > 0 }
+
+// PrefixLen returns the number of explicitly stored points (domain of the
+// prefix is k = 0..PrefixLen()-1).
+func (c Curve) PrefixLen() int { return len(c.vals) }
+
+// MaxK returns the largest k at which the curve is defined, or -1 if the
+// curve has infinite support.
+func (c Curve) MaxK() int {
+	if c.Infinite() {
+		return -1
+	}
+	return len(c.vals) - 1
+}
+
+// Tail returns the periodic tail parameters (period, delta). period is 0 for
+// finite curves.
+func (c Curve) Tail() (period int, delta int64) { return c.period, c.delta }
+
+// At evaluates the curve at k. It returns ErrOutOfDomain for k beyond a
+// finite curve's prefix and ErrNegativeK for k < 0.
+func (c Curve) At(k int) (int64, error) {
+	if k < 0 {
+		return 0, ErrNegativeK
+	}
+	if k < len(c.vals) {
+		return c.vals[k], nil
+	}
+	if !c.Infinite() {
+		return 0, fmt.Errorf("%w: k=%d, max=%d", ErrOutOfDomain, k, len(c.vals)-1)
+	}
+	// k ≥ len(vals): step back a whole number of periods into the prefix.
+	over := k - len(c.vals) + 1
+	periods := (over + c.period - 1) / c.period
+	base := k - periods*c.period
+	return c.vals[base] + int64(periods)*c.delta, nil
+}
+
+// MustAt is At but panics on error; for contexts where domain membership was
+// already established.
+func (c Curve) MustAt(k int) int64 {
+	v, err := c.At(k)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// AtClamped evaluates the curve at k, clamping k into the curve's domain:
+// negative k evaluates to 0, k beyond a finite prefix evaluates to the last
+// stored value. This is the right semantics for eq. (9) of the paper, where
+// ᾱ(Δ) − b may be negative (demand 0) and trace-derived curves are finite.
+func (c Curve) AtClamped(k int) int64 {
+	if k <= 0 {
+		return 0
+	}
+	if v, err := c.At(k); err == nil {
+		return v
+	}
+	return c.vals[len(c.vals)-1]
+}
+
+// LastValue returns the value at the end of the stored prefix.
+func (c Curve) LastValue() int64 { return c.vals[len(c.vals)-1] }
+
+// Values returns a copy of the stored prefix values.
+func (c Curve) Values() []int64 {
+	cp := make([]int64, len(c.vals))
+	copy(cp, c.vals)
+	return cp
+}
+
+// StrictlyIncreasing reports whether the curve is strictly increasing over
+// its stored prefix (and, for infinite curves, over the tail as well). The
+// paper notes workload curves are strictly increasing sequences; pseudo-
+// inverse round-tripping (γ⁻¹(γ(k)) = k) relies on this.
+func (c Curve) StrictlyIncreasing() bool {
+	for i := 1; i < len(c.vals); i++ {
+		if c.vals[i] <= c.vals[i-1] {
+			return false
+		}
+	}
+	if c.Infinite() {
+		// One full period must gain at least one cycle per step: the tail
+		// repeats prefix increments shifted by delta, so strictness over the
+		// seam and delta > 0 ⇒ strictness everywhere.
+		if c.delta <= 0 {
+			return false
+		}
+		seam := c.vals[len(c.vals)-c.period] + c.delta
+		if seam <= c.vals[len(c.vals)-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// UpperInverse computes the pseudo-inverse of an upper curve at e:
+//
+//	γᵘ⁻¹(e) = max{k : γᵘ(k) ≤ e}
+//
+// following the paper's definition. It requires e ≥ 0. If the curve is
+// finite and every stored value is ≤ e, the result is (MaxK(), true, nil)
+// with exhausted=true signalling the maximum may extend beyond the stored
+// domain. For infinite curves with delta == 0 and e ≥ sup γᵘ the maximum is
+// unbounded; the function returns an error in that case.
+func (c Curve) UpperInverse(e int64) (k int, exhausted bool, err error) {
+	if e < 0 {
+		return 0, false, fmt.Errorf("curve: UpperInverse of negative budget %d", e)
+	}
+	// Find in the prefix: largest index with vals[idx] ≤ e.
+	idx := sort.Search(len(c.vals), func(i int) bool { return c.vals[i] > e }) - 1
+	if idx < len(c.vals)-1 {
+		// Strictly inside the prefix: vals[idx+1] > e, done.
+		return idx, false, nil
+	}
+	// Every stored value is ≤ e.
+	if !c.Infinite() {
+		return len(c.vals) - 1, true, nil
+	}
+	if c.delta == 0 {
+		return 0, false, fmt.Errorf("curve: UpperInverse(%d) unbounded (flat tail)", e)
+	}
+	// Advance whole periods: after p periods the minimum over one period of
+	// the shifted prefix window is min over the last `period` stored values
+	// plus p·delta. We need the largest k with value ≤ e. Work per-residue.
+	best := len(c.vals) - 1
+	for r := 0; r < c.period; r++ {
+		base := len(c.vals) - c.period + r
+		v := c.vals[base]
+		if v > e {
+			continue
+		}
+		p := (e - v) / c.delta
+		k := base + int(p)*c.period
+		if k > best {
+			best = k
+		}
+	}
+	return best, false, nil
+}
+
+// LowerInverse computes the pseudo-inverse of a lower curve at e:
+//
+//	γˡ⁻¹(e) = min{k : γˡ(k) ≥ e}
+//
+// It requires e ≥ 0 (γˡ⁻¹(0) = 0). If no k in the curve's domain reaches e
+// the function returns an error for finite curves and for infinite curves
+// with a flat tail.
+func (c Curve) LowerInverse(e int64) (int, error) {
+	if e < 0 {
+		return 0, fmt.Errorf("curve: LowerInverse of negative demand %d", e)
+	}
+	if e == 0 {
+		return 0, nil
+	}
+	idx := sort.Search(len(c.vals), func(i int) bool { return c.vals[i] >= e })
+	if idx < len(c.vals) {
+		return idx, nil
+	}
+	if !c.Infinite() || c.delta == 0 {
+		return 0, fmt.Errorf("curve: LowerInverse(%d) unreachable (sup=%d)", e, c.vals[len(c.vals)-1])
+	}
+	// Find the smallest k ≥ len(vals) with value ≥ e, per residue class.
+	best := math.MaxInt
+	for r := 0; r < c.period; r++ {
+		base := len(c.vals) - c.period + r
+		v := c.vals[base]
+		need := e - v
+		p := need / c.delta
+		if need%c.delta != 0 || p == 0 {
+			p++ // first period count that lifts this residue to ≥ e; p ≥ 1 keeps k beyond the prefix
+		}
+		k := base + int(p)*c.period
+		if k < best {
+			best = k
+		}
+	}
+	return best, nil
+}
+
+// UpperBoundAt evaluates the curve at k, extending finite curves beyond
+// their prefix by subadditive decomposition: for k = q·m + r with m the last
+// stored index, C(k) ≤ q·C(m) + C(r). For subadditive curves (all upper
+// workload curves) the result is a valid upper bound everywhere and exact
+// within the stored prefix. Infinite curves evaluate exactly.
+func (c Curve) UpperBoundAt(k int) (int64, error) {
+	if k < 0 {
+		return 0, ErrNegativeK
+	}
+	if v, err := c.At(k); err == nil {
+		return v, nil
+	}
+	m := len(c.vals) - 1
+	if m == 0 {
+		return 0, fmt.Errorf("%w: cannot extend single-point curve", ErrOutOfDomain)
+	}
+	q := k / m
+	r := k % m
+	return int64(q)*c.vals[m] + c.vals[r], nil
+}
+
+// Add returns the pointwise sum of two curves. The sum of upper workload
+// curves bounds the joint demand of independent task sets (used by the RMS
+// test of Sec. 3.1). The result's domain is the intersection of the
+// operands' domains; tails combine exactly when both are infinite (period =
+// lcm of the periods).
+func Add(a, b Curve) (Curve, error) {
+	if !a.Infinite() || !b.Infinite() {
+		n := a.finiteDomain(b)
+		vals := make([]int64, n+1)
+		for k := 0; k <= n; k++ {
+			av, err := a.At(k)
+			if err != nil {
+				return Curve{}, err
+			}
+			bv, err := b.At(k)
+			if err != nil {
+				return Curve{}, err
+			}
+			vals[k] = av + bv
+		}
+		return NewFinite(vals)
+	}
+	p := lcm(a.period, b.period)
+	// Store one full combined period beyond the longer prefix so the tail
+	// recurrence is exact.
+	n := maxInt(len(a.vals), len(b.vals)) + p
+	vals := make([]int64, n)
+	for k := 0; k < n; k++ {
+		vals[k] = a.MustAt(k) + b.MustAt(k)
+	}
+	delta := a.delta*int64(p/a.period) + b.delta*int64(p/b.period)
+	return New(vals, p, delta)
+}
+
+// Max returns the pointwise maximum of two curves (least common upper bound).
+func Max(a, b Curve) (Curve, error) { return combine(a, b, maxI64) }
+
+// Min returns the pointwise minimum of two curves (greatest common lower
+// bound). Min of upper workload curves of the same task is again an upper
+// workload curve; the paper's case study takes curves "by taking maximum
+// over all respective curves of individual video clips" — Max for γᵘ, Min
+// for γˡ.
+func Min(a, b Curve) (Curve, error) { return combine(a, b, minI64) }
+
+func combine(a, b Curve, f func(int64, int64) int64) (Curve, error) {
+	if !a.Infinite() || !b.Infinite() {
+		n := a.finiteDomain(b)
+		vals := make([]int64, n+1)
+		for k := 0; k <= n; k++ {
+			av, err := a.At(k)
+			if err != nil {
+				return Curve{}, err
+			}
+			bv, err := b.At(k)
+			if err != nil {
+				return Curve{}, err
+			}
+			vals[k] = f(av, bv)
+		}
+		return NewFinite(vals)
+	}
+	// Pointwise max/min of two ultimately-periodic curves is ultimately
+	// periodic only when per-period slopes are equal; otherwise one curve
+	// dominates eventually. We materialize far enough past the crossover
+	// that the dominant curve's tail is exact, then adopt it.
+	p := lcm(a.period, b.period)
+	da := a.delta * int64(p/a.period)
+	db := b.delta * int64(p/b.period)
+	if da == db {
+		n := maxInt(len(a.vals), len(b.vals)) + p
+		vals := make([]int64, n)
+		for k := 0; k < n; k++ {
+			vals[k] = f(a.MustAt(k), b.MustAt(k))
+		}
+		return New(vals, p, da)
+	}
+	// Slopes differ: find a horizon after which the steeper curve (for Max)
+	// or shallower curve (for Min) wins at every residue, then use its tail.
+	n := maxInt(len(a.vals), len(b.vals))
+	gap := int64(0)
+	for k := n - p; k < n; k++ {
+		d := a.MustAt(k) - b.MustAt(k)
+		if d < 0 {
+			d = -d
+		}
+		if d > gap {
+			gap = d
+		}
+	}
+	slopeDiff := da - db
+	if slopeDiff < 0 {
+		slopeDiff = -slopeDiff
+	}
+	periodsToDominance := int(gap/slopeDiff) + 2
+	horizon := n + periodsToDominance*p
+	vals := make([]int64, horizon)
+	for k := 0; k < horizon; k++ {
+		vals[k] = f(a.MustAt(k), b.MustAt(k))
+	}
+	// Max eventually follows the steeper curve, Min the shallower one.
+	isMax := f(1, 0) == 1
+	tailD := minI64(da, db)
+	if isMax {
+		tailD = maxI64(da, db)
+	}
+	return New(vals, p, tailD)
+}
+
+// Scale returns the curve multiplied pointwise by a non-negative integer
+// factor (e.g. converting per-event cycle curves between clock domains with
+// an integer ratio).
+func (c Curve) Scale(factor int64) (Curve, error) {
+	if factor < 0 {
+		return Curve{}, fmt.Errorf("curve: negative scale factor %d", factor)
+	}
+	vals := make([]int64, len(c.vals))
+	for i, v := range c.vals {
+		vals[i] = v * factor
+	}
+	return New(vals, c.period, c.delta*factor)
+}
+
+// Truncate returns the curve restricted to k ≤ maxK (finite result). For
+// finite curves maxK must be within the stored prefix.
+func (c Curve) Truncate(maxK int) (Curve, error) {
+	if maxK < 0 {
+		return Curve{}, ErrNegativeK
+	}
+	vals := make([]int64, maxK+1)
+	for k := 0; k <= maxK; k++ {
+		v, err := c.At(k)
+		if err != nil {
+			return Curve{}, err
+		}
+		vals[k] = v
+	}
+	return NewFinite(vals)
+}
+
+// MinPlusConv returns the min-plus convolution over the stored domain:
+//
+//	(a ⊗ b)(k) = min_{0 ≤ i ≤ k} a(i) + b(k−i)
+//
+// computed for k = 0..maxK. Both operands must be defined on [0, maxK].
+// For a subadditive curve γ with γ(0)=0, γ ⊗ γ = γ — a property test target.
+func MinPlusConv(a, b Curve, maxK int) (Curve, error) {
+	return conv(a, b, maxK, true)
+}
+
+// MaxPlusConv returns the max-plus convolution
+//
+//	(a ⊕ b)(k) = max_{0 ≤ i ≤ k} a(i) + b(k−i)
+//
+// computed for k = 0..maxK. For a superadditive curve γ with γ(0)=0,
+// γ ⊕ γ = γ.
+func MaxPlusConv(a, b Curve, maxK int) (Curve, error) {
+	return conv(a, b, maxK, false)
+}
+
+func conv(a, b Curve, maxK int, min bool) (Curve, error) {
+	if maxK < 0 {
+		return Curve{}, ErrNegativeK
+	}
+	av := make([]int64, maxK+1)
+	bv := make([]int64, maxK+1)
+	for k := 0; k <= maxK; k++ {
+		x, err := a.At(k)
+		if err != nil {
+			return Curve{}, err
+		}
+		y, err := b.At(k)
+		if err != nil {
+			return Curve{}, err
+		}
+		av[k], bv[k] = x, y
+	}
+	vals := make([]int64, maxK+1)
+	for k := 0; k <= maxK; k++ {
+		best := av[0] + bv[k]
+		for i := 1; i <= k; i++ {
+			v := av[i] + bv[k-i]
+			if min && v < best || !min && v > best {
+				best = v
+			}
+		}
+		vals[k] = best
+	}
+	return NewFinite(vals)
+}
+
+// Subadditive reports whether the curve satisfies
+// C(i+j) ≤ C(i) + C(j) for all i, j with i+j ≤ maxK. Upper workload curves
+// are subadditive: the worst window of length i+j splits into windows of
+// length i and j, each bounded by the curve.
+func (c Curve) Subadditive(maxK int) (bool, error) {
+	return c.additivity(maxK, true)
+}
+
+// Superadditive reports whether C(i+j) ≥ C(i) + C(j) for all i, j with
+// i+j ≤ maxK. Lower workload curves are superadditive.
+func (c Curve) Superadditive(maxK int) (bool, error) {
+	return c.additivity(maxK, false)
+}
+
+func (c Curve) additivity(maxK int, sub bool) (bool, error) {
+	v := make([]int64, maxK+1)
+	for k := 0; k <= maxK; k++ {
+		x, err := c.At(k)
+		if err != nil {
+			return false, err
+		}
+		v[k] = x
+	}
+	for i := 1; i <= maxK; i++ {
+		for j := i; i+j <= maxK; j++ {
+			if sub && v[i+j] > v[i]+v[j] {
+				return false, nil
+			}
+			if !sub && v[i+j] < v[i]+v[j] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// SubadditiveClosure tightens an upper curve by repeated min-plus self-
+// convolution until fixpoint, over k = 0..maxK. Any valid upper workload
+// curve is already a fixpoint; for curves assembled from partial
+// information the closure is the tightest subadditive upper bound.
+func (c Curve) SubadditiveClosure(maxK int) (Curve, error) {
+	cur, err := c.Truncate(maxK)
+	if err != nil {
+		return Curve{}, err
+	}
+	for {
+		next, err := MinPlusConv(cur, cur, maxK)
+		if err != nil {
+			return Curve{}, err
+		}
+		if equalVals(cur.vals, next.vals) {
+			return cur, nil
+		}
+		cur = next
+	}
+}
+
+// LeqOn reports whether c(k) ≤ d(k) for every k in 0..maxK.
+func (c Curve) LeqOn(d Curve, maxK int) (bool, error) {
+	for k := 0; k <= maxK; k++ {
+		cv, err := c.At(k)
+		if err != nil {
+			return false, err
+		}
+		dv, err := d.At(k)
+		if err != nil {
+			return false, err
+		}
+		if cv > dv {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// String renders a short human-readable description.
+func (c Curve) String() string {
+	var b strings.Builder
+	n := len(c.vals)
+	show := n
+	if show > 8 {
+		show = 8
+	}
+	fmt.Fprintf(&b, "Curve[")
+	for i := 0; i < show; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", c.vals[i])
+	}
+	if show < n {
+		fmt.Fprintf(&b, " …(%d pts)", n)
+	}
+	b.WriteByte(']')
+	if c.Infinite() {
+		fmt.Fprintf(&b, "+tail(p=%d,δ=%d)", c.period, c.delta)
+	}
+	return b.String()
+}
+
+// finiteDomain returns the largest k on which both curves are defined, given
+// that at least one of them is finite.
+func (c Curve) finiteDomain(d Curve) int {
+	n := math.MaxInt
+	if !c.Infinite() {
+		n = len(c.vals) - 1
+	}
+	if !d.Infinite() && len(d.vals)-1 < n {
+		n = len(d.vals) - 1
+	}
+	return n
+}
+
+func equalVals(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,520 @@
+package curve
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name   string
+		vals   []int64
+		period int
+		delta  int64
+		want   error
+	}{
+		{"empty", nil, 0, 0, ErrEmpty},
+		{"nonzero start", []int64{1, 2}, 0, 0, ErrNonZeroStart},
+		{"decreasing", []int64{0, 5, 3}, 0, 0, ErrNotMonotone},
+		{"negative period", []int64{0, 1}, -1, 0, ErrBadTail},
+		{"delta without period", []int64{0, 1}, 0, 5, ErrBadTail},
+		{"negative delta", []int64{0, 1}, 1, -1, ErrBadTail},
+		{"period too long", []int64{0, 1}, 3, 1, ErrTailTooLong},
+		{"tail breaks monotonicity", []int64{0, 10}, 2, 5, ErrNotMonotone},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.vals, tc.period, tc.delta)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("New(%v,%d,%d) err = %v, want %v", tc.vals, tc.period, tc.delta, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAtFinite(t *testing.T) {
+	c := MustNew([]int64{0, 3, 5, 9}, 0, 0)
+	for k, want := range []int64{0, 3, 5, 9} {
+		got, err := c.At(k)
+		if err != nil || got != want {
+			t.Fatalf("At(%d) = %d, %v; want %d", k, got, err, want)
+		}
+	}
+	if _, err := c.At(4); !errors.Is(err, ErrOutOfDomain) {
+		t.Fatalf("At(4) err = %v, want ErrOutOfDomain", err)
+	}
+	if _, err := c.At(-1); !errors.Is(err, ErrNegativeK) {
+		t.Fatalf("At(-1) err = %v, want ErrNegativeK", err)
+	}
+}
+
+func TestAtPeriodicTail(t *testing.T) {
+	// Staircase: 0,2,3 then repeats last 2 increments adding 4 per period:
+	// k:     0 1 2 3 4 5 6 7
+	// value: 0 2 3 6 7 10 11 14
+	c := MustNew([]int64{0, 2, 3}, 2, 4)
+	want := []int64{0, 2, 3, 6, 7, 10, 11, 14}
+	for k, w := range want {
+		got, err := c.At(k)
+		if err != nil || got != w {
+			t.Fatalf("At(%d) = %d, %v; want %d", k, got, err, w)
+		}
+	}
+	// Far point: k = 2 + 2p ⇒ value 3 + 4p.
+	got := c.MustAt(2 + 2*1000)
+	if got != 3+4*1000 {
+		t.Fatalf("At(2002) = %d, want %d", got, 3+4*1000)
+	}
+}
+
+func TestLinear(t *testing.T) {
+	c := MustLinear(7)
+	for _, k := range []int{0, 1, 2, 13, 1000} {
+		if got := c.MustAt(k); got != int64(7*k) {
+			t.Fatalf("Linear(7)(%d) = %d, want %d", k, got, 7*k)
+		}
+	}
+	if _, err := Linear(-1); err == nil {
+		t.Fatal("Linear(-1) should fail")
+	}
+}
+
+func TestZero(t *testing.T) {
+	z := Zero()
+	for _, k := range []int{0, 1, 99} {
+		if got := z.MustAt(k); got != 0 {
+			t.Fatalf("Zero()(%d) = %d", k, got)
+		}
+	}
+}
+
+func TestAtClamped(t *testing.T) {
+	c := MustNew([]int64{0, 4, 9}, 0, 0)
+	if got := c.AtClamped(-5); got != 0 {
+		t.Fatalf("AtClamped(-5) = %d, want 0", got)
+	}
+	if got := c.AtClamped(1); got != 4 {
+		t.Fatalf("AtClamped(1) = %d, want 4", got)
+	}
+	if got := c.AtClamped(50); got != 9 {
+		t.Fatalf("AtClamped(50) = %d, want 9 (last value)", got)
+	}
+}
+
+func TestUpperInverseFinite(t *testing.T) {
+	// γᵘ = 0,4,7,9 — γᵘ⁻¹(e) = max{k: γᵘ(k) ≤ e}
+	c := MustNew([]int64{0, 4, 7, 9}, 0, 0)
+	cases := []struct {
+		e         int64
+		k         int
+		exhausted bool
+	}{
+		{0, 0, false}, {3, 0, false}, {4, 1, false}, {6, 1, false},
+		{7, 2, false}, {8, 2, false}, {9, 3, true}, {100, 3, true},
+	}
+	for _, tc := range cases {
+		k, exhausted, err := c.UpperInverse(tc.e)
+		if err != nil || k != tc.k || exhausted != tc.exhausted {
+			t.Fatalf("UpperInverse(%d) = (%d,%v,%v), want (%d,%v)", tc.e, k, exhausted, err, tc.k, tc.exhausted)
+		}
+	}
+	if _, _, err := c.UpperInverse(-1); err == nil {
+		t.Fatal("UpperInverse(-1) should fail")
+	}
+}
+
+func TestUpperInverseInfinite(t *testing.T) {
+	c := MustLinear(5) // γᵘ(k)=5k ⇒ γᵘ⁻¹(e)=⌊e/5⌋
+	for _, e := range []int64{0, 4, 5, 23, 10000} {
+		k, exhausted, err := c.UpperInverse(e)
+		if err != nil || exhausted {
+			t.Fatalf("UpperInverse(%d) err=%v exhausted=%v", e, err, exhausted)
+		}
+		if int64(k) != e/5 {
+			t.Fatalf("UpperInverse(%d) = %d, want %d", e, k, e/5)
+		}
+	}
+	flat := MustNew([]int64{0, 1}, 1, 0)
+	if _, _, err := flat.UpperInverse(10); err == nil {
+		t.Fatal("UpperInverse on flat tail with e ≥ sup should fail (unbounded)")
+	}
+}
+
+func TestLowerInverse(t *testing.T) {
+	// γˡ = 0,2,2,6 finite
+	c := MustNew([]int64{0, 2, 2, 6}, 0, 0)
+	cases := []struct {
+		e int64
+		k int
+	}{{0, 0}, {1, 1}, {2, 1}, {3, 3}, {6, 3}}
+	for _, tc := range cases {
+		k, err := c.LowerInverse(tc.e)
+		if err != nil || k != tc.k {
+			t.Fatalf("LowerInverse(%d) = %d,%v; want %d", tc.e, k, err, tc.k)
+		}
+	}
+	if _, err := c.LowerInverse(7); err == nil {
+		t.Fatal("LowerInverse beyond sup of finite curve should fail")
+	}
+	lin := MustLinear(3)
+	for _, e := range []int64{1, 3, 4, 300} {
+		k, err := lin.LowerInverse(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int((e + 2) / 3)
+		if k != want {
+			t.Fatalf("LowerInverse(%d) = %d, want %d", e, k, want)
+		}
+	}
+}
+
+// Galois connection from the paper: γᵘ(k) ≤ e ⇔ k ≤ γᵘ⁻¹(e).
+func TestUpperInverseGalois(t *testing.T) {
+	c := MustNew([]int64{0, 3, 5, 9, 14}, 2, 9)
+	for e := int64(0); e < 60; e++ {
+		kInv, _, err := c.UpperInverse(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 20; k++ {
+			v := c.MustAt(k)
+			if (v <= e) != (k <= kInv) {
+				t.Fatalf("Galois violated at e=%d k=%d: γ(k)=%d, γ⁻¹(e)=%d", e, k, v, kInv)
+			}
+		}
+	}
+}
+
+// Paper property: γᵘ⁻¹(γᵘ(k)) = k and γˡ⁻¹(γˡ(k)) = k on strictly
+// increasing curves.
+func TestInverseRoundTrip(t *testing.T) {
+	c := MustNew([]int64{0, 3, 5, 9, 14}, 2, 9)
+	if !c.StrictlyIncreasing() {
+		t.Fatal("test curve must be strictly increasing")
+	}
+	for k := 0; k < 30; k++ {
+		v := c.MustAt(k)
+		up, _, err := c.UpperInverse(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if up != k {
+			t.Fatalf("UpperInverse(γ(%d)=%d) = %d", k, v, up)
+		}
+		if k > 0 { // LowerInverse(0)=0 by definition; strictly increasing ⇒ round trip for k>0
+			lo, err := c.LowerInverse(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lo != k {
+				t.Fatalf("LowerInverse(γ(%d)=%d) = %d", k, v, lo)
+			}
+		}
+	}
+}
+
+func TestStrictlyIncreasing(t *testing.T) {
+	if !MustLinear(1).StrictlyIncreasing() {
+		t.Fatal("Linear(1) is strictly increasing")
+	}
+	if MustLinear(0).StrictlyIncreasing() {
+		t.Fatal("Linear(0) is not strictly increasing")
+	}
+	if MustNew([]int64{0, 2, 2, 3}, 0, 0).StrictlyIncreasing() {
+		t.Fatal("plateau must not count as strictly increasing")
+	}
+}
+
+func TestAddFiniteAndTails(t *testing.T) {
+	a := MustNew([]int64{0, 2, 5}, 0, 0)
+	b := MustLinear(3)
+	s, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxK() != 2 {
+		t.Fatalf("finite+infinite domain = %d, want 2", s.MaxK())
+	}
+	for k, want := range []int64{0, 5, 11} {
+		if got := s.MustAt(k); got != want {
+			t.Fatalf("sum(%d) = %d, want %d", k, got, want)
+		}
+	}
+
+	// Infinite + infinite: tails with periods 2 and 3 combine at lcm 6.
+	x := MustNew([]int64{0, 5, 6}, 2, 6)    // slope 3/step avg
+	y := MustNew([]int64{0, 1, 2, 3}, 3, 3) // slope 1/step
+	s2, err := Add(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 40; k++ {
+		want := x.MustAt(k) + y.MustAt(k)
+		if got := s2.MustAt(k); got != want {
+			t.Fatalf("tail sum at k=%d: %d want %d", k, got, want)
+		}
+	}
+}
+
+func TestMaxMinEqualSlopes(t *testing.T) {
+	a := MustNew([]int64{0, 5, 6}, 2, 6)
+	b := MustNew([]int64{0, 2, 6}, 2, 6)
+	mx, err := Max(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, err := Min(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 50; k++ {
+		av, bv := a.MustAt(k), b.MustAt(k)
+		if got := mx.MustAt(k); got != maxI64(av, bv) {
+			t.Fatalf("Max at %d: %d want %d", k, got, maxI64(av, bv))
+		}
+		if got := mn.MustAt(k); got != minI64(av, bv) {
+			t.Fatalf("Min at %d: %d want %d", k, got, minI64(av, bv))
+		}
+	}
+}
+
+func TestMaxMinDifferentSlopes(t *testing.T) {
+	// a grows 2/step, b grows 5/step but starts higher at small k? Make a
+	// start above b so there is a genuine crossover.
+	a := MustNew([]int64{0, 100}, 1, 2)
+	b := MustLinear(5)
+	mx, err := Max(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, err := Min(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 300; k++ {
+		av, bv := a.MustAt(k), b.MustAt(k)
+		if got := mx.MustAt(k); got != maxI64(av, bv) {
+			t.Fatalf("Max at %d: %d want %d", k, got, maxI64(av, bv))
+		}
+		if got := mn.MustAt(k); got != minI64(av, bv) {
+			t.Fatalf("Min at %d: %d want %d", k, got, minI64(av, bv))
+		}
+	}
+}
+
+func TestScaleTruncate(t *testing.T) {
+	c := MustNew([]int64{0, 2, 5}, 1, 3)
+	s, err := c.Scale(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		if got, want := s.MustAt(k), 4*c.MustAt(k); got != want {
+			t.Fatalf("scale at %d: %d want %d", k, got, want)
+		}
+	}
+	if _, err := c.Scale(-1); err == nil {
+		t.Fatal("negative scale must fail")
+	}
+	tr, err := c.Truncate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Infinite() || tr.MaxK() != 5 {
+		t.Fatalf("truncate: infinite=%v maxK=%d", tr.Infinite(), tr.MaxK())
+	}
+}
+
+func TestMinPlusConvSubadditiveFixpoint(t *testing.T) {
+	// A subadditive curve with γ(0)=0 satisfies γ⊗γ = γ.
+	// Concave-ish staircase: diminishing increments ⇒ subadditive.
+	c := MustNew([]int64{0, 10, 18, 25, 31, 36, 41, 46}, 1, 5)
+	ok, err := c.Subadditive(40)
+	if err != nil || !ok {
+		t.Fatalf("expected subadditive, got %v, %v", ok, err)
+	}
+	conv, err := MinPlusConv(c, c, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 40; k++ {
+		if conv.MustAt(k) != c.MustAt(k) {
+			t.Fatalf("γ⊗γ ≠ γ at k=%d: %d vs %d", k, conv.MustAt(k), c.MustAt(k))
+		}
+	}
+}
+
+func TestMaxPlusConvSuperadditiveFixpoint(t *testing.T) {
+	// Convex staircase: growing increments ⇒ superadditive.
+	c := MustNew([]int64{0, 1, 3, 6, 10, 15}, 1, 6)
+	ok, err := c.Superadditive(30)
+	if err != nil || !ok {
+		t.Fatalf("expected superadditive, got %v, %v", ok, err)
+	}
+	conv, err := MaxPlusConv(c, c, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 30; k++ {
+		if conv.MustAt(k) != c.MustAt(k) {
+			t.Fatalf("γ⊕γ ≠ γ at k=%d: %d vs %d", k, conv.MustAt(k), c.MustAt(k))
+		}
+	}
+}
+
+func TestSubadditiveClosureTightens(t *testing.T) {
+	// A curve that is NOT subadditive: big jump at k=2.
+	c := MustNew([]int64{0, 3, 10, 13, 20}, 0, 0)
+	cl, err := c.SubadditiveClosure(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := cl.Subadditive(4)
+	if err != nil || !ok {
+		t.Fatalf("closure not subadditive: %v %v", ok, err)
+	}
+	leq, err := cl.LeqOn(c, 4)
+	if err != nil || !leq {
+		t.Fatalf("closure must lower-bound original: %v %v", leq, err)
+	}
+	// γ(2) tightens to γ(1)+γ(1) = 6.
+	if got := cl.MustAt(2); got != 6 {
+		t.Fatalf("closure(2) = %d, want 6", got)
+	}
+}
+
+func TestLeqOn(t *testing.T) {
+	a := MustLinear(2)
+	b := MustLinear(3)
+	ok, err := a.LeqOn(b, 20)
+	if err != nil || !ok {
+		t.Fatalf("2k ≤ 3k should hold: %v %v", ok, err)
+	}
+	ok, err = b.LeqOn(a, 20)
+	if err != nil || ok {
+		t.Fatalf("3k ≤ 2k should fail: %v %v", ok, err)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	c := MustNew([]int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 1, 1)
+	s := c.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// randomMonotone builds a random monotone curve from a seed (for quick tests).
+func randomMonotone(rng *rand.Rand, n int, maxStep int64) []int64 {
+	vals := make([]int64, n)
+	for i := 1; i < n; i++ {
+		vals[i] = vals[i-1] + rng.Int63n(maxStep+1)
+	}
+	return vals
+}
+
+func TestQuickGaloisConnection(t *testing.T) {
+	f := func(seed int64, eRaw int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := randomMonotone(rng, 2+rng.Intn(30), 20)
+		c := MustNew(vals, 0, 0)
+		e := eRaw % (c.LastValue() + 5)
+		if e < 0 {
+			e = -e
+		}
+		kInv, exhausted, err := c.UpperInverse(e)
+		if err != nil {
+			return false
+		}
+		for k := 0; k <= c.MaxK(); k++ {
+			v := c.MustAt(k)
+			if !exhausted && (v <= e) != (k <= kInv) {
+				return false
+			}
+			if exhausted && v > e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAddMonotoneAndExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := MustNew(randomMonotone(rng, 2+rng.Intn(20), 15), 0, 0)
+		b := MustNew(randomMonotone(rng, 2+rng.Intn(20), 15), 0, 0)
+		s, err := Add(a, b)
+		if err != nil {
+			return false
+		}
+		for k := 0; k <= s.MaxK(); k++ {
+			if s.MustAt(k) != a.MustAt(k)+b.MustAt(k) {
+				return false
+			}
+			if k > 0 && s.MustAt(k) < s.MustAt(k-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickClosureIsSubadditiveLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(12)
+		c := MustNew(randomMonotone(rng, n, 25), 0, 0)
+		cl, err := c.SubadditiveClosure(n - 1)
+		if err != nil {
+			return false
+		}
+		ok, err := cl.Subadditive(n - 1)
+		if err != nil || !ok {
+			return false
+		}
+		leq, err := cl.LeqOn(c, n-1)
+		return err == nil && leq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInfiniteTailConsistency(t *testing.T) {
+	// C(k+period) − C(k) must equal delta for all k beyond the prefix.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		vals := randomMonotone(rng, n, 10)
+		period := 1 + rng.Intn(n)
+		// Choose delta large enough to keep the seam monotone.
+		minDelta := vals[n-1] - vals[n-period]
+		delta := minDelta + rng.Int63n(10)
+		c, err := New(vals, period, delta)
+		if err != nil {
+			return false
+		}
+		for k := n; k < n+4*period; k++ {
+			if c.MustAt(k)-c.MustAt(k-period) != delta {
+				return false
+			}
+			if c.MustAt(k) < c.MustAt(k-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

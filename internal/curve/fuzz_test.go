@@ -1,0 +1,46 @@
+package curve
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalText hardens the codec: arbitrary input must either be
+// rejected or produce a valid curve that round-trips.
+func FuzzUnmarshalText(f *testing.F) {
+	f.Add("wcurve/1 period=0 delta=0 vals=0,4,7")
+	f.Add("wcurve/1 period=2 delta=9 vals=0,3,5,9,14")
+	f.Add("wcurve/1 period=1 delta=0 vals=0")
+	f.Add("garbage")
+	f.Add("wcurve/1 period=99999999999999999999 delta=0 vals=0")
+	f.Fuzz(func(t *testing.T, input string) {
+		var c Curve
+		if err := c.UnmarshalText([]byte(input)); err != nil {
+			return // rejected: fine
+		}
+		// Accepted: the curve must satisfy all invariants and round-trip.
+		if c.PrefixLen() == 0 {
+			t.Fatal("accepted curve with empty prefix")
+		}
+		if v := c.MustAt(0); v != 0 {
+			t.Fatalf("accepted curve with C(0)=%d", v)
+		}
+		for k := 1; k < c.PrefixLen(); k++ {
+			if c.MustAt(k) < c.MustAt(k-1) {
+				t.Fatal("accepted non-monotone curve")
+			}
+		}
+		text, err := c.MarshalText()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		var back Curve
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		text2, err := back.MarshalText()
+		if err != nil || !bytes.Equal(text, text2) {
+			t.Fatal("canonical encoding not stable")
+		}
+	})
+}

@@ -1,0 +1,196 @@
+// Package dbf implements demand-bound functions for sporadic real-time
+// tasks with deadlines, and — realizing the claim of the paper's Related
+// Work section that Baruah's characterization and workload curves "can be
+// easily combined into a powerful analytical framework" — the variant in
+// which each task's cumulative demand goes through its upper workload
+// curve instead of k·WCET.
+//
+// For a sporadic task with period T, relative deadline D and WCET C, the
+// classical demand-bound function is
+//
+//	dbf(t) = max(0, ⌊(t − D)/T⌋ + 1) · C
+//
+// — the largest execution demand with both release and deadline inside any
+// window of length t. The processor-demand criterion states that a task
+// set is EDF-feasible on a unit-speed processor iff Σ_i dbf_i(t) ≤ t for
+// all t ≥ 0 (checked at absolute-deadline points).
+//
+// With a workload curve the job count is kept but the cost k·C becomes
+// γᵘ(k):
+//
+//	dbf_γ(t) = γᵘ( max(0, ⌊(t − D)/T⌋ + 1) )
+//
+// Since γᵘ(k) ≤ k·γᵘ(1) = k·C, the curve-based test accepts every set the
+// classical test accepts (the analogue of the paper's relation (5) for
+// EDF).
+package dbf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"wcm/internal/curve"
+)
+
+// Errors returned by this package.
+var (
+	ErrEmptySet   = errors.New("dbf: empty task set")
+	ErrBadTask    = errors.New("dbf: invalid task")
+	ErrBadHorizon = errors.New("dbf: horizon must be > 0")
+)
+
+// Task is a sporadic task with a constrained deadline and an upper workload
+// curve. For the classical single-WCET characterization use WCETTask.
+type Task struct {
+	Name     string
+	Period   int64
+	Deadline int64       // relative deadline, 0 < Deadline ≤ Period
+	Gamma    curve.Curve // γᵘ; γᵘ(1) is the WCET
+}
+
+// WCETTask builds a task with γᵘ(k) = C·k.
+func WCETTask(name string, period, deadline, wcet int64) (Task, error) {
+	t := Task{Name: name, Period: period, Deadline: deadline, Gamma: curve.MustLinear(wcet)}
+	if wcet <= 0 {
+		return Task{}, fmt.Errorf("%w: %q wcet=%d", ErrBadTask, name, wcet)
+	}
+	if err := t.Validate(); err != nil {
+		return Task{}, err
+	}
+	return t, nil
+}
+
+// Validate checks task invariants.
+func (t Task) Validate() error {
+	if t.Period <= 0 || t.Deadline <= 0 || t.Deadline > t.Period {
+		return fmt.Errorf("%w: %q period=%d deadline=%d", ErrBadTask, t.Name, t.Period, t.Deadline)
+	}
+	if t.Gamma.PrefixLen() < 2 && !t.Gamma.Infinite() {
+		return fmt.Errorf("%w: %q needs γᵘ(1)", ErrBadTask, t.Name)
+	}
+	if t.Gamma.MustAt(1) <= 0 {
+		return fmt.Errorf("%w: %q has γᵘ(1)=%d", ErrBadTask, t.Name, t.Gamma.MustAt(1))
+	}
+	return nil
+}
+
+// WCET returns γᵘ(1).
+func (t Task) WCET() int64 { return t.Gamma.MustAt(1) }
+
+// JobsIn returns the maximum number of jobs with both release and absolute
+// deadline inside a window of length dt: max(0, ⌊(dt − D)/T⌋ + 1).
+func (t Task) JobsIn(dt int64) int64 {
+	if dt < t.Deadline {
+		return 0
+	}
+	return (dt-t.Deadline)/t.Period + 1
+}
+
+// DemandWCET returns the classical dbf(dt) = JobsIn(dt)·C.
+func (t Task) DemandWCET(dt int64) int64 {
+	return t.JobsIn(dt) * t.WCET()
+}
+
+// DemandCurve returns dbf_γ(dt) = γᵘ(JobsIn(dt)), extending finite curves
+// by subadditive decomposition.
+func (t Task) DemandCurve(dt int64) (int64, error) {
+	k := t.JobsIn(dt)
+	v, err := t.Gamma.UpperBoundAt(int(k))
+	if err != nil {
+		return 0, fmt.Errorf("dbf: %q γᵘ(%d): %w", t.Name, k, err)
+	}
+	return v, nil
+}
+
+// TaskSet is a set of sporadic tasks for EDF feasibility analysis.
+type TaskSet []Task
+
+// NewTaskSet validates the tasks.
+func NewTaskSet(tasks ...Task) (TaskSet, error) {
+	if len(tasks) == 0 {
+		return nil, ErrEmptySet
+	}
+	ts := make(TaskSet, len(tasks))
+	copy(ts, tasks)
+	for _, t := range ts {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return ts, nil
+}
+
+// Utilization returns Σ C_i/T_i under the WCET view.
+func (ts TaskSet) Utilization() float64 {
+	var u float64
+	for _, t := range ts {
+		u += float64(t.WCET()) / float64(t.Period)
+	}
+	return u
+}
+
+// TestPoints returns all absolute-deadline instants D_i + k·T_i up to the
+// horizon — the only points where any dbf jumps, hence the only points the
+// processor-demand criterion must check.
+func (ts TaskSet) TestPoints(horizon int64) ([]int64, error) {
+	if horizon <= 0 {
+		return nil, ErrBadHorizon
+	}
+	seen := map[int64]bool{}
+	var pts []int64
+	for _, t := range ts {
+		for d := t.Deadline; d <= horizon; d += t.Period {
+			if !seen[d] {
+				seen[d] = true
+				pts = append(pts, d)
+			}
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	return pts, nil
+}
+
+// Verdict is the outcome of a feasibility check.
+type Verdict struct {
+	Feasible    bool
+	ViolationAt int64 // first t with demand > t (0 when feasible)
+	Demand      int64 // demand at the violation point
+}
+
+// FeasibleEDF runs the classical processor-demand criterion over
+// [0, horizon]: feasible iff Σ dbf_i(t) ≤ t at every deadline point.
+func (ts TaskSet) FeasibleEDF(horizon int64) (Verdict, error) {
+	return ts.feasible(horizon, func(t Task, dt int64) (int64, error) {
+		return t.DemandWCET(dt), nil
+	})
+}
+
+// FeasibleEDFCurve runs the workload-curve variant: Σ γᵘ_i(jobs_i(t)) ≤ t.
+func (ts TaskSet) FeasibleEDFCurve(horizon int64) (Verdict, error) {
+	return ts.feasible(horizon, Task.DemandCurve)
+}
+
+func (ts TaskSet) feasible(horizon int64, demand func(Task, int64) (int64, error)) (Verdict, error) {
+	if len(ts) == 0 {
+		return Verdict{}, ErrEmptySet
+	}
+	pts, err := ts.TestPoints(horizon)
+	if err != nil {
+		return Verdict{}, err
+	}
+	for _, t := range pts {
+		var sum int64
+		for _, task := range ts {
+			d, err := demand(task, t)
+			if err != nil {
+				return Verdict{}, err
+			}
+			sum += d
+		}
+		if sum > t {
+			return Verdict{Feasible: false, ViolationAt: t, Demand: sum}, nil
+		}
+	}
+	return Verdict{Feasible: true}, nil
+}

@@ -1,0 +1,245 @@
+package dbf
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wcm/internal/core"
+	"wcm/internal/events"
+	"wcm/internal/sched"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := WCETTask("x", 0, 1, 1); !errors.Is(err, ErrBadTask) {
+		t.Fatal("zero period must fail")
+	}
+	if _, err := WCETTask("x", 10, 0, 1); !errors.Is(err, ErrBadTask) {
+		t.Fatal("zero deadline must fail")
+	}
+	if _, err := WCETTask("x", 10, 11, 1); !errors.Is(err, ErrBadTask) {
+		t.Fatal("deadline > period must fail")
+	}
+	if _, err := WCETTask("x", 10, 10, 0); !errors.Is(err, ErrBadTask) {
+		t.Fatal("zero wcet must fail")
+	}
+	if _, err := NewTaskSet(); !errors.Is(err, ErrEmptySet) {
+		t.Fatal("empty set must fail")
+	}
+}
+
+func TestJobsInAndDemand(t *testing.T) {
+	task, err := WCETTask("t", 10, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dt   int64
+		jobs int64
+	}{{0, 0}, {5, 0}, {6, 1}, {15, 1}, {16, 2}, {26, 3}, {100, 10}}
+	for _, tc := range cases {
+		if got := task.JobsIn(tc.dt); got != tc.jobs {
+			t.Fatalf("JobsIn(%d) = %d, want %d", tc.dt, got, tc.jobs)
+		}
+		if got := task.DemandWCET(tc.dt); got != 3*tc.jobs {
+			t.Fatalf("DemandWCET(%d) = %d", tc.dt, got)
+		}
+	}
+}
+
+func TestFeasibleEDFClassic(t *testing.T) {
+	// U = 0.5 + 0.5 = 1 with implicit deadlines: exactly feasible.
+	a, _ := WCETTask("a", 4, 4, 2)
+	b, _ := WCETTask("b", 6, 6, 3)
+	ts, err := NewTaskSet(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ts.FeasibleEDF(120)
+	if err != nil || !v.Feasible {
+		t.Fatalf("U=1 implicit-deadline set must be feasible: %+v %v", v, err)
+	}
+	// Tight deadlines break it: same demand due earlier.
+	a2, _ := WCETTask("a", 4, 2, 2)
+	b2, _ := WCETTask("b", 6, 3, 3)
+	ts2, _ := NewTaskSet(a2, b2)
+	v2, err := ts2.FeasibleEDF(120)
+	if err != nil || v2.Feasible {
+		t.Fatalf("constrained set must be infeasible: %+v %v", v2, err)
+	}
+	if v2.ViolationAt == 0 || v2.Demand <= v2.ViolationAt {
+		t.Fatalf("violation not reported: %+v", v2)
+	}
+}
+
+// The combined test (workload curves in the processor-demand criterion):
+// accepts a set the classical dbf test rejects.
+func TestFeasibleEDFCurveBeatsWCET(t *testing.T) {
+	p := core.PollingTask{Period: 10, ThetaMin: 30, ThetaMax: 50, Ep: 9, Ec: 2}
+	w, err := p.Workload(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poller: T=D=10, WCET 9 but γᵘ(3)=20 ≪ 27. Worker consumes the slack.
+	poller := Task{Name: "poller", Period: 10, Deadline: 10, Gamma: w.Upper}
+	worker, err := WCETTask("worker", 40, 40, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := NewTaskSet(poller, worker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic, err := ts.FeasibleEDF(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := ts.FeasibleEDFCurve(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classic.Feasible {
+		t.Fatalf("classical dbf test should reject (U=1.3): %+v", classic)
+	}
+	if !curve.Feasible {
+		t.Fatalf("curve dbf test should accept: %+v", curve)
+	}
+	// Validate with EDF simulation over sampled polling traces.
+	for seed := uint64(1); seed <= 10; seed++ {
+		demands, err := events.PollingDemands(p.Period, p.ThetaMin, p.ThetaMax, p.Ep, p.Ec, 400, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sched.SimulateEDF([]sched.Task{
+			{Name: "poller", Period: 10, Demands: demands},
+			{Name: "worker", Period: 40, Demands: []int64{16}},
+		}, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Misses != 0 {
+			t.Fatalf("seed %d: EDF misses despite curve-feasibility", seed)
+		}
+	}
+}
+
+// Relation (5) analogue for EDF: curve feasibility is implied by classical
+// feasibility.
+func TestQuickCurveTestNoStricter(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			period := int64(4 + rng.Intn(20))
+			deadline := 1 + rng.Int63n(period)
+			trace := make(events.DemandTrace, 8+rng.Intn(20))
+			for j := range trace {
+				trace[j] = 1 + rng.Int63n(9)
+			}
+			w, err := core.FromTrace(trace, len(trace))
+			if err != nil {
+				return false
+			}
+			tasks[i] = Task{Name: "t", Period: period, Deadline: deadline, Gamma: w.Upper}
+		}
+		ts, err := NewTaskSet(tasks...)
+		if err != nil {
+			return false
+		}
+		classic, err := ts.FeasibleEDF(300)
+		if err != nil {
+			return false
+		}
+		curve, err := ts.FeasibleEDFCurve(300)
+		if err != nil {
+			return false
+		}
+		if classic.Feasible && !curve.Feasible {
+			return false // would violate relation (5)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The classical processor-demand criterion is exact for synchronous
+// periodic WCET tasks under EDF: cross-validate with the simulator.
+func TestQuickFeasibilityMatchesEDFSimulation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		tasks := make([]Task, n)
+		simTasks := make([]sched.Task, n)
+		for i := range tasks {
+			period := int64(3 + rng.Intn(10))
+			wcet := 1 + rng.Int63n(period)
+			task, err := WCETTask("t", period, period, wcet)
+			if err != nil {
+				return false
+			}
+			tasks[i] = task
+			simTasks[i] = sched.Task{Name: "t", Period: period, Demands: []int64{wcet}}
+		}
+		ts, err := NewTaskSet(tasks...)
+		if err != nil {
+			return false
+		}
+		// Horizon: two hyperperiods bounds the synchronous busy period for
+		// these small sets.
+		horizon := int64(1)
+		for _, t := range tasks {
+			horizon = lcm(horizon, t.Period)
+		}
+		horizon *= 2
+		v, err := ts.FeasibleEDF(horizon)
+		if err != nil {
+			return false
+		}
+		res, err := sched.SimulateEDF(simTasks, horizon)
+		if err != nil {
+			return false
+		}
+		if v.Feasible {
+			return res.Misses == 0
+		}
+		return res.Misses > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTestPoints(t *testing.T) {
+	a, _ := WCETTask("a", 4, 3, 1)
+	b, _ := WCETTask("b", 6, 6, 1)
+	ts, _ := NewTaskSet(a, b)
+	pts, err := ts.TestPoints(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{3, 6, 7, 11, 12}
+	if len(pts) != len(want) {
+		t.Fatalf("points = %v, want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("points = %v, want %v", pts, want)
+		}
+	}
+	if _, err := ts.TestPoints(0); !errors.Is(err, ErrBadHorizon) {
+		t.Fatal("zero horizon must fail")
+	}
+}
+
+func lcm(a, b int64) int64 {
+	g := a
+	x := b
+	for x != 0 {
+		g, x = x, g%x
+	}
+	return a / g * b
+}

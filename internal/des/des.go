@@ -1,0 +1,110 @@
+// Package des is a minimal deterministic discrete-event simulation kernel:
+// a time-ordered event queue with a run loop. It replaces the SystemC
+// transaction-level engine the paper used. Events scheduled for the same
+// instant fire in scheduling order (FIFO tie-break), so simulations are
+// fully deterministic.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds.
+type Time = int64
+
+// Errors returned by the engine.
+var (
+	ErrPastEvent = errors.New("des: cannot schedule in the past")
+	ErrNilAction = errors.New("des: nil action")
+)
+
+type event struct {
+	at  Time
+	seq uint64 // insertion order, breaks ties deterministically
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator instance.
+type Engine struct {
+	queue eventHeap
+	now   Time
+	seq   uint64
+	steps uint64
+}
+
+// NewEngine returns an engine at time 0 with an empty queue.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events processed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run at absolute time `at` (≥ Now).
+func (e *Engine) Schedule(at Time, fn func()) error {
+	if fn == nil {
+		return ErrNilAction
+	}
+	if at < e.now {
+		return fmt.Errorf("%w: at=%d now=%d", ErrPastEvent, at, e.now)
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: fn})
+	return nil
+}
+
+// After enqueues fn to run `d` nanoseconds from now (d ≥ 0).
+func (e *Engine) After(d Time, fn func()) error {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Run processes events in time order until the queue is empty or the next
+// event lies beyond `until`; the clock ends at the last processed event (or
+// `until` if that is later). Events scheduled by handlers are processed in
+// the same run.
+func (e *Engine) Run(until Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= until {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.at
+		e.steps++
+		ev.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll processes every queued event regardless of horizon.
+func (e *Engine) RunAll() {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.at
+		e.steps++
+		ev.fn()
+	}
+}

@@ -1,0 +1,115 @@
+package des
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	if err := e.Schedule(30, func() { order = append(order, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Schedule(10, func() { order = append(order, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Schedule(20, func() { order = append(order, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 || e.Steps() != 3 {
+		t.Fatalf("now=%d steps=%d", e.Now(), e.Steps())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := e.Schedule(5, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleInPastFails(t *testing.T) {
+	e := NewEngine()
+	_ = e.Schedule(10, func() {})
+	e.RunAll()
+	if err := e.Schedule(5, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("err = %v, want ErrPastEvent", err)
+	}
+	if err := e.Schedule(20, nil); !errors.Is(err, ErrNilAction) {
+		t.Fatalf("err = %v, want ErrNilAction", err)
+	}
+}
+
+func TestAfterAndCascading(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	_ = e.Schedule(100, func() {
+		fired = append(fired, e.Now())
+		_ = e.After(50, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.RunAll()
+	if len(fired) != 2 || fired[0] != 100 || fired[1] != 150 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := NewEngine()
+	var count int
+	_ = e.Schedule(10, func() { count++ })
+	_ = e.Schedule(20, func() { count++ })
+	_ = e.Schedule(30, func() { count++ })
+	e.Run(20)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("now = %d, want 20 (horizon)", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run(100)
+	if count != 3 || e.Now() != 100 {
+		t.Fatalf("after second run: count=%d now=%d", count, e.Now())
+	}
+}
+
+func TestQuickClockNeverGoesBackwards(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			_ = e.Schedule(Time(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.RunAll()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,312 @@
+// Package events models typed event sequences that trigger tasks.
+//
+// Following Section 2.1 of the paper, a task τ is triggered by a sequence of
+// events [E1, E2, E3, ...], each tagged with a type t from a finite set T.
+// An event type carries an execution-requirement interval
+// [bcet(t), wcet(t)] in processor cycles. The package provides:
+//
+//   - Type / TypeSet: the event-type alphabet with per-type BCET/WCET,
+//   - Sequence: an ordered sequence of typed events with the γ_b/γ_w window
+//     demand functions of the paper,
+//   - DemandTrace: a concrete per-activation cycle-demand trace (the input
+//     to workload-curve extraction),
+//   - TimedTrace: a trace of event timestamps (the input to arrival-curve
+//     extraction),
+//   - deterministic generators used by tests, examples and benchmarks.
+package events
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors returned by this package.
+var (
+	ErrUnknownType  = errors.New("events: unknown event type")
+	ErrBadInterval  = errors.New("events: need 0 < bcet ≤ wcet")
+	ErrEmptyTrace   = errors.New("events: empty trace")
+	ErrUnsortedTime = errors.New("events: timestamps must be non-decreasing")
+	ErrBadWindow    = errors.New("events: invalid window")
+)
+
+// Type is an event type with its execution-requirement interval, as in the
+// SPI model the paper builds on: every execution triggered by an event of
+// this type takes between BCET and WCET cycles.
+type Type struct {
+	Name string
+	BCET int64 // best-case execution time, cycles, > 0
+	WCET int64 // worst-case execution time, cycles, ≥ BCET
+}
+
+// Validate checks the interval invariant 0 < BCET ≤ WCET.
+func (t Type) Validate() error {
+	if t.BCET <= 0 || t.WCET < t.BCET {
+		return fmt.Errorf("%w: type %q has [%d,%d]", ErrBadInterval, t.Name, t.BCET, t.WCET)
+	}
+	return nil
+}
+
+// TypeSet is the finite alphabet T of event types, indexed by name.
+type TypeSet struct {
+	types map[string]Type
+}
+
+// NewTypeSet builds a type set from the given types. Names must be unique
+// and intervals valid.
+func NewTypeSet(types ...Type) (*TypeSet, error) {
+	ts := &TypeSet{types: make(map[string]Type, len(types))}
+	for _, t := range types {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := ts.types[t.Name]; dup {
+			return nil, fmt.Errorf("events: duplicate type %q", t.Name)
+		}
+		ts.types[t.Name] = t
+	}
+	return ts, nil
+}
+
+// MustNewTypeSet is NewTypeSet but panics on error.
+func MustNewTypeSet(types ...Type) *TypeSet {
+	ts, err := NewTypeSet(types...)
+	if err != nil {
+		panic(err)
+	}
+	return ts
+}
+
+// Lookup returns the type with the given name.
+func (ts *TypeSet) Lookup(name string) (Type, error) {
+	t, ok := ts.types[name]
+	if !ok {
+		return Type{}, fmt.Errorf("%w: %q", ErrUnknownType, name)
+	}
+	return t, nil
+}
+
+// Names returns the sorted type names.
+func (ts *TypeSet) Names() []string {
+	names := make([]string, 0, len(ts.types))
+	for n := range ts.types {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of types in the set.
+func (ts *TypeSet) Len() int { return len(ts.types) }
+
+// Sequence is an ordered sequence of typed events triggering a task. It is
+// the object on which the paper defines γ_b(j,k) and γ_w(j,k): the best- and
+// worst-case cycles consumed by the k events starting at (1-based) index j.
+type Sequence struct {
+	set   *TypeSet
+	types []Type // resolved types, in order
+}
+
+// NewSequence resolves the named events against the type set.
+func NewSequence(set *TypeSet, names ...string) (*Sequence, error) {
+	s := &Sequence{set: set, types: make([]Type, len(names))}
+	for i, n := range names {
+		t, err := set.Lookup(n)
+		if err != nil {
+			return nil, fmt.Errorf("events: event %d: %w", i+1, err)
+		}
+		s.types[i] = t
+	}
+	return s, nil
+}
+
+// MustNewSequence is NewSequence but panics on error.
+func MustNewSequence(set *TypeSet, names ...string) *Sequence {
+	s, err := NewSequence(set, names...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of events in the sequence.
+func (s *Sequence) Len() int { return len(s.types) }
+
+// TypeAt returns the type of the i-th event (1-based, matching the paper's
+// indexing convention type(E_i)).
+func (s *Sequence) TypeAt(i int) (Type, error) {
+	if i < 1 || i > len(s.types) {
+		return Type{}, fmt.Errorf("%w: index %d of %d", ErrBadWindow, i, len(s.types))
+	}
+	return s.types[i-1], nil
+}
+
+// GammaB computes γ_b(j,k) = Σ_{i=j}^{j+k-1} bcet(type(E_i)): the best-case
+// cycles of the k events starting at 1-based index j. γ_b(j,0) = 0.
+func (s *Sequence) GammaB(j, k int) (int64, error) { return s.window(j, k, false) }
+
+// GammaW computes γ_w(j,k) = Σ_{i=j}^{j+k-1} wcet(type(E_i)): the worst-case
+// cycles of the k events starting at 1-based index j. γ_w(j,0) = 0.
+func (s *Sequence) GammaW(j, k int) (int64, error) { return s.window(j, k, true) }
+
+func (s *Sequence) window(j, k int, worst bool) (int64, error) {
+	if j < 1 || k < 0 || j+k-1 > len(s.types) {
+		return 0, fmt.Errorf("%w: j=%d k=%d len=%d", ErrBadWindow, j, k, len(s.types))
+	}
+	var sum int64
+	for i := j - 1; i < j-1+k; i++ {
+		if worst {
+			sum += s.types[i].WCET
+		} else {
+			sum += s.types[i].BCET
+		}
+	}
+	return sum, nil
+}
+
+// WorstDemands returns the per-event WCET demand trace of the sequence.
+func (s *Sequence) WorstDemands() DemandTrace {
+	d := make(DemandTrace, len(s.types))
+	for i, t := range s.types {
+		d[i] = t.WCET
+	}
+	return d
+}
+
+// BestDemands returns the per-event BCET demand trace of the sequence.
+func (s *Sequence) BestDemands() DemandTrace {
+	d := make(DemandTrace, len(s.types))
+	for i, t := range s.types {
+		d[i] = t.BCET
+	}
+	return d
+}
+
+// DemandTrace is a sequence of per-activation processor-cycle demands — the
+// concrete observed (or modelled) execution requirement of each task
+// activation in order. Workload-curve extraction consumes this type.
+type DemandTrace []int64
+
+// Validate checks that the trace is non-empty with non-negative demands.
+func (d DemandTrace) Validate() error {
+	if len(d) == 0 {
+		return ErrEmptyTrace
+	}
+	for i, v := range d {
+		if v < 0 {
+			return fmt.Errorf("events: negative demand %d at index %d", v, i)
+		}
+	}
+	return nil
+}
+
+// Total returns the sum of all demands.
+func (d DemandTrace) Total() int64 {
+	var s int64
+	for _, v := range d {
+		s += v
+	}
+	return s
+}
+
+// Max returns the largest single demand (the empirical WCET of the trace).
+func (d DemandTrace) Max() int64 {
+	var m int64
+	for _, v := range d {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the smallest single demand (the empirical BCET of the trace).
+// Returns 0 for an empty trace.
+func (d DemandTrace) Min() int64 {
+	if len(d) == 0 {
+		return 0
+	}
+	m := d[0]
+	for _, v := range d[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// TimedTrace is a sequence of event timestamps in nanoseconds, sorted
+// non-decreasing. Arrival-curve extraction consumes this type.
+type TimedTrace []int64
+
+// Validate checks the trace is non-empty and sorted.
+func (tt TimedTrace) Validate() error {
+	if len(tt) == 0 {
+		return ErrEmptyTrace
+	}
+	for i := 1; i < len(tt); i++ {
+		if tt[i] < tt[i-1] {
+			return fmt.Errorf("%w: t[%d]=%d after t[%d]=%d", ErrUnsortedTime, i, tt[i], i-1, tt[i-1])
+		}
+	}
+	return nil
+}
+
+// Span returns the time between first and last event.
+func (tt TimedTrace) Span() int64 {
+	if len(tt) == 0 {
+		return 0
+	}
+	return tt[len(tt)-1] - tt[0]
+}
+
+// CountIn returns the number of events with timestamp in the half-open
+// window [from, from+width).
+func (tt TimedTrace) CountIn(from, width int64) int {
+	lo := sort.Search(len(tt), func(i int) bool { return tt[i] >= from })
+	hi := sort.Search(len(tt), func(i int) bool { return tt[i] >= from+width })
+	return hi - lo
+}
+
+// Gaps returns the inter-arrival times of the trace (length len−1).
+func (tt TimedTrace) Gaps() []int64 {
+	if len(tt) < 2 {
+		return nil
+	}
+	g := make([]int64, len(tt)-1)
+	for i := 1; i < len(tt); i++ {
+		g[i-1] = tt[i] - tt[i-1]
+	}
+	return g
+}
+
+// MergeTimed interleaves several timed traces into one sorted stream — the
+// combined arrival process of multiple flows joining a queue (logical OR).
+func MergeTimed(traces ...TimedTrace) (TimedTrace, error) {
+	var total int
+	for _, t := range traces {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		total += len(t)
+	}
+	if total == 0 {
+		return nil, ErrEmptyTrace
+	}
+	out := make(TimedTrace, 0, total)
+	idx := make([]int, len(traces))
+	for len(out) < total {
+		best := -1
+		for s, t := range traces {
+			if idx[s] >= len(t) {
+				continue
+			}
+			if best < 0 || t[idx[s]] < traces[best][idx[best]] {
+				best = s
+			}
+		}
+		out = append(out, traces[best][idx[best]])
+		idx[best]++
+	}
+	return out, nil
+}

@@ -1,0 +1,395 @@
+package events
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testTypes(t *testing.T) *TypeSet {
+	t.Helper()
+	// Types of the paper's Fig. 1: a, b, c with distinct BCET/WCET. The
+	// figure does not list numbers; these are chosen so that γ_b(3,4)=5 and
+	// γ_w(3,4)=13 as stated in the paper's text.
+	// Window (3,4) covers events 3..6 = a,b,c,c:
+	//   bcet: 2+1+1+1 = 5   wcet: 4+3+3+3 = 13
+	ts, err := NewTypeSet(
+		Type{Name: "a", BCET: 2, WCET: 4},
+		Type{Name: "b", BCET: 1, WCET: 3},
+		Type{Name: "c", BCET: 1, WCET: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func fig1Sequence(t *testing.T) *Sequence {
+	t.Helper()
+	// Fig. 1 event sequence: a b a b c c a a c
+	return MustNewSequence(testTypes(t), "a", "b", "a", "b", "c", "c", "a", "a", "c")
+}
+
+func TestTypeValidate(t *testing.T) {
+	bad := []Type{
+		{Name: "x", BCET: 0, WCET: 5},
+		{Name: "x", BCET: -1, WCET: 5},
+		{Name: "x", BCET: 6, WCET: 5},
+	}
+	for _, tp := range bad {
+		if err := tp.Validate(); !errors.Is(err, ErrBadInterval) {
+			t.Fatalf("Validate(%+v) = %v, want ErrBadInterval", tp, err)
+		}
+	}
+	if err := (Type{Name: "ok", BCET: 1, WCET: 1}).Validate(); err != nil {
+		t.Fatalf("point interval must be valid: %v", err)
+	}
+}
+
+func TestTypeSet(t *testing.T) {
+	ts := testTypes(t)
+	if ts.Len() != 3 {
+		t.Fatalf("Len = %d", ts.Len())
+	}
+	if got := ts.Names(); len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("Names = %v", got)
+	}
+	if _, err := ts.Lookup("zz"); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("Lookup(zz) err = %v", err)
+	}
+	if _, err := NewTypeSet(Type{Name: "a", BCET: 1, WCET: 1}, Type{Name: "a", BCET: 1, WCET: 2}); err == nil {
+		t.Fatal("duplicate names must fail")
+	}
+	if _, err := NewTypeSet(Type{Name: "bad", BCET: 0, WCET: 1}); err == nil {
+		t.Fatal("invalid interval must fail")
+	}
+}
+
+func TestSequenceUnknownEvent(t *testing.T) {
+	if _, err := NewSequence(testTypes(t), "a", "nope"); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("err = %v, want ErrUnknownType", err)
+	}
+}
+
+// The worked example from the paper: for the Fig. 1 sequence,
+// type(E_3) = a, γ_b(3,4) = 5 and γ_w(3,4) = 13.
+func TestFig1PaperValues(t *testing.T) {
+	s := fig1Sequence(t)
+	tp, err := s.TypeAt(3)
+	if err != nil || tp.Name != "a" {
+		t.Fatalf("TypeAt(3) = %v, %v; want a", tp.Name, err)
+	}
+	gb, err := s.GammaB(3, 4)
+	if err != nil || gb != 5 {
+		t.Fatalf("γ_b(3,4) = %d, %v; want 5", gb, err)
+	}
+	gw, err := s.GammaW(3, 4)
+	if err != nil || gw != 13 {
+		t.Fatalf("γ_w(3,4) = %d, %v; want 13", gw, err)
+	}
+}
+
+func TestGammaZeroWindowAndBounds(t *testing.T) {
+	s := fig1Sequence(t)
+	for j := 1; j <= s.Len(); j++ {
+		gb, err := s.GammaB(j, 0)
+		if err != nil || gb != 0 {
+			t.Fatalf("γ_b(%d,0) = %d, %v", j, gb, err)
+		}
+	}
+	if _, err := s.GammaW(0, 1); !errors.Is(err, ErrBadWindow) {
+		t.Fatalf("γ_w(0,1) err = %v", err)
+	}
+	if _, err := s.GammaW(8, 3); !errors.Is(err, ErrBadWindow) {
+		t.Fatalf("γ_w(8,3) beyond end err = %v", err)
+	}
+	if _, err := s.TypeAt(0); !errors.Is(err, ErrBadWindow) {
+		t.Fatal("TypeAt(0) must fail (1-based)")
+	}
+}
+
+func TestGammaBLeqGammaW(t *testing.T) {
+	s := fig1Sequence(t)
+	for j := 1; j <= s.Len(); j++ {
+		for k := 0; j+k-1 <= s.Len(); k++ {
+			gb, err1 := s.GammaB(j, k)
+			gw, err2 := s.GammaW(j, k)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if gb > gw {
+				t.Fatalf("γ_b(%d,%d)=%d > γ_w=%d", j, k, gb, gw)
+			}
+		}
+	}
+}
+
+func TestWorstBestDemands(t *testing.T) {
+	s := fig1Sequence(t)
+	w, b := s.WorstDemands(), s.BestDemands()
+	if len(w) != s.Len() || len(b) != s.Len() {
+		t.Fatal("length mismatch")
+	}
+	if w[0] != 4 || b[0] != 2 {
+		t.Fatalf("first event a: w=%d b=%d, want 4, 2", w[0], b[0])
+	}
+}
+
+func TestDemandTrace(t *testing.T) {
+	d := DemandTrace{3, 1, 4, 1, 5}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Total() != 14 || d.Max() != 5 || d.Min() != 1 {
+		t.Fatalf("Total/Max/Min = %d/%d/%d", d.Total(), d.Max(), d.Min())
+	}
+	if err := (DemandTrace{}).Validate(); !errors.Is(err, ErrEmptyTrace) {
+		t.Fatal("empty trace must fail")
+	}
+	if err := (DemandTrace{1, -2}).Validate(); err == nil {
+		t.Fatal("negative demand must fail")
+	}
+	if (DemandTrace{}).Min() != 0 {
+		t.Fatal("Min of empty = 0")
+	}
+}
+
+func TestTimedTrace(t *testing.T) {
+	tt := TimedTrace{0, 10, 10, 35}
+	if err := tt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tt.Span() != 35 {
+		t.Fatalf("Span = %d", tt.Span())
+	}
+	if got := tt.CountIn(0, 11); got != 3 {
+		t.Fatalf("CountIn(0,11) = %d, want 3", got)
+	}
+	if got := tt.CountIn(10, 1); got != 2 {
+		t.Fatalf("CountIn(10,1) = %d, want 2", got)
+	}
+	if err := (TimedTrace{5, 3}).Validate(); !errors.Is(err, ErrUnsortedTime) {
+		t.Fatal("unsorted must fail")
+	}
+	if (TimedTrace{}).Span() != 0 {
+		t.Fatal("Span of empty = 0")
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	tt, err := Periodic(100, 25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TimedTrace{100, 125, 150, 175}
+	for i := range want {
+		if tt[i] != want[i] {
+			t.Fatalf("Periodic[%d] = %d, want %d", i, tt[i], want[i])
+		}
+	}
+	if _, err := Periodic(0, 0, 3); err == nil {
+		t.Fatal("zero period must fail")
+	}
+}
+
+func TestPeriodicJitterBounds(t *testing.T) {
+	tt, err := PeriodicJitter(0, 100, 40, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ts := range tt {
+		nominal := int64(i) * 100
+		if ts < nominal || ts > nominal+40 {
+			t.Fatalf("event %d at %d outside [%d,%d]", i, ts, nominal, nominal+40)
+		}
+	}
+	if _, err := PeriodicJitter(0, 100, 200, 5, 1); err == nil {
+		t.Fatal("jitter > period must fail")
+	}
+}
+
+func TestSporadicGaps(t *testing.T) {
+	tt, err := Sporadic(0, 30, 50, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tt); i++ {
+		gap := tt[i] - tt[i-1]
+		if gap < 30 || gap > 50 {
+			t.Fatalf("gap %d at %d outside [30,50]", gap, i)
+		}
+	}
+	// Determinism: same seed, same trace.
+	tt2, _ := Sporadic(0, 30, 50, 500, 42)
+	for i := range tt {
+		if tt[i] != tt2[i] {
+			t.Fatal("Sporadic not deterministic")
+		}
+	}
+	if _, err := Sporadic(0, 50, 30, 5, 1); err == nil {
+		t.Fatal("max < min must fail")
+	}
+}
+
+func TestBursty(t *testing.T) {
+	tt, err := Bursty(0, 3, 4, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tt) != 12 {
+		t.Fatalf("len = %d, want 12", len(tt))
+	}
+	if err := tt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// First burst occupies [0,3], next starts at 103.
+	if tt[3] != 3 || tt[4] != 103 {
+		t.Fatalf("burst boundaries: %d, %d", tt[3], tt[4])
+	}
+	if _, err := Bursty(0, 0, 4, 1, 10); err == nil {
+		t.Fatal("zero bursts must fail")
+	}
+}
+
+func TestModalDemands(t *testing.T) {
+	modes := []Mode{
+		{Lo: 10, Hi: 20, MinRun: 3, MaxRun: 5},
+		{Lo: 100, Hi: 100, MinRun: 1, MaxRun: 2},
+	}
+	d, err := ModalDemands(modes, 300, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 300 {
+		t.Fatalf("len = %d", len(d))
+	}
+	for i, v := range d {
+		if !(v >= 10 && v <= 20) && v != 100 {
+			t.Fatalf("demand %d at %d outside both modes", v, i)
+		}
+	}
+	if _, err := ModalDemands(nil, 5, 1); err == nil {
+		t.Fatal("no modes must fail")
+	}
+	if _, err := ModalDemands([]Mode{{Lo: 5, Hi: 4, MinRun: 1, MaxRun: 1}}, 5, 1); err == nil {
+		t.Fatal("bad mode interval must fail")
+	}
+}
+
+func TestPollingDemands(t *testing.T) {
+	// T=10, θ∈[30,50]: at most 1 event per 3 polls, at least 1 per 5 polls.
+	d, err := PollingDemands(10, 30, 50, 9, 2, 600, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, v := range d {
+		switch v {
+		case 9:
+			hits++
+		case 2:
+		default:
+			t.Fatalf("unexpected demand %d", v)
+		}
+	}
+	// Hit fraction must be within [1/5, 1/3] up to boundary effects.
+	frac := float64(hits) / float64(len(d))
+	if frac < 0.18 || frac > 0.36 {
+		t.Fatalf("hit fraction %.3f outside plausible [0.18,0.36]", frac)
+	}
+	if _, err := PollingDemands(100, 30, 50, 9, 2, 10, 1); err == nil {
+		t.Fatal("T > θmin must fail (paper assumes T < θmin)")
+	}
+}
+
+func TestLCGDeterminismAndRanges(t *testing.T) {
+	g1, g2 := NewLCG(123), NewLCG(123)
+	for i := 0; i < 100; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatal("LCG not deterministic")
+		}
+	}
+	g := NewLCG(0) // remapped seed
+	for i := 0; i < 1000; i++ {
+		if v := g.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := g.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+}
+
+func TestQuickWindowAdditivity(t *testing.T) {
+	// γ_w(j, k1+k2) = γ_w(j,k1) + γ_w(j+k1, k2): window sums decompose.
+	s := fig1Sequence(t)
+	f := func(jRaw, k1Raw, k2Raw uint8) bool {
+		j := 1 + int(jRaw)%s.Len()
+		rem := s.Len() - j + 1
+		k1 := int(k1Raw) % (rem + 1)
+		k2 := int(k2Raw) % (rem - k1 + 1)
+		whole, err := s.GammaW(j, k1+k2)
+		if err != nil {
+			return false
+		}
+		p1, err := s.GammaW(j, k1)
+		if err != nil {
+			return false
+		}
+		p2, err := s.GammaW(j+k1, k2)
+		if err != nil {
+			return false
+		}
+		return whole == p1+p2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaps(t *testing.T) {
+	tt := TimedTrace{0, 10, 15, 40}
+	g := tt.Gaps()
+	want := []int64{10, 5, 25}
+	if len(g) != len(want) {
+		t.Fatalf("gaps = %v", g)
+	}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("gaps = %v, want %v", g, want)
+		}
+	}
+	if (TimedTrace{5}).Gaps() != nil {
+		t.Fatal("single-event trace has no gaps")
+	}
+}
+
+func TestMergeTimed(t *testing.T) {
+	a := TimedTrace{0, 10, 20}
+	b := TimedTrace{5, 10, 30}
+	m, err := MergeTimed(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TimedTrace{0, 5, 10, 10, 20, 30}
+	if len(m) != len(want) {
+		t.Fatalf("merged = %v", m)
+	}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("merged = %v, want %v", m, want)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeTimed(); err == nil {
+		t.Fatal("no traces must fail")
+	}
+	if _, err := MergeTimed(TimedTrace{5, 3}); err == nil {
+		t.Fatal("unsorted input must fail")
+	}
+}

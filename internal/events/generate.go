@@ -1,0 +1,196 @@
+package events
+
+import (
+	"fmt"
+)
+
+// LCG is a small deterministic linear congruential generator (Numerical
+// Recipes constants). The package avoids math/rand so that generated
+// workloads are stable across Go releases: traces baked into golden tests
+// and EXPERIMENTS.md stay reproducible byte-for-byte.
+type LCG struct {
+	state uint64
+}
+
+// NewLCG seeds a generator. Seed 0 is remapped to a fixed odd constant.
+func NewLCG(seed uint64) *LCG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &LCG{state: seed}
+}
+
+// Next returns the next raw 64-bit value.
+func (g *LCG) Next() uint64 {
+	g.state = g.state*6364136223846793005 + 1442695040888963407
+	return g.state
+}
+
+// Intn returns a deterministic value in [0, n). n must be > 0.
+func (g *LCG) Intn(n int64) int64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("events: Intn(%d)", n))
+	}
+	// Use the high bits; low bits of an LCG are weak.
+	return int64((g.Next() >> 11) % uint64(n))
+}
+
+// Float64 returns a deterministic value in [0, 1).
+func (g *LCG) Float64() float64 {
+	return float64(g.Next()>>11) / float64(1<<53)
+}
+
+// Periodic generates n timestamps with exact period T starting at t0.
+func Periodic(t0, period int64, n int) (TimedTrace, error) {
+	if period <= 0 || n <= 0 {
+		return nil, fmt.Errorf("events: Periodic(period=%d, n=%d)", period, n)
+	}
+	tt := make(TimedTrace, n)
+	for i := range tt {
+		tt[i] = t0 + int64(i)*period
+	}
+	return tt, nil
+}
+
+// PeriodicJitter generates n timestamps with nominal period T and per-event
+// jitter drawn uniformly from [0, jitter], deterministic in seed. Events
+// remain ordered because jitter ≤ period is enforced.
+func PeriodicJitter(t0, period, jitter int64, n int, seed uint64) (TimedTrace, error) {
+	if period <= 0 || n <= 0 || jitter < 0 || jitter > period {
+		return nil, fmt.Errorf("events: PeriodicJitter(period=%d, jitter=%d, n=%d)", period, jitter, n)
+	}
+	g := NewLCG(seed)
+	tt := make(TimedTrace, n)
+	for i := range tt {
+		j := int64(0)
+		if jitter > 0 {
+			j = g.Intn(jitter + 1)
+		}
+		tt[i] = t0 + int64(i)*period + j
+	}
+	// Jitter ≤ period keeps ordering within one period boundary but two
+	// consecutive events can still swap when jitter == period; sort-fix by a
+	// single pass (cheap, trace stays deterministic).
+	for i := 1; i < n; i++ {
+		if tt[i] < tt[i-1] {
+			tt[i] = tt[i-1]
+		}
+	}
+	return tt, nil
+}
+
+// Sporadic generates n timestamps with inter-arrival times drawn uniformly
+// from [minGap, maxGap], deterministic in seed. This realizes the paper's
+// event stream with known θmin/θmax.
+func Sporadic(t0, minGap, maxGap int64, n int, seed uint64) (TimedTrace, error) {
+	if n <= 0 || minGap <= 0 || maxGap < minGap {
+		return nil, fmt.Errorf("events: Sporadic(min=%d, max=%d, n=%d)", minGap, maxGap, n)
+	}
+	g := NewLCG(seed)
+	tt := make(TimedTrace, n)
+	t := t0
+	for i := range tt {
+		tt[i] = t
+		gap := minGap
+		if maxGap > minGap {
+			gap += g.Intn(maxGap - minGap + 1)
+		}
+		t += gap
+	}
+	return tt, nil
+}
+
+// Bursty generates timestamps in bursts: bursts of size burstLen with
+// intra-burst gap `inner`, separated by `outer`. Useful to stress arrival-
+// curve extraction with high short-window counts.
+func Bursty(t0 int64, bursts, burstLen int, inner, outer int64) (TimedTrace, error) {
+	if bursts <= 0 || burstLen <= 0 || inner < 0 || outer <= 0 {
+		return nil, fmt.Errorf("events: Bursty(bursts=%d, len=%d)", bursts, burstLen)
+	}
+	tt := make(TimedTrace, 0, bursts*burstLen)
+	t := t0
+	for b := 0; b < bursts; b++ {
+		for i := 0; i < burstLen; i++ {
+			tt = append(tt, t)
+			if i < burstLen-1 {
+				t += inner
+			}
+		}
+		t += outer
+	}
+	return tt, nil
+}
+
+// ModalDemands generates a demand trace that alternates between modes, each
+// mode holding for a run of activations with demands in the mode's
+// [lo, hi] interval. This models the multi-mode processes of the SPI model
+// that the paper cites (Ziegenbein et al., Wolf).
+type Mode struct {
+	Lo, Hi int64 // per-activation demand interval in this mode
+	MinRun int   // minimum consecutive activations in this mode
+	MaxRun int   // maximum consecutive activations in this mode
+}
+
+// ModalDemands produces n demands cycling deterministically through modes.
+func ModalDemands(modes []Mode, n int, seed uint64) (DemandTrace, error) {
+	if len(modes) == 0 || n <= 0 {
+		return nil, fmt.Errorf("events: ModalDemands(%d modes, n=%d)", len(modes), n)
+	}
+	for i, m := range modes {
+		if m.Lo <= 0 || m.Hi < m.Lo || m.MinRun <= 0 || m.MaxRun < m.MinRun {
+			return nil, fmt.Errorf("events: bad mode %d: %+v", i, m)
+		}
+	}
+	g := NewLCG(seed)
+	d := make(DemandTrace, 0, n)
+	mi := 0
+	for len(d) < n {
+		m := modes[mi%len(modes)]
+		run := m.MinRun
+		if m.MaxRun > m.MinRun {
+			run += int(g.Intn(int64(m.MaxRun - m.MinRun + 1)))
+		}
+		for i := 0; i < run && len(d) < n; i++ {
+			v := m.Lo
+			if m.Hi > m.Lo {
+				v += g.Intn(m.Hi - m.Lo + 1)
+			}
+			d = append(d, v)
+		}
+		mi++
+	}
+	return d, nil
+}
+
+// PollingDemands generates the demand trace of the paper's Example 1: a task
+// polls with period T; when an event is pending it runs for ep cycles,
+// otherwise ec. Event arrivals are sporadic in [θmin, θmax]. The function
+// returns the demand of each of n polling activations.
+func PollingDemands(pollPeriod, thetaMin, thetaMax, ep, ec int64, n int, seed uint64) (DemandTrace, error) {
+	if pollPeriod <= 0 || thetaMin < pollPeriod || thetaMax < thetaMin || ep < ec || ec <= 0 || n <= 0 {
+		return nil, fmt.Errorf("events: PollingDemands(T=%d, θ=[%d,%d], e=[%d,%d], n=%d)",
+			pollPeriod, thetaMin, thetaMax, ec, ep, n)
+	}
+	// Generate enough sporadic events to cover n polls.
+	horizon := int64(n+1) * pollPeriod
+	approx := int(horizon/thetaMin) + 2
+	evs, err := Sporadic(0, thetaMin, thetaMax, approx, seed)
+	if err != nil {
+		return nil, err
+	}
+	d := make(DemandTrace, n)
+	next := 0 // next undetected event index
+	for i := 0; i < n; i++ {
+		pollAt := int64(i+1) * pollPeriod // poll i samples at the end of its period
+		if next < len(evs) && evs[next] <= pollAt {
+			d[i] = ep
+			// All events up to pollAt are drained by this poll in the
+			// simplest polling semantics; step one (one event per poll) is
+			// the paper's model since T < θmin means at most one pending.
+			next++
+		} else {
+			d[i] = ec
+		}
+	}
+	return d, nil
+}

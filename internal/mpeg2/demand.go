@@ -1,0 +1,229 @@
+package mpeg2
+
+import (
+	"fmt"
+
+	"wcm/internal/events"
+)
+
+// PE1Costs models the VLD + IQ subtask on PE1 (the paper's PE1 has special
+// hardware support for video bitstream access, so the per-bit parsing cost
+// is small). Cycles per macroblock:
+//
+//	d1 = Base + PerBit·Bits + PerBlock·CodedBlocks
+type PE1Costs struct {
+	Base     int64 // fixed header/bookkeeping cost per macroblock
+	PerBit   int64 // VLD cost per compressed bit (hardware-assisted)
+	PerBlock int64 // IQ cost per coded 8×8 block
+	PerSlice int64 // slice-header parse cost (MPEG-2 slices = macroblock rows)
+}
+
+// DefaultPE1Costs returns the calibrated PE1 model.
+func DefaultPE1Costs() PE1Costs {
+	return PE1Costs{Base: 150, PerBit: 2, PerBlock: 220, PerSlice: 600}
+}
+
+// Validate checks cost invariants.
+func (c PE1Costs) Validate() error {
+	if c.Base < 0 || c.PerBit < 0 || c.PerBlock < 0 || c.PerSlice < 0 {
+		return fmt.Errorf("%w: PE1 costs %+v", ErrBadConfig, c)
+	}
+	return nil
+}
+
+// Demand returns the PE1 cycle demand of one macroblock. sliceStart marks
+// the first macroblock of a slice (MPEG-2 main profile: one slice per
+// macroblock row), which pays the start-code search and slice header.
+func (c PE1Costs) Demand(mb Macroblock, sliceStart bool) int64 {
+	d := c.Base + c.PerBit*mb.Bits + c.PerBlock*int64(mb.CodedBlocks)
+	if sliceStart {
+		d += c.PerSlice
+	}
+	return d
+}
+
+// PE2Costs models the IDCT + MC subtask on PE2 (the paper's PE2 has
+// hardware IDCT acceleration and a block-based memory access mode). Cycles
+// per macroblock:
+//
+//	skipped: SkipCopy
+//	intra:   Base + IntraSetup + PerBlockIDCT·CodedBlocks [+ HeavyExtra]
+//	inter:   Base + PerBlockIDCT·CodedBlocks + MC(motion) [+ HeavyExtra]
+type PE2Costs struct {
+	Base         int64 // per-macroblock dispatch cost
+	PerBlockIDCT int64 // accelerated IDCT cost per coded 8×8 block
+	IntraSetup   int64 // DC/AC prediction setup for intra macroblocks
+	MCFwd        int64 // single-reference motion compensation
+	MCBwd        int64 // single-reference motion compensation
+	MCBi         int64 // dual-reference MC with averaging (most expensive)
+	SkipCopy     int64 // block-mode copy of a skipped macroblock
+	HeavyExtra   int64 // software-IDCT fallback for accelerator-bypass MBs
+}
+
+// DefaultPE2Costs returns the calibrated PE2 model. The worst case — an
+// accelerator-bypass bi-predicted macroblock with all six blocks coded — is
+// roughly 2.3× the typical intra macroblock and ≈35× a skipped one: the
+// high WCET-to-average ratio that makes single-value WCET characterization
+// so pessimistic in the paper's case study.
+func DefaultPE2Costs() PE2Costs {
+	return PE2Costs{
+		Base:         450,
+		PerBlockIDCT: 1550,
+		IntraSetup:   750,
+		MCFwd:        1300,
+		MCBwd:        1300,
+		MCBi:         3000,
+		SkipCopy:     600,
+		HeavyExtra:   8000,
+	}
+}
+
+// Validate checks cost invariants.
+func (c PE2Costs) Validate() error {
+	if c.Base < 0 || c.PerBlockIDCT < 0 || c.IntraSetup < 0 ||
+		c.MCFwd < 0 || c.MCBwd < 0 || c.MCBi < 0 || c.SkipCopy < 0 || c.HeavyExtra < 0 {
+		return fmt.Errorf("%w: PE2 costs %+v", ErrBadConfig, c)
+	}
+	return nil
+}
+
+// Demand returns the PE2 cycle demand of one macroblock.
+func (c PE2Costs) Demand(mb Macroblock) int64 {
+	var d int64
+	switch mb.Type {
+	case MBSkipped:
+		return c.SkipCopy
+	case MBIntra:
+		d = c.Base + c.IntraSetup + c.PerBlockIDCT*int64(mb.CodedBlocks)
+	default:
+		d = c.Base + c.PerBlockIDCT*int64(mb.CodedBlocks)
+		switch mb.Motion {
+		case MotionFwd:
+			d += c.MCFwd
+		case MotionBwd:
+			d += c.MCBwd
+		case MotionBi:
+			d += c.MCBi
+		}
+	}
+	if mb.Heavy {
+		d += c.HeavyExtra
+	}
+	return d
+}
+
+// WCET returns the largest demand any macroblock can have under this model.
+func (c PE2Costs) WCET() int64 {
+	intra := c.Base + c.IntraSetup + 6*c.PerBlockIDCT
+	inter := c.Base + 6*c.PerBlockIDCT + c.MCBi
+	if intra > inter {
+		return intra + c.HeavyExtra
+	}
+	return inter + c.HeavyExtra
+}
+
+// DemandsPE1 returns the per-macroblock PE1 demand trace of the stream.
+// Slice boundaries fall at macroblock-row starts (MP@ML convention).
+func (s *Stream) DemandsPE1(costs PE1Costs) (events.DemandTrace, error) {
+	if err := costs.Validate(); err != nil {
+		return nil, err
+	}
+	d := make(events.DemandTrace, len(s.MBs))
+	for i, mb := range s.MBs {
+		sliceStart := mb.Index%s.Config.WidthMB == 0
+		d[i] = costs.Demand(mb, sliceStart)
+	}
+	return d, nil
+}
+
+// DemandsPE2 returns the per-macroblock PE2 demand trace of the stream.
+func (s *Stream) DemandsPE2(costs PE2Costs) (events.DemandTrace, error) {
+	if err := costs.Validate(); err != nil {
+		return nil, err
+	}
+	d := make(events.DemandTrace, len(s.MBs))
+	for i, mb := range s.MBs {
+		d[i] = costs.Demand(mb)
+	}
+	return d, nil
+}
+
+// Bits returns the per-macroblock compressed sizes of the stream.
+func (s *Stream) Bits() []int64 {
+	b := make([]int64, len(s.MBs))
+	for i, mb := range s.MBs {
+		b[i] = mb.Bits
+	}
+	return b
+}
+
+// AudioCosts models an MPEG-1 Layer II audio decoding task: one audio
+// frame of 1152 samples per 24 ms at 48 kHz, with a demand that varies
+// with the (synthetic) spectral complexity of the frame. Audio decode
+// shares PE2 in the shared-processor extension experiment.
+type AudioCosts struct {
+	Base    int64 // subband synthesis baseline per frame
+	PerBand int64 // cost per active subband (0..32)
+}
+
+// DefaultAudioCosts returns the calibrated audio model: roughly 2–4% of a
+// video frame's PE2 demand per audio frame — typical for MP2 audio next to
+// MP@ML video.
+func DefaultAudioCosts() AudioCosts {
+	return AudioCosts{Base: 180_000, PerBand: 9_000}
+}
+
+// AudioFramePeriodNs is the MPEG-1 Layer II frame period at 48 kHz:
+// 1152 samples / 48000 Hz = 24 ms.
+const AudioFramePeriodNs int64 = 24_000_000
+
+// AudioTrace generates `frames` audio-frame arrivals (strictly periodic at
+// 24 ms) and their decode demands, deterministic in seed.
+func AudioTrace(frames int, costs AudioCosts, seed uint64) (events.TimedTrace, events.DemandTrace, error) {
+	if frames < 1 {
+		return nil, nil, fmt.Errorf("%w: audio frames=%d", ErrBadConfig, frames)
+	}
+	if costs.Base < 0 || costs.PerBand < 0 {
+		return nil, nil, fmt.Errorf("%w: audio costs %+v", ErrBadConfig, costs)
+	}
+	g := events.NewLCG(seed)
+	tt := make(events.TimedTrace, frames)
+	d := make(events.DemandTrace, frames)
+	for i := 0; i < frames; i++ {
+		tt[i] = int64(i) * AudioFramePeriodNs
+		bands := 8 + g.Intn(25) // 8..32 active subbands
+		d[i] = costs.Base + costs.PerBand*bands
+	}
+	return tt, d, nil
+}
+
+// FrameStats summarizes one frame for inspection and tests.
+type FrameStats struct {
+	Type    FrameType
+	Bits    int64
+	Intra   int
+	Inter   int
+	Skipped int
+}
+
+// StatsPerFrame aggregates macroblock statistics frame by frame.
+func (s *Stream) StatsPerFrame() []FrameStats {
+	perFrame := s.Config.MBPerFrame()
+	out := make([]FrameStats, s.Config.Frames)
+	for f := range out {
+		out[f].Type = s.FrameTypes[f]
+		for i := f * perFrame; i < (f+1)*perFrame; i++ {
+			mb := s.MBs[i]
+			out[f].Bits += mb.Bits
+			switch mb.Type {
+			case MBIntra:
+				out[f].Intra++
+			case MBInter:
+				out[f].Inter++
+			default:
+				out[f].Skipped++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,437 @@
+// Package mpeg2 is a synthetic MPEG-2 decoder workload model: the substrate
+// for the paper's case study (Sec. 3.2).
+//
+// The paper obtained per-macroblock execution demands from a SystemC +
+// SimpleScalar simulation of a real decoder fed with 14 video clips
+// (CBR 9.78 Mbit/s, main profile @ main level, 25 fps, 720×576). Neither
+// the clips nor the simulator are available, so this package generates the
+// same *kind* of data analytically: a deterministic, seeded content model
+// produces for every macroblock its coding type (intra / inter / skipped),
+// coded-block pattern, motion-compensation mode and bit budget, from which
+// per-stage cycle demands follow. Workload-curve analysis only consumes the
+// demand and timing sequences, so this reproduces the structure that makes
+// the case study interesting:
+//
+//   - I frames are all-intra and expensive on PE2 (IDCT-heavy), P frames
+//     mix inter/skip, B frames are mostly cheap (skips, small residuals);
+//   - bits are distributed ≈5:3:1 across I:P:B frames at constant total
+//     bitrate, so the PE1 output stream is bursty (cheap frames decode
+//     quickly once their few bits arrive);
+//   - content "activity" varies by scene, with deterministic scene cuts,
+//     so the 14 clips differ the way real clips do.
+//
+// Geometry follows the paper: 720×576 → 45×36 = 1620 macroblocks per frame,
+// 25 fps, GOP N=12 / M=3.
+package mpeg2
+
+import (
+	"errors"
+	"fmt"
+
+	"wcm/internal/events"
+)
+
+// Errors returned by this package.
+var (
+	ErrBadConfig = errors.New("mpeg2: invalid stream configuration")
+	ErrBadClip   = errors.New("mpeg2: invalid clip profile")
+)
+
+// FrameType is the MPEG-2 picture coding type.
+type FrameType uint8
+
+const (
+	FrameI FrameType = iota // intra-coded
+	FrameP                  // forward-predicted
+	FrameB                  // bi-directionally predicted
+)
+
+func (f FrameType) String() string {
+	switch f {
+	case FrameI:
+		return "I"
+	case FrameP:
+		return "P"
+	case FrameB:
+		return "B"
+	}
+	return "?"
+}
+
+// MBType is the macroblock coding type.
+type MBType uint8
+
+const (
+	MBIntra   MBType = iota // fully intra-coded
+	MBInter                 // motion-compensated with coded residual
+	MBSkipped               // copied from reference, no coded data
+)
+
+func (m MBType) String() string {
+	switch m {
+	case MBIntra:
+		return "intra"
+	case MBInter:
+		return "inter"
+	case MBSkipped:
+		return "skipped"
+	}
+	return "?"
+}
+
+// Motion is the motion-compensation mode of an inter macroblock.
+type Motion uint8
+
+const (
+	MotionNone Motion = iota // intra or skipped: no MC
+	MotionFwd                // forward prediction
+	MotionBwd                // backward prediction
+	MotionBi                 // bi-directional (average of two references)
+)
+
+// Macroblock is one 16×16 macroblock with everything the demand model
+// needs: coding decisions and bit budget (pixel data is irrelevant to the
+// analysis and never materialized).
+type Macroblock struct {
+	Frame       int // frame index in decode order
+	Index       int // macroblock index within the frame (raster order)
+	Type        MBType
+	Motion      Motion
+	CodedBlocks int   // number of coded 8×8 blocks, 0..6 (4 luma + 2 chroma)
+	Bits        int64 // compressed size of this macroblock
+	// Heavy marks the rare pathological macroblocks whose coefficients the
+	// IDCT accelerator cannot handle (escape-coded levels, mismatch
+	// control), forcing a software fallback on PE2. These are what makes
+	// the per-macroblock WCET much larger than any frame-long average —
+	// the high WCET-to-average ratio the paper's introduction cites.
+	Heavy bool
+}
+
+// StreamConfig fixes the stream geometry and rate parameters.
+type StreamConfig struct {
+	WidthMB    int   // macroblock columns (paper: 45)
+	HeightMB   int   // macroblock rows (paper: 36)
+	FPS        int   // frames per second (paper: 25)
+	BitRate    int64 // bits per second (paper: 9_780_000)
+	GOPSize    int   // frames per GOP (paper: 12)
+	GOPPeriodP int   // P-frame spacing M (paper: 3)
+	Frames     int   // frames to generate
+}
+
+// DefaultStream returns the paper's stream parameters for the given number
+// of frames.
+func DefaultStream(frames int) StreamConfig {
+	return StreamConfig{
+		WidthMB:    45,
+		HeightMB:   36,
+		FPS:        25,
+		BitRate:    9_780_000,
+		GOPSize:    12,
+		GOPPeriodP: 3,
+		Frames:     frames,
+	}
+}
+
+// Validate checks configuration invariants.
+func (c StreamConfig) Validate() error {
+	switch {
+	case c.WidthMB <= 0 || c.HeightMB <= 0:
+		return fmt.Errorf("%w: %dx%d macroblocks", ErrBadConfig, c.WidthMB, c.HeightMB)
+	case c.FPS <= 0:
+		return fmt.Errorf("%w: fps=%d", ErrBadConfig, c.FPS)
+	case c.BitRate <= 0:
+		return fmt.Errorf("%w: bitrate=%d", ErrBadConfig, c.BitRate)
+	case c.GOPSize < 2 || c.GOPPeriodP < 1 || c.GOPPeriodP >= c.GOPSize:
+		return fmt.Errorf("%w: GOP N=%d M=%d", ErrBadConfig, c.GOPSize, c.GOPPeriodP)
+	case c.Frames <= 0:
+		return fmt.Errorf("%w: frames=%d", ErrBadConfig, c.Frames)
+	}
+	return nil
+}
+
+// MBPerFrame returns the number of macroblocks per frame (paper: 1620).
+func (c StreamConfig) MBPerFrame() int { return c.WidthMB * c.HeightMB }
+
+// FramePeriodNs returns the frame period in nanoseconds (paper: 40ms).
+func (c StreamConfig) FramePeriodNs() int64 { return int64(1e9) / int64(c.FPS) }
+
+// BitsPerFrame returns the average CBR bit budget of one frame.
+func (c StreamConfig) BitsPerFrame() int64 { return c.BitRate / int64(c.FPS) }
+
+// FrameTypeAt returns the decode-order frame type: frame 0 of every GOP is
+// I, then frames at multiples of M are P, the rest B. (This is the decode
+// order of the classic IBBP… display GOP; exact reordering details do not
+// affect the workload shape and are documented in DESIGN.md.)
+func (c StreamConfig) FrameTypeAt(frame int) FrameType {
+	pos := frame % c.GOPSize
+	switch {
+	case pos == 0:
+		return FrameI
+	case pos%c.GOPPeriodP == 0:
+		return FrameP
+	default:
+		return FrameB
+	}
+}
+
+// Clip is one synthetic video clip profile. The 14 profiles in Library()
+// stand in for the paper's 14 real clips.
+type Clip struct {
+	Name          string
+	Seed          uint64  // generator seed (deterministic content)
+	BaseActivity  float64 // 0..1: spatial detail / coding cost level
+	MotionLevel   float64 // 0..1: how much motion (more inter coding, bigger residuals)
+	SceneCutEvery int     // mean frames between scene cuts (0 = none)
+}
+
+// Validate checks clip invariants.
+func (cl Clip) Validate() error {
+	if cl.BaseActivity < 0 || cl.BaseActivity > 1 || cl.MotionLevel < 0 || cl.MotionLevel > 1 {
+		return fmt.Errorf("%w: %q activity=%g motion=%g", ErrBadClip, cl.Name, cl.BaseActivity, cl.MotionLevel)
+	}
+	if cl.SceneCutEvery < 0 {
+		return fmt.Errorf("%w: %q sceneCutEvery=%d", ErrBadClip, cl.Name, cl.SceneCutEvery)
+	}
+	return nil
+}
+
+// Library returns the 14 synthetic clip profiles used throughout the case
+// study, spanning static talking-head material to high-motion sports.
+func Library() []Clip {
+	return []Clip{
+		{Name: "newsdesk", Seed: 101, BaseActivity: 0.20, MotionLevel: 0.10, SceneCutEvery: 0},
+		{Name: "interview", Seed: 102, BaseActivity: 0.25, MotionLevel: 0.15, SceneCutEvery: 200},
+		{Name: "weather", Seed: 103, BaseActivity: 0.30, MotionLevel: 0.20, SceneCutEvery: 0},
+		{Name: "documentary", Seed: 104, BaseActivity: 0.40, MotionLevel: 0.30, SceneCutEvery: 120},
+		{Name: "cityscape", Seed: 105, BaseActivity: 0.55, MotionLevel: 0.25, SceneCutEvery: 150},
+		{Name: "cartoon", Seed: 106, BaseActivity: 0.35, MotionLevel: 0.45, SceneCutEvery: 60},
+		{Name: "musicvideo", Seed: 107, BaseActivity: 0.50, MotionLevel: 0.60, SceneCutEvery: 25},
+		{Name: "sitcom", Seed: 108, BaseActivity: 0.35, MotionLevel: 0.25, SceneCutEvery: 90},
+		{Name: "nature", Seed: 109, BaseActivity: 0.60, MotionLevel: 0.40, SceneCutEvery: 140},
+		{Name: "football", Seed: 110, BaseActivity: 0.65, MotionLevel: 0.80, SceneCutEvery: 70},
+		{Name: "tennis", Seed: 111, BaseActivity: 0.55, MotionLevel: 0.70, SceneCutEvery: 80},
+		{Name: "actionfilm", Seed: 112, BaseActivity: 0.70, MotionLevel: 0.75, SceneCutEvery: 30},
+		{Name: "concert", Seed: 113, BaseActivity: 0.75, MotionLevel: 0.55, SceneCutEvery: 45},
+		{Name: "mobile", Seed: 114, BaseActivity: 0.85, MotionLevel: 0.65, SceneCutEvery: 100},
+	}
+}
+
+// Stream is a generated clip: the macroblock sequence in decode order plus
+// per-frame metadata.
+type Stream struct {
+	Config     StreamConfig
+	Clip       Clip
+	FrameTypes []FrameType
+	MBs        []Macroblock
+}
+
+// Generate produces the macroblock sequence of a clip. The generation is
+// fully deterministic in (cfg, clip).
+func Generate(cfg StreamConfig, clip Clip) (*Stream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := clip.Validate(); err != nil {
+		return nil, err
+	}
+	g := events.NewLCG(clip.Seed)
+	perFrame := cfg.MBPerFrame()
+	s := &Stream{
+		Config:     cfg,
+		Clip:       clip,
+		FrameTypes: make([]FrameType, cfg.Frames),
+		MBs:        make([]Macroblock, 0, cfg.Frames*perFrame),
+	}
+
+	activity := clip.BaseActivity
+	motion := clip.MotionLevel
+	framesToCut := sceneLength(clip, g)
+
+	for f := 0; f < cfg.Frames; f++ {
+		ft := cfg.FrameTypeAt(f)
+		s.FrameTypes[f] = ft
+
+		sceneCut := false
+		if clip.SceneCutEvery > 0 {
+			framesToCut--
+			if framesToCut <= 0 {
+				sceneCut = true
+				framesToCut = sceneLength(clip, g)
+				// New scene: re-draw activity/motion around the base level.
+				activity = clamp01(clip.BaseActivity + (g.Float64()-0.5)*0.4)
+				motion = clamp01(clip.MotionLevel + (g.Float64()-0.5)*0.4)
+			}
+		}
+		// Small per-frame drift within a scene.
+		activity = clamp01(activity + (g.Float64()-0.5)*0.04)
+
+		frameMBs := generateFrame(cfg, g, f, ft, activity, motion, sceneCut)
+		normalizeFrameBits(cfg, frameMBs, ft, activity)
+		s.MBs = append(s.MBs, frameMBs...)
+	}
+	return s, nil
+}
+
+func sceneLength(clip Clip, g *events.LCG) int {
+	if clip.SceneCutEvery == 0 {
+		return 1 << 30
+	}
+	half := int64(clip.SceneCutEvery / 2)
+	if half < 1 {
+		half = 1
+	}
+	return clip.SceneCutEvery/2 + int(g.Intn(2*half))
+}
+
+// generateFrame draws the per-macroblock coding decisions of one frame.
+func generateFrame(cfg StreamConfig, g *events.LCG, frame int, ft FrameType, activity, motion float64, sceneCut bool) []Macroblock {
+	perFrame := cfg.MBPerFrame()
+	mbs := make([]Macroblock, perFrame)
+
+	// Coding-decision probabilities by frame type. A scene cut forces
+	// intra-heavy coding of the next predicted frame (no usable reference).
+	var pSkip, pIntra float64
+	switch ft {
+	case FrameI:
+		pSkip, pIntra = 0, 1
+	case FrameP:
+		pSkip = 0.35 * (1 - motion) * (1 - activity*0.5)
+		pIntra = 0.03 + 0.10*motion
+		if sceneCut {
+			pIntra = 0.85
+			pSkip = 0
+		}
+	case FrameB:
+		pSkip = 0.45 + 0.25*(1-motion)
+		pIntra = 0.01 + 0.03*motion
+		if sceneCut {
+			pIntra = 0.30
+			pSkip *= 0.3
+		}
+	}
+
+	// Accelerator-bypass probability: rare, slightly more common in complex
+	// material (large escape-coded coefficients).
+	pHeavy := 0.002 + 0.004*activity
+
+	for i := 0; i < perFrame; i++ {
+		mb := Macroblock{Frame: frame, Index: i}
+		r := g.Float64()
+		switch {
+		case r < pSkip:
+			mb.Type = MBSkipped
+			mb.Motion = MotionNone
+			mb.CodedBlocks = 0
+			mb.Bits = 1 // skip run-length flag
+		case r < pSkip+pIntra:
+			mb.Type = MBIntra
+			mb.Motion = MotionNone
+			mb.CodedBlocks = 4 + int(g.Intn(3)) // 4..6: intra always codes luma
+			mb.Bits = intraBits(g, activity, mb.CodedBlocks)
+		default:
+			mb.Type = MBInter
+			mb.Motion = drawMotion(g, ft)
+			mb.CodedBlocks = interCodedBlocks(g, activity, motion)
+			mb.Bits = interBits(g, activity, motion, mb.CodedBlocks)
+		}
+		if mb.Type != MBSkipped && mb.CodedBlocks > 0 && g.Float64() < pHeavy {
+			mb.Heavy = true
+		}
+		mbs[i] = mb
+	}
+	return mbs
+}
+
+func drawMotion(g *events.LCG, ft FrameType) Motion {
+	if ft == FrameP {
+		return MotionFwd
+	}
+	// B frame: roughly 40% bi, 30% fwd, 30% bwd.
+	switch g.Intn(10) {
+	case 0, 1, 2, 3:
+		return MotionBi
+	case 4, 5, 6:
+		return MotionFwd
+	default:
+		return MotionBwd
+	}
+}
+
+func interCodedBlocks(g *events.LCG, activity, motion float64) int {
+	// More activity/motion ⇒ bigger residual ⇒ more coded blocks.
+	mean := 1 + 4*clamp01(0.3*activity+0.7*motion)
+	n := int(mean + (g.Float64()-0.5)*2)
+	if n < 0 {
+		n = 0
+	}
+	if n > 6 {
+		n = 6
+	}
+	return n
+}
+
+func intraBits(g *events.LCG, activity float64, codedBlocks int) int64 {
+	base := 200 + 900*activity // per-MB bits before noise
+	noise := 0.7 + 0.6*g.Float64()
+	return int64(base * noise * float64(codedBlocks) / 6 * 1.4)
+}
+
+func interBits(g *events.LCG, activity, motion float64, codedBlocks int) int64 {
+	mv := 12 + 30*motion // motion-vector coding cost
+	residual := (40 + 300*activity) * float64(codedBlocks) / 6
+	noise := 0.7 + 0.6*g.Float64()
+	return int64((mv + residual) * noise)
+}
+
+// targetFrameBits returns the CBR-normalized bit budget of one frame,
+// following the classic ≈5:3:1 split between I:P:B frames (weights scaled
+// so a whole GOP meets the average bitrate exactly, up to rounding).
+func targetFrameBits(cfg StreamConfig, ft FrameType, activity float64) int64 {
+	nP := int64(cfg.GOPSize/cfg.GOPPeriodP - 1)
+	nB := int64(cfg.GOPSize) - 1 - nP
+	const wI, wP, wB = 5, 3, 1
+	unit := float64(cfg.BitsPerFrame()) * float64(cfg.GOPSize) / float64(wI+wP*nP+wB*nB)
+	var w float64
+	switch ft {
+	case FrameI:
+		w = wI
+	case FrameP:
+		w = wP
+	default:
+		w = wB
+	}
+	// Activity sways the instantaneous budget ±15% around the CBR schedule
+	// (rate control is never perfectly flat).
+	return int64(unit * w * (0.85 + 0.3*activity))
+}
+
+// normalizeFrameBits rescales the raw macroblock bits so the frame hits its
+// CBR budget, preserving relative per-MB sizes. Every macroblock keeps at
+// least 1 bit.
+func normalizeFrameBits(cfg StreamConfig, mbs []Macroblock, ft FrameType, activity float64) {
+	var raw int64
+	for i := range mbs {
+		raw += mbs[i].Bits
+	}
+	if raw == 0 {
+		return
+	}
+	target := targetFrameBits(cfg, ft, activity)
+	for i := range mbs {
+		b := mbs[i].Bits * target / raw
+		if b < 1 {
+			b = 1
+		}
+		mbs[i].Bits = b
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

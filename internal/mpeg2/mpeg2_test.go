@@ -1,0 +1,295 @@
+package mpeg2
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func smallStream(t *testing.T, frames int, clip Clip) *Stream {
+	t.Helper()
+	s, err := Generate(DefaultStream(frames), clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDefaultStreamMatchesPaper(t *testing.T) {
+	cfg := DefaultStream(24)
+	if cfg.MBPerFrame() != 1620 {
+		t.Fatalf("MBs/frame = %d, want 1620", cfg.MBPerFrame())
+	}
+	if cfg.FramePeriodNs() != 40_000_000 {
+		t.Fatalf("frame period = %d, want 40ms", cfg.FramePeriodNs())
+	}
+	if cfg.BitsPerFrame() != 391_200 {
+		t.Fatalf("bits/frame = %d, want 391200", cfg.BitsPerFrame())
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []StreamConfig{
+		{WidthMB: 0, HeightMB: 36, FPS: 25, BitRate: 1, GOPSize: 12, GOPPeriodP: 3, Frames: 1},
+		{WidthMB: 45, HeightMB: 36, FPS: 0, BitRate: 1, GOPSize: 12, GOPPeriodP: 3, Frames: 1},
+		{WidthMB: 45, HeightMB: 36, FPS: 25, BitRate: 0, GOPSize: 12, GOPPeriodP: 3, Frames: 1},
+		{WidthMB: 45, HeightMB: 36, FPS: 25, BitRate: 1, GOPSize: 1, GOPPeriodP: 3, Frames: 1},
+		{WidthMB: 45, HeightMB: 36, FPS: 25, BitRate: 1, GOPSize: 12, GOPPeriodP: 12, Frames: 1},
+		{WidthMB: 45, HeightMB: 36, FPS: 25, BitRate: 1, GOPSize: 12, GOPPeriodP: 3, Frames: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("case %d must fail: %v", i, err)
+		}
+	}
+}
+
+func TestGOPPattern(t *testing.T) {
+	cfg := DefaultStream(24)
+	// Decode order per GOP (N=12, M=3): I P B B P B B P B B B B? No —
+	// positions 0..11: 0=I, 3,6,9=P, rest B.
+	want := []FrameType{FrameI, FrameB, FrameB, FrameP, FrameB, FrameB,
+		FrameP, FrameB, FrameB, FrameP, FrameB, FrameB}
+	for f := 0; f < 24; f++ {
+		if got := cfg.FrameTypeAt(f); got != want[f%12] {
+			t.Fatalf("frame %d type = %v, want %v", f, got, want[f%12])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	clip := Library()[0]
+	a := smallStream(t, 6, clip)
+	b := smallStream(t, 6, clip)
+	if len(a.MBs) != len(b.MBs) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a.MBs {
+		if a.MBs[i] != b.MBs[i] {
+			t.Fatalf("MB %d differs between identical generations", i)
+		}
+	}
+}
+
+func TestGenerateGeometry(t *testing.T) {
+	s := smallStream(t, 13, Library()[3])
+	if len(s.MBs) != 13*1620 {
+		t.Fatalf("MB count = %d", len(s.MBs))
+	}
+	for i, mb := range s.MBs {
+		if mb.Frame != i/1620 || mb.Index != i%1620 {
+			t.Fatalf("MB %d has frame/index %d/%d", i, mb.Frame, mb.Index)
+		}
+		if mb.CodedBlocks < 0 || mb.CodedBlocks > 6 {
+			t.Fatalf("MB %d coded blocks %d", i, mb.CodedBlocks)
+		}
+		if mb.Bits < 1 {
+			t.Fatalf("MB %d bits %d", i, mb.Bits)
+		}
+	}
+}
+
+func TestIFramesAllIntra(t *testing.T) {
+	s := smallStream(t, 12, Library()[5])
+	for i, mb := range s.MBs {
+		if s.FrameTypes[mb.Frame] == FrameI && mb.Type != MBIntra {
+			t.Fatalf("MB %d in I frame has type %v", i, mb.Type)
+		}
+		if mb.Type == MBIntra && mb.Motion != MotionNone {
+			t.Fatalf("intra MB %d has motion %v", i, mb.Motion)
+		}
+		if mb.Type == MBSkipped && mb.CodedBlocks != 0 {
+			t.Fatalf("skipped MB %d has coded blocks", i)
+		}
+	}
+}
+
+func TestPFramesForwardOnly(t *testing.T) {
+	s := smallStream(t, 12, Library()[9])
+	for i, mb := range s.MBs {
+		if s.FrameTypes[mb.Frame] == FrameP && mb.Type == MBInter && mb.Motion != MotionFwd {
+			t.Fatalf("inter MB %d in P frame has motion %v", i, mb.Motion)
+		}
+	}
+}
+
+func TestBitBudgetRatios(t *testing.T) {
+	// Over whole GOPs, I frames must be the biggest and B the smallest, and
+	// the total must be within 25% of the CBR schedule.
+	s := smallStream(t, 24, Library()[4])
+	stats := s.StatsPerFrame()
+	var iBits, pBits, bBits, total int64
+	var iN, pN, bN int64
+	for _, fs := range stats {
+		total += fs.Bits
+		switch fs.Type {
+		case FrameI:
+			iBits += fs.Bits
+			iN++
+		case FrameP:
+			pBits += fs.Bits
+			pN++
+		default:
+			bBits += fs.Bits
+			bN++
+		}
+	}
+	iAvg, pAvg, bAvg := iBits/iN, pBits/pN, bBits/bN
+	if !(iAvg > pAvg && pAvg > bAvg) {
+		t.Fatalf("frame bit ordering violated: I=%d P=%d B=%d", iAvg, pAvg, bAvg)
+	}
+	if iAvg < 3*bAvg {
+		t.Fatalf("I frames not dominant enough: I=%d B=%d", iAvg, bAvg)
+	}
+	cbr := s.Config.BitsPerFrame() * int64(s.Config.Frames)
+	if total < cbr*3/4 || total > cbr*5/4 {
+		t.Fatalf("total bits %d not within 25%% of CBR schedule %d", total, cbr)
+	}
+}
+
+func TestDemandModels(t *testing.T) {
+	s := smallStream(t, 6, Library()[7])
+	p1, p2 := DefaultPE1Costs(), DefaultPE2Costs()
+	d1, err := s.DemandsPE1(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s.DemandsPE2(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) != len(s.MBs) || len(d2) != len(s.MBs) {
+		t.Fatal("length mismatch")
+	}
+	wcet := p2.WCET()
+	for i, mb := range s.MBs {
+		if d1[i] <= 0 || d2[i] <= 0 {
+			t.Fatalf("nonpositive demand at %d", i)
+		}
+		if d2[i] > wcet {
+			t.Fatalf("PE2 demand %d exceeds WCET %d at MB %d", d2[i], wcet, i)
+		}
+		switch mb.Type {
+		case MBSkipped:
+			if d2[i] != p2.SkipCopy {
+				t.Fatalf("skipped MB demand %d", d2[i])
+			}
+		case MBIntra:
+			if d2[i] < p2.Base+p2.IntraSetup {
+				t.Fatalf("intra MB demand %d too small", d2[i])
+			}
+		}
+	}
+	// Demand ordering: typical intra ≫ typical skip.
+	var intraSum, skipSum, intraN, skipN int64
+	for i, mb := range s.MBs {
+		if mb.Type == MBIntra {
+			intraSum += d2[i]
+			intraN++
+		} else if mb.Type == MBSkipped {
+			skipSum += d2[i]
+			skipN++
+		}
+	}
+	if intraN == 0 || skipN == 0 {
+		t.Fatal("need both intra and skipped MBs in 6 frames")
+	}
+	if intraSum/intraN < 5*(skipSum/skipN) {
+		t.Fatalf("intra/skip demand ratio too small: %d vs %d", intraSum/intraN, skipSum/skipN)
+	}
+}
+
+func TestCostValidation(t *testing.T) {
+	if err := (PE1Costs{Base: -1}).Validate(); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("negative PE1 base must fail")
+	}
+	if err := (PE2Costs{MCBi: -1}).Validate(); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("negative PE2 MCBi must fail")
+	}
+	s := smallStream(t, 2, Library()[0])
+	if _, err := s.DemandsPE1(PE1Costs{Base: -1}); err == nil {
+		t.Fatal("DemandsPE1 must validate costs")
+	}
+	if _, err := s.DemandsPE2(PE2Costs{Base: -1}); err == nil {
+		t.Fatal("DemandsPE2 must validate costs")
+	}
+}
+
+func TestClipValidation(t *testing.T) {
+	if err := (Clip{Name: "x", BaseActivity: 2}).Validate(); !errors.Is(err, ErrBadClip) {
+		t.Fatal("activity > 1 must fail")
+	}
+	if err := (Clip{Name: "x", SceneCutEvery: -1}).Validate(); !errors.Is(err, ErrBadClip) {
+		t.Fatal("negative scene cut must fail")
+	}
+	if _, err := Generate(DefaultStream(2), Clip{Name: "bad", BaseActivity: -1}); err == nil {
+		t.Fatal("Generate must validate clip")
+	}
+}
+
+func TestLibraryHas14DistinctClips(t *testing.T) {
+	lib := Library()
+	if len(lib) != 14 {
+		t.Fatalf("library size = %d, want 14 (as in the paper)", len(lib))
+	}
+	names := map[string]bool{}
+	seeds := map[uint64]bool{}
+	for _, c := range lib {
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if names[c.Name] || seeds[c.Seed] {
+			t.Fatalf("duplicate clip %q / seed %d", c.Name, c.Seed)
+		}
+		names[c.Name] = true
+		seeds[c.Seed] = true
+	}
+}
+
+func TestClipsDiffer(t *testing.T) {
+	a := smallStream(t, 3, Library()[0])  // newsdesk: static
+	b := smallStream(t, 3, Library()[11]) // actionfilm: busy
+	p2 := DefaultPE2Costs()
+	da, _ := a.DemandsPE2(p2)
+	db, _ := b.DemandsPE2(p2)
+	// The busy clip must have clearly higher average PE2 demand.
+	if db.Total() < da.Total()*11/10 {
+		t.Fatalf("actionfilm (%d) not clearly heavier than newsdesk (%d)", db.Total(), da.Total())
+	}
+}
+
+func TestQuickGenerateInvariants(t *testing.T) {
+	f := func(seedRaw uint16, actRaw, motRaw uint8) bool {
+		clip := Clip{
+			Name:          "q",
+			Seed:          uint64(seedRaw) + 1,
+			BaseActivity:  float64(actRaw%100) / 100,
+			MotionLevel:   float64(motRaw%100) / 100,
+			SceneCutEvery: int(seedRaw % 50),
+		}
+		cfg := StreamConfig{WidthMB: 6, HeightMB: 4, FPS: 25, BitRate: 2_000_000,
+			GOPSize: 6, GOPPeriodP: 3, Frames: 12}
+		s, err := Generate(cfg, clip)
+		if err != nil {
+			return false
+		}
+		if len(s.MBs) != 12*24 {
+			return false
+		}
+		for _, mb := range s.MBs {
+			if mb.Bits < 1 || mb.CodedBlocks < 0 || mb.CodedBlocks > 6 {
+				return false
+			}
+			if s.FrameTypes[mb.Frame] == FrameI && mb.Type != MBIntra {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package netcalc_test
+
+import (
+	"fmt"
+	"log"
+
+	"wcm/internal/arrival"
+	"wcm/internal/curve"
+	"wcm/internal/netcalc"
+	"wcm/internal/service"
+)
+
+// Eq. (9) of the paper: the minimum clock frequency keeping a FIFO of b
+// events overflow-free, computed exactly over the span table.
+func ExampleMinFrequency() {
+	spans, err := arrival.Periodic(100, 50) // one event per 100 ns
+	if err != nil {
+		log.Fatal(err)
+	}
+	gamma := curve.MustLinear(50) // 50 cycles per event
+	res, err := netcalc.MinFrequency(spans, gamma, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fmin = %.0f MHz at k=%d\n", res.Hz/1e6, res.AtK)
+	// Output:
+	// Fmin = 459 MHz at k=50
+}
+
+// Eq. (8): verifying a candidate frequency against the buffer constraint.
+func ExampleCheckServiceConstraint() {
+	spans, _ := arrival.Periodic(100, 50)
+	gamma := curve.MustLinear(50)
+	beta, _ := service.Full(500e6)
+	ok, err := netcalc.CheckServiceConstraint(spans, beta, gamma, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("500 MHz with b=5:", ok)
+	// Output:
+	// 500 MHz with b=5: true
+}
+
+// The dual design question: the smallest buffer at a fixed frequency.
+func ExampleMinBuffer() {
+	spans, _ := arrival.Periodic(100, 50)
+	gamma := curve.MustLinear(50)
+	beta, _ := service.Full(500e6)
+	b, err := netcalc.MinBuffer(spans, beta, gamma)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("minimum buffer:", b)
+	// Output:
+	// minimum buffer: 1
+}

@@ -1,0 +1,110 @@
+package netcalc
+
+import (
+	"fmt"
+
+	"wcm/internal/arrival"
+	"wcm/internal/curve"
+	"wcm/internal/pwl"
+	"wcm/internal/service"
+)
+
+// Multiplexing: the paper's case study dedicates PE2 to one subtask ("we
+// assume that no other tasks are executed by PEs"). When two event streams
+// share a PE under preemptive fixed priority, the lower-priority stream
+// sees only the LEFTOVER service: the processor's capacity minus the
+// high-priority stream's worst-case demand. LeftoverService builds that
+// curve from the high-priority stream's arrival spans and workload curve —
+// the composition of Fig. 4's conversions with the classical
+// fixed-priority remaining-service result.
+
+// LeftoverService returns the lower service curve available to a
+// low-priority task on a processor with service beta, when a high-priority
+// stream with arrival spans hiSpans and upper workload curve hiGamma
+// preempts it. The high-priority demand in any window Δ is at most
+// γᵘ(ᾱ(Δ)) cycles (the Fig. 4 upper conversion), so the leftover is the
+// running supremum of β − γᵘ(ᾱ(·)) over [0, horizon].
+func LeftoverService(beta pwl.Curve, hiSpans arrival.Spans, hiGamma curve.Curve, horizon int64) (pwl.Curve, error) {
+	if horizon <= 0 {
+		return pwl.Curve{}, ErrBadHorizon
+	}
+	hiDemand, err := EventsToCycles(hiSpans, hiGamma)
+	if err != nil {
+		return pwl.Curve{}, err
+	}
+	lo, err := service.Leftover(beta, hiDemand, horizon)
+	if err != nil {
+		return pwl.Curve{}, fmt.Errorf("netcalc: leftover: %w", err)
+	}
+	return lo, nil
+}
+
+// StreamSpec characterizes one event stream competing for a shared PE.
+type StreamSpec struct {
+	Name  string
+	Spans arrival.Spans // arrival characterization
+	Gamma curve.Curve   // upper workload curve (cycles per k events)
+}
+
+// AnalyzePriorityPE bounds every stream of a fixed-priority shared
+// processor: streams[0] has the highest priority and sees the full service
+// beta; each subsequent stream sees the leftover after all higher-priority
+// streams' worst-case demand (iterated LeftoverService). Reports align
+// with the input order.
+func AnalyzePriorityPE(beta pwl.Curve, streams []StreamSpec, horizon int64) ([]SharedPEReport, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("netcalc: no streams")
+	}
+	out := make([]SharedPEReport, 0, len(streams))
+	cur := beta
+	for i, s := range streams {
+		backlog, err := BacklogEvents(s.Spans, cur, s.Gamma)
+		if err != nil {
+			return nil, fmt.Errorf("netcalc: stream %d (%q): %w", i, s.Name, err)
+		}
+		delay, err := DelayBound(s.Spans, cur, s.Gamma, horizon)
+		if err != nil {
+			return nil, fmt.Errorf("netcalc: stream %d (%q): %w", i, s.Name, err)
+		}
+		out = append(out, SharedPEReport{Leftover: cur, BacklogEvents: backlog, DelayNs: delay})
+		if i+1 < len(streams) {
+			cur, err = LeftoverService(cur, s.Spans, s.Gamma, horizon)
+			if err != nil {
+				return nil, fmt.Errorf("netcalc: leftover after %q: %w", s.Name, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SharedPEReport is the analysis outcome for the low-priority stream of a
+// shared PE.
+type SharedPEReport struct {
+	Leftover      pwl.Curve // lower service curve after preemption
+	BacklogEvents int       // eq. (7) bound for the low-priority stream
+	DelayNs       int64     // delay bound for the low-priority stream
+}
+
+// AnalyzeSharedPE bounds the low-priority stream's backlog and delay on a
+// processor shared with a high-priority stream under preemptive fixed
+// priority. Both streams are characterized by (arrival spans, upper
+// workload curve); the processor by its full-capacity service curve beta.
+func AnalyzeSharedPE(beta pwl.Curve,
+	hiSpans arrival.Spans, hiGamma curve.Curve,
+	loSpans arrival.Spans, loGamma curve.Curve,
+	horizon int64) (SharedPEReport, error) {
+
+	leftover, err := LeftoverService(beta, hiSpans, hiGamma, horizon)
+	if err != nil {
+		return SharedPEReport{}, err
+	}
+	backlog, err := BacklogEvents(loSpans, leftover, loGamma)
+	if err != nil {
+		return SharedPEReport{}, err
+	}
+	delay, err := DelayBound(loSpans, leftover, loGamma, horizon)
+	if err != nil {
+		return SharedPEReport{}, err
+	}
+	return SharedPEReport{Leftover: leftover, BacklogEvents: backlog, DelayNs: delay}, nil
+}

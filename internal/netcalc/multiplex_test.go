@@ -1,0 +1,283 @@
+package netcalc
+
+import (
+	"testing"
+
+	"wcm/internal/arrival"
+	"wcm/internal/core"
+	"wcm/internal/events"
+	"wcm/internal/service"
+)
+
+// simulatePriorityPE is a reference event-level simulation of N streams on
+// one processor under preemptive fixed priority (stream 0 highest). The
+// processor runs at 1 cycle/ns so demands are directly service times.
+// Returns per-stream completion times and peak backlogs (arrived but not
+// completed).
+func simulatePriorityPE(ts []events.TimedTrace, ds []events.DemandTrace) (done [][]int64, peak []int) {
+	n := len(ts)
+	type ev struct {
+		at     int64
+		stream int
+		idx    int
+		demand int64
+	}
+	var evs []ev
+	for s := range ts {
+		for i := range ts[s] {
+			evs = append(evs, ev{ts[s][i], s, i, ds[s][i]})
+		}
+	}
+	// Stable sort by time, higher priority first at ties.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && (evs[j].at < evs[j-1].at ||
+			(evs[j].at == evs[j-1].at && evs[j].stream < evs[j-1].stream)); j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+	done = make([][]int64, n)
+	peak = make([]int, n)
+	inFlight := make([]int, n)
+	type job struct {
+		idx       int
+		remaining int64
+	}
+	queues := make([][]job, n)
+	for s := range ts {
+		done[s] = make([]int64, len(ts[s]))
+	}
+	now := int64(0)
+	next := 0
+	pending := func() int {
+		for s := 0; s < n; s++ {
+			if len(queues[s]) > 0 {
+				return s
+			}
+		}
+		return -1
+	}
+	for {
+		for next < len(evs) && evs[next].at <= now {
+			e := evs[next]
+			queues[e.stream] = append(queues[e.stream], job{e.idx, e.demand})
+			inFlight[e.stream]++
+			if inFlight[e.stream] > peak[e.stream] {
+				peak[e.stream] = inFlight[e.stream]
+			}
+			next++
+		}
+		s := pending()
+		if s < 0 {
+			if next < len(evs) {
+				now = evs[next].at
+				continue
+			}
+			break
+		}
+		horizon := int64(1) << 62
+		if next < len(evs) {
+			horizon = evs[next].at
+		}
+		j := &queues[s][0]
+		slice := j.remaining
+		if now+slice > horizon {
+			slice = horizon - now
+		}
+		now += slice
+		j.remaining -= slice
+		if j.remaining == 0 {
+			done[s][j.idx] = now
+			inFlight[s]--
+			queues[s] = queues[s][1:]
+		}
+	}
+	return done, peak
+}
+
+// simulateSharedPE keeps the original two-stream signature on top of the
+// N-stream simulator.
+func simulateSharedPE(hiT events.TimedTrace, hiD events.DemandTrace,
+	loT events.TimedTrace, loD events.DemandTrace) (loDone []int64, loPeak int) {
+	done, peak := simulatePriorityPE(
+		[]events.TimedTrace{hiT, loT}, []events.DemandTrace{hiD, loD})
+	return done[1], peak[1]
+}
+
+func sharedPEScenario(t *testing.T) (hiT events.TimedTrace, hiD events.DemandTrace, loT events.TimedTrace, loD events.DemandTrace) {
+	t.Helper()
+	var err error
+	hiT, err = events.Bursty(0, 40, 5, 300, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiD, err = events.ModalDemands([]events.Mode{
+		{Lo: 400, Hi: 900, MinRun: 2, MaxRun: 5},
+		{Lo: 2_000, Hi: 3_000, MinRun: 1, MaxRun: 1},
+	}, len(hiT), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loT, err = events.Periodic(500, 10_000, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loD, err = events.ModalDemands([]events.Mode{
+		{Lo: 1_000, Hi: 2_000, MinRun: 3, MaxRun: 6},
+		{Lo: 4_000, Hi: 6_000, MinRun: 1, MaxRun: 1},
+	}, len(loT), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestAnalyzeSharedPEBoundsSimulation(t *testing.T) {
+	hiT, hiD, loT, loD := sharedPEScenario(t)
+	const maxK = 50
+	hiSpans, err := arrival.FromTrace(hiT, maxK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loSpans, err := arrival.FromTrace(loT, maxK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiW, err := core.FromTrace(hiD, maxK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loW, err := core.FromTrace(loD, maxK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := service.Full(1e9) // 1 cycle/ns, matching the simulator
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := loT.Span() * 2
+	rep, err := AnalyzeSharedPE(beta, hiSpans, hiW.Upper, loSpans, loW.Upper, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loDone, loPeak := simulateSharedPE(hiT, hiD, loT, loD)
+	if loPeak > rep.BacklogEvents {
+		t.Fatalf("simulated lo backlog %d exceeds bound %d", loPeak, rep.BacklogEvents)
+	}
+	for i := range loT {
+		if d := loDone[i] - loT[i]; d > rep.DelayNs {
+			t.Fatalf("lo event %d delay %d exceeds bound %d", i, d, rep.DelayNs)
+		}
+	}
+	// The bound must be meaningful: within 50× of the observed worst (not
+	// vacuously huge).
+	var worst int64
+	for i := range loT {
+		if d := loDone[i] - loT[i]; d > worst {
+			worst = d
+		}
+	}
+	if rep.DelayNs > 50*worst {
+		t.Fatalf("delay bound %d uselessly loose vs observed %d", rep.DelayNs, worst)
+	}
+}
+
+// Three priority levels on one PE: every stream's analytic bounds must
+// dominate the N-stream reference simulation.
+func TestAnalyzePriorityPEBoundsSimulation(t *testing.T) {
+	var ts []events.TimedTrace
+	var ds []events.DemandTrace
+	specs := []struct {
+		minGap, maxGap int64
+		n              int
+		modes          []events.Mode
+		seed           uint64
+	}{
+		{2_000, 5_000, 200, []events.Mode{{Lo: 300, Hi: 700, MinRun: 2, MaxRun: 5}}, 31},
+		{5_000, 12_000, 90, []events.Mode{{Lo: 800, Hi: 1_500, MinRun: 2, MaxRun: 4}, {Lo: 3_000, Hi: 4_000, MinRun: 1, MaxRun: 1}}, 32},
+		{9_000, 20_000, 50, []events.Mode{{Lo: 1_000, Hi: 2_500, MinRun: 3, MaxRun: 6}}, 33},
+	}
+	const maxK = 40
+	var streams []StreamSpec
+	for i, sp := range specs {
+		tt, err := events.Sporadic(0, sp.minGap, sp.maxGap, sp.n, sp.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := events.ModalDemands(sp.modes, sp.n, sp.seed+100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans, err := arrival.FromTrace(tt, maxK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := core.FromTrace(d, maxK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts = append(ts, tt)
+		ds = append(ds, d)
+		streams = append(streams, StreamSpec{Name: string(rune('A' + i)), Spans: spans, Gamma: w.Upper})
+	}
+	beta, _ := service.Full(1e9)
+	horizon := ts[0].Span() * 2
+	reports, err := AnalyzePriorityPE(beta, streams, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, peak := simulatePriorityPE(ts, ds)
+	for s := range streams {
+		if peak[s] > reports[s].BacklogEvents {
+			t.Fatalf("stream %d: simulated backlog %d exceeds bound %d",
+				s, peak[s], reports[s].BacklogEvents)
+		}
+		for i := range ts[s] {
+			if d := done[s][i] - ts[s][i]; d > reports[s].DelayNs {
+				t.Fatalf("stream %d event %d: delay %d exceeds bound %d",
+					s, i, d, reports[s].DelayNs)
+			}
+		}
+	}
+	// Priority monotonicity: a lower-priority stream's leftover never
+	// exceeds a higher one's at any Δ.
+	for dt := int64(0); dt <= horizon; dt += horizon / 9 {
+		for s := 1; s < len(reports); s++ {
+			if reports[s].Leftover.At(dt) > reports[s-1].Leftover.At(dt)+1e-6 {
+				t.Fatalf("leftover not monotone across priorities at Δ=%d", dt)
+			}
+		}
+	}
+	if _, err := AnalyzePriorityPE(beta, nil, horizon); err == nil {
+		t.Fatal("no streams must fail")
+	}
+}
+
+func TestLeftoverServiceIsBelowFullService(t *testing.T) {
+	hiT, hiD, _, _ := sharedPEScenario(t)
+	const maxK = 50
+	hiSpans, err := arrival.FromTrace(hiT, maxK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiW, err := core.FromTrace(hiD, maxK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, _ := service.Full(1e9)
+	lo, err := LeftoverService(beta, hiSpans, hiW.Upper, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dt := int64(0); dt <= 1_000_000; dt += 9_999 {
+		if lo.At(dt) > beta.At(dt)+1e-6 {
+			t.Fatalf("leftover exceeds full capacity at Δ=%d", dt)
+		}
+		if lo.At(dt) < 0 {
+			t.Fatalf("negative leftover at Δ=%d", dt)
+		}
+	}
+	if _, err := LeftoverService(beta, hiSpans, hiW.Upper, 0); err == nil {
+		t.Fatal("zero horizon must fail")
+	}
+}

@@ -1,0 +1,324 @@
+// Package netcalc implements the Network-Calculus results of Section 3.2 of
+// the paper: backlog bounds, the event↔cycle conversion through workload
+// curves (Fig. 4), the buffer-overflow-free service constraint (eq. 8) and
+// the minimum-frequency computations (eq. 9 vs eq. 10).
+//
+// Conventions: arrival curves ᾱ count events, service curves β count
+// cycles, workload curves γᵘ/γˡ convert between the two. Time is integer
+// nanoseconds, frequency results are cycles per second (Hz).
+package netcalc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wcm/internal/arrival"
+	"wcm/internal/curve"
+	"wcm/internal/pwl"
+)
+
+// Errors returned by this package.
+var (
+	ErrBadBuffer     = errors.New("netcalc: buffer size must be ≥ 0")
+	ErrBadHorizon    = errors.New("netcalc: horizon must be > 0")
+	ErrBurstTooBig   = errors.New("netcalc: simultaneous burst exceeds buffer (no finite frequency)")
+	ErrCurveTooShort = errors.New("netcalc: workload curve shorter than required event count")
+)
+
+// BacklogCycles computes eq. (6): B ≤ sup_{Δ≥0} (α(Δ) − β(Δ)) for a
+// cycle-based arrival curve α and service curve β, over Δ ∈ [0, horizon].
+// Returns the bound (in cycles) and the Δ attaining it.
+func BacklogCycles(alpha, beta pwl.Curve, horizon int64) (float64, int64, error) {
+	if horizon <= 0 {
+		return 0, 0, ErrBadHorizon
+	}
+	sup, at := pwl.SupDiff(alpha, beta, horizon)
+	if sup < 0 {
+		sup = 0
+	}
+	return sup, at, nil
+}
+
+// BacklogEvents computes eq. (7): B̄ ≤ sup_{Δ≥0} (ᾱ(Δ) − γᵘ⁻¹(β(Δ))) — the
+// maximum backlog measured in EVENTS in front of a PE with cycle-based
+// service β processing a stream with event-based arrival spans and
+// per-event demand bounded by γᵘ. The search is exact over the span table:
+// for each event count k, the worst window is Δ = d(k) (the shortest window
+// containing k events), where the service delivered is at least β(d(k))
+// cycles, i.e. at least γᵘ⁻¹(β(d(k))) events are guaranteed processed.
+func BacklogEvents(spans arrival.Spans, beta pwl.Curve, gammaU curve.Curve) (int, error) {
+	if err := spans.Validate(); err != nil {
+		return 0, err
+	}
+	worst := 0
+	for k := 1; k <= spans.MaxK(); k++ {
+		d, err := spans.At(k)
+		if err != nil {
+			return 0, err
+		}
+		served := int64(math.Floor(beta.At(d)))
+		if served < 0 {
+			served = 0
+		}
+		processed, exhausted, err := gammaU.UpperInverse(served)
+		if err != nil {
+			return 0, fmt.Errorf("netcalc: inverting γᵘ at %d cycles: %w", served, err)
+		}
+		if exhausted {
+			// Every stored curve value fits in the budget: at least the
+			// curve's whole domain is processed; backlog for this k cannot
+			// exceed k − MaxK which the loop handles naturally.
+			processed = gammaU.PrefixLen() - 1
+		}
+		if backlog := k - processed; backlog > worst {
+			worst = backlog
+		}
+	}
+	return worst, nil
+}
+
+// DelayBound computes the Network-Calculus delay bound (maximum time an
+// event waits) as the horizontal deviation between the cycle-based arrival
+// curve γᵘ(ᾱ(Δ)) and the service curve β, over [0, horizon].
+func DelayBound(spans arrival.Spans, beta pwl.Curve, gammaU curve.Curve, horizon int64) (int64, error) {
+	if horizon <= 0 {
+		return 0, ErrBadHorizon
+	}
+	alphaCycles, err := EventsToCycles(spans, gammaU)
+	if err != nil {
+		return 0, err
+	}
+	d, ok := pwl.HorizontalDeviation(alphaCycles, beta, horizon)
+	if !ok {
+		return 0, fmt.Errorf("netcalc: service never catches up within horizon %d", horizon)
+	}
+	return d, nil
+}
+
+// EventsToCycles performs the upper conversion of Fig. 4: the cycle-based
+// arrival curve α(Δ) = γᵘ(ᾱ(Δ)), rendered as the piecewise-linear envelope
+// through the points (d(k), γᵘ(k)). This is the demand the stream can place
+// on the processor within any window.
+func EventsToCycles(spans arrival.Spans, gammaU curve.Curve) (pwl.Curve, error) {
+	if err := spans.Validate(); err != nil {
+		return pwl.Curve{}, err
+	}
+	maxK := spans.MaxK()
+	if !gammaU.Infinite() && gammaU.MaxK() < maxK {
+		return pwl.Curve{}, fmt.Errorf("%w: need γᵘ up to k=%d, have %d",
+			ErrCurveTooShort, maxK, gammaU.MaxK())
+	}
+	var pts []pwl.Point
+	lastX := int64(-1)
+	for k := 1; k <= maxK; k++ {
+		d, _ := spans.At(k)
+		v, err := gammaU.At(k)
+		if err != nil {
+			return pwl.Curve{}, err
+		}
+		if d == lastX {
+			// Several event counts share a span (simultaneous events);
+			// keep the largest demand at that Δ.
+			pts[len(pts)-1].Y = float64(v)
+			continue
+		}
+		pts = append(pts, pwl.Point{X: d, Y: float64(v)})
+		lastX = d
+	}
+	if pts[0].X != 0 {
+		pts = append([]pwl.Point{{X: 0, Y: 0}}, pts...)
+	}
+	return pwl.New(pts, 0)
+}
+
+// CyclesToEvents performs the lower conversion of Fig. 4: the event-based
+// service curve β̄(Δ) = γᵘ⁻¹(β(Δ)) — how many events are guaranteed
+// processed given β cycles of guaranteed service. Sampled at the service
+// curve's breakpoints plus a grid of `samples` extra points up to horizon
+// (the composition of a PWL curve with a staircase inverse is a staircase;
+// the envelope returned lower-bounds it is NOT guaranteed, so the result is
+// built from floor values at sample points and is exact at those points).
+func CyclesToEvents(beta pwl.Curve, gammaU curve.Curve, horizon int64, samples int) (pwl.Curve, error) {
+	if horizon <= 0 {
+		return pwl.Curve{}, ErrBadHorizon
+	}
+	if samples < 2 {
+		samples = 2
+	}
+	seen := map[int64]bool{}
+	var xs []int64
+	add := func(x int64) {
+		if x >= 0 && x <= horizon && !seen[x] {
+			seen[x] = true
+			xs = append(xs, x)
+		}
+	}
+	add(0)
+	for _, p := range beta.Points() {
+		add(p.X)
+	}
+	step := horizon / int64(samples)
+	if step < 1 {
+		step = 1
+	}
+	for x := int64(0); x <= horizon; x += step {
+		add(x)
+	}
+	add(horizon)
+	sortInt64(xs)
+	pts := make([]pwl.Point, 0, len(xs))
+	prev := -1.0
+	for _, x := range xs {
+		served := int64(math.Floor(beta.At(x)))
+		if served < 0 {
+			served = 0
+		}
+		k, exhausted, err := gammaU.UpperInverse(served)
+		if err != nil {
+			return pwl.Curve{}, err
+		}
+		if exhausted {
+			k = gammaU.PrefixLen() - 1
+		}
+		y := float64(k)
+		if y < prev {
+			y = prev // keep monotone in the face of floor effects
+		}
+		prev = y
+		pts = append(pts, pwl.Point{X: x, Y: y})
+	}
+	return pwl.New(pts, 0)
+}
+
+// CheckServiceConstraint verifies eq. (8): β(Δ) ≥ γᵘ(ᾱ(Δ) − b) for all
+// Δ ≥ 0 over the span table — the condition under which the FIFO of size b
+// (in events) in front of the PE never overflows. The check is exact over
+// event counts: for every k > b the service within d(k) must cover
+// γᵘ(k − b) cycles.
+func CheckServiceConstraint(spans arrival.Spans, beta pwl.Curve, gammaU curve.Curve, b int) (bool, error) {
+	if b < 0 {
+		return false, ErrBadBuffer
+	}
+	if err := spans.Validate(); err != nil {
+		return false, err
+	}
+	for k := b + 1; k <= spans.MaxK(); k++ {
+		d, _ := spans.At(k)
+		need, err := gammaU.At(k - b)
+		if err != nil {
+			return false, fmt.Errorf("netcalc: γᵘ(%d): %w", k-b, err)
+		}
+		if beta.At(d) < float64(need) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// MinBuffer answers the dual design question of eq. (8) — "How should the
+// buffers be sized?" — for a FIXED processor frequency: the smallest FIFO
+// size b (in events) such that β(Δ) ≥ γᵘ(ᾱ(Δ) − b) holds over the span
+// table. Returns an error when even a buffer holding every observed event
+// cannot absorb the stream (the frequency is below the long-run demand
+// rate within the window).
+func MinBuffer(spans arrival.Spans, beta pwl.Curve, gammaU curve.Curve) (int, error) {
+	if err := spans.Validate(); err != nil {
+		return 0, err
+	}
+	// CheckServiceConstraint is monotone in b: search the smallest passing
+	// b. The largest meaningful buffer is MaxK−1 — at MaxK the windowed
+	// constraint set is empty and the finite table can certify nothing.
+	lo, hi := 1, spans.MaxK()-1
+	if hi < 1 {
+		return 0, fmt.Errorf("netcalc: span table too short to size a buffer")
+	}
+	ok, err := CheckServiceConstraint(spans, beta, gammaU, hi)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("netcalc: no buffer ≤ %d satisfies eq. 8 at this frequency", hi)
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		ok, err := CheckServiceConstraint(spans, beta, gammaU, mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
+// MinFrequencyResult reports a minimum-frequency computation: the frequency
+// in Hz and the event count / window attaining the maximum in eq. (9)/(10).
+type MinFrequencyResult struct {
+	Hz       float64 // minimum clock frequency
+	AtK      int     // event count attaining the max
+	AtSpanNs int64   // window length d(k) attaining the max
+}
+
+// MinFrequency computes eq. (9):
+//
+//	Fᵞmin = max_{Δ>0} γᵘ(ᾱ(Δ) − b) / Δ
+//
+// exactly, by observing that the supremum is attained at Δ = d(k) for some
+// event count k > b (ᾱ jumps only there): F = max_{k>b} γᵘ(k−b)/d(k).
+// Event counts with d(k) = 0 and k > b mean a burst alone overflows the
+// buffer: no finite frequency exists (ErrBurstTooBig).
+func MinFrequency(spans arrival.Spans, gammaU curve.Curve, b int) (MinFrequencyResult, error) {
+	return minFrequency(spans, b, func(k int) (int64, error) { return gammaU.At(k) })
+}
+
+// MinFrequencyWCET computes eq. (10), the conventional WCET-based bound:
+//
+//	Fʷmin = max_{Δ>0} w·(ᾱ(Δ) − b) / Δ
+//
+// i.e. the same search with γᵘ replaced by the line w·k.
+func MinFrequencyWCET(spans arrival.Spans, wcet int64, b int) (MinFrequencyResult, error) {
+	if wcet < 0 {
+		return MinFrequencyResult{}, fmt.Errorf("netcalc: negative WCET %d", wcet)
+	}
+	return minFrequency(spans, b, func(k int) (int64, error) { return wcet * int64(k), nil })
+}
+
+func minFrequency(spans arrival.Spans, b int, demand func(k int) (int64, error)) (MinFrequencyResult, error) {
+	if b < 0 {
+		return MinFrequencyResult{}, ErrBadBuffer
+	}
+	if err := spans.Validate(); err != nil {
+		return MinFrequencyResult{}, err
+	}
+	var best MinFrequencyResult
+	for k := b + 1; k <= spans.MaxK(); k++ {
+		d, _ := spans.At(k)
+		need, err := demand(k - b)
+		if err != nil {
+			return MinFrequencyResult{}, fmt.Errorf("netcalc: demand(%d): %w", k-b, err)
+		}
+		if need == 0 {
+			continue
+		}
+		if d == 0 {
+			return MinFrequencyResult{}, fmt.Errorf("%w: k=%d events arrive simultaneously, buffer b=%d", ErrBurstTooBig, k, b)
+		}
+		hz := float64(need) / float64(d) * 1e9
+		if hz > best.Hz {
+			best = MinFrequencyResult{Hz: hz, AtK: k, AtSpanNs: d}
+		}
+	}
+	return best, nil
+}
+
+func sortInt64(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package netcalc
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wcm/internal/arrival"
+	"wcm/internal/core"
+	"wcm/internal/curve"
+	"wcm/internal/events"
+	"wcm/internal/pwl"
+	"wcm/internal/service"
+)
+
+func TestBacklogCyclesEq6(t *testing.T) {
+	// α(Δ) = 1000 + 0.5Δ cycles, β = 1 cycle/ns with 200ns latency.
+	// sup(α−β) at Δ=200: 1000+100 = 1100.
+	alpha := pwl.MustNew([]pwl.Point{{X: 0, Y: 1000}}, 0.5)
+	beta, _ := service.RateLatency(1e9, 200)
+	b, at, err := BacklogCycles(alpha, beta, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-1100) > 1e-6 || at != 200 {
+		t.Fatalf("backlog = %g at %d, want 1100 at 200", b, at)
+	}
+	if _, _, err := BacklogCycles(alpha, beta, 0); !errors.Is(err, ErrBadHorizon) {
+		t.Fatal("zero horizon must fail")
+	}
+	// Service dominates arrival everywhere ⇒ bound clamps at 0.
+	fast, _ := service.Full(100e9)
+	b2, _, err := BacklogCycles(alpha, fast, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 < 0 {
+		t.Fatalf("negative backlog %g", b2)
+	}
+}
+
+func TestBacklogEventsEq7(t *testing.T) {
+	// Periodic events every 100ns, each worth exactly 50 cycles
+	// (γᵘ(k)=50k). PE at 1 GHz: service in d(k)=100(k−1) ns is 100(k−1)
+	// cycles ⇒ processed = 2(k−1) events ≥ k−... backlog peaks at small k.
+	spans, err := arrival.Periodic(100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := curve.MustLinear(50)
+	beta, _ := service.Full(1e9)
+	b, err := BacklogEvents(spans, beta, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=1: served(0ns)=0 ⇒ 1 backlog. k=2: served(100ns)=100 ⇒ 2 events
+	// processed ⇒ 0. So bound = 1.
+	if b != 1 {
+		t.Fatalf("event backlog = %d, want 1", b)
+	}
+	// Slow PE (100 MHz = 0.1 c/ns): service in 100(k−1)ns = 10(k−1) cycles
+	// ⇒ processed ⌊10(k−1)/50⌋ = (k−1)/5 events: backlog grows like
+	// k − (k−1)/5 — at k=50: 50 − 9 = 41.
+	slow, _ := service.Full(100e6)
+	b2, err := BacklogEvents(spans, slow, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 != 41 {
+		t.Fatalf("slow-PE backlog = %d, want 41", b2)
+	}
+}
+
+func TestCheckServiceConstraintEq8(t *testing.T) {
+	spans, _ := arrival.Periodic(100, 50)
+	gamma := curve.MustLinear(50)
+	// Buffer 5 events: need β(100(k−1)) ≥ 50(k−5) for all k>5.
+	// Worst ratio as k→∞: 50k/100k = 0.5 c/ns = 500 MHz. With slack from
+	// b=5, 500 MHz suffices.
+	beta, _ := service.Full(500e6)
+	ok, err := CheckServiceConstraint(spans, beta, gamma, 5)
+	if err != nil || !ok {
+		t.Fatalf("500 MHz with b=5 must satisfy eq. 8: %v %v", ok, err)
+	}
+	// 400 MHz must fail for large k.
+	beta2, _ := service.Full(400e6)
+	ok, err = CheckServiceConstraint(spans, beta2, gamma, 5)
+	if err != nil || ok {
+		t.Fatalf("400 MHz must violate eq. 8: %v %v", ok, err)
+	}
+	if _, err := CheckServiceConstraint(spans, beta, gamma, -1); !errors.Is(err, ErrBadBuffer) {
+		t.Fatal("negative buffer must fail")
+	}
+}
+
+func TestMinFrequencyEq9MatchesConstraint(t *testing.T) {
+	// The computed Fmin must satisfy eq. 8 and Fmin·(1−ε) must not.
+	spans, _ := arrival.Periodic(100, 200)
+	gamma := curve.MustLinear(50)
+	for _, b := range []int{1, 7, 50} {
+		res, err := MinFrequency(spans, gamma, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hz <= 0 {
+			t.Fatalf("b=%d: nonpositive Fmin %g", b, res.Hz)
+		}
+		at, _ := service.Full(res.Hz * (1 + 1e-9))
+		ok, err := CheckServiceConstraint(spans, at, gamma, b)
+		if err != nil || !ok {
+			t.Fatalf("b=%d: Fmin=%g does not satisfy eq. 8: %v %v", b, res.Hz, ok, err)
+		}
+		below, _ := service.Full(res.Hz * 0.95)
+		ok, err = CheckServiceConstraint(spans, below, gamma, b)
+		if err != nil || ok {
+			t.Fatalf("b=%d: 0.95·Fmin still satisfies eq. 8 — not minimal", b)
+		}
+	}
+}
+
+func TestMinFrequencyBufferMonotone(t *testing.T) {
+	// Larger buffers can only lower the required frequency.
+	tt, err := events.Bursty(0, 10, 20, 10, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := arrival.FromTrace(tt, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := curve.MustLinear(120)
+	prev := math.Inf(1)
+	for _, b := range []int{1, 5, 20, 60, 140} {
+		res, err := MinFrequency(spans, gamma, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hz > prev+1e-6 {
+			t.Fatalf("Fmin not monotone in buffer: b=%d gives %g > %g", b, res.Hz, prev)
+		}
+		prev = res.Hz
+	}
+}
+
+func TestMinFrequencyGammaVsWCETRelation(t *testing.T) {
+	// Fᵞmin ≤ Fʷmin always (relation implied by γᵘ(k) ≤ w·k), with strict
+	// gain when demand is variable.
+	d, err := events.ModalDemands([]events.Mode{
+		{Lo: 100, Hi: 100, MinRun: 1, MaxRun: 1},
+		{Lo: 10, Hi: 10, MinRun: 4, MaxRun: 4},
+	}, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := core.FromTrace(d, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, _ := arrival.Periodic(50, 200)
+	g, err := MinFrequency(spans, w.Upper, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ww, err := MinFrequencyWCET(spans, w.WCET(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Hz > ww.Hz+1e-6 {
+		t.Fatalf("Fᵞmin %g > Fʷmin %g", g.Hz, ww.Hz)
+	}
+	if g.Hz > 0.6*ww.Hz {
+		t.Fatalf("expected ≥40%% savings for 1-in-5 expensive demand, got Fγ=%g Fw=%g", g.Hz, ww.Hz)
+	}
+	if _, err := MinFrequencyWCET(spans, -5, 0); err == nil {
+		t.Fatal("negative WCET must fail")
+	}
+}
+
+func TestMinFrequencyBurstTooBig(t *testing.T) {
+	// 5 simultaneous events with buffer 2: infinite frequency needed.
+	tt := events.TimedTrace{100, 100, 100, 100, 100, 300}
+	spans, err := arrival.FromTrace(tt, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := curve.MustLinear(10)
+	if _, err := MinFrequency(spans, gamma, 2); !errors.Is(err, ErrBurstTooBig) {
+		t.Fatalf("err = %v, want ErrBurstTooBig", err)
+	}
+	// Buffer 5 absorbs the burst.
+	if _, err := MinFrequency(spans, gamma, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinBufferDualOfMinFrequency(t *testing.T) {
+	tt, err := events.Bursty(0, 10, 20, 10, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := arrival.FromTrace(tt, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := curve.MustLinear(120)
+	// Pick a buffer, compute Fmin, then ask MinBuffer at that frequency:
+	// the answer must be ≤ the original buffer (duality) and itself
+	// sufficient.
+	for _, b := range []int{5, 20, 60} {
+		res, err := MinFrequency(spans, gamma, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		beta, _ := service.Full(res.Hz * (1 + 1e-9))
+		back, err := MinBuffer(spans, beta, gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back > b {
+			t.Fatalf("MinBuffer(%g Hz) = %d > original b=%d", res.Hz, back, b)
+		}
+		ok, err := CheckServiceConstraint(spans, beta, gamma, back)
+		if err != nil || !ok {
+			t.Fatalf("MinBuffer result %d not sufficient: %v %v", back, ok, err)
+		}
+		if back > 1 {
+			ok, err = CheckServiceConstraint(spans, beta, gamma, back-1)
+			if err != nil || ok {
+				t.Fatalf("MinBuffer result %d not minimal", back)
+			}
+		}
+	}
+	// A frequency far below the demand rate has no sufficient buffer.
+	slow, _ := service.Full(1)
+	if _, err := MinBuffer(spans, slow, gamma); err == nil {
+		t.Fatal("hopeless frequency must fail")
+	}
+}
+
+func TestEventsToCyclesEnvelope(t *testing.T) {
+	spans, _ := arrival.Periodic(100, 10)
+	gamma := curve.MustNew([]int64{0, 50, 80, 110, 140, 170, 200, 230, 260, 290, 320}, 0, 0)
+	ac, err := EventsToCycles(spans, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At each span point the envelope equals γᵘ(k).
+	for k := 1; k <= 10; k++ {
+		d, _ := spans.At(k)
+		want := float64(gamma.MustAt(k))
+		if math.Abs(ac.At(d)-want) > 1e-9 {
+			t.Fatalf("α_cycles(d(%d)) = %g, want %g", k, ac.At(d), want)
+		}
+	}
+	// Envelope dominates the true staircase γᵘ(ᾱ(Δ)).
+	for dt := int64(0); dt <= 900; dt += 17 {
+		truth := float64(gamma.MustAt(spans.Alpha(dt)))
+		if ac.At(dt) < truth-1e-9 {
+			t.Fatalf("envelope below truth at Δ=%d", dt)
+		}
+	}
+	// Short curve must be rejected.
+	short := curve.MustNew([]int64{0, 50}, 0, 0)
+	if _, err := EventsToCycles(spans, short); !errors.Is(err, ErrCurveTooShort) {
+		t.Fatalf("err = %v, want ErrCurveTooShort", err)
+	}
+}
+
+func TestCyclesToEventsFig4(t *testing.T) {
+	// β = 1 GHz, γᵘ(k) = 100k ⇒ β̄(Δ) = ⌊Δ/100⌋ events.
+	beta, _ := service.Full(1e9)
+	gamma := curve.MustLinear(100)
+	be, err := CyclesToEvents(beta, gamma, 10_000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dt := int64(0); dt <= 10_000; dt += 100 {
+		want := float64(dt / 100)
+		if math.Abs(be.At(dt)-want) > 1.0+1e-9 { // grid rounding ±1 event
+			t.Fatalf("β̄(%d) = %g, want ≈%g", dt, be.At(dt), want)
+		}
+	}
+	if _, err := CyclesToEvents(beta, gamma, 0, 10); !errors.Is(err, ErrBadHorizon) {
+		t.Fatal("zero horizon must fail")
+	}
+}
+
+func TestDelayBound(t *testing.T) {
+	// Periodic 100ns events of 50 cycles on a 1 GHz PE: each event is done
+	// long before the next; delay bound ≈ 50ns (one event's service time).
+	spans, _ := arrival.Periodic(100, 20)
+	gamma := curve.MustLinear(50)
+	beta, _ := service.Full(1e9)
+	d, err := DelayBound(spans, beta, gamma, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 40 || d > 60 {
+		t.Fatalf("delay bound = %d, want ≈50", d)
+	}
+	if _, err := DelayBound(spans, beta, gamma, 0); !errors.Is(err, ErrBadHorizon) {
+		t.Fatal("zero horizon must fail")
+	}
+}
+
+func TestQuickFminSatisfiesEq8(t *testing.T) {
+	// Property: for random sporadic streams and random modal demand,
+	// MinFrequency's result always satisfies CheckServiceConstraint.
+	f := func(seed uint64, bRaw uint8) bool {
+		tt, err := events.Sporadic(0, 20, 90, 150, seed)
+		if err != nil {
+			return false
+		}
+		spans, err := arrival.FromTrace(tt, 100)
+		if err != nil {
+			return false
+		}
+		dem, err := events.ModalDemands([]events.Mode{
+			{Lo: 5, Hi: 40, MinRun: 2, MaxRun: 6},
+			{Lo: 60, Hi: 90, MinRun: 1, MaxRun: 2},
+		}, 400, seed+1)
+		if err != nil {
+			return false
+		}
+		w, err := core.FromTrace(dem, 100)
+		if err != nil {
+			return false
+		}
+		b := 1 + int(bRaw%49)
+		res, err := MinFrequency(spans, w.Upper, b)
+		if err != nil {
+			return false
+		}
+		beta, err := service.Full(res.Hz * (1 + 1e-9))
+		if err != nil {
+			return false
+		}
+		ok, err := CheckServiceConstraint(spans, beta, w.Upper, b)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

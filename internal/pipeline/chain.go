@@ -1,0 +1,162 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"wcm/internal/des"
+	"wcm/internal/events"
+)
+
+// ChainItem is one unit of work flowing through an N-stage pipeline.
+type ChainItem struct {
+	Bits    int64   // compressed size; gates stage 0 under CBR input
+	ReadyAt int64   // optional absolute release time (VBV-style gating)
+	D       []int64 // D[s] = cycle demand at stage s (len = number of stages)
+}
+
+// StageConfig is one processing element of a chain.
+type StageConfig struct {
+	Name    string
+	Hz      float64 // clock frequency, > 0
+	FifoCap int     // capacity of the FIFO in FRONT of this stage; 0 = unbounded
+}
+
+// ChainConfig holds the N-stage architecture parameters.
+type ChainConfig struct {
+	BitRate    int64 // CBR input rate in bits/s (gates stage 0)
+	StartDelay int64 // ns before the first bit arrives
+	Stages     []StageConfig
+}
+
+// Validate checks configuration invariants.
+func (c ChainConfig) Validate() error {
+	if c.BitRate <= 0 || c.StartDelay < 0 || len(c.Stages) == 0 {
+		return fmt.Errorf("%w: %+v", ErrBadConfig, c)
+	}
+	for i, s := range c.Stages {
+		if s.Hz <= 0 || s.FifoCap < 0 {
+			return fmt.Errorf("%w: stage %d %+v", ErrBadConfig, i, s)
+		}
+	}
+	return nil
+}
+
+// ChainStats is the outcome of a chain simulation.
+type ChainStats struct {
+	// Done[s][i] is the completion time of item i at stage s. Done[s] is
+	// the arrival trace of the FIFO in front of stage s+1.
+	Done []events.TimedTrace
+	// MaxBacklog[s] is the peak occupancy of the FIFO node in front of
+	// stage s (items completed by stage s−1 — or released, for s = 0 —
+	// but not yet completed by stage s).
+	MaxBacklog []int
+	// Overflowed[s] reports MaxBacklog[s] > FifoCap[s] (only when the cap
+	// is non-zero).
+	Overflowed []bool
+	// Busy[s] is the cumulative busy time of stage s.
+	Busy []des.Time
+	// Finish is the completion time of the last item at the last stage.
+	Finish des.Time
+}
+
+// RunChain simulates the N-stage pipeline: stage 0 consumes items as their
+// bits arrive over the CBR link (and not before ReadyAt), every later stage
+// consumes its predecessor's completions in FIFO order. The model follows
+// the same closed-form recurrences as the two-PE Run (which it generalizes):
+//
+//	done[0][i] = max(done[0][i−1], bitsReady[i]) + D[0][i]/F0
+//	done[s][i] = max(done[s][i−1], done[s−1][i]) + D[s][i]/Fs
+func RunChain(items []ChainItem, cfg ChainConfig) (ChainStats, error) {
+	if len(items) == 0 {
+		return ChainStats{}, ErrNoItems
+	}
+	if err := cfg.Validate(); err != nil {
+		return ChainStats{}, err
+	}
+	nStages := len(cfg.Stages)
+	for i, it := range items {
+		if it.Bits < 0 || it.ReadyAt < 0 || len(it.D) != nStages {
+			return ChainStats{}, fmt.Errorf("%w: item %d %+v", ErrBadConfig, i, it)
+		}
+		for s, d := range it.D {
+			if d < 0 {
+				return ChainStats{}, fmt.Errorf("%w: item %d stage %d demand %d", ErrBadConfig, i, s, d)
+			}
+		}
+	}
+
+	st := ChainStats{
+		Done:       make([]events.TimedTrace, nStages),
+		MaxBacklog: make([]int, nStages),
+		Overflowed: make([]bool, nStages),
+		Busy:       make([]des.Time, nStages),
+	}
+	for s := range st.Done {
+		st.Done[s] = make(events.TimedTrace, len(items))
+	}
+
+	// Release times at stage 0.
+	release := make([]int64, len(items))
+	var cum int64
+	for i, it := range items {
+		cum += it.Bits
+		num := cum * 1_000_000_000
+		t := num / cfg.BitRate
+		if num%cfg.BitRate != 0 {
+			t++
+		}
+		t += cfg.StartDelay
+		if it.ReadyAt > t {
+			t = it.ReadyAt
+		}
+		release[i] = t
+	}
+
+	prevDone := events.TimedTrace(release) // "stage −1" completions
+	for s := 0; s < nStages; s++ {
+		var prevFinish int64
+		for i := range items {
+			start := prevFinish
+			if prevDone[i] > start {
+				start = prevDone[i]
+			}
+			d := cyclesToNs(items[i].D[s], cfg.Stages[s].Hz)
+			st.Busy[s] += d
+			finish := start + d
+			st.Done[s][i] = finish
+			prevFinish = finish
+		}
+		// Backlog of the FIFO node in front of stage s: arrivals are
+		// prevDone, departures are st.Done[s]. Peak occupancy by sweep.
+		st.MaxBacklog[s] = peakOccupancy(prevDone, st.Done[s])
+		if cap := cfg.Stages[s].FifoCap; cap > 0 && st.MaxBacklog[s] > cap {
+			st.Overflowed[s] = true
+		}
+		prevDone = st.Done[s]
+	}
+	st.Finish = st.Done[nStages-1][len(items)-1]
+	return st, nil
+}
+
+// peakOccupancy computes the maximum number of items that have arrived but
+// not departed, given per-item arrival and departure times with FIFO order
+// (arrivals and departures each non-decreasing, departure[i] ≥ arrival[i]).
+func peakOccupancy(arrivals, departures events.TimedTrace) int {
+	peak, inside := 0, 0
+	ai, di := 0, 0
+	for ai < len(arrivals) {
+		// Process the earlier event first; arrivals before departures at
+		// ties (occupancy counts an item during its service).
+		if arrivals[ai] <= departures[di] {
+			inside++
+			ai++
+			if inside > peak {
+				peak = inside
+			}
+		} else {
+			inside--
+			di++
+		}
+	}
+	return peak
+}

@@ -1,0 +1,174 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"wcm/internal/events"
+)
+
+func TestRunChainMatchesTwoStageRun(t *testing.T) {
+	// A 2-stage chain must reproduce the dedicated two-PE model exactly.
+	g := events.NewLCG(5)
+	n := 40
+	items2 := make([]Item, n)
+	itemsC := make([]ChainItem, n)
+	for i := 0; i < n; i++ {
+		bits := 1 + g.Intn(400)
+		d1 := g.Intn(200)
+		d2 := g.Intn(300)
+		items2[i] = Item{Bits: bits, D1: d1, D2: d2}
+		itemsC[i] = ChainItem{Bits: bits, D: []int64{d1, d2}}
+	}
+	cfg2 := Config{BitRate: 500_000_000, F1Hz: 7e8, F2Hz: 4e8}
+	cfgC := ChainConfig{BitRate: 500_000_000, Stages: []StageConfig{
+		{Name: "pe1", Hz: 7e8},
+		{Name: "pe2", Hz: 4e8},
+	}}
+	st2, err := Run(items2, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stC, err := RunChain(itemsC, cfgC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if stC.Done[0][i] != st2.PE1Done[i] {
+			t.Fatalf("stage0 done[%d] = %d vs %d", i, stC.Done[0][i], st2.PE1Done[i])
+		}
+		if stC.Done[1][i] != st2.PE2Done[i] {
+			t.Fatalf("stage1 done[%d] = %d vs %d", i, stC.Done[1][i], st2.PE2Done[i])
+		}
+	}
+	if stC.Finish != st2.Finish {
+		t.Fatalf("finish %d vs %d", stC.Finish, st2.Finish)
+	}
+	// The two-PE FIFO backlog equals the chain's stage-1 backlog.
+	if stC.MaxBacklog[1] != st2.MaxBacklog {
+		t.Fatalf("backlog %d vs %d", stC.MaxBacklog[1], st2.MaxBacklog)
+	}
+}
+
+func TestRunChainValidation(t *testing.T) {
+	if _, err := RunChain(nil, ChainConfig{BitRate: 1, Stages: []StageConfig{{Hz: 1}}}); !errors.Is(err, ErrNoItems) {
+		t.Fatal("no items must fail")
+	}
+	items := []ChainItem{{Bits: 1, D: []int64{1}}}
+	if _, err := RunChain(items, ChainConfig{BitRate: 0, Stages: []StageConfig{{Hz: 1}}}); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("zero bitrate must fail")
+	}
+	if _, err := RunChain(items, ChainConfig{BitRate: 1, Stages: nil}); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("no stages must fail")
+	}
+	// Demand arity mismatch.
+	if _, err := RunChain(items, ChainConfig{BitRate: 1, Stages: []StageConfig{{Hz: 1}, {Hz: 1}}}); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("demand arity mismatch must fail")
+	}
+	bad := []ChainItem{{Bits: 1, D: []int64{-1}}}
+	if _, err := RunChain(bad, ChainConfig{BitRate: 1, Stages: []StageConfig{{Hz: 1}}}); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("negative demand must fail")
+	}
+}
+
+func TestRunChainThreeStageBottleneck(t *testing.T) {
+	// Middle stage is 10× slower: its FIFO accumulates, others stay small.
+	n := 50
+	items := make([]ChainItem, n)
+	for i := range items {
+		items[i] = ChainItem{Bits: 1, D: []int64{10, 10, 10}}
+	}
+	cfg := ChainConfig{BitRate: 1_000_000_000, Stages: []StageConfig{
+		{Name: "fast1", Hz: 1e9},
+		{Name: "slow", Hz: 1e8, FifoCap: 10},
+		{Name: "fast2", Hz: 1e9},
+	}}
+	st, err := RunChain(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxBacklog[1] < 20 {
+		t.Fatalf("bottleneck backlog = %d, want large", st.MaxBacklog[1])
+	}
+	if !st.Overflowed[1] {
+		t.Fatal("bottleneck must overflow its cap of 10")
+	}
+	if st.MaxBacklog[2] > 2 {
+		t.Fatalf("post-bottleneck backlog = %d, want ≤ 2", st.MaxBacklog[2])
+	}
+	if st.Overflowed[0] || st.Overflowed[2] {
+		t.Fatal("unbounded FIFOs cannot overflow")
+	}
+}
+
+func TestRunChainReadyAtGating(t *testing.T) {
+	items := []ChainItem{
+		{Bits: 1, ReadyAt: 1000, D: []int64{10, 10}},
+		{Bits: 1, ReadyAt: 1000, D: []int64{10, 10}},
+	}
+	cfg := ChainConfig{BitRate: 1_000_000_000, Stages: []StageConfig{{Hz: 1e9}, {Hz: 1e9}}}
+	st, err := RunChain(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done[0][0] != 1010 || st.Done[0][1] != 1020 {
+		t.Fatalf("gated stage-0 completions: %v", st.Done[0])
+	}
+}
+
+func TestPeakOccupancy(t *testing.T) {
+	arr := events.TimedTrace{0, 1, 2, 3}
+	dep := events.TimedTrace{5, 6, 7, 8}
+	if got := peakOccupancy(arr, dep); got != 4 {
+		t.Fatalf("peak = %d, want 4", got)
+	}
+	dep2 := events.TimedTrace{1, 2, 3, 4}
+	// Tie handling: item arriving at t counts before the departure at t.
+	if got := peakOccupancy(arr, dep2); got != 2 {
+		t.Fatalf("peak = %d, want 2", got)
+	}
+}
+
+// Chain invariants: per-stage completions are ordered, each stage finishes
+// an item no earlier than its predecessor, busy times are conserved.
+func TestQuickChainInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := events.NewLCG(seed)
+		n := 3 + int(g.Intn(30))
+		stages := 1 + int(g.Intn(4))
+		items := make([]ChainItem, n)
+		for i := range items {
+			d := make([]int64, stages)
+			for s := range d {
+				d[s] = g.Intn(200)
+			}
+			items[i] = ChainItem{Bits: 1 + g.Intn(300), D: d}
+		}
+		cfg := ChainConfig{BitRate: 300_000_000, Stages: make([]StageConfig, stages)}
+		for s := range cfg.Stages {
+			cfg.Stages[s] = StageConfig{Hz: float64(1+g.Intn(9)) * 1e8}
+		}
+		st, err := RunChain(items, cfg)
+		if err != nil {
+			return false
+		}
+		for s := 0; s < stages; s++ {
+			for i := 0; i < n; i++ {
+				if i > 0 && st.Done[s][i] < st.Done[s][i-1] {
+					return false
+				}
+				if s > 0 && st.Done[s][i] < st.Done[s-1][i] {
+					return false
+				}
+			}
+			if st.MaxBacklog[s] < 1 || st.MaxBacklog[s] > n {
+				return false
+			}
+		}
+		return st.Finish == st.Done[stages-1][n-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package pipeline is the transaction-level model of the paper's streaming
+// architecture (Fig. 5): a CBR compressed stream enters PE1 (VLD + IQ),
+// partially decoded items flow through a FIFO to PE2 (IDCT + MC).
+//
+//	CBR bits ──► PE1 ──► FIFO(b) ──► PE2 ──► decoded output
+//
+// The model is work-conserving and transaction-level in the paper's sense:
+// an item occupies PE1 for D1/F1 seconds once its bits have arrived and PE1
+// is free, enters the FIFO at its PE1 completion instant, and occupies PE2
+// for D2/F2 seconds in arrival order. Backlog is the Network-Calculus
+// backlog of the FIFO node: items arrived but not yet fully processed by
+// PE2 (the quantity bounded by eq. (7) and checked in Fig. 7).
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"wcm/internal/des"
+	"wcm/internal/events"
+)
+
+// Errors returned by this package.
+var (
+	ErrNoItems   = errors.New("pipeline: no items")
+	ErrBadConfig = errors.New("pipeline: invalid configuration")
+)
+
+// Item is one unit of work flowing through the pipeline (one macroblock in
+// the case study).
+type Item struct {
+	Bits int64 // compressed size; gates PE1 start under CBR input
+	D1   int64 // PE1 demand in cycles
+	D2   int64 // PE2 demand in cycles
+	// ReadyAt optionally delays the item's availability to PE1 to an
+	// absolute time (ns): the item starts no earlier than
+	// max(bit arrival, ReadyAt). The case study uses this for VBV-style
+	// frame gating — frame f's macroblocks are released at its decode
+	// timestamp, by which the VBV buffer guarantees all its bits arrived.
+	ReadyAt int64
+}
+
+// Config holds the architecture parameters.
+type Config struct {
+	BitRate    int64   // CBR input rate, bits per second
+	F1Hz       float64 // PE1 clock frequency
+	F2Hz       float64 // PE2 clock frequency
+	FifoCap    int     // FIFO capacity in items; 0 = unbounded (measurement mode)
+	StartDelay int64   // ns before the first bit arrives
+}
+
+// Validate checks configuration invariants.
+func (c Config) Validate() error {
+	if c.BitRate <= 0 || c.F1Hz <= 0 || c.F2Hz <= 0 || c.FifoCap < 0 || c.StartDelay < 0 {
+		return fmt.Errorf("%w: %+v", ErrBadConfig, c)
+	}
+	return nil
+}
+
+// Stats is the outcome of a pipeline run.
+type Stats struct {
+	// PE1Done[i] is the time item i left PE1 and entered the FIFO — the
+	// "macroblock arrival process on the output of PE1" whose arrival curve
+	// the case study extracts.
+	PE1Done events.TimedTrace
+	// PE2Done[i] is the time item i completed on PE2.
+	PE2Done events.TimedTrace
+	// MaxBacklog is the maximum number of items simultaneously inside the
+	// FIFO node (arrived at the FIFO, not yet completed by PE2).
+	MaxBacklog int
+	// Overflowed reports whether MaxBacklog exceeded FifoCap (only with
+	// FifoCap > 0).
+	Overflowed bool
+	// Finish is the completion time of the last item on PE2.
+	Finish des.Time
+	// PE1Busy / PE2Busy are the cumulative busy times.
+	PE1Busy des.Time
+	PE2Busy des.Time
+}
+
+// cyclesToNs converts a cycle demand to occupancy time at freq (Hz),
+// rounding up to the next nanosecond (conservative).
+func cyclesToNs(cycles int64, freqHz float64) int64 {
+	ns := float64(cycles) * 1e9 / freqHz
+	t := int64(ns)
+	if float64(t) < ns {
+		t++
+	}
+	if t < 1 && cycles > 0 {
+		t = 1
+	}
+	return t
+}
+
+// Run simulates the pipeline over the given items using the discrete-event
+// kernel and returns the trace statistics.
+func Run(items []Item, cfg Config) (Stats, error) {
+	if len(items) == 0 {
+		return Stats{}, ErrNoItems
+	}
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+
+	eng := des.NewEngine()
+	st := Stats{
+		PE1Done: make(events.TimedTrace, len(items)),
+		PE2Done: make(events.TimedTrace, len(items)),
+	}
+
+	// Bits of item i have fully arrived at StartDelay + ceil(cumBits_i/rate).
+	bitsReady := make([]int64, len(items))
+	var cum int64
+	for i, it := range items {
+		if it.Bits < 0 || it.D1 < 0 || it.D2 < 0 || it.ReadyAt < 0 {
+			return Stats{}, fmt.Errorf("%w: item %d %+v", ErrBadConfig, i, it)
+		}
+		cum += it.Bits
+		// ceil(cum * 1e9 / bitrate)
+		num := cum * 1_000_000_000
+		t := num / cfg.BitRate
+		if num%cfg.BitRate != 0 {
+			t++
+		}
+		bitsReady[i] = cfg.StartDelay + t
+		if it.ReadyAt > bitsReady[i] {
+			bitsReady[i] = it.ReadyAt
+		}
+	}
+
+	backlog := 0
+	fifoWaiting := 0 // items in FIFO not yet started on PE2
+	pe2Free := true
+	next2 := 0 // next item index PE2 will process (FIFO order)
+
+	var startPE2 func()
+	startPE2 = func() {
+		if !pe2Free || fifoWaiting == 0 {
+			return
+		}
+		i := next2
+		next2++
+		fifoWaiting--
+		pe2Free = false
+		d := cyclesToNs(items[i].D2, cfg.F2Hz)
+		st.PE2Busy += d
+		_ = eng.After(d, func() {
+			st.PE2Done[i] = eng.Now()
+			st.Finish = eng.Now()
+			backlog--
+			pe2Free = true
+			startPE2()
+		})
+	}
+
+	// PE1 processes items in order: start_i = max(finish_{i-1}, bitsReady_i).
+	var schedulePE1 func(i int)
+	schedulePE1 = func(i int) {
+		if i >= len(items) {
+			return
+		}
+		start := eng.Now()
+		if bitsReady[i] > start {
+			start = bitsReady[i]
+		}
+		d := cyclesToNs(items[i].D1, cfg.F1Hz)
+		st.PE1Busy += d
+		_ = eng.Schedule(start+d, func() {
+			st.PE1Done[i] = eng.Now()
+			backlog++
+			fifoWaiting++
+			if backlog > st.MaxBacklog {
+				st.MaxBacklog = backlog
+			}
+			if cfg.FifoCap > 0 && backlog > cfg.FifoCap {
+				st.Overflowed = true
+			}
+			startPE2()
+			schedulePE1(i + 1)
+		})
+	}
+	schedulePE1(0)
+	eng.RunAll()
+	return st, nil
+}

@@ -1,0 +1,245 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"wcm/internal/events"
+)
+
+// referenceRun computes the pipeline behaviour with the closed-form
+// recurrences (no DES): start1_i = max(done1_{i-1}, bitsReady_i),
+// done1_i = start1_i + d1_i; start2_i = max(done2_{i-1}, done1_i),
+// done2_i = start2_i + d2_i. Used to cross-validate the event-driven model.
+func referenceRun(items []Item, cfg Config) (pe1, pe2 events.TimedTrace) {
+	pe1 = make(events.TimedTrace, len(items))
+	pe2 = make(events.TimedTrace, len(items))
+	var cum, prev1, prev2 int64
+	for i, it := range items {
+		cum += it.Bits
+		num := cum * 1_000_000_000
+		ready := num / cfg.BitRate
+		if num%cfg.BitRate != 0 {
+			ready++
+		}
+		ready += cfg.StartDelay
+		if it.ReadyAt > ready {
+			ready = it.ReadyAt
+		}
+		start1 := prev1
+		if ready > start1 {
+			start1 = ready
+		}
+		done1 := start1 + cyclesToNs(it.D1, cfg.F1Hz)
+		pe1[i] = done1
+		prev1 = done1
+		start2 := prev2
+		if done1 > start2 {
+			start2 = done1
+		}
+		done2 := start2 + cyclesToNs(it.D2, cfg.F2Hz)
+		pe2[i] = done2
+		prev2 = done2
+	}
+	return pe1, pe2
+}
+
+func defaultCfg() Config {
+	return Config{BitRate: 1_000_000_000, F1Hz: 1e9, F2Hz: 1e9} // 1 bit/ns, 1 cycle/ns
+}
+
+func TestMatchesReferenceRecurrence(t *testing.T) {
+	items := []Item{
+		{Bits: 100, D1: 50, D2: 200},
+		{Bits: 10, D1: 20, D2: 10},
+		{Bits: 500, D1: 100, D2: 300},
+		{Bits: 1, D1: 1, D2: 1},
+	}
+	cfg := defaultCfg()
+	st, err := Run(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref1, ref2 := referenceRun(items, cfg)
+	for i := range items {
+		if st.PE1Done[i] != ref1[i] {
+			t.Fatalf("PE1Done[%d] = %d, want %d", i, st.PE1Done[i], ref1[i])
+		}
+		if st.PE2Done[i] != ref2[i] {
+			t.Fatalf("PE2Done[%d] = %d, want %d", i, st.PE2Done[i], ref2[i])
+		}
+	}
+	if st.Finish != ref2[len(ref2)-1] {
+		t.Fatalf("finish = %d, want %d", st.Finish, ref2[len(ref2)-1])
+	}
+}
+
+func TestBacklogMeasurement(t *testing.T) {
+	// PE2 is 100× slower than PE1: all items pile up in the FIFO.
+	items := make([]Item, 10)
+	for i := range items {
+		items[i] = Item{Bits: 1, D1: 1, D2: 10_000}
+	}
+	cfg := Config{BitRate: 1_000_000_000, F1Hz: 1e9, F2Hz: 1e9}
+	st, err := Run(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxBacklog < 8 {
+		t.Fatalf("max backlog = %d, want near 10", st.MaxBacklog)
+	}
+	// Fast PE2: backlog never exceeds 1.
+	for i := range items {
+		items[i].D2 = 1
+	}
+	st2, err := Run(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.MaxBacklog > 1 {
+		t.Fatalf("fast PE2 backlog = %d", st2.MaxBacklog)
+	}
+}
+
+func TestOverflowFlag(t *testing.T) {
+	items := make([]Item, 20)
+	for i := range items {
+		items[i] = Item{Bits: 1, D1: 1, D2: 100_000}
+	}
+	cfg := Config{BitRate: 1_000_000_000, F1Hz: 1e9, F2Hz: 1e9, FifoCap: 5}
+	st, err := Run(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Overflowed {
+		t.Fatal("expected overflow with cap 5")
+	}
+	cfg.FifoCap = 50
+	st2, err := Run(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Overflowed {
+		t.Fatal("cap 50 must not overflow for 20 items")
+	}
+}
+
+func TestBitGatingPacesPE1(t *testing.T) {
+	// 1000 bits per item at 1 bit/ns, negligible processing: PE1 output is
+	// paced by bit arrival — one item per ~1000ns.
+	items := make([]Item, 5)
+	for i := range items {
+		items[i] = Item{Bits: 1000, D1: 1, D2: 1}
+	}
+	st, err := Run(items, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(items); i++ {
+		gap := st.PE1Done[i] - st.PE1Done[i-1]
+		if gap < 999 || gap > 1001 {
+			t.Fatalf("gap %d between items %d,%d; want ≈1000", gap, i-1, i)
+		}
+	}
+}
+
+func TestStartDelayShiftsEverything(t *testing.T) {
+	items := []Item{{Bits: 10, D1: 5, D2: 5}}
+	cfg := defaultCfg()
+	base, err := Run(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.StartDelay = 1000
+	shifted, err := Run(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted.PE1Done[0] != base.PE1Done[0]+1000 {
+		t.Fatalf("delay not applied: %d vs %d", shifted.PE1Done[0], base.PE1Done[0])
+	}
+}
+
+func TestReadyAtGatesRelease(t *testing.T) {
+	// Tiny bits (arrive immediately) but explicit release times: PE1 output
+	// must follow ReadyAt, modelling VBV frame gating.
+	items := []Item{
+		{Bits: 1, D1: 10, D2: 1, ReadyAt: 1000},
+		{Bits: 1, D1: 10, D2: 1, ReadyAt: 1000},
+		{Bits: 1, D1: 10, D2: 1, ReadyAt: 5000},
+	}
+	st, err := Run(items, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PE1Done[0] != 1010 || st.PE1Done[1] != 1020 {
+		t.Fatalf("first burst at %d, %d; want 1010, 1020", st.PE1Done[0], st.PE1Done[1])
+	}
+	if st.PE1Done[2] != 5010 {
+		t.Fatalf("gated item done at %d, want 5010", st.PE1Done[2])
+	}
+	if _, err := Run([]Item{{Bits: 1, D1: 1, D2: 1, ReadyAt: -5}}, defaultCfg()); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("negative ReadyAt must fail")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(nil, defaultCfg()); !errors.Is(err, ErrNoItems) {
+		t.Fatal("no items must fail")
+	}
+	bad := defaultCfg()
+	bad.BitRate = 0
+	if _, err := Run([]Item{{Bits: 1, D1: 1, D2: 1}}, bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("zero bitrate must fail")
+	}
+	if _, err := Run([]Item{{Bits: -1, D1: 1, D2: 1}}, defaultCfg()); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("negative bits must fail")
+	}
+}
+
+func TestCyclesToNsRoundsUp(t *testing.T) {
+	if got := cyclesToNs(3, 2e9); got != 2 { // 1.5ns → 2
+		t.Fatalf("cyclesToNs(3, 2GHz) = %d, want 2", got)
+	}
+	if got := cyclesToNs(1, 1e12); got != 1 { // sub-ns work still occupies 1ns
+		t.Fatalf("cyclesToNs(1, 1THz) = %d, want 1", got)
+	}
+	if got := cyclesToNs(0, 1e9); got != 0 {
+		t.Fatalf("cyclesToNs(0) = %d", got)
+	}
+}
+
+// Work conservation and FIFO order: PE2 completions are ordered and every
+// item completes after its PE1 completion.
+func TestQuickPipelineInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := events.NewLCG(seed)
+		n := 3 + int(g.Intn(30))
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{Bits: 1 + g.Intn(500), D1: g.Intn(300), D2: g.Intn(300)}
+		}
+		cfg := Config{BitRate: 500_000_000, F1Hz: 5e8, F2Hz: 3e8}
+		st, err := Run(items, cfg)
+		if err != nil {
+			return false
+		}
+		ref1, ref2 := referenceRun(items, cfg)
+		for i := 0; i < n; i++ {
+			if st.PE1Done[i] != ref1[i] || st.PE2Done[i] != ref2[i] {
+				return false
+			}
+			if st.PE2Done[i] < st.PE1Done[i] {
+				return false
+			}
+			if i > 0 && (st.PE1Done[i] < st.PE1Done[i-1] || st.PE2Done[i] < st.PE2Done[i-1]) {
+				return false
+			}
+		}
+		return st.MaxBacklog >= 1 && st.MaxBacklog <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+// Package power translates the frequency savings of the workload-curve
+// analysis into the power and energy terms that motivate the paper
+// ("minimization of cost and power consumption are important objectives").
+//
+// The standard CMOS dynamic-power model is P = C_eff · V² · f with supply
+// voltage scaled proportionally to frequency in the DVS-feasible region, so
+// P ∝ f³ for a frequency-scaled design and E ∝ f² for fixed work (the Shin
+// & Choi setting the paper cites). For designs that only gate frequency
+// (voltage fixed), P ∝ f.
+package power
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadFrequency reports a non-positive frequency.
+var ErrBadFrequency = errors.New("power: frequency must be > 0")
+
+// Model selects how supply voltage tracks frequency.
+type Model int
+
+const (
+	// FrequencyOnly: voltage fixed, P ∝ f (clock gating headroom only).
+	FrequencyOnly Model = iota
+	// VoltageScaled: V ∝ f in the DVS region, P ∝ f³, E ∝ f² per cycle.
+	VoltageScaled
+)
+
+// RelativePower returns the dynamic power of running at fHz relative to
+// running at refHz, under the chosen model.
+func RelativePower(fHz, refHz float64, m Model) (float64, error) {
+	if fHz <= 0 || refHz <= 0 {
+		return 0, fmt.Errorf("%w: f=%g ref=%g", ErrBadFrequency, fHz, refHz)
+	}
+	r := fHz / refHz
+	switch m {
+	case FrequencyOnly:
+		return r, nil
+	case VoltageScaled:
+		return r * r * r, nil
+	default:
+		return 0, fmt.Errorf("power: unknown model %d", m)
+	}
+}
+
+// RelativeEnergy returns the energy to execute a FIXED amount of work
+// (cycles) at fHz relative to refHz: the runtime stretches by refHz/fHz
+// while power shrinks per RelativePower, so E ∝ 1 (FrequencyOnly — same
+// cycles at lower clock, V fixed) or E ∝ f² (VoltageScaled).
+func RelativeEnergy(fHz, refHz float64, m Model) (float64, error) {
+	p, err := RelativePower(fHz, refHz, m)
+	if err != nil {
+		return 0, err
+	}
+	return p * refHz / fHz, nil
+}
+
+// Savings summarizes the power/energy effect of clocking a PE at fGamma
+// instead of fWCET (the paper's two dimensioning outcomes).
+type Savings struct {
+	FrequencyRatio float64 // fGamma / fWCET
+	PowerRatio     float64 // dynamic power at fGamma vs fWCET
+	EnergyRatio    float64 // energy per fixed workload at fGamma vs fWCET
+}
+
+// Compare evaluates both ratios under the model.
+func Compare(fGammaHz, fWCETHz float64, m Model) (Savings, error) {
+	p, err := RelativePower(fGammaHz, fWCETHz, m)
+	if err != nil {
+		return Savings{}, err
+	}
+	e, err := RelativeEnergy(fGammaHz, fWCETHz, m)
+	if err != nil {
+		return Savings{}, err
+	}
+	return Savings{
+		FrequencyRatio: fGammaHz / fWCETHz,
+		PowerRatio:     p,
+		EnergyRatio:    e,
+	}, nil
+}

@@ -1,0 +1,84 @@
+package power
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelativePower(t *testing.T) {
+	p, err := RelativePower(500e6, 1e9, FrequencyOnly)
+	if err != nil || p != 0.5 {
+		t.Fatalf("freq-only half clock: %g, %v", p, err)
+	}
+	p, err = RelativePower(500e6, 1e9, VoltageScaled)
+	if err != nil || math.Abs(p-0.125) > 1e-12 {
+		t.Fatalf("DVS half clock: %g (want 1/8), %v", p, err)
+	}
+	if _, err := RelativePower(0, 1e9, FrequencyOnly); !errors.Is(err, ErrBadFrequency) {
+		t.Fatal("zero frequency must fail")
+	}
+	if _, err := RelativePower(1, 1, Model(9)); err == nil {
+		t.Fatal("unknown model must fail")
+	}
+}
+
+func TestRelativeEnergy(t *testing.T) {
+	// Frequency-only: fixed cycles at fixed V → same energy.
+	e, err := RelativeEnergy(500e6, 1e9, FrequencyOnly)
+	if err != nil || e != 1 {
+		t.Fatalf("freq-only energy: %g, %v", e, err)
+	}
+	// Voltage-scaled: E ∝ f².
+	e, err = RelativeEnergy(500e6, 1e9, VoltageScaled)
+	if err != nil || math.Abs(e-0.25) > 1e-12 {
+		t.Fatalf("DVS energy: %g (want 1/4), %v", e, err)
+	}
+}
+
+// The paper's headline applied to power: 346 vs 740 MHz under DVS.
+func TestComparePaperNumbers(t *testing.T) {
+	s, err := Compare(346e6, 740e6, VoltageScaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FrequencyRatio > 0.5 || s.FrequencyRatio < 0.4 {
+		t.Fatalf("freq ratio %g", s.FrequencyRatio)
+	}
+	// (346/740)³ ≈ 0.102: a ~10× dynamic-power reduction.
+	if s.PowerRatio > 0.12 || s.PowerRatio < 0.08 {
+		t.Fatalf("power ratio %g", s.PowerRatio)
+	}
+	// Energy ∝ f²: ≈ 0.22.
+	if s.EnergyRatio > 0.25 || s.EnergyRatio < 0.18 {
+		t.Fatalf("energy ratio %g", s.EnergyRatio)
+	}
+}
+
+func TestQuickMonotoneInFrequency(t *testing.T) {
+	f := func(aRaw, bRaw uint32) bool {
+		fa := 1e6 + float64(aRaw%1000)*1e6
+		fb := 1e6 + float64(bRaw%1000)*1e6
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		for _, m := range []Model{FrequencyOnly, VoltageScaled} {
+			pa, err := RelativePower(fa, 1e9, m)
+			if err != nil {
+				return false
+			}
+			pb, err := RelativePower(fb, 1e9, m)
+			if err != nil {
+				return false
+			}
+			if pa > pb+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package pwl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func bruteConv(a, b Curve, dt int64) float64 {
+	best := math.Inf(1)
+	for u := int64(0); u <= dt; u++ {
+		if v := a.At(u) + b.At(dt-u); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// The classic tandem result: rate-latency ⊗ rate-latency = rate-latency
+// with the minimum rate and the summed latency.
+func TestConvolveRateLatencyTandem(t *testing.T) {
+	b1, _ := RateLatency(2, 100)
+	b2, _ := RateLatency(1, 50)
+	conv := Convolve(b1, b2)
+	want, _ := RateLatency(1, 150)
+	for dt := int64(0); dt <= 1000; dt += 37 {
+		if math.Abs(conv.At(dt)-want.At(dt)) > 1e-9 {
+			t.Fatalf("tandem at %d: %g, want %g", dt, conv.At(dt), want.At(dt))
+		}
+	}
+}
+
+func TestConvolveWithZeroIsZero(t *testing.T) {
+	b, _ := Rate(3)
+	zero, _ := Constant(0)
+	conv := Convolve(b, zero)
+	for dt := int64(0); dt <= 100; dt += 9 {
+		if conv.At(dt) != 0 {
+			t.Fatalf("β ⊗ 0 must be 0, got %g at %d", conv.At(dt), dt)
+		}
+	}
+}
+
+func TestQuickConvolveMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := seed
+		next := func(n int64) int64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := (rng >> 11) % n
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		a, err := RateLatency(float64(1+next(4)), next(60))
+		if err != nil {
+			return false
+		}
+		b := MustNew([]Point{{0, 0}, {1 + next(80), float64(next(50))}}, float64(1+next(3)))
+		conv := Convolve(a, b)
+		for dt := int64(0); dt <= 200; dt += 23 {
+			truth := bruteConv(a, b, dt)
+			// Never above the true convolution (safe lower service curve);
+			// within one-segment slack below it (crossing rounding).
+			if conv.At(dt) > truth+1e-6 {
+				return false
+			}
+			if conv.At(dt) < truth-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Pay bursts only once: the delay bound against the convolved end-to-end
+// service is no worse than the sum of per-node delay bounds.
+func TestConvolvePayBurstsOnlyOnce(t *testing.T) {
+	alpha := MustNew([]Point{{0, 20}}, 0.5)
+	b1, _ := RateLatency(2, 100)
+	b2, _ := RateLatency(1.5, 80)
+	const horizon = 100_000
+
+	d1, ok := HorizontalDeviation(alpha, b1, horizon)
+	if !ok {
+		t.Fatal("node 1 unbounded")
+	}
+	// Output of node 1 feeds node 2: bound its arrival by deconvolution.
+	out1, err := Deconvolve(alpha, b1, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, ok := HorizontalDeviation(out1, b2, horizon)
+	if !ok {
+		t.Fatal("node 2 unbounded")
+	}
+	e2e := Convolve(b1, b2)
+	dBoth, ok := HorizontalDeviation(alpha, e2e, horizon)
+	if !ok {
+		t.Fatal("tandem unbounded")
+	}
+	if dBoth > d1+d2 {
+		t.Fatalf("end-to-end bound %d worse than per-node sum %d", dBoth, d1+d2)
+	}
+	if dBoth >= d1+d2 {
+		t.Fatalf("pay-bursts-only-once should be strict here: %d vs %d", dBoth, d1+d2)
+	}
+}

@@ -1,0 +1,97 @@
+package pwl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Reference implementation: dense scan over u.
+func bruteDeconv(a, b Curve, dt, uMax int64) float64 {
+	best := math.Inf(-1)
+	for u := int64(0); u <= uMax; u++ {
+		if v := a.At(dt+u) - b.At(u); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestDeconvolveLeakyBucketThroughRateLatency(t *testing.T) {
+	// Classic NC result: (b + rΔ) ⊘ rate-latency(R, T) with r ≤ R gives
+	// b + r(Δ + T): the burst grows by the latency's worth of arrivals.
+	alpha := MustNew([]Point{{0, 5}}, 0.5)
+	beta, _ := RateLatency(1, 100)
+	out, err := Deconvolve(alpha, beta, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dt := range []int64{0, 50, 100, 1000} {
+		want := 5 + 0.5*float64(dt+100)
+		if math.Abs(out.At(dt)-want) > 1e-6 {
+			t.Fatalf("out(%d) = %g, want %g", dt, out.At(dt), want)
+		}
+	}
+}
+
+func TestDeconvolveIdentityService(t *testing.T) {
+	// Serving with infinite-rate service (0 latency, huge rate) leaves the
+	// arrival curve unchanged at u = 0.
+	alpha := MustNew([]Point{{0, 3}, {200, 7}}, 0.25)
+	beta, _ := Rate(1e9)
+	out, err := Deconvolve(alpha, beta, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dt := range []int64{0, 100, 200, 500} {
+		if out.At(dt) < alpha.At(dt)-1e-6 {
+			t.Fatalf("deconv below original at %d", dt)
+		}
+		// With enormous service the sup is at u=0: equality.
+		if out.At(dt) > alpha.At(dt)+1e-6 {
+			t.Fatalf("deconv inflated at %d: %g vs %g", dt, out.At(dt), alpha.At(dt))
+		}
+	}
+}
+
+func TestDeconvolveRejectsNegativeHorizon(t *testing.T) {
+	a, _ := Rate(1)
+	if _, err := Deconvolve(a, a, -1); err == nil {
+		t.Fatal("negative horizon must fail")
+	}
+}
+
+func TestQuickDeconvolveDominatesBrute(t *testing.T) {
+	// The PWL result must dominate the dense-scan sup at every sampled Δ
+	// (it is an upper envelope) and be close at breakpoints.
+	f := func(seed int64) bool {
+		rng := seed
+		next := func(n int64) int64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := (rng >> 11) % n
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		alpha := MustNew([]Point{{0, float64(next(20))}}, float64(next(3)))
+		beta, err := RateLatency(float64(next(4)+1), next(50))
+		if err != nil {
+			return false
+		}
+		const uMax = 500
+		out, err := Deconvolve(alpha, beta, uMax)
+		if err != nil {
+			return false
+		}
+		for dt := int64(0); dt <= 300; dt += 37 {
+			if out.At(dt) < bruteDeconv(alpha, beta, dt, uMax)-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

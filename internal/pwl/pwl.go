@@ -1,0 +1,535 @@
+// Package pwl implements piecewise-linear curves over the time-interval
+// domain Δ ≥ 0.
+//
+// Arrival curves ᾱ(Δ) (an upper bound on the number of events seen in any
+// time window of length Δ) and service curves β(Δ) (a lower bound on the
+// service available in any window of length Δ) are both represented as
+// piecewise-linear functions: a finite list of breakpoints followed by a
+// final ray with constant slope. Time is measured in integer nanoseconds
+// (matching the des simulation kernel); values are float64 because service
+// curves such as β(Δ) = F·Δ with fractional cycles-per-nanosecond rates must
+// be representable.
+//
+// Functions in this package treat curves as defined on Δ ∈ [0, ∞) with
+// evaluation beyond the last breakpoint following the final ray.
+package pwl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Errors returned by constructors.
+var (
+	ErrNoPoints      = errors.New("pwl: need at least one breakpoint")
+	ErrBadOrigin     = errors.New("pwl: first breakpoint must be at Δ=0")
+	ErrUnsortedX     = errors.New("pwl: breakpoint Δs must be strictly increasing")
+	ErrNegativeSlope = errors.New("pwl: curve must be non-decreasing")
+)
+
+// Point is a curve breakpoint: the curve passes through (X, Y) and is linear
+// until the next breakpoint. X values are strictly increasing; staircase
+// jumps are represented by their linear upper envelope (see Staircase).
+type Point struct {
+	X int64   // interval length Δ in nanoseconds, ≥ 0
+	Y float64 // curve value at Δ
+}
+
+// Curve is a non-decreasing piecewise-linear function on Δ ≥ 0.
+type Curve struct {
+	pts  []Point // strictly increasing X, pts[0].X == 0
+	rate float64 // slope after the last breakpoint (units per nanosecond)
+}
+
+// New builds a curve through the given breakpoints with final slope rate.
+// The breakpoints must start at Δ=0, have strictly increasing X and
+// non-decreasing Y; rate must be ≥ 0.
+func New(pts []Point, rate float64) (Curve, error) {
+	if len(pts) == 0 {
+		return Curve{}, ErrNoPoints
+	}
+	if pts[0].X != 0 {
+		return Curve{}, ErrBadOrigin
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X {
+			return Curve{}, fmt.Errorf("%w: X[%d]=%d after X[%d]=%d",
+				ErrUnsortedX, i, pts[i].X, i-1, pts[i-1].X)
+		}
+		if pts[i].Y < pts[i-1].Y {
+			return Curve{}, fmt.Errorf("%w: Y[%d]=%g after Y[%d]=%g",
+				ErrNegativeSlope, i, pts[i].Y, i-1, pts[i-1].Y)
+		}
+	}
+	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return Curve{}, fmt.Errorf("%w: final rate %g", ErrNegativeSlope, rate)
+	}
+	cp := make([]Point, len(pts))
+	copy(cp, pts)
+	return Curve{pts: cp, rate: rate}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(pts []Point, rate float64) Curve {
+	c, err := New(pts, rate)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Rate returns a pure rate curve β(Δ) = rate·Δ — the service curve of a
+// fully available processor running at `rate` cycles per nanosecond
+// (rate = F[GHz]).
+func Rate(rate float64) (Curve, error) {
+	return New([]Point{{0, 0}}, rate)
+}
+
+// RateLatency returns the rate-latency service curve
+// β(Δ) = max(0, rate·(Δ − latency)) — a processor that may withhold service
+// for up to `latency` nanoseconds and then serves at full rate.
+func RateLatency(rate float64, latency int64) (Curve, error) {
+	if latency < 0 {
+		return Curve{}, fmt.Errorf("pwl: negative latency %d", latency)
+	}
+	if latency == 0 {
+		return Rate(rate)
+	}
+	return New([]Point{{0, 0}, {latency, 0}}, rate)
+}
+
+// Constant returns the constant curve c(Δ) = v.
+func Constant(v float64) (Curve, error) {
+	if v < 0 {
+		return Curve{}, fmt.Errorf("pwl: negative constant %g", v)
+	}
+	return New([]Point{{0, v}}, 0)
+}
+
+// Staircase builds the piecewise-linear upper envelope of a unit-step
+// staircase with steps at the given Δs: the envelope passes through
+// (steps[i], base+i+1) and interpolates linearly in between, so it upper-
+// bounds the true right-continuous staircase everywhere. With steps at the
+// minimal spans d(1) ≤ d(2) ≤ ... of a trace, the result is a valid (and
+// tight at its breakpoints) arrival curve for ᾱ(Δ) = max{k : d(k) ≤ Δ}.
+// Steps at Δ=0 fold into the base value. The final ray continues flat
+// (rate 0): callers extracting from finite traces must treat evaluation
+// beyond the last step as a lower bound on the true ᾱ.
+func Staircase(base float64, steps []int64) (Curve, error) {
+	for i := 1; i < len(steps); i++ {
+		if steps[i] < steps[i-1] {
+			return Curve{}, fmt.Errorf("%w: step %d at Δ=%d after Δ=%d",
+				ErrUnsortedX, i, steps[i], steps[i-1])
+		}
+	}
+	if len(steps) > 0 && steps[0] < 0 {
+		return Curve{}, fmt.Errorf("pwl: negative step Δ=%d", steps[0])
+	}
+	pts := []Point{{0, base}}
+	v := base
+	i := 0
+	// Fold simultaneous steps at Δ=0 into the origin value.
+	for i < len(steps) && steps[i] == 0 {
+		v++
+		i++
+	}
+	pts[0].Y = v
+	for i < len(steps) {
+		x := steps[i]
+		n := 0
+		for i < len(steps) && steps[i] == x {
+			n++
+			i++
+		}
+		v += float64(n)
+		pts = append(pts, Point{x, v})
+	}
+	return New(pts, 0)
+}
+
+// At evaluates the curve at Δ (must be ≥ 0; negative Δ evaluates to 0, the
+// natural extension for interval domains).
+func (c Curve) At(dt int64) float64 {
+	if dt < 0 {
+		return 0
+	}
+	// Find the last breakpoint with X ≤ dt.
+	i := sort.Search(len(c.pts), func(i int) bool { return c.pts[i].X > dt }) - 1
+	p := c.pts[i]
+	if i == len(c.pts)-1 {
+		return p.Y + c.rate*float64(dt-p.X)
+	}
+	q := c.pts[i+1]
+	frac := float64(dt-p.X) / float64(q.X-p.X)
+	return p.Y + frac*(q.Y-p.Y)
+}
+
+// Points returns a copy of the breakpoints.
+func (c Curve) Points() []Point {
+	cp := make([]Point, len(c.pts))
+	copy(cp, c.pts)
+	return cp
+}
+
+// FinalRate returns the slope after the last breakpoint.
+func (c Curve) FinalRate() float64 { return c.rate }
+
+// LastX returns the Δ of the last breakpoint (the end of the explicitly
+// described prefix).
+func (c Curve) LastX() int64 { return c.pts[len(c.pts)-1].X }
+
+// Shift returns the curve shifted right by d nanoseconds and clamped at 0:
+// (c >> d)(Δ) = c(Δ − d) for Δ ≥ d, 0 before. Used to build delayed /
+// leftover service curves. If the original curve jumps at the origin
+// (c(0) > 0), the jump is approximated by a one-nanosecond ramp *below* the
+// true shifted curve, so the result remains a valid lower service curve.
+func (c Curve) Shift(d int64) (Curve, error) {
+	if d < 0 {
+		return Curve{}, fmt.Errorf("pwl: negative shift %d", d)
+	}
+	if d == 0 {
+		return c, nil
+	}
+	pts := []Point{{0, 0}, {d, 0}}
+	if c.pts[0].Y == 0 {
+		// (0,0) shifts onto (d,0), already present; shift the rest.
+		for _, p := range c.pts[1:] {
+			pts = append(pts, Point{p.X + d, p.Y})
+		}
+	} else {
+		// Jump at the origin: ramp up over one nanosecond (safe under-
+		// approximation for lower curves).
+		for _, p := range c.pts {
+			pts = append(pts, Point{p.X + d + 1, p.Y})
+		}
+	}
+	return New(pts, c.rate)
+}
+
+// Scale returns the curve with values multiplied by f ≥ 0.
+func (c Curve) Scale(f float64) (Curve, error) {
+	if f < 0 {
+		return Curve{}, fmt.Errorf("pwl: negative scale %g", f)
+	}
+	pts := make([]Point, len(c.pts))
+	for i, p := range c.pts {
+		pts[i] = Point{p.X, p.Y * f}
+	}
+	return New(pts, c.rate*f)
+}
+
+// Add returns the pointwise sum a + b.
+func Add(a, b Curve) Curve {
+	xs := mergeXs(a, b)
+	pts := make([]Point, len(xs))
+	for i, x := range xs {
+		pts[i] = Point{x, a.At(x) + b.At(x)}
+	}
+	return MustNew(pts, a.rate+b.rate)
+}
+
+// Min returns the pointwise minimum of a and b, with breakpoints at the
+// union of both curves' breakpoints and at segment crossings.
+func Min(a, b Curve) Curve { return combine(a, b, math.Min) }
+
+// Max returns the pointwise maximum of a and b.
+func Max(a, b Curve) Curve { return combine(a, b, math.Max) }
+
+func combine(a, b Curve, f func(float64, float64) float64) Curve {
+	xs := mergeXs(a, b)
+	// Insert crossing points between consecutive xs so linearity holds.
+	var allXs []int64
+	for i := 0; i < len(xs); i++ {
+		allXs = append(allXs, xs[i])
+		if i+1 < len(xs) {
+			if x, ok := crossing(a, b, xs[i], xs[i+1]); ok {
+				allXs = append(allXs, x)
+			}
+		}
+	}
+	// Beyond the last breakpoint both are rays; a final crossing may occur.
+	last := xs[len(xs)-1]
+	av, bv := a.At(last), b.At(last)
+	if (av-bv)*(a.rate-b.rate) < 0 {
+		// The rays converge and cross at last + (bv-av)/(a.rate-b.rate).
+		dx := (bv - av) / (a.rate - b.rate)
+		if dx > 0 {
+			allXs = append(allXs, last+int64(math.Ceil(dx)))
+		}
+	}
+	sort.Slice(allXs, func(i, j int) bool { return allXs[i] < allXs[j] })
+	allXs = dedupe(allXs)
+	pts := make([]Point, len(allXs))
+	for i, x := range allXs {
+		pts[i] = Point{x, f(a.At(x), b.At(x))}
+	}
+	rate := f(a.rate, b.rate)
+	// For Min the final rate is the smaller ray's rate; for Max the larger.
+	// (After the final crossing point one ray dominates.)
+	return MustNew(pts, rate)
+}
+
+// crossing returns an integer Δ strictly inside (x0, x1) where a−b changes
+// sign, if any.
+func crossing(a, b Curve, x0, x1 int64) (int64, bool) {
+	d0 := a.At(x0) - b.At(x0)
+	d1 := a.At(x1) - b.At(x1)
+	if d0 == 0 || d1 == 0 || (d0 > 0) == (d1 > 0) {
+		return 0, false
+	}
+	// Linear on the segment: solve for the sign change, round to int.
+	t := d0 / (d0 - d1) // in (0,1)
+	x := x0 + int64(math.Round(t*float64(x1-x0)))
+	if x <= x0 || x >= x1 {
+		return 0, false
+	}
+	return x, true
+}
+
+// SupDiff computes sup_{0 ≤ Δ ≤ horizon} (a(Δ) − b(Δ)) and the Δ attaining
+// it. This is eq. (6) of the paper: the backlog bound B ≤ sup(α − β). The
+// supremum over a piecewise-linear difference is attained at a breakpoint of
+// either curve (or the horizon), so only those points are inspected.
+func SupDiff(a, b Curve, horizon int64) (sup float64, at int64) {
+	xs := mergeXs(a, b)
+	sup = math.Inf(-1)
+	consider := func(x int64) {
+		if x < 0 || x > horizon {
+			return
+		}
+		if d := a.At(x) - b.At(x); d > sup {
+			sup, at = d, x
+		}
+	}
+	for _, x := range xs {
+		consider(x)
+	}
+	consider(horizon)
+	return sup, at
+}
+
+// HorizontalDeviation computes the maximum horizontal distance from a to b
+// over [0, horizon]: sup_Δ inf{d ≥ 0 : a(Δ) ≤ b(Δ+d)} — the Network-
+// Calculus delay bound when a is an arrival curve and b a service curve.
+// Returns the delay in nanoseconds (math.Inf(1) as +horizon saturation is
+// reported via the bool: ok=false means b never catches up within horizon).
+func HorizontalDeviation(a, b Curve, horizon int64) (delay int64, ok bool) {
+	xs := append(mergeXs(a, b), horizon)
+	var worst int64
+	for _, x := range xs {
+		if x > horizon {
+			continue
+		}
+		target := a.At(x)
+		d, found := invCatchUp(b, target, x, horizon)
+		if !found {
+			return 0, false
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, true
+}
+
+// invCatchUp finds the smallest t ≥ from with b(t) ≥ target, returning
+// t − from. Search is over [from, horizon].
+func invCatchUp(b Curve, target float64, from, horizon int64) (int64, bool) {
+	if b.At(from) >= target {
+		return 0, true
+	}
+	if b.At(horizon) < target {
+		return 0, false
+	}
+	lo, hi := from, horizon
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if b.At(mid) >= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo - from, true
+}
+
+// Convolve computes the min-plus convolution
+//
+//	(a ⊗ b)(Δ) = inf_{0 ≤ u ≤ Δ} ( a(u) + b(Δ−u) )
+//
+// — the service curve of two nodes in tandem: a flow crossing both is
+// guaranteed a ⊗ b end to end, which is the Network-Calculus
+// "pay bursts only once" principle (one end-to-end bound beats the sum of
+// per-node bounds). The infimum of a piecewise-linear sum is attained with
+// u at a breakpoint of a or Δ−u at a breakpoint of b; the result is
+// evaluated exactly at the pairwise breakpoint sums and interpolated
+// linearly in between. For the convex curves used as service models
+// (rate-latency) the result is exact everywhere.
+func Convolve(a, b Curve) Curve {
+	// The infimum over u is attained with u at a breakpoint of a or Δ−u at
+	// a breakpoint of b (between breakpoints the objective is linear in u).
+	// So a ⊗ b is the pointwise minimum of the finite family of shifted
+	// curves { a(x) + b(·−x) : x ∈ bp(a) } ∪ { b(y) + a(·−y) : y ∈ bp(b) },
+	// which we fold with Min (crossing points inserted; corner-cutting is
+	// on the safe under-approximating side for lower service curves).
+	family := func(fixed, moving Curve, out *[]Curve) {
+		for _, p := range fixed.Points() {
+			shifted, err := moving.Shift(p.X)
+			if err != nil {
+				continue // p.X ≥ 0 by construction; defensive only
+			}
+			level, err := Constant(fixed.At(p.X))
+			if err != nil {
+				continue
+			}
+			*out = append(*out, Add(shifted, level))
+		}
+	}
+	var members []Curve
+	family(a, b, &members)
+	family(b, a, &members)
+	conv := members[0]
+	for _, m := range members[1:] {
+		conv = Min(conv, m)
+	}
+	return conv
+}
+
+// Deconvolve computes the min-plus deconvolution (a ⊘ b)(Δ) =
+// sup_{u ≥ 0} ( a(Δ+u) − b(u) ) over u ∈ [0, uMax] — the exact Network-
+// Calculus output-arrival-curve operator: a flow with arrival curve a
+// served with service curve b leaves with arrival curve a ⊘ b. When a's
+// final rate exceeds b's the supremum diverges as u → ∞; the finite uMax
+// makes the result a valid bound for analyses whose busy periods are known
+// to be shorter than uMax (callers typically pass the backlog-clearing
+// horizon).
+//
+// The result is evaluated exactly at the shifted breakpoints of both curves
+// and interpolated linearly in between, which over-approximates (convexity
+// of sup of linear functions), keeping the output a valid upper arrival
+// curve.
+func Deconvolve(a, b Curve, uMax int64) (Curve, error) {
+	if uMax < 0 {
+		return Curve{}, fmt.Errorf("pwl: negative deconvolution horizon %d", uMax)
+	}
+	// Candidate u values: breakpoints of b, breakpoints of a shifted into
+	// range for each Δ — evaluating sup exactly for piecewise-linear f
+	// requires u where slopes change: u ∈ breakpoints(b) ∪ {x − Δ : x ∈
+	// breakpoints(a)}. We sample the sup at Δ values from both curves'
+	// breakpoints (and their differences), computing the sup by scanning
+	// candidate u's.
+	var us []int64
+	for _, p := range b.Points() {
+		if p.X <= uMax {
+			us = append(us, p.X)
+		}
+	}
+	us = append(us, uMax)
+
+	sup := func(dt int64) float64 {
+		best := math.Inf(-1)
+		for _, u := range us {
+			if v := a.At(dt+u) - b.At(u); v > best {
+				best = v
+			}
+		}
+		// Also u such that dt+u hits a breakpoint of a.
+		for _, p := range a.Points() {
+			u := p.X - dt
+			if u >= 0 && u <= uMax {
+				if v := a.At(dt+u) - b.At(u); v > best {
+					best = v
+				}
+			}
+		}
+		return best
+	}
+
+	// Output breakpoints: a's breakpoints (shifted by each u candidate
+	// would be exhaustive; a's own Xs suffice for exactness at them, with
+	// linear interpolation elsewhere being an upper bound).
+	var xs []int64
+	seen := map[int64]bool{}
+	add := func(x int64) {
+		if x >= 0 && !seen[x] {
+			seen[x] = true
+			xs = append(xs, x)
+		}
+	}
+	add(0)
+	for _, p := range a.Points() {
+		add(p.X)
+	}
+	for _, p := range b.Points() {
+		add(p.X)
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+
+	pts := make([]Point, 0, len(xs))
+	prev := math.Inf(-1)
+	for _, x := range xs {
+		v := sup(x)
+		if v < prev {
+			v = prev // monotone repair (sup is monotone in Δ; guard fp noise)
+		}
+		if v < 0 {
+			v = 0
+		}
+		prev = v
+		pts = append(pts, Point{X: x, Y: v})
+	}
+	return New(pts, a.rate)
+}
+
+// LeqOn reports whether a(Δ) ≤ b(Δ) for all Δ in [0, horizon]. Like SupDiff
+// it needs to check only breakpoints and the horizon.
+func LeqOn(a, b Curve, horizon int64) bool {
+	sup, _ := SupDiff(a, b, horizon)
+	return sup <= 1e-9
+}
+
+func mergeXs(a, b Curve) []int64 {
+	xs := make([]int64, 0, len(a.pts)+len(b.pts))
+	for _, p := range a.pts {
+		xs = append(xs, p.X)
+	}
+	for _, p := range b.pts {
+		xs = append(xs, p.X)
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	return dedupe(xs)
+}
+
+func dedupe(xs []int64) []int64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// String renders a short description.
+func (c Curve) String() string {
+	var b strings.Builder
+	b.WriteString("PWL[")
+	show := len(c.pts)
+	if show > 6 {
+		show = 6
+	}
+	for i := 0; i < show; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "(%d,%g)", c.pts[i].X, c.pts[i].Y)
+	}
+	if show < len(c.pts) {
+		fmt.Fprintf(&b, " …(%d pts)", len(c.pts))
+	}
+	fmt.Fprintf(&b, "]+%g/ns", c.rate)
+	return b.String()
+}

@@ -1,0 +1,352 @@
+package pwl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty points must fail")
+	}
+	if _, err := New([]Point{{5, 0}}, 0); err == nil {
+		t.Fatal("first point must be at Δ=0")
+	}
+	if _, err := New([]Point{{0, 0}, {0, 1}}, 0); err == nil {
+		t.Fatal("duplicate X must fail")
+	}
+	if _, err := New([]Point{{0, 5}, {10, 3}}, 0); err == nil {
+		t.Fatal("decreasing Y must fail")
+	}
+	if _, err := New([]Point{{0, 0}}, -1); err == nil {
+		t.Fatal("negative rate must fail")
+	}
+	if _, err := New([]Point{{0, 0}}, math.NaN()); err == nil {
+		t.Fatal("NaN rate must fail")
+	}
+}
+
+func TestRateCurve(t *testing.T) {
+	c, err := Rate(0.5) // 0.5 cycles/ns = 500 MHz
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dt := range []int64{0, 1, 10, 1000} {
+		if got, want := c.At(dt), 0.5*float64(dt); got != want {
+			t.Fatalf("Rate(0.5)(%d) = %g, want %g", dt, got, want)
+		}
+	}
+	if c.At(-5) != 0 {
+		t.Fatal("negative Δ must evaluate to 0")
+	}
+}
+
+func TestRateLatency(t *testing.T) {
+	c, err := RateLatency(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dt   int64
+		want float64
+	}{{0, 0}, {50, 0}, {100, 0}, {101, 2}, {200, 200}}
+	for _, tc := range cases {
+		if got := c.At(tc.dt); got != tc.want {
+			t.Fatalf("RateLatency(2,100)(%d) = %g, want %g", tc.dt, got, tc.want)
+		}
+	}
+	if _, err := RateLatency(1, -1); err == nil {
+		t.Fatal("negative latency must fail")
+	}
+	// Zero latency degenerates to Rate.
+	c0, err := RateLatency(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c0.At(10); got != 30 {
+		t.Fatalf("RateLatency(3,0)(10) = %g, want 30", got)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c, err := Constant(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dt := range []int64{0, 1, 100000} {
+		if got := c.At(dt); got != 7 {
+			t.Fatalf("Constant(7)(%d) = %g", dt, got)
+		}
+	}
+	if _, err := Constant(-1); err == nil {
+		t.Fatal("negative constant must fail")
+	}
+}
+
+func TestStaircase(t *testing.T) {
+	// Steps at Δ=0,0,5,5,9: base 0 → value 2 at Δ=0, 4 at Δ=5, 5 at Δ=9.
+	c, err := Staircase(0, []int64{0, 0, 5, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.At(0); got != 2 {
+		t.Fatalf("At(0) = %g, want 2", got)
+	}
+	if got := c.At(5); got != 4 {
+		t.Fatalf("At(5) = %g, want 4", got)
+	}
+	if got := c.At(9); got != 5 {
+		t.Fatalf("At(9) = %g, want 5", got)
+	}
+	if got := c.At(1000); got != 5 {
+		t.Fatalf("flat tail: At(1000) = %g, want 5", got)
+	}
+	// Envelope property: value at any Δ must be ≥ true staircase.
+	trueStair := func(dt int64) float64 {
+		steps := []int64{0, 0, 5, 5, 9}
+		n := 0
+		for _, s := range steps {
+			if s <= dt {
+				n++
+			}
+		}
+		return float64(n)
+	}
+	for dt := int64(0); dt <= 12; dt++ {
+		if c.At(dt) < trueStair(dt)-1e-12 {
+			t.Fatalf("envelope below staircase at Δ=%d: %g < %g", dt, c.At(dt), trueStair(dt))
+		}
+	}
+	if _, err := Staircase(0, []int64{5, 3}); err == nil {
+		t.Fatal("unsorted steps must fail")
+	}
+	if _, err := Staircase(0, []int64{-1}); err == nil {
+		t.Fatal("negative step must fail")
+	}
+}
+
+func TestShiftPreservesLowerBound(t *testing.T) {
+	c, _ := Rate(2)
+	s, err := c.Shift(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shifted rate curve is a rate-latency curve.
+	want, _ := RateLatency(2, 50)
+	for dt := int64(0); dt <= 200; dt += 7 {
+		if got, w := s.At(dt), want.At(dt); math.Abs(got-w) > 1e-9 {
+			t.Fatalf("shift(50) at %d = %g, want %g", dt, got, w)
+		}
+	}
+	// Curve with an origin jump: shifted version must stay ≤ true shift.
+	j := MustNew([]Point{{0, 10}, {100, 30}}, 1)
+	sj, err := j.Shift(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dt := int64(0); dt <= 300; dt++ {
+		var truth float64
+		if dt >= 20 {
+			truth = j.At(dt - 20)
+		}
+		if sj.At(dt) > truth+1e-9 {
+			t.Fatalf("shift overestimates at Δ=%d: %g > %g", dt, sj.At(dt), truth)
+		}
+	}
+	if _, err := c.Shift(-1); err == nil {
+		t.Fatal("negative shift must fail")
+	}
+	s0, err := c.Shift(0)
+	if err != nil || s0.At(10) != c.At(10) {
+		t.Fatal("zero shift must be identity")
+	}
+}
+
+func TestScale(t *testing.T) {
+	c := MustNew([]Point{{0, 0}, {10, 5}}, 1)
+	s, err := c.Scale(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dt := int64(0); dt < 40; dt++ {
+		if got, want := s.At(dt), 3*c.At(dt); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("scale at %d: %g want %g", dt, got, want)
+		}
+	}
+	if _, err := c.Scale(-2); err == nil {
+		t.Fatal("negative scale must fail")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := MustNew([]Point{{0, 0}, {10, 5}}, 2)
+	b, _ := RateLatency(1, 4)
+	s := Add(a, b)
+	for dt := int64(0); dt < 50; dt++ {
+		want := a.At(dt) + b.At(dt)
+		if got := s.At(dt); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("add at %d: %g want %g", dt, got, want)
+		}
+	}
+}
+
+func TestMinMaxAgainstPointwise(t *testing.T) {
+	a := MustNew([]Point{{0, 10}}, 1) // 10 + Δ
+	b, _ := Rate(2)                   // 2Δ — crosses a at Δ=10
+	mn := Min(a, b)
+	mx := Max(a, b)
+	for dt := int64(0); dt <= 40; dt++ {
+		av, bv := a.At(dt), b.At(dt)
+		wantMin, wantMax := math.Min(av, bv), math.Max(av, bv)
+		// Min interpolation may cut concave corners from below, Max convex
+		// corners from above: allow one-sided slack near kinks.
+		if mn.At(dt) > wantMin+1e-9 {
+			t.Fatalf("Min overestimates at %d: %g > %g", dt, mn.At(dt), wantMin)
+		}
+		if mx.At(dt) < wantMax-1e-9 {
+			t.Fatalf("Max underestimates at %d: %g < %g", dt, mx.At(dt), wantMax)
+		}
+		// At breakpoints the combination is exact; check far from the kink.
+		if dt < 8 || dt > 12 {
+			if math.Abs(mn.At(dt)-wantMin) > 1e-9 || math.Abs(mx.At(dt)-wantMax) > 1e-9 {
+				t.Fatalf("min/max not exact away from kink at %d", dt)
+			}
+		}
+	}
+}
+
+func TestSupDiffBacklogBound(t *testing.T) {
+	// α = staircase-ish burst then rate 1; β = rate 2 with latency 10.
+	// Backlog bound sup(α−β) is attained at the service latency edge.
+	alpha := MustNew([]Point{{0, 5}}, 1)
+	beta, _ := RateLatency(2, 10)
+	sup, at := SupDiff(alpha, beta, 1000)
+	if math.Abs(sup-15) > 1e-9 || at != 10 {
+		t.Fatalf("SupDiff = (%g at %d), want (15 at 10)", sup, at)
+	}
+}
+
+func TestSupDiffAtHorizon(t *testing.T) {
+	// α grows faster than β: sup over a finite horizon is at the horizon.
+	alpha, _ := Rate(3)
+	beta, _ := Rate(1)
+	sup, at := SupDiff(alpha, beta, 100)
+	if math.Abs(sup-200) > 1e-9 || at != 100 {
+		t.Fatalf("SupDiff = (%g at %d), want (200 at 100)", sup, at)
+	}
+}
+
+func TestHorizontalDeviationDelayBound(t *testing.T) {
+	// α(Δ) = 5 + Δ, β = 2(Δ−10)⁺. Delay: worst over Δ of catch-up time.
+	alpha := MustNew([]Point{{0, 5}}, 1)
+	beta, _ := RateLatency(2, 10)
+	d, ok := HorizontalDeviation(alpha, beta, 10000)
+	if !ok {
+		t.Fatal("expected bounded delay")
+	}
+	// At Δ=0: α=5, β reaches 5 at t=10+2.5→13 (integer search: 13).
+	// Worst case should be ≥ that and bounded by ~13.
+	if d < 12 || d > 14 {
+		t.Fatalf("delay bound = %d, want ≈13", d)
+	}
+	// Service never catches up within horizon → not ok.
+	slow, _ := Rate(0.5)
+	if _, ok := HorizontalDeviation(alpha, slow, 20); ok {
+		t.Fatal("expected catch-up failure within tiny horizon")
+	}
+}
+
+func TestLeqOn(t *testing.T) {
+	a, _ := Rate(1)
+	b, _ := Rate(2)
+	if !LeqOn(a, b, 1000) {
+		t.Fatal("Δ ≤ 2Δ must hold")
+	}
+	if LeqOn(b, a, 1000) {
+		t.Fatal("2Δ ≤ Δ must fail")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	c := MustNew([]Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5}, {6, 6}, {7, 7}}, 1)
+	if c.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestQuickAddIsExactAtAllPoints(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomCurve(rng)
+		b := randomCurve(rng)
+		s := Add(a, b)
+		for i := 0; i < 50; i++ {
+			x := rng.Int63n(2000)
+			if math.Abs(s.At(x)-(a.At(x)+b.At(x))) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMinMaxSandwich(t *testing.T) {
+	// Min ≤ both operands ≤ Max (within corner-cutting tolerance on the
+	// correct side: Min never above either operand, Max never below).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomCurve(rng)
+		b := randomCurve(rng)
+		mn, mx := Min(a, b), Max(a, b)
+		for i := 0; i < 50; i++ {
+			x := rng.Int63n(2000)
+			if mn.At(x) > a.At(x)+1e-6 || mn.At(x) > b.At(x)+1e-6 {
+				return false
+			}
+			if mx.At(x) < a.At(x)-1e-6 || mx.At(x) < b.At(x)-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCurve(rng)
+		prev := c.At(0)
+		for x := int64(1); x < 500; x += 3 {
+			v := c.At(x)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomCurve(rng *rand.Rand) Curve {
+	n := 1 + rng.Intn(6)
+	pts := make([]Point, n)
+	x := int64(0)
+	y := float64(rng.Intn(5))
+	for i := 0; i < n; i++ {
+		pts[i] = Point{x, y}
+		x += 1 + rng.Int63n(100)
+		y += float64(rng.Intn(20))
+	}
+	return MustNew(pts, float64(rng.Intn(4)))
+}

@@ -1,0 +1,64 @@
+package rms_test
+
+import (
+	"fmt"
+	"log"
+
+	"wcm/internal/core"
+	"wcm/internal/rms"
+)
+
+// The headline of Sec. 3.1: eq. (4) accepts a set eq. (3) rejects.
+func ExampleTaskSet_Compare() {
+	poll := core.PollingTask{Period: 10, ThetaMin: 30, ThetaMax: 50, Ep: 9, Ec: 2}
+	w, err := poll.Workload(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worker, err := rms.WCETTask("worker", 40, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := rms.NewTaskSet(rms.Task{Name: "poller", Period: 10, Gamma: w.Upper}, worker)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := set.Compare()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("L = %.3f (eq. 3), L̃ = %.3f (eq. 4)\n", cmp.WCET.Set, cmp.Curve.Set)
+	// Output:
+	// L = 1.300 (eq. 3), L̃ = 0.950 (eq. 4)
+}
+
+// Response-time analysis with workload curves: the fixpoint of
+// R = C_lo + γᵘ_hi(⌈R/T_hi⌉).
+func ExampleTaskSet_ResponseTimeCurve() {
+	poll := core.PollingTask{Period: 10, ThetaMin: 30, ThetaMax: 50, Ep: 9, Ec: 2}
+	w, _ := poll.Workload(64)
+	worker, _ := rms.WCETTask("worker", 40, 16)
+	set, _ := rms.NewTaskSet(rms.Task{Name: "poller", Period: 10, Gamma: w.Upper}, worker)
+	r, err := set.ResponseTimeCurve(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worst response of the worker: %d (deadline 40)\n", r)
+	// Output:
+	// worst response of the worker: 38 (deadline 40)
+}
+
+// The DVS interpretation: L̃ is the minimum processor speed that keeps the
+// set schedulable.
+func ExampleTaskSet_RequiredSpeed() {
+	a, _ := rms.WCETTask("a", 4, 1)
+	b, _ := rms.WCETTask("b", 8, 2)
+	set, _ := rms.NewTaskSet(a, b)
+	s, err := set.RequiredSpeed()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("can run at %.0f%% clock\n", s*100)
+	// Output:
+	// can run at 50% clock
+}

@@ -1,0 +1,201 @@
+package rms
+
+import (
+	"fmt"
+	"math"
+
+	"wcm/internal/core"
+	"wcm/internal/curve"
+	"wcm/internal/events"
+)
+
+// Task-set generation for statistical evaluation (acceptance-ratio
+// experiments). UUniFast (Bini & Buttazzo) draws n per-task utilizations
+// summing exactly to u, unbiased over the simplex.
+
+// UUniFast returns n utilizations summing to u, deterministic in g.
+func UUniFast(n int, u float64, g *events.LCG) ([]float64, error) {
+	if n < 1 || u <= 0 {
+		return nil, fmt.Errorf("rms: UUniFast(n=%d, u=%g)", n, u)
+	}
+	out := make([]float64, n)
+	sum := u
+	for i := 1; i < n; i++ {
+		next := sum * math.Pow(g.Float64(), 1/float64(n-i))
+		out[i-1] = sum - next
+		sum = next
+	}
+	out[n-1] = sum
+	return out, nil
+}
+
+// SpikedCurve builds an upper workload curve for a task whose activations
+// cost `wcet` at most once every `spacing` activations and `cheap`
+// otherwise — the canonical variable-demand task of the paper (a
+// generalization of the polling task's upper curve):
+//
+//	γᵘ(k) = n(k)·wcet + (k − n(k))·cheap,  n(k) = 1 + ⌊(k−1)/spacing⌋
+func SpikedCurve(wcet, cheap int64, spacing, maxK int) (curve.Curve, error) {
+	if wcet < cheap || cheap <= 0 || spacing < 1 || maxK < 1 {
+		return curve.Curve{}, fmt.Errorf("rms: SpikedCurve(wcet=%d, cheap=%d, spacing=%d)", wcet, cheap, spacing)
+	}
+	return core.UpperFromTypeCounts([]core.TypeCountBound{{
+		Name: "spike", BCET: wcet, WCET: wcet,
+		Count: func(k int) int64 { return 1 + int64(k-1)/int64(spacing) },
+	}}, cheap, maxK)
+}
+
+// GenSetParams configures random task-set generation.
+type GenSetParams struct {
+	N           int     // tasks per set
+	Utilization float64 // total WCET-utilization Σ C_i/T_i
+	Periods     []int64 // period choices (drawn uniformly)
+	Spacing     int     // spike spacing for the variable-demand curves
+	CheapRatio  int64   // WCET / cheap-cost ratio (≥ 1; 1 = constant demand)
+	MaxK        int     // curve horizon
+}
+
+// DefaultGenSetParams returns the configuration used by the acceptance-
+// ratio experiment.
+func DefaultGenSetParams(n int, u float64) GenSetParams {
+	return GenSetParams{
+		N:           n,
+		Utilization: u,
+		Periods:     []int64{20, 50, 100, 200, 500, 1000},
+		Spacing:     4,
+		CheapRatio:  4,
+		MaxK:        256,
+	}
+}
+
+// GenerateTaskSet draws one random task set: UUniFast utilizations, random
+// periods, and a spiked workload curve per task whose WCET matches the
+// drawn utilization (so the WCET test sees exactly Σ C/T = Utilization
+// while the curve test sees the real demand structure).
+func GenerateTaskSet(p GenSetParams, g *events.LCG) (TaskSet, error) {
+	if p.N < 1 || len(p.Periods) == 0 || p.Spacing < 1 || p.CheapRatio < 1 {
+		return nil, fmt.Errorf("rms: bad generation params %+v", p)
+	}
+	us, err := UUniFast(p.N, p.Utilization, g)
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]Task, p.N)
+	for i, u := range us {
+		period := p.Periods[g.Intn(int64(len(p.Periods)))]
+		wcet := int64(u * float64(period))
+		if wcet < 1 {
+			wcet = 1
+		}
+		if wcet > period {
+			wcet = period
+		}
+		cheap := wcet / p.CheapRatio
+		if cheap < 1 {
+			cheap = 1
+		}
+		gamma, err := SpikedCurve(wcet, cheap, p.Spacing, p.MaxK)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = Task{Name: fmt.Sprintf("t%d", i), Period: period, Gamma: gamma}
+	}
+	return NewTaskSet(tasks...)
+}
+
+// VariabilityPoint is one row of the variability sweep: how much
+// utilization beyond 1.0 (in the WCET view) the curve test can still
+// certify, as a function of the WCET/average demand ratio.
+type VariabilityPoint struct {
+	CheapRatio    int64   // WCET / cheap-cost ratio of the generated tasks
+	BreakdownUtil float64 // largest WCET-utilization with ≥ 50% curve acceptance
+}
+
+// VariabilitySweep measures the breakdown utilization of the curve test for
+// increasing demand variability: for each WCET/cheap ratio it scans
+// utilizations upward in steps of `step` until fewer than half of `sets`
+// random task sets pass eq. (4). The paper's motivation — "the worst case
+// processing requirement happens rarely resulting in a high ratio of WCET
+// to the average execution time" — predicts BreakdownUtil grows with the
+// ratio; ratio 1 (constant demand) reproduces the classical test exactly.
+func VariabilitySweep(base GenSetParams, ratios []int64, step float64, sets int, seed uint64) ([]VariabilityPoint, error) {
+	if step <= 0 || sets < 1 {
+		return nil, fmt.Errorf("rms: VariabilitySweep(step=%g, sets=%d)", step, sets)
+	}
+	g := events.NewLCG(seed)
+	out := make([]VariabilityPoint, 0, len(ratios))
+	for _, ratio := range ratios {
+		p := base
+		p.CheapRatio = ratio
+		breakdown := 0.0
+		for u := step; u <= 4.0; u += step {
+			p.Utilization = u
+			accept := 0
+			for s := 0; s < sets; s++ {
+				ts, err := GenerateTaskSet(p, g)
+				if err != nil {
+					return nil, err
+				}
+				l, err := ts.AnalyzeCurve()
+				if err != nil {
+					return nil, err
+				}
+				if l.Schedulable() {
+					accept++
+				}
+			}
+			if accept*2 < sets {
+				break
+			}
+			breakdown = u
+		}
+		out = append(out, VariabilityPoint{CheapRatio: ratio, BreakdownUtil: breakdown})
+	}
+	return out, nil
+}
+
+// AcceptancePoint is one row of the acceptance-ratio experiment.
+type AcceptancePoint struct {
+	Utilization float64
+	WCETRatio   float64 // fraction of sets accepted by eq. (3)
+	CurveRatio  float64 // fraction of sets accepted by eq. (4)
+}
+
+// AcceptanceRatio runs the classic schedulability experiment: for each
+// target utilization, draw `sets` random task sets and report the fraction
+// accepted by each test. Relation (5) guarantees CurveRatio ≥ WCETRatio
+// pointwise.
+func AcceptanceRatio(p GenSetParams, utils []float64, sets int, seed uint64) ([]AcceptancePoint, error) {
+	if sets < 1 {
+		return nil, fmt.Errorf("rms: sets=%d", sets)
+	}
+	g := events.NewLCG(seed)
+	out := make([]AcceptancePoint, 0, len(utils))
+	for _, u := range utils {
+		pu := p
+		pu.Utilization = u
+		acceptW, acceptC := 0, 0
+		for s := 0; s < sets; s++ {
+			ts, err := GenerateTaskSet(pu, g)
+			if err != nil {
+				return nil, err
+			}
+			cmp, err := ts.Compare()
+			if err != nil {
+				return nil, err
+			}
+			if cmp.WCET.Schedulable() {
+				acceptW++
+			}
+			if cmp.Curve.Schedulable() {
+				acceptC++
+			}
+		}
+		out = append(out, AcceptancePoint{
+			Utilization: u,
+			WCETRatio:   float64(acceptW) / float64(sets),
+			CurveRatio:  float64(acceptC) / float64(sets),
+		})
+	}
+	return out, nil
+}

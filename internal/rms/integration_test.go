@@ -1,0 +1,142 @@
+package rms
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wcm/internal/core"
+	"wcm/internal/events"
+	"wcm/internal/sched"
+)
+
+// toSchedTasks converts a WCET task set to simulator tasks with synchronous
+// release (the critical instant) and constant WCET demands.
+func toSchedTasks(ts TaskSet) []sched.Task {
+	out := make([]sched.Task, len(ts))
+	for i, t := range ts {
+		out[i] = sched.Task{Name: t.Name, Period: t.Period, Demands: []int64{t.WCET()}}
+	}
+	return out
+}
+
+// The Lehoczky test is exact for synchronous periodic tasks: acceptance must
+// imply a miss-free simulation over the hyperperiod, rejection must produce
+// a miss in the critical-instant simulation.
+func TestQuickAnalysisMatchesSimulation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			period := int64(2 + rng.Intn(12))
+			wcet := 1 + rng.Int63n(period)
+			task, err := WCETTask("t", period, wcet)
+			if err != nil {
+				return false
+			}
+			tasks[i] = task
+		}
+		ts, err := NewTaskSet(tasks...)
+		if err != nil {
+			return false
+		}
+		l, err := ts.AnalyzeWCET()
+		if err != nil {
+			return false
+		}
+		h, err := ts.Hyperperiod()
+		if err != nil {
+			return false
+		}
+		res, err := sched.Simulate(toSchedTasks(ts), 2*h)
+		if err != nil {
+			return false
+		}
+		if l.Schedulable() {
+			return res.Misses == 0
+		}
+		return res.Misses > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A set accepted only by the workload-curve test must still run miss-free
+// when the actual demands follow the polling pattern the curve models.
+func TestCurveAcceptedSetRunsMissFree(t *testing.T) {
+	p := core.PollingTask{Period: 10, ThetaMin: 30, ThetaMax: 50, Ep: 9, Ec: 2}
+	w, err := p.Workload(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := Task{Name: "poller", Period: 10, Gamma: w.Upper}
+	lo, err := WCETTask("worker", 40, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := NewTaskSet(hi, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := ts.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.WCET.Schedulable() || !cmp.Curve.Schedulable() {
+		t.Fatalf("premise broken: L=%g L̃=%g", cmp.WCET.Set, cmp.Curve.Set)
+	}
+	// Simulate many sampled polling demand sequences; none may miss.
+	for seed := uint64(1); seed <= 25; seed++ {
+		demands, err := events.PollingDemands(p.Period, p.ThetaMin, p.ThetaMax, p.Ep, p.Ec, 400, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simTasks := []sched.Task{
+			{Name: "poller", Period: 10, Demands: demands},
+			{Name: "worker", Period: 40, Demands: []int64{16}},
+		}
+		res, err := sched.Simulate(simTasks, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Misses != 0 {
+			t.Fatalf("seed %d: %d misses despite curve-test acceptance", seed, res.Misses)
+		}
+	}
+}
+
+// The worst demand pattern admitted by γᵘ (expensive burst first) must also
+// be miss-free: the curve test guarantees ALL consistent sequences.
+func TestCurveAcceptedSetWorstPhasing(t *testing.T) {
+	p := core.PollingTask{Period: 10, ThetaMin: 30, ThetaMax: 50, Ep: 9, Ec: 2}
+	w, err := p.Workload(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := Task{Name: "poller", Period: 10, Gamma: w.Upper}
+	lo, _ := WCETTask("worker", 40, 16)
+	ts, _ := NewTaskSet(hi, lo)
+	cmp, err := ts.Compare()
+	if err != nil || !cmp.Curve.Schedulable() {
+		t.Fatalf("premise broken: %v %v", cmp.Curve.Set, err)
+	}
+	// Greedy-worst sequence consistent with γᵘ: demand of job k is
+	// γᵘ(k+1) − γᵘ(k) (front-loads all expensive activations).
+	worst := make([]int64, 120)
+	for k := range worst {
+		worst[k] = w.Upper.MustAt(k+1) - w.Upper.MustAt(k)
+	}
+	simTasks := []sched.Task{
+		{Name: "poller", Period: 10, Demands: worst},
+		{Name: "worker", Period: 40, Demands: []int64{16}},
+	}
+	res, err := sched.Simulate(simTasks, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 {
+		t.Fatalf("%d misses under greedy-worst phasing", res.Misses)
+	}
+}

@@ -1,0 +1,286 @@
+// Package rms implements rate-monotonic schedulability analysis, both the
+// classical exact test of Lehoczky, Sha and Ding (eq. 3 of the paper) and
+// the paper's workload-curve refinement (eq. 4).
+//
+// A task set τ₁..τₙ of periodic tasks is indexed by non-decreasing period
+// (rate-monotonic priority order, τ₁ highest). Deadlines equal periods.
+// The classical test computes
+//
+//	W_i(t) = Σ_{j≤i} C_j · ⌈t/T_j⌉
+//	L_i    = min_{0<t≤T_i} W_i(t)/t       (t ranges over the test points)
+//	L      = max_i L_i
+//
+// and τ_i is schedulable iff L_i ≤ 1 (the set iff L ≤ 1). The paper
+// replaces the per-task demand term C_j·⌈t/T_j⌉ by γᵘ_j(⌈t/T_j⌉), the upper
+// workload curve of τ_j, producing W̃ ≤ W, L̃ ≤ L (relation 5): every set
+// accepted by the classical test is accepted by the refined test, and sets
+// whose expensive activations cannot cluster may be accepted only by the
+// refined test.
+package rms
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"wcm/internal/curve"
+)
+
+// Errors returned by this package.
+var (
+	ErrEmptySet  = errors.New("rms: empty task set")
+	ErrBadTask   = errors.New("rms: invalid task")
+	ErrBadIndex  = errors.New("rms: task index out of range")
+	ErrNotSorted = errors.New("rms: tasks must be sorted by period")
+)
+
+// Task is a periodic task under rate-monotonic scheduling. Gamma is the
+// upper workload curve γᵘ; for the classical WCET-only characterization use
+// WCETTask, which sets γᵘ(k) = C·k.
+type Task struct {
+	Name   string
+	Period int64       // T_i, also the relative deadline
+	Gamma  curve.Curve // γᵘ_i; γᵘ(1) is the task's WCET C_i
+}
+
+// WCETTask builds a task with the single-value WCET characterization.
+func WCETTask(name string, period, wcet int64) (Task, error) {
+	if period <= 0 || wcet <= 0 {
+		return Task{}, fmt.Errorf("%w: %q period=%d wcet=%d", ErrBadTask, name, period, wcet)
+	}
+	return Task{Name: name, Period: period, Gamma: curve.MustLinear(wcet)}, nil
+}
+
+// WCET returns the task's worst-case execution time γᵘ(1).
+func (t Task) WCET() int64 { return t.Gamma.MustAt(1) }
+
+// Validate checks task invariants.
+func (t Task) Validate() error {
+	if t.Period <= 0 {
+		return fmt.Errorf("%w: %q period=%d", ErrBadTask, t.Name, t.Period)
+	}
+	if t.Gamma.PrefixLen() < 2 && !t.Gamma.Infinite() {
+		return fmt.Errorf("%w: %q workload curve needs at least γᵘ(1)", ErrBadTask, t.Name)
+	}
+	if t.Gamma.MustAt(1) <= 0 {
+		return fmt.Errorf("%w: %q has γᵘ(1)=%d", ErrBadTask, t.Name, t.Gamma.MustAt(1))
+	}
+	return nil
+}
+
+// TaskSet is a rate-monotonic task set, sorted by non-decreasing period.
+type TaskSet []Task
+
+// NewTaskSet validates the tasks and sorts them into rate-monotonic
+// priority order (shorter period = higher priority; stable for ties).
+func NewTaskSet(tasks ...Task) (TaskSet, error) {
+	if len(tasks) == 0 {
+		return nil, ErrEmptySet
+	}
+	ts := make(TaskSet, len(tasks))
+	copy(ts, tasks)
+	for _, t := range ts {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(ts, func(i, j int) bool { return ts[i].Period < ts[j].Period })
+	return ts, nil
+}
+
+// Utilization returns Σ C_i/T_i under the WCET characterization.
+func (ts TaskSet) Utilization() float64 {
+	var u float64
+	for _, t := range ts {
+		u += float64(t.WCET()) / float64(t.Period)
+	}
+	return u
+}
+
+// UtilizationBound returns the Liu & Layland bound n(2^{1/n} − 1): any task
+// set with utilization below it is schedulable by RMS regardless of the
+// exact periods.
+func UtilizationBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// TestPoints returns the Lehoczky test points for task i (0-based): the
+// multiples l·T_j ≤ T_i of every period T_j with j ≤ i, plus T_i itself.
+// W_i(t)/t attains its minimum over (0, T_i] at one of these points because
+// W_i is a right-continuous staircase that only jumps there.
+func (ts TaskSet) TestPoints(i int) ([]int64, error) {
+	if i < 0 || i >= len(ts) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadIndex, i, len(ts))
+	}
+	seen := map[int64]bool{}
+	var pts []int64
+	Ti := ts[i].Period
+	for j := 0; j <= i; j++ {
+		Tj := ts[j].Period
+		for l := int64(1); l*Tj <= Ti; l++ {
+			if !seen[l*Tj] {
+				seen[l*Tj] = true
+				pts = append(pts, l*Tj)
+			}
+		}
+	}
+	if !seen[Ti] {
+		pts = append(pts, Ti)
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a] < pts[b] })
+	return pts, nil
+}
+
+// DemandWCET computes W_i(t) of eq. (3): cumulative WCET-based demand of
+// tasks τ₁..τ_i in [0, t].
+func (ts TaskSet) DemandWCET(i int, t int64) (int64, error) {
+	if i < 0 || i >= len(ts) {
+		return 0, fmt.Errorf("%w: %d of %d", ErrBadIndex, i, len(ts))
+	}
+	if t <= 0 {
+		return 0, fmt.Errorf("rms: demand at t=%d", t)
+	}
+	var sum int64
+	for j := 0; j <= i; j++ {
+		arrivals := ceilDiv(t, ts[j].Period)
+		sum += ts[j].WCET() * arrivals
+	}
+	return sum, nil
+}
+
+// DemandCurve computes W̃_i(t) of eq. (4): cumulative demand with each
+// task's arrivals passed through its upper workload curve. Finite curves
+// are extended by subadditive decomposition (a valid upper bound), so
+// trace-derived curves work for any t.
+func (ts TaskSet) DemandCurve(i int, t int64) (int64, error) {
+	if i < 0 || i >= len(ts) {
+		return 0, fmt.Errorf("%w: %d of %d", ErrBadIndex, i, len(ts))
+	}
+	if t <= 0 {
+		return 0, fmt.Errorf("rms: demand at t=%d", t)
+	}
+	var sum int64
+	for j := 0; j <= i; j++ {
+		arrivals := ceilDiv(t, ts[j].Period)
+		v, err := ts[j].Gamma.UpperBoundAt(int(arrivals))
+		if err != nil {
+			return 0, fmt.Errorf("rms: task %q γᵘ(%d): %w", ts[j].Name, arrivals, err)
+		}
+		sum += v
+	}
+	return sum, nil
+}
+
+// LFactors holds the per-task and set-wide schedulability factors.
+type LFactors struct {
+	PerTask []float64 // L_i (or L̃_i)
+	Set     float64   // L = max_i L_i
+}
+
+// Schedulable reports whether every task meets its deadline: L ≤ 1.
+func (l LFactors) Schedulable() bool { return l.Set <= 1 }
+
+// AnalyzeWCET runs the classical Lehoczky test (eq. 3) on the set.
+func (ts TaskSet) AnalyzeWCET() (LFactors, error) {
+	return ts.analyze(ts.DemandWCET)
+}
+
+// AnalyzeCurve runs the workload-curve test (eq. 4) on the set.
+func (ts TaskSet) AnalyzeCurve() (LFactors, error) {
+	return ts.analyze(ts.DemandCurve)
+}
+
+func (ts TaskSet) analyze(demand func(int, int64) (int64, error)) (LFactors, error) {
+	if len(ts) == 0 {
+		return LFactors{}, ErrEmptySet
+	}
+	out := LFactors{PerTask: make([]float64, len(ts))}
+	for i := range ts {
+		pts, err := ts.TestPoints(i)
+		if err != nil {
+			return LFactors{}, err
+		}
+		li := math.Inf(1)
+		for _, t := range pts {
+			w, err := demand(i, t)
+			if err != nil {
+				return LFactors{}, err
+			}
+			if v := float64(w) / float64(t); v < li {
+				li = v
+			}
+		}
+		out.PerTask[i] = li
+		if li > out.Set {
+			out.Set = li
+		}
+	}
+	return out, nil
+}
+
+// RequiredSpeed returns the minimum processor speed (as a fraction of the
+// nominal speed used to express the execution demands) at which the task
+// set remains schedulable under the workload-curve test: exactly L̃, since
+// L_i = min_t W_i(t)/t is the speed at which τ_i's worst demand fits its
+// window. This is the dynamic-voltage-scaling interpretation behind the
+// paper's power-consumption motivation (Shin & Choi): a set with L̃ = 0.6
+// can run at 60% clock — and the WCET view would demand L ≥ L̃.
+func (ts TaskSet) RequiredSpeed() (float64, error) {
+	l, err := ts.AnalyzeCurve()
+	if err != nil {
+		return 0, err
+	}
+	return l.Set, nil
+}
+
+// Compare runs both tests and reports the factors side by side. Relation
+// (5) of the paper guarantees Curve.Set ≤ WCET.Set.
+type Comparison struct {
+	WCET  LFactors
+	Curve LFactors
+}
+
+// Compare evaluates eq. (3) and eq. (4) on the same set.
+func (ts TaskSet) Compare() (Comparison, error) {
+	w, err := ts.AnalyzeWCET()
+	if err != nil {
+		return Comparison{}, err
+	}
+	c, err := ts.AnalyzeCurve()
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{WCET: w, Curve: c}, nil
+}
+
+// Hyperperiod returns the least common multiple of all periods (the horizon
+// after which the synchronous schedule repeats). Returns an error if the
+// value overflows int64.
+func (ts TaskSet) Hyperperiod() (int64, error) {
+	if len(ts) == 0 {
+		return 0, ErrEmptySet
+	}
+	h := ts[0].Period
+	for _, t := range ts[1:] {
+		g := gcd64(h, t.Period)
+		q := h / g
+		if q > math.MaxInt64/t.Period {
+			return 0, fmt.Errorf("rms: hyperperiod overflow")
+		}
+		h = q * t.Period
+	}
+	return h, nil
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,280 @@
+package rms
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wcm/internal/core"
+	"wcm/internal/curve"
+)
+
+func mustWCETSet(t *testing.T, spec ...[2]int64) TaskSet {
+	t.Helper()
+	tasks := make([]Task, len(spec))
+	for i, s := range spec {
+		task, err := WCETTask("", s[1], s[0]) // (C, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks[i] = task
+	}
+	ts, err := NewTaskSet(tasks...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestUtilizationBound(t *testing.T) {
+	if UtilizationBound(1) != 1 {
+		t.Fatalf("U(1) = %g", UtilizationBound(1))
+	}
+	// n=2: 2(√2−1) ≈ 0.8284; n→∞: ln 2 ≈ 0.6931.
+	if math.Abs(UtilizationBound(2)-0.828427) > 1e-5 {
+		t.Fatalf("U(2) = %g", UtilizationBound(2))
+	}
+	if math.Abs(UtilizationBound(10000)-math.Ln2) > 1e-4 {
+		t.Fatalf("U(10000) = %g", UtilizationBound(10000))
+	}
+	if UtilizationBound(0) != 0 {
+		t.Fatal("U(0) must be 0")
+	}
+}
+
+func TestTaskValidation(t *testing.T) {
+	if _, err := WCETTask("x", 0, 1); !errors.Is(err, ErrBadTask) {
+		t.Fatal("zero period must fail")
+	}
+	if _, err := WCETTask("x", 5, 0); !errors.Is(err, ErrBadTask) {
+		t.Fatal("zero WCET must fail")
+	}
+	if _, err := NewTaskSet(); !errors.Is(err, ErrEmptySet) {
+		t.Fatal("empty set must fail")
+	}
+}
+
+func TestNewTaskSetSorts(t *testing.T) {
+	a, _ := WCETTask("slow", 100, 10)
+	b, _ := WCETTask("fast", 10, 1)
+	ts, err := NewTaskSet(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].Name != "fast" || ts[1].Name != "slow" {
+		t.Fatalf("not sorted: %s, %s", ts[0].Name, ts[1].Name)
+	}
+}
+
+// The classic Liu & Layland example: C1=1,T1=2; C2=1,T2=5 → U = 0.7,
+// schedulable. And the textbook infeasible pair C1=1,T1=2; C2=3,T2=5.
+func TestLehoczkyClassicExamples(t *testing.T) {
+	ok := mustWCETSet(t, [2]int64{1, 2}, [2]int64{1, 5})
+	l, err := ok.AnalyzeWCET()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Schedulable() {
+		t.Fatalf("schedulable set rejected: L=%g", l.Set)
+	}
+	// τ2 demand at t=5: 1·⌈5/2⌉ + 3·1 = 6 > 5; at t=4: 2+3=5 > 4;
+	// at t=2: 1+3 = 4 > 2 — infeasible.
+	bad := mustWCETSet(t, [2]int64{1, 2}, [2]int64{3, 5})
+	l2, err := bad.AnalyzeWCET()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Schedulable() {
+		t.Fatalf("infeasible set accepted: L=%g", l2.Set)
+	}
+	// Full utilization harmonic set C=1,T=2 + C=2,T=4: U=1, schedulable.
+	harm := mustWCETSet(t, [2]int64{1, 2}, [2]int64{2, 4})
+	l3, err := harm.AnalyzeWCET()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l3.Schedulable() || l3.Set != 1 {
+		t.Fatalf("harmonic set: L=%g, want exactly 1", l3.Set)
+	}
+}
+
+func TestTestPoints(t *testing.T) {
+	ts := mustWCETSet(t, [2]int64{1, 3}, [2]int64{1, 8})
+	pts, err := ts.TestPoints(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multiples of 3 up to 8: 3, 6; multiples of 8: 8 → {3, 6, 8}.
+	want := []int64{3, 6, 8}
+	if len(pts) != len(want) {
+		t.Fatalf("points = %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("points = %v, want %v", pts, want)
+		}
+	}
+	if _, err := ts.TestPoints(5); !errors.Is(err, ErrBadIndex) {
+		t.Fatal("bad index must fail")
+	}
+}
+
+// With γᵘ(k) = C·k the curve test must coincide with the WCET test.
+func TestCurveTestDegeneratesToWCET(t *testing.T) {
+	ts := mustWCETSet(t, [2]int64{2, 7}, [2]int64{3, 11}, [2]int64{5, 23})
+	cmp, err := ts.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cmp.WCET.PerTask {
+		if cmp.WCET.PerTask[i] != cmp.Curve.PerTask[i] {
+			t.Fatalf("L_%d: %g vs %g", i, cmp.WCET.PerTask[i], cmp.Curve.PerTask[i])
+		}
+	}
+}
+
+// Paper Sec. 3.1 headline: a set rejected by eq. (3) but accepted by
+// eq. (4) when expensive activations cannot cluster.
+func TestCurveTestAcceptsWhatWCETRejects(t *testing.T) {
+	// High-priority polling task: T=10, every 3rd activation may be
+	// expensive (ep=9), others cheap (ec=2). WCET test sees C=9 every 10
+	// time units; curve test sees γᵘ(k) ≪ 9k.
+	p := core.PollingTask{Period: 10, ThetaMin: 30, ThetaMax: 50, Ep: 9, Ec: 2}
+	w, err := p.Workload(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := Task{Name: "poller", Period: 10, Gamma: w.Upper}
+	lo, err := WCETTask("worker", 40, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := NewTaskSet(hi, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := ts.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WCET view: demand at t=40 for τ2 is 9·4 + 20 = 56 > 40 (and worse at
+	// smaller t) → rejected.
+	if cmp.WCET.Schedulable() {
+		t.Fatalf("WCET test should reject: L=%g", cmp.WCET.Set)
+	}
+	// Curve view at t=40: γᵘ(4)=22, +20 = 42 > 40... at t=30: γᵘ(3)=20+20=40
+	// wait τ2 test points {10,20,30,40}: t=30: γᵘ(3)+20 = 40 > 30;
+	// t=40: γᵘ(4)+20 = 42 > 40. Hmm — tune worker WCET to 16:
+	// t=40: 22+16 = 38 ≤ 40 ⇒ schedulable.
+	if cmp.Curve.Schedulable() {
+		// Accept either outcome for C=20 but enforce the relation; the
+		// decisive assertion uses C=16 below.
+		t.Log("curve test accepted with C=20")
+	}
+	lo2, _ := WCETTask("worker", 40, 16)
+	ts2, _ := NewTaskSet(hi, lo2)
+	cmp2, err := ts2.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp2.WCET.Schedulable() {
+		t.Fatalf("WCET test should still reject C=16: L=%g", cmp2.WCET.Set)
+	}
+	if !cmp2.Curve.Schedulable() {
+		t.Fatalf("curve test should accept C=16: L̃=%g", cmp2.Curve.Set)
+	}
+}
+
+// Relation (5): W̃ ≤ W, L̃_i ≤ L_i, L̃ ≤ L for arbitrary curve tasks.
+func TestQuickRelation5(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			period := int64(5+rng.Intn(50)) * 2
+			// Random subadditive-ish curve from a random trace.
+			trace := make([]int64, 10+rng.Intn(30))
+			for j := range trace {
+				trace[j] = 1 + rng.Int63n(20)
+			}
+			a, err := core.NewAnalyzer(trace)
+			if err != nil {
+				return false
+			}
+			g, err := a.UpperCurve(len(trace))
+			if err != nil {
+				return false
+			}
+			tasks[i] = Task{Name: "t", Period: period, Gamma: g}
+		}
+		ts, err := NewTaskSet(tasks...)
+		if err != nil {
+			return false
+		}
+		cmp, err := ts.Compare()
+		if err != nil {
+			return false
+		}
+		for i := range cmp.WCET.PerTask {
+			if cmp.Curve.PerTask[i] > cmp.WCET.PerTask[i]+1e-12 {
+				return false
+			}
+		}
+		return cmp.Curve.Set <= cmp.WCET.Set+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemandMonotoneInT(t *testing.T) {
+	ts := mustWCETSet(t, [2]int64{2, 7}, [2]int64{3, 11})
+	var prev int64
+	for tt := int64(1); tt <= 22; tt++ {
+		w, err := ts.DemandWCET(1, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w < prev {
+			t.Fatalf("demand decreased at t=%d", tt)
+		}
+		prev = w
+	}
+	if _, err := ts.DemandWCET(1, 0); err == nil {
+		t.Fatal("t=0 must fail")
+	}
+	if _, err := ts.DemandCurve(9, 5); !errors.Is(err, ErrBadIndex) {
+		t.Fatal("bad index must fail")
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	ts := mustWCETSet(t, [2]int64{1, 4}, [2]int64{1, 6}, [2]int64{1, 10})
+	h, err := ts.Hyperperiod()
+	if err != nil || h != 60 {
+		t.Fatalf("hyperperiod = %d, %v; want 60", h, err)
+	}
+	big1, _ := WCETTask("a", math.MaxInt64/2-1, 1)
+	big2, _ := WCETTask("b", math.MaxInt64/3-1, 1)
+	ts2, _ := NewTaskSet(big1, big2)
+	if _, err := ts2.Hyperperiod(); err == nil {
+		t.Fatal("overflow must be reported")
+	}
+}
+
+func TestUpperBoundAtExtension(t *testing.T) {
+	// Finite curve 0,5,8 extended: C(5) ≤ 2·C(2)+C(1) = 16+5 = 21.
+	c := curve.MustNew([]int64{0, 5, 8}, 0, 0)
+	v, err := c.UpperBoundAt(5)
+	if err != nil || v != 21 {
+		t.Fatalf("UpperBoundAt(5) = %d, %v; want 21", v, err)
+	}
+	// Within prefix: exact.
+	v, err = c.UpperBoundAt(2)
+	if err != nil || v != 8 {
+		t.Fatalf("UpperBoundAt(2) = %d, %v; want 8", v, err)
+	}
+}

@@ -1,0 +1,95 @@
+package rms
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Response-time analysis: the fixpoint companion of the Lehoczky test.
+// Under synchronous release (the critical instant) the worst response time
+// of task i satisfies
+//
+//	R = C_i + Σ_{j<i} C_j · ⌈R/T_j⌉              (classical)
+//	R = γᵘ_i(1) + Σ_{j<i} γᵘ_j(⌈R/T_j⌉)          (workload curves)
+//
+// iterated from R = C_i to the least fixpoint. Task i is schedulable iff
+// the fixpoint exists with R ≤ T_i (deadlines equal periods, so only the
+// first job needs checking). The curve variant replaces each interferer's
+// cumulative demand by its upper workload curve, mirroring eq. (4).
+
+// ErrUnbounded reports that the response-time recurrence exceeded the
+// task's deadline (the task set is not schedulable at that priority).
+var ErrUnbounded = fmt.Errorf("rms: response time exceeds deadline")
+
+// ResponseTimeWCET computes the classical worst-case response time of task
+// i (0-based, rate-monotonic order). Returns ErrUnbounded if R would exceed
+// T_i.
+func (ts TaskSet) ResponseTimeWCET(i int) (int64, error) {
+	return ts.responseTime(i, func(j int, arrivals int64) (int64, error) {
+		return ts[j].WCET() * arrivals, nil
+	})
+}
+
+// ResponseTimeCurve computes the workload-curve worst-case response time of
+// task i. Finite curves extend by subadditive decomposition.
+func (ts TaskSet) ResponseTimeCurve(i int) (int64, error) {
+	return ts.responseTime(i, func(j int, arrivals int64) (int64, error) {
+		return ts[j].Gamma.UpperBoundAt(int(arrivals))
+	})
+}
+
+func (ts TaskSet) responseTime(i int, demand func(j int, arrivals int64) (int64, error)) (int64, error) {
+	if i < 0 || i >= len(ts) {
+		return 0, fmt.Errorf("%w: %d of %d", ErrBadIndex, i, len(ts))
+	}
+	r := ts[i].WCET()
+	for iter := 0; ; iter++ {
+		next := ts[i].WCET()
+		for j := 0; j < i; j++ {
+			arrivals := ceilDiv(r, ts[j].Period)
+			d, err := demand(j, arrivals)
+			if err != nil {
+				return 0, err
+			}
+			next += d
+		}
+		if next > ts[i].Period {
+			return next, fmt.Errorf("%w: task %q R=%d > T=%d", ErrUnbounded, ts[i].Name, next, ts[i].Period)
+		}
+		if next == r {
+			return r, nil
+		}
+		r = next
+		if iter > 1_000_000 {
+			return 0, fmt.Errorf("rms: response-time iteration diverged for %q", ts[i].Name)
+		}
+	}
+}
+
+// ResponseTimes computes both response-time vectors; entries are -1 where
+// the recurrence exceeds the deadline.
+func (ts TaskSet) ResponseTimes() (wcet, curve []int64, err error) {
+	wcet = make([]int64, len(ts))
+	curve = make([]int64, len(ts))
+	for i := range ts {
+		r, err := ts.ResponseTimeWCET(i)
+		if err != nil && !errors.Is(err, ErrUnbounded) {
+			return nil, nil, err
+		}
+		if err != nil {
+			wcet[i] = -1
+		} else {
+			wcet[i] = r
+		}
+		r, err = ts.ResponseTimeCurve(i)
+		if err != nil && !errors.Is(err, ErrUnbounded) {
+			return nil, nil, err
+		}
+		if err != nil {
+			curve[i] = -1
+		} else {
+			curve[i] = r
+		}
+	}
+	return wcet, curve, nil
+}

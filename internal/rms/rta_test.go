@@ -1,0 +1,170 @@
+package rms
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wcm/internal/core"
+	"wcm/internal/sched"
+)
+
+func TestResponseTimeClassicExample(t *testing.T) {
+	// C1=1,T1=2; C2=1,T2=5: R1=1; R2 is the least fixpoint of
+	// R = 1 + ⌈R/2⌉ → R=2 (timeline: [0,1) τ1, [1,2) τ2).
+	ts := mustWCETSet(t, [2]int64{1, 2}, [2]int64{1, 5})
+	r0, err := ts.ResponseTimeWCET(0)
+	if err != nil || r0 != 1 {
+		t.Fatalf("R0 = %d, %v; want 1", r0, err)
+	}
+	r1, err := ts.ResponseTimeWCET(1)
+	if err != nil || r1 != 2 {
+		t.Fatalf("R1 = %d, %v; want 2", r1, err)
+	}
+	if _, err := ts.ResponseTimeWCET(5); !errors.Is(err, ErrBadIndex) {
+		t.Fatal("bad index must fail")
+	}
+}
+
+func TestResponseTimeUnbounded(t *testing.T) {
+	ts := mustWCETSet(t, [2]int64{1, 2}, [2]int64{3, 5})
+	if _, err := ts.ResponseTimeWCET(1); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("infeasible task must be unbounded: %v", err)
+	}
+	wcet, _, err := ts.ResponseTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wcet[0] != 1 || wcet[1] != -1 {
+		t.Fatalf("vector = %v", wcet)
+	}
+}
+
+// RTA with workload curves tightens the response time of lower-priority
+// tasks when the interferer's expensive activations cannot cluster.
+func TestResponseTimeCurveTighter(t *testing.T) {
+	p := core.PollingTask{Period: 10, ThetaMin: 30, ThetaMax: 50, Ep: 9, Ec: 2}
+	w, err := p.Workload(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := Task{Name: "poller", Period: 10, Gamma: w.Upper}
+	lo, _ := WCETTask("worker", 40, 16)
+	ts, err := NewTaskSet(hi, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classical: R = 16 + 9⌈R/10⌉ diverges past 40 → unbounded.
+	if _, err := ts.ResponseTimeWCET(1); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("classical RTA should reject: %v", err)
+	}
+	// Curves: R = 16 + γᵘ(⌈R/10⌉): R=16+γᵘ(2)=27 → 16+γᵘ(3)=36 → 16+γᵘ(4)=38 → fix 38.
+	r, err := ts.ResponseTimeCurve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 38 {
+		t.Fatalf("curve RTA R = %d, want 38", r)
+	}
+}
+
+// For WCET tasks the RTA fixpoint is exact: it must equal the maximum
+// response observed in a synchronous-release simulation.
+func TestQuickRTAMatchesSimulation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			period := int64(3 + rng.Intn(12))
+			wcet := 1 + rng.Int63n(period)
+			task, err := WCETTask("t", period, wcet)
+			if err != nil {
+				return false
+			}
+			tasks[i] = task
+		}
+		ts, err := NewTaskSet(tasks...)
+		if err != nil {
+			return false
+		}
+		h, err := ts.Hyperperiod()
+		if err != nil {
+			return false
+		}
+		res, err := sched.Simulate(toSchedTasks(ts), 2*h)
+		if err != nil {
+			return false
+		}
+		for i := range ts {
+			r, err := ts.ResponseTimeWCET(i)
+			if errors.Is(err, ErrUnbounded) {
+				// Analysis rejects: the simulation must show a miss
+				// somewhere at or above this priority.
+				miss := 0
+				for j := 0; j <= i; j++ {
+					miss += res.PerTask[j].Misses
+				}
+				if miss == 0 {
+					return false
+				}
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			// Exactness: max observed response equals the fixpoint (the
+			// critical instant occurs at t=0 under synchronous release).
+			if res.PerTask[i].MaxResponse != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Relation (5) analogue for RTA: curve response times never exceed WCET
+// response times.
+func TestQuickRTACurveLeqWCET(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			period := int64(10 + rng.Intn(60))
+			trace := make([]int64, 10+rng.Intn(20))
+			for j := range trace {
+				trace[j] = 1 + rng.Int63n(8)
+			}
+			w, err := core.FromTrace(trace, len(trace))
+			if err != nil {
+				return false
+			}
+			tasks[i] = Task{Name: "t", Period: period, Gamma: w.Upper}
+		}
+		ts, err := NewTaskSet(tasks...)
+		if err != nil {
+			return false
+		}
+		wcet, curve, err := ts.ResponseTimes()
+		if err != nil {
+			return false
+		}
+		for i := range ts {
+			if wcet[i] < 0 {
+				continue // classical rejects; curve may accept or reject
+			}
+			if curve[i] < 0 || curve[i] > wcet[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

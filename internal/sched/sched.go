@@ -1,0 +1,230 @@
+// Package sched simulates preemptive fixed-priority scheduling of periodic
+// tasks on a single processor, for empirical validation of the rms analysis:
+// a task set accepted by the schedulability test must never miss a deadline
+// in simulation (under demands consistent with the characterization), and
+// the critical-instant (synchronous release, worst-case demand) simulation
+// of a rejected set must exhibit the predicted miss.
+//
+// Time is in processor cycles at unit speed: a job with demand d occupies
+// the processor for d time units in total (possibly split by preemption).
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by this package.
+var (
+	ErrNoTasks    = errors.New("sched: no tasks")
+	ErrBadTask    = errors.New("sched: invalid task")
+	ErrBadHorizon = errors.New("sched: horizon must be > 0")
+)
+
+// Task is a periodic task for simulation. Job n (0-based) is released at
+// Offset + n·Period with absolute deadline one period later and demand
+// Demands[n mod len(Demands)]. Priority is by position in the task slice
+// (index 0 = highest), which the caller sets — rms order for RM experiments.
+type Task struct {
+	Name    string
+	Period  int64
+	Offset  int64
+	Demands []int64
+}
+
+// Validate checks task invariants.
+func (t Task) Validate() error {
+	if t.Period <= 0 || t.Offset < 0 || len(t.Demands) == 0 {
+		return fmt.Errorf("%w: %q period=%d offset=%d demands=%d",
+			ErrBadTask, t.Name, t.Period, t.Offset, len(t.Demands))
+	}
+	for i, d := range t.Demands {
+		if d < 0 {
+			return fmt.Errorf("%w: %q demand[%d]=%d", ErrBadTask, t.Name, i, d)
+		}
+	}
+	return nil
+}
+
+// TaskStats aggregates per-task simulation outcomes.
+type TaskStats struct {
+	Name        string
+	Jobs        int   // jobs completed within the horizon
+	Misses      int   // jobs that completed after their deadline or never completed by a deadline ≤ horizon
+	MaxResponse int64 // worst response time among completed jobs
+	MaxBacklog  int   // worst number of simultaneously pending jobs of this task
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	PerTask []TaskStats
+	Misses  int // total deadline misses
+	Idle    int64
+}
+
+// job is a released, not-yet-finished activation.
+type job struct {
+	release   int64
+	deadline  int64
+	remaining int64
+}
+
+// Simulate runs the task set under preemptive fixed-priority scheduling
+// until `horizon` time units. Priorities follow slice order (index 0
+// highest). Jobs pending at the horizon whose deadline has passed count as
+// misses.
+func Simulate(tasks []Task, horizon int64) (Result, error) {
+	return simulate(tasks, horizon, pickFixedPriority)
+}
+
+// SimulateEDF runs the task set under preemptive earliest-deadline-first
+// scheduling until `horizon`. Used to validate the demand-bound-function
+// feasibility test (internal/dbf) the same way Simulate validates the rms
+// tests.
+func SimulateEDF(tasks []Task, horizon int64) (Result, error) {
+	return simulate(tasks, horizon, pickEDF)
+}
+
+// pickFixedPriority selects the lowest-index task with pending work.
+func pickFixedPriority(pending [][]job) int {
+	for i := range pending {
+		if len(pending[i]) > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// pickEDF selects the pending job with the earliest absolute deadline
+// (ties: lowest task index, FIFO within a task).
+func pickEDF(pending [][]job) int {
+	best := -1
+	var bestDeadline int64
+	for i := range pending {
+		if len(pending[i]) == 0 {
+			continue
+		}
+		d := pending[i][0].deadline
+		if best < 0 || d < bestDeadline {
+			best, bestDeadline = i, d
+		}
+	}
+	return best
+}
+
+func simulate(tasks []Task, horizon int64, pick func([][]job) int) (Result, error) {
+	if len(tasks) == 0 {
+		return Result{}, ErrNoTasks
+	}
+	if horizon <= 0 {
+		return Result{}, ErrBadHorizon
+	}
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	n := len(tasks)
+	res := Result{PerTask: make([]TaskStats, n)}
+	for i := range tasks {
+		res.PerTask[i].Name = tasks[i].Name
+	}
+	pending := make([][]job, n) // FIFO per task
+	nextRelease := make([]int64, n)
+	jobIndex := make([]int64, n)
+	for i, t := range tasks {
+		nextRelease[i] = t.Offset
+	}
+
+	release := func(now int64) {
+		for i, t := range tasks {
+			for nextRelease[i] <= now && nextRelease[i] < horizon {
+				d := t.Demands[jobIndex[i]%int64(len(t.Demands))]
+				pending[i] = append(pending[i], job{
+					release:   nextRelease[i],
+					deadline:  nextRelease[i] + t.Period,
+					remaining: d,
+				})
+				if len(pending[i]) > res.PerTask[i].MaxBacklog {
+					res.PerTask[i].MaxBacklog = len(pending[i])
+				}
+				jobIndex[i]++
+				nextRelease[i] += t.Period
+			}
+		}
+	}
+
+	earliestRelease := func() int64 {
+		best := int64(-1)
+		for i := range tasks {
+			if nextRelease[i] < horizon && (best < 0 || nextRelease[i] < best) {
+				best = nextRelease[i]
+			}
+		}
+		return best
+	}
+
+	now := int64(0)
+	release(now)
+	for now < horizon {
+		run := pick(pending)
+		if run < 0 {
+			nxt := earliestRelease()
+			if nxt < 0 {
+				res.Idle += horizon - now
+				now = horizon
+				break
+			}
+			res.Idle += nxt - now
+			now = nxt
+			release(now)
+			continue
+		}
+		j := &pending[run][0]
+		if j.remaining == 0 {
+			// Zero-demand job completes instantly.
+			finish(&res.PerTask[run], j, now, &res.Misses)
+			pending[run] = pending[run][1:]
+			continue
+		}
+		// Run until the job finishes or the next release preempts/arrives.
+		slice := j.remaining
+		if nxt := earliestRelease(); nxt >= 0 && nxt-now < slice {
+			slice = nxt - now
+		}
+		if now+slice > horizon {
+			slice = horizon - now
+		}
+		j.remaining -= slice
+		now += slice
+		if j.remaining == 0 {
+			finish(&res.PerTask[run], j, now, &res.Misses)
+			pending[run] = pending[run][1:]
+		}
+		release(now)
+	}
+
+	// Unfinished jobs with deadlines inside the horizon are misses.
+	for i := range tasks {
+		for _, j := range pending[i] {
+			if j.deadline <= horizon && j.remaining > 0 {
+				res.PerTask[i].Misses++
+				res.Misses++
+			}
+		}
+	}
+	return res, nil
+}
+
+func finish(st *TaskStats, j *job, now int64, totalMisses *int) {
+	st.Jobs++
+	resp := now - j.release
+	if resp > st.MaxResponse {
+		st.MaxResponse = resp
+	}
+	if now > j.deadline {
+		st.Misses++
+		*totalMisses++
+	}
+}

@@ -1,0 +1,231 @@
+package sched
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := Simulate(nil, 100); !errors.Is(err, ErrNoTasks) {
+		t.Fatal("no tasks must fail")
+	}
+	ok := Task{Name: "a", Period: 10, Demands: []int64{1}}
+	if _, err := Simulate([]Task{ok}, 0); !errors.Is(err, ErrBadHorizon) {
+		t.Fatal("zero horizon must fail")
+	}
+	bad := []Task{
+		{Name: "p", Period: 0, Demands: []int64{1}},
+		{Name: "o", Period: 5, Offset: -1, Demands: []int64{1}},
+		{Name: "d", Period: 5, Demands: nil},
+		{Name: "n", Period: 5, Demands: []int64{-2}},
+	}
+	for _, b := range bad {
+		if _, err := Simulate([]Task{b}, 10); !errors.Is(err, ErrBadTask) {
+			t.Fatalf("%q must fail validation", b.Name)
+		}
+	}
+}
+
+func TestSingleTask(t *testing.T) {
+	res, err := Simulate([]Task{{Name: "a", Period: 5, Demands: []int64{2}}}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.PerTask[0]
+	if st.Jobs != 10 || st.Misses != 0 {
+		t.Fatalf("jobs=%d misses=%d", st.Jobs, st.Misses)
+	}
+	if st.MaxResponse != 2 {
+		t.Fatalf("response = %d, want 2", st.MaxResponse)
+	}
+	if res.Idle != 30 {
+		t.Fatalf("idle = %d, want 30", res.Idle)
+	}
+}
+
+func TestPreemption(t *testing.T) {
+	// High: C=1, T=2 (released every 2). Low: C=2, T=10.
+	// Low's first job: runs in the gaps — finishes at t=4 (slots 1-2 used
+	// 1, 3-4 used 1)… timeline: [0,1) hi, [1,2) lo, [2,3) hi, [3,4) lo done.
+	tasks := []Task{
+		{Name: "hi", Period: 2, Demands: []int64{1}},
+		{Name: "lo", Period: 10, Demands: []int64{2}},
+	}
+	res, err := Simulate(tasks, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 {
+		t.Fatalf("misses = %d", res.Misses)
+	}
+	if res.PerTask[1].MaxResponse != 4 {
+		t.Fatalf("low response = %d, want 4", res.PerTask[1].MaxResponse)
+	}
+}
+
+func TestDeadlineMissDetection(t *testing.T) {
+	// Overloaded: U = 1/2 + 3/5 > 1.
+	tasks := []Task{
+		{Name: "hi", Period: 2, Demands: []int64{1}},
+		{Name: "lo", Period: 5, Demands: []int64{3}},
+	}
+	res, err := Simulate(tasks, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses == 0 {
+		t.Fatal("overloaded set must miss deadlines")
+	}
+	if res.PerTask[0].Misses != 0 {
+		t.Fatal("highest priority task with C≤T must never miss")
+	}
+}
+
+func TestUnfinishedJobAtHorizonCountsAsMiss(t *testing.T) {
+	// One job of demand 100 with deadline 10, horizon 20: never finishes.
+	res, err := Simulate([]Task{{Name: "x", Period: 10, Demands: []int64{100}}}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses == 0 {
+		t.Fatal("unfinished past-deadline job must count as a miss")
+	}
+}
+
+func TestVariableDemandsCycle(t *testing.T) {
+	// Demands cycle 3,1,1: every 3rd job is expensive.
+	res, err := Simulate([]Task{{Name: "v", Period: 5, Demands: []int64{3, 1, 1}}}, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerTask[0].MaxResponse != 3 {
+		t.Fatalf("max response = %d, want 3", res.PerTask[0].MaxResponse)
+	}
+	// Busy time = 10 cycles per 3 jobs·5 = 15 time units ⇒ idle = 150·(1/3).
+	if res.Idle != 100 {
+		t.Fatalf("idle = %d, want 100", res.Idle)
+	}
+}
+
+func TestZeroDemandJobs(t *testing.T) {
+	res, err := Simulate([]Task{{Name: "z", Period: 4, Demands: []int64{0}}}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerTask[0].Jobs != 10 || res.Misses != 0 || res.PerTask[0].MaxResponse != 0 {
+		t.Fatalf("zero-demand: %+v", res.PerTask[0])
+	}
+}
+
+func TestOffsetRelease(t *testing.T) {
+	res, err := Simulate([]Task{{Name: "o", Period: 10, Offset: 7, Demands: []int64{1}}}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Releases at 7, 17, 27 → 3 jobs.
+	if res.PerTask[0].Jobs != 3 {
+		t.Fatalf("jobs = %d, want 3", res.PerTask[0].Jobs)
+	}
+	if res.Idle != 27 {
+		t.Fatalf("idle = %d, want 27", res.Idle)
+	}
+}
+
+func TestEDFPicksEarliestDeadline(t *testing.T) {
+	// Under fixed priority (slice order), task "long" starves "short";
+	// under EDF, short deadlines win regardless of slice order.
+	tasks := []Task{
+		{Name: "long", Period: 100, Demands: []int64{60}},
+		{Name: "short", Period: 10, Demands: []int64{4}},
+	}
+	fp, err := Simulate(tasks, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.PerTask[1].Misses == 0 {
+		t.Fatal("fixed priority with inverted order must starve the short task")
+	}
+	edf, err := SimulateEDF(tasks, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edf.Misses != 0 {
+		t.Fatalf("EDF must schedule U=1.0 set: %d misses", edf.Misses)
+	}
+}
+
+func TestEDFOverloadStillMisses(t *testing.T) {
+	tasks := []Task{
+		{Name: "a", Period: 4, Demands: []int64{3}},
+		{Name: "b", Period: 8, Demands: []int64{4}},
+	}
+	res, err := SimulateEDF(tasks, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses == 0 {
+		t.Fatal("U=1.25 must miss under any policy")
+	}
+}
+
+// EDF is optimal on one processor: whenever fixed priority succeeds, EDF
+// succeeds too.
+func TestQuickEDFDominatesFixedPriority(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			period := int64(3 + rng.Intn(12))
+			tasks[i] = Task{Name: "t", Period: period, Demands: []int64{1 + rng.Int63n(period)}}
+		}
+		fp, err := Simulate(tasks, 600)
+		if err != nil {
+			return false
+		}
+		if fp.Misses > 0 {
+			return true // nothing to check
+		}
+		edf, err := SimulateEDF(tasks, 600)
+		return err == nil && edf.Misses == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Conservation: busy + idle = horizon, and busy equals the total demand of
+// completed jobs plus the consumed part of pending ones.
+func TestQuickWorkConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		tasks := make([]Task, n)
+		var totalU float64
+		for i := range tasks {
+			period := int64(4 + rng.Intn(20))
+			demand := 1 + rng.Int63n(period)
+			tasks[i] = Task{Name: "t", Period: period, Demands: []int64{demand}}
+			totalU += float64(demand) / float64(period)
+		}
+		horizon := int64(500)
+		res, err := Simulate(tasks, horizon)
+		if err != nil {
+			return false
+		}
+		busy := horizon - res.Idle
+		if busy < 0 || busy > horizon {
+			return false
+		}
+		// Underloaded sets must not miss for the highest-priority task.
+		if res.PerTask[0].Misses != 0 && tasks[0].Demands[0] <= tasks[0].Period {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package service implements service curves β(Δ): lower bounds on the
+// processing capacity (in cycles) a resource guarantees to a task in any
+// time window of length Δ.
+//
+// The paper's case study uses the simplest instance — a fully available
+// processor, β(Δ) = F·Δ — but the analysis framework composes with any
+// lower service curve, so the standard Real-Time-Calculus family is
+// provided: rate-latency, TDMA shares and fixed-priority leftover service.
+// All curves are piecewise-linear (pwl.Curve) with time in nanoseconds and
+// service in cycles.
+package service
+
+import (
+	"fmt"
+
+	"wcm/internal/pwl"
+)
+
+// Full returns the service curve of a fully available processor running at
+// freqHz cycles per second: β(Δ) = F·Δ. This is the shape used for PE2 in
+// the paper's case study ("the full processor resource is devoted to the
+// decoding subtasks").
+func Full(freqHz float64) (pwl.Curve, error) {
+	if freqHz < 0 {
+		return pwl.Curve{}, fmt.Errorf("service: negative frequency %g", freqHz)
+	}
+	return pwl.Rate(freqHz / 1e9) // cycles per nanosecond
+}
+
+// RateLatency returns β(Δ) = max(0, rate·(Δ − latency)): full speed after
+// an initial blackout of `latency` nanoseconds (e.g. scheduler release
+// delay, interrupt masking).
+func RateLatency(freqHz float64, latencyNs int64) (pwl.Curve, error) {
+	if freqHz < 0 {
+		return pwl.Curve{}, fmt.Errorf("service: negative frequency %g", freqHz)
+	}
+	return pwl.RateLatency(freqHz/1e9, latencyNs)
+}
+
+// TDMA returns a safe lower service curve for a TDMA resource share: the
+// task owns a slot of `slot` nanoseconds in every frame of `frame`
+// nanoseconds on a processor at freqHz. The exact TDMA curve is a
+// staircase; the standard safe linearization is the rate-latency curve with
+// rate F·slot/frame and latency frame−slot (the longest wait for the slot).
+func TDMA(freqHz float64, slot, frame int64) (pwl.Curve, error) {
+	if slot <= 0 || frame < slot {
+		return pwl.Curve{}, fmt.Errorf("service: TDMA slot=%d frame=%d", slot, frame)
+	}
+	if freqHz < 0 {
+		return pwl.Curve{}, fmt.Errorf("service: negative frequency %g", freqHz)
+	}
+	rate := freqHz / 1e9 * float64(slot) / float64(frame)
+	return pwl.RateLatency(rate, frame-slot)
+}
+
+// Leftover computes the service remaining for a lower-priority task under
+// preemptive fixed-priority scheduling: the running supremum
+//
+//	β'(Δ) = max(0, sup_{0 ≤ u ≤ Δ} ( β(u) − α(u) ))
+//
+// where α is the (cycle-based) arrival curve of all higher-priority demand.
+// The running-max closure keeps the result monotone, which the plain
+// difference β−α is not.
+func Leftover(beta, alpha pwl.Curve, horizon int64) (pwl.Curve, error) {
+	if horizon <= 0 {
+		return pwl.Curve{}, fmt.Errorf("service: horizon %d", horizon)
+	}
+	// Walk the difference over all breakpoints of both curves plus the
+	// horizon. Between breakpoints the difference is linear, so the running
+	// max is flat until the segment crosses the previous max, then follows
+	// the segment. The crossing point is inserted explicitly (rounded UP, so
+	// the flat part is kept longer — a safe under-approximation for a lower
+	// service curve).
+	xs := mergedBreakpoints(beta, alpha, horizon)
+	diff := func(x int64) float64 { return beta.At(x) - alpha.At(x) }
+	var pts []pwl.Point
+	best := 0.0
+	if d := diff(0); d > 0 {
+		best = d
+	}
+	pts = append(pts, pwl.Point{X: 0, Y: best})
+	for i := 1; i < len(xs); i++ {
+		x1, x2 := xs[i-1], xs[i]
+		d1, d2 := diff(x1), diff(x2)
+		if d2 > best {
+			if d1 < best && d2 > d1 {
+				// Crossing inside the segment: keep flat until it.
+				frac := (best - d1) / (d2 - d1)
+				xc := x1 + int64(frac*float64(x2-x1)) + 1
+				if xc > x1 && xc < x2 {
+					pts = append(pts, pwl.Point{X: xc, Y: best})
+				}
+			}
+			best = d2
+		}
+		pts = append(pts, pwl.Point{X: x2, Y: best})
+	}
+	// Beyond the horizon grow at the net long-term rate if positive.
+	rate := beta.FinalRate() - alpha.FinalRate()
+	if rate < 0 {
+		rate = 0
+	}
+	return pwl.New(pts, rate)
+}
+
+func mergedBreakpoints(a, b pwl.Curve, horizon int64) []int64 {
+	seen := map[int64]bool{0: true, horizon: true}
+	xs := []int64{0, horizon}
+	for _, p := range a.Points() {
+		if p.X < horizon && !seen[p.X] {
+			seen[p.X] = true
+			xs = append(xs, p.X)
+		}
+	}
+	for _, p := range b.Points() {
+		if p.X < horizon && !seen[p.X] {
+			seen[p.X] = true
+			xs = append(xs, p.X)
+		}
+	}
+	sortInt64(xs)
+	return xs
+}
+
+func sortInt64(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

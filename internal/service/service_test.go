@@ -1,0 +1,155 @@
+package service
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wcm/internal/pwl"
+)
+
+func TestFull(t *testing.T) {
+	// 1 GHz = 1 cycle/ns.
+	c, err := Full(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.At(1000); got != 1000 {
+		t.Fatalf("Full(1GHz)(1000ns) = %g, want 1000 cycles", got)
+	}
+	// 340 MHz (the paper's Fᵞmin) = 0.34 cycles/ns.
+	c2, _ := Full(340e6)
+	if got := c2.At(1_000_000); math.Abs(got-340_000) > 1e-6 {
+		t.Fatalf("Full(340MHz)(1ms) = %g, want 340000", got)
+	}
+	if _, err := Full(-1); err == nil {
+		t.Fatal("negative frequency must fail")
+	}
+}
+
+func TestRateLatency(t *testing.T) {
+	c, err := RateLatency(1e9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.At(100) != 0 || c.At(200) != 100 {
+		t.Fatalf("rate-latency values: %g %g", c.At(100), c.At(200))
+	}
+}
+
+func TestTDMAIsConservative(t *testing.T) {
+	// Slot 2ms in frame 10ms at 1 GHz: rate 0.2 cycles/ns, latency 8ms.
+	c, err := TDMA(1e9, 2_000_000, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact TDMA service in a window of n whole frames is n·slot·F cycles;
+	// the linearization must never promise more.
+	for frames := int64(1); frames <= 5; frames++ {
+		window := frames * 10_000_000
+		exact := float64(frames * 2_000_000) // cycles at 1 GHz
+		if c.At(window) > exact+1e-6 {
+			t.Fatalf("TDMA overestimates at %d frames: %g > %g", frames, c.At(window), exact)
+		}
+	}
+	if _, err := TDMA(1e9, 0, 10); err == nil {
+		t.Fatal("zero slot must fail")
+	}
+	if _, err := TDMA(1e9, 20, 10); err == nil {
+		t.Fatal("slot > frame must fail")
+	}
+	if _, err := TDMA(-1, 1, 10); err == nil {
+		t.Fatal("negative frequency must fail")
+	}
+}
+
+func TestLeftoverRunningMax(t *testing.T) {
+	// β = 1 cycle/ns, α = burst of 500 cycles at once: leftover is 0 until
+	// the burst is repaid at Δ=500, then grows at the residual rate.
+	beta, _ := Full(1e9)
+	alpha := pwl.MustNew([]pwl.Point{{X: 0, Y: 500}}, 0.5)
+	lo, err := Leftover(beta, alpha, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lo.At(0); got != 0 {
+		t.Fatalf("leftover(0) = %g", got)
+	}
+	// True leftover: max(0, Δ − 500 − 0.5Δ) = max(0, 0.5Δ − 500): zero
+	// until Δ=1000, then 0.5/ns.
+	for dt := int64(0); dt <= 1000; dt += 100 {
+		if lo.At(dt) > 1e-9 {
+			t.Fatalf("leftover must be 0 before repayment: At(%d)=%g", dt, lo.At(dt))
+		}
+	}
+	for dt := int64(1100); dt < 5000; dt += 300 {
+		want := 0.5*float64(dt) - 500
+		got := lo.At(dt)
+		if got > want+1e-6 {
+			t.Fatalf("leftover overestimates at %d: %g > %g", dt, got, want)
+		}
+		if got < want-2 { // 1ns crossing round-up tolerance
+			t.Fatalf("leftover too loose at %d: %g ≪ %g", dt, got, want)
+		}
+	}
+	if _, err := Leftover(beta, alpha, 0); err == nil {
+		t.Fatal("zero horizon must fail")
+	}
+}
+
+func TestLeftoverNeverNegativeAndMonotone(t *testing.T) {
+	beta, _ := RateLatency(1e9, 50)
+	alpha := pwl.MustNew([]pwl.Point{{X: 0, Y: 100}, {X: 200, Y: 150}}, 2)
+	lo, err := Leftover(beta, alpha, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for dt := int64(0); dt <= 10_000; dt += 37 {
+		v := lo.At(dt)
+		if v < 0 {
+			t.Fatalf("negative leftover at %d: %g", dt, v)
+		}
+		if v < prev-1e-9 {
+			t.Fatalf("leftover not monotone at %d", dt)
+		}
+		prev = v
+	}
+}
+
+func TestQuickLeftoverIsLowerBound(t *testing.T) {
+	// The leftover curve must never exceed the true running max of β−α.
+	f := func(seed int64) bool {
+		rng := seed
+		next := func(n int64) int64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := (rng >> 11) % n
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		beta, err := RateLatency(float64(1+next(3))*1e9, next(200))
+		if err != nil {
+			return false
+		}
+		alpha := pwl.MustNew([]pwl.Point{{X: 0, Y: float64(next(300))}}, float64(next(2)))
+		lo, err := Leftover(beta, alpha, 5000)
+		if err != nil {
+			return false
+		}
+		runMax := 0.0
+		for dt := int64(0); dt <= 5000; dt += 13 {
+			if d := beta.At(dt) - alpha.At(dt); d > runMax {
+				runMax = d
+			}
+			if lo.At(dt) > runMax+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

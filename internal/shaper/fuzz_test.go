@@ -1,0 +1,58 @@
+package shaper
+
+import (
+	"testing"
+
+	"wcm/internal/arrival"
+	"wcm/internal/events"
+)
+
+// FuzzShape hardens the shaper against arbitrary (decoded) traces and
+// shaping tables: whenever Shape accepts, the output must satisfy all
+// shaper postconditions.
+func FuzzShape(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 5, 5, 9}, uint8(3), uint8(10))
+	f.Add([]byte{1}, uint8(1), uint8(1))
+	f.Add([]byte{255, 1, 1}, uint8(2), uint8(50))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw, periodRaw uint8) {
+		if len(raw) == 0 || len(raw) > 64 {
+			return
+		}
+		// Decode a sorted trace from the fuzz bytes (gaps).
+		tt := make(events.TimedTrace, len(raw))
+		var cur int64
+		for i, b := range raw {
+			cur += int64(b)
+			tt[i] = cur
+		}
+		maxK := 1 + int(kRaw)%len(raw)
+		period := 1 + int64(periodRaw)
+		sigma, err := arrival.Periodic(period, maxK)
+		if err != nil {
+			return
+		}
+		out, err := Shape(tt, sigma)
+		if err != nil {
+			t.Fatalf("Shape rejected a valid input: %v", err)
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("unsorted output: %v", err)
+		}
+		for i := range tt {
+			if out[i] < tt[i] {
+				t.Fatalf("event %d released early", i)
+			}
+		}
+		spans, err := arrival.FromTrace(out, maxK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= maxK; k++ {
+			s, _ := sigma.At(k)
+			d, _ := spans.At(k)
+			if d < s {
+				t.Fatalf("σ violated at k=%d: %d < %d", k, d, s)
+			}
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package shaper
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wcm/internal/arrival"
+	"wcm/internal/core"
+	"wcm/internal/events"
+	"wcm/internal/netcalc"
+)
+
+func TestShapeEnforcesSigma(t *testing.T) {
+	// Burst of 6 simultaneous events shaped to ≥10ns spacing.
+	in := events.TimedTrace{0, 0, 0, 0, 0, 0}
+	sigma, err := arrival.Periodic(10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Shape(in, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := events.TimedTrace{0, 10, 20, 30, 40, 50}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+	d, err := MaxDelay(in, out)
+	if err != nil || d != 50 {
+		t.Fatalf("max delay = %d, %v; want 50", d, err)
+	}
+}
+
+func TestShapeIsNoOpForConformingTraffic(t *testing.T) {
+	in, err := events.Periodic(0, 20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := arrival.Periodic(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Shape(in, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("conforming trace altered at %d", i)
+		}
+	}
+}
+
+func TestShapeValidation(t *testing.T) {
+	sigma, _ := arrival.Periodic(10, 4)
+	if _, err := Shape(events.TimedTrace{}, sigma); err == nil {
+		t.Fatal("empty trace must fail")
+	}
+	if _, err := Shape(events.TimedTrace{0, 5}, arrival.Spans{5}); err == nil {
+		t.Fatal("bad sigma must fail")
+	}
+	if _, err := MaxDelay(events.TimedTrace{0}, events.TimedTrace{0, 1}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+func TestSustainable(t *testing.T) {
+	in, _ := events.Periodic(0, 20, 40)
+	loose, _ := arrival.Periodic(10, 40)
+	tight, _ := arrival.Periodic(100, 40)
+	ok, err := Sustainable(in, loose)
+	if err != nil || !ok {
+		t.Fatalf("20ns stream must sustain 10ns shaping: %v %v", ok, err)
+	}
+	ok, err = Sustainable(in, tight)
+	if err != nil || ok {
+		t.Fatalf("20ns stream cannot sustain 100ns shaping: %v %v", ok, err)
+	}
+}
+
+// Core shaper properties on random bursty inputs: order preserved, no event
+// released early, output spans dominate σ, and conforming prefixes pass
+// through unchanged.
+func TestQuickShaperProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := events.NewLCG(seed)
+		// Bursty input.
+		in, err := events.Bursty(0, 2+int(g.Intn(4)), 3+int(g.Intn(5)), g.Intn(5), 50+g.Intn(200))
+		if err != nil {
+			return false
+		}
+		period := 1 + g.Intn(30)
+		maxK := len(in)
+		if maxK > 12 {
+			maxK = 12
+		}
+		sigma, err := arrival.Periodic(period, maxK)
+		if err != nil {
+			return false
+		}
+		out, err := Shape(in, sigma)
+		if err != nil {
+			return false
+		}
+		if out.Validate() != nil {
+			return false
+		}
+		for i := range in {
+			if out[i] < in[i] {
+				return false
+			}
+		}
+		spans, err := arrival.FromTrace(out, maxK)
+		if err != nil {
+			return false
+		}
+		for k := 1; k <= maxK; k++ {
+			s, _ := sigma.At(k)
+			d, _ := spans.At(k)
+			if d < s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// EXT-SHAPER claim: shaping never increases Fᵞmin (the shaped stream's
+// spans dominate the input's, and eq. 9 is antitone in the spans).
+func TestShapingNeverRaisesFmin(t *testing.T) {
+	in, err := events.Bursty(0, 8, 25, 5, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands, err := events.ModalDemands([]events.Mode{
+		{Lo: 50, Hi: 90, MinRun: 3, MaxRun: 8},
+		{Lo: 400, Hi: 700, MinRun: 1, MaxRun: 2},
+	}, len(in), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := core.FromTrace(demands, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spansIn, err := arrival.FromTrace(in, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := arrival.Periodic(40, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Shape(in, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spansOut, err := arrival.FromTrace(out, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const b = 10
+	before, err := netcalc.MinFrequency(spansIn, w.Upper, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := netcalc.MinFrequency(spansOut, w.Upper, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Hz > before.Hz+1e-6 {
+		t.Fatalf("shaping raised Fmin: %g → %g", before.Hz, after.Hz)
+	}
+	if after.Hz >= before.Hz {
+		t.Fatalf("shaping a bursty stream should strictly lower Fmin (%g vs %g)", after.Hz, before.Hz)
+	}
+}

@@ -1,0 +1,112 @@
+// Package stats provides the small summary-statistics helpers used by the
+// command-line tools and experiment reports.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a computation needs at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Summary holds the usual descriptive statistics of an int64 sample set.
+type Summary struct {
+	N      int
+	Min    int64
+	Max    int64
+	Sum    int64
+	Mean   float64
+	StdDev float64
+	P50    int64
+	P90    int64
+	P99    int64
+}
+
+// Summarize computes descriptive statistics.
+func Summarize(samples []int64) (Summary, error) {
+	if len(samples) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	sorted := make([]int64, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	s := Summary{N: len(sorted), Min: sorted[0], Max: sorted[len(sorted)-1]}
+	for _, v := range sorted {
+		s.Sum += v
+	}
+	s.Mean = float64(s.Sum) / float64(s.N)
+	var variance float64
+	for _, v := range sorted {
+		d := float64(v) - s.Mean
+		variance += d * d
+	}
+	s.StdDev = math.Sqrt(variance / float64(s.N))
+	s.P50 = Percentile(sorted, 50)
+	s.P90 = Percentile(sorted, 90)
+	s.P99 = Percentile(sorted, 99)
+	return s, nil
+}
+
+// Percentile returns the p-th percentile (0..100) of an ASCENDING-sorted
+// sample set using the nearest-rank method. Panics on empty input.
+func Percentile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		panic(ErrEmpty)
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Histogram bins samples into n equal-width buckets over [min, max].
+type Histogram struct {
+	Min, Max int64
+	Counts   []int
+	Width    float64
+}
+
+// NewHistogram builds an n-bucket histogram of the samples.
+func NewHistogram(samples []int64, n int) (Histogram, error) {
+	if len(samples) == 0 {
+		return Histogram{}, ErrEmpty
+	}
+	if n < 1 {
+		return Histogram{}, fmt.Errorf("stats: need ≥1 bucket, got %d", n)
+	}
+	mn, mx := samples[0], samples[0]
+	for _, v := range samples {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	h := Histogram{Min: mn, Max: mx, Counts: make([]int, n)}
+	if mx == mn {
+		h.Width = 1
+		h.Counts[0] = len(samples)
+		return h, nil
+	}
+	h.Width = float64(mx-mn) / float64(n)
+	for _, v := range samples {
+		i := int(float64(v-mn) / h.Width)
+		if i >= n {
+			i = n - 1
+		}
+		h.Counts[i]++
+	}
+	return h, nil
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]int64{5, 1, 9, 3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Min != 1 || s.Max != 9 || s.Sum != 25 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("mean = %g", s.Mean)
+	}
+	// Variance of 1,3,5,7,9 = 8 → σ = 2√2.
+	if math.Abs(s.StdDev-2*math.Sqrt2) > 1e-12 {
+		t.Fatalf("stddev = %g", s.StdDev)
+	}
+	if s.P50 != 5 {
+		t.Fatalf("p50 = %d", s.P50)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty must fail")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		p    float64
+		want int64
+	}{{0, 10}, {10, 10}, {50, 50}, {90, 90}, {100, 100}, {-5, 10}, {150, 100}}
+	for _, tc := range cases {
+		if got := Percentile(sorted, tc.p); got != tc.want {
+			t.Fatalf("P%g = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty percentile must panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("histogram loses samples: %v", h.Counts)
+	}
+	if h.Min != 0 || h.Max != 9 {
+		t.Fatalf("range: %d..%d", h.Min, h.Max)
+	}
+	// Constant samples collapse into bucket 0.
+	hc, err := NewHistogram([]int64{7, 7, 7}, 4)
+	if err != nil || hc.Counts[0] != 3 {
+		t.Fatalf("constant histogram: %v %v", hc.Counts, err)
+	}
+	if _, err := NewHistogram(nil, 3); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty must fail")
+	}
+	if _, err := NewHistogram([]int64{1}, 0); err == nil {
+		t.Fatal("zero buckets must fail")
+	}
+}
+
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]int64, len(raw))
+		for i, v := range raw {
+			samples[i] = int64(v)
+		}
+		s, err := Summarize(samples)
+		if err != nil {
+			return false
+		}
+		return float64(s.Min) <= s.Mean && s.Mean <= float64(s.Max) &&
+			s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package textplot renders simple ASCII charts so the command-line tools
+// can print the paper's figures directly into a terminal or a log file.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted curve: (x, y) points, drawn with Marker.
+type Series struct {
+	Name   string
+	Marker byte
+	X      []float64
+	Y      []float64
+}
+
+// Chart renders the series on a width×height character grid with axis
+// labels and a legend. Points are mapped linearly; later series overdraw
+// earlier ones where cells collide.
+func Chart(series []Series, width, height int, title string) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			r := height - 1 - row
+			if r >= 0 && r < height && col >= 0 && col < width {
+				grid[r][col] = s.Marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for r, row := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%12.4g |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%12s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%12s  %-*.4g%*.4g\n", "", width/2, minX, width-width/2, maxX)
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %c = %s\n", s.Marker, s.Name)
+	}
+	return b.String()
+}
+
+// Bars renders a horizontal bar chart with one row per label, scaled to
+// maxWidth characters at the largest value. A reference line at `ref`
+// (e.g. the buffer limit in Fig. 7) is marked with '|' when positive.
+func Bars(labels []string, values []float64, maxWidth int, ref float64, title string) string {
+	if maxWidth < 10 {
+		maxWidth = 10
+	}
+	maxV := ref
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, l := range labels {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		n := int(math.Round(v / maxV * float64(maxWidth)))
+		if n < 0 {
+			n = 0
+		}
+		bar := strings.Repeat("#", n)
+		if ref > 0 {
+			refCol := int(math.Round(ref / maxV * float64(maxWidth)))
+			pad := refCol - n
+			if pad >= 0 {
+				bar += strings.Repeat(" ", pad) + "|"
+			}
+		}
+		fmt.Fprintf(&b, "%-*s %s %.3f\n", labelW, l, bar, v)
+	}
+	return b.String()
+}

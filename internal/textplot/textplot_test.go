@@ -1,0 +1,87 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartContainsMarkersAndLegend(t *testing.T) {
+	s := Chart([]Series{
+		{Name: "linear", Marker: '*', X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Name: "flat", Marker: 'o', X: []float64{0, 1, 2, 3}, Y: []float64{1, 1, 1, 1}},
+	}, 40, 10, "test chart")
+	if !strings.Contains(s, "test chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(s, "*") || !strings.Contains(s, "o") {
+		t.Fatal("missing markers")
+	}
+	if !strings.Contains(s, "* = linear") || !strings.Contains(s, "o = flat") {
+		t.Fatal("missing legend")
+	}
+	lines := strings.Split(s, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	if s := Chart(nil, 40, 10, "empty"); !strings.Contains(s, "(no data)") {
+		t.Fatal("empty chart must say so")
+	}
+	// Single point: min == max on both axes must not divide by zero.
+	s := Chart([]Series{{Name: "pt", Marker: 'x', X: []float64{5}, Y: []float64{7}}}, 20, 8, "")
+	if !strings.Contains(s, "x") {
+		t.Fatal("single point must render")
+	}
+}
+
+func TestChartClampsTinyDimensions(t *testing.T) {
+	s := Chart([]Series{{Name: "p", Marker: 'x', X: []float64{0, 1}, Y: []float64{0, 1}}}, 1, 1, "")
+	if len(s) == 0 {
+		t.Fatal("clamped chart must render")
+	}
+}
+
+func TestBars(t *testing.T) {
+	s := Bars([]string{"alpha", "beta"}, []float64{0.5, 1.0}, 20, 1.0, "bars")
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "beta") {
+		t.Fatal("missing labels")
+	}
+	if !strings.Contains(s, "#") {
+		t.Fatal("missing bars")
+	}
+	if !strings.Contains(s, "|") {
+		t.Fatal("missing reference line")
+	}
+	if !strings.Contains(s, "0.500") || !strings.Contains(s, "1.000") {
+		t.Fatal("missing values")
+	}
+	// The longer value must draw more #'s.
+	alphaLine, betaLine := "", ""
+	for _, l := range strings.Split(s, "\n") {
+		if strings.HasPrefix(l, "alpha") {
+			alphaLine = l
+		}
+		if strings.HasPrefix(l, "beta") {
+			betaLine = l
+		}
+	}
+	if strings.Count(betaLine, "#") <= strings.Count(alphaLine, "#") {
+		t.Fatal("bar lengths not proportional")
+	}
+}
+
+func TestBarsWithoutRefAndMissingValues(t *testing.T) {
+	s := Bars([]string{"a", "b"}, []float64{2}, 10, 0, "")
+	if !strings.Contains(s, "a") || !strings.Contains(s, "b") {
+		t.Fatal("labels lost")
+	}
+	if strings.Contains(s, "|") {
+		t.Fatal("no reference line expected")
+	}
+	// All-zero values must not divide by zero.
+	if z := Bars([]string{"z"}, []float64{0}, 10, 0, ""); !strings.Contains(z, "z") {
+		t.Fatal("zero bars must render")
+	}
+}

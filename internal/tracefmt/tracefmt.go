@@ -1,0 +1,138 @@
+// Package tracefmt reads and writes the plain-text trace and curve files
+// shared by the command-line tools:
+//
+//   - value files: one integer per line, '#' comments and blank lines
+//     ignored — used for demand traces (cycles per activation) and timed
+//     traces (timestamps in nanoseconds);
+//   - curve files: a single wcurve/1 line (see internal/curve's codec).
+package tracefmt
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"wcm/internal/curve"
+	"wcm/internal/events"
+)
+
+// ErrNoValues is returned when a value file contains no data lines.
+var ErrNoValues = errors.New("tracefmt: no values")
+
+// ReadInts parses a value file: one int64 per line.
+func ReadInts(r io.Reader, name string) ([]int64, error) {
+	var vals []int64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, line, err)
+		}
+		vals = append(vals, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("%s: %w", name, ErrNoValues)
+	}
+	return vals, nil
+}
+
+// ReadIntsFile is ReadInts over a file path.
+func ReadIntsFile(path string) ([]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadInts(f, path)
+}
+
+// ReadDemandTrace loads and validates a demand trace.
+func ReadDemandTrace(path string) (events.DemandTrace, error) {
+	vals, err := ReadIntsFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d := events.DemandTrace(vals)
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// ReadTimedTrace loads and validates a timed trace.
+func ReadTimedTrace(path string) (events.TimedTrace, error) {
+	vals, err := ReadIntsFile(path)
+	if err != nil {
+		return nil, err
+	}
+	tt := events.TimedTrace(vals)
+	if err := tt.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tt, nil
+}
+
+// WriteInts writes a value file with an optional header comment.
+func WriteInts(w io.Writer, header string, vals []int64) error {
+	if header != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", header); err != nil {
+			return err
+		}
+	}
+	bw := bufio.NewWriter(w)
+	for _, v := range vals {
+		if _, err := fmt.Fprintln(bw, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteIntsFile is WriteInts to a file path.
+func WriteIntsFile(path, header string, vals []int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteInts(f, header, vals); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCurve loads a wcurve/1 file.
+func ReadCurve(path string) (curve.Curve, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return curve.Curve{}, err
+	}
+	var c curve.Curve
+	if err := c.UnmarshalText([]byte(strings.TrimSpace(string(raw)))); err != nil {
+		return curve.Curve{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// WriteCurve stores a curve as a wcurve/1 file.
+func WriteCurve(path string, c curve.Curve) error {
+	text, err := c.MarshalText()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(text, '\n'), 0o644)
+}

@@ -1,0 +1,128 @@
+package tracefmt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wcm/internal/curve"
+)
+
+func TestReadIntsParsing(t *testing.T) {
+	in := strings.NewReader("# header\n1\n\n 2 \n# mid\n3\n")
+	vals, err := ReadInts(in, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || vals[0] != 1 || vals[2] != 3 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestReadIntsErrors(t *testing.T) {
+	if _, err := ReadInts(strings.NewReader("abc\n"), "x"); err == nil {
+		t.Fatal("non-numeric must fail")
+	}
+	if _, err := ReadInts(strings.NewReader("# only\n"), "x"); !errors.Is(err, ErrNoValues) {
+		t.Fatal("empty must fail with ErrNoValues")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	vals := []int64{5, -3, 1 << 40}
+	if err := WriteInts(&buf, "demo", vals); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadInts(&buf, "buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if back[i] != vals[i] {
+			t.Fatalf("round trip: %v vs %v", back, vals)
+		}
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "vals.txt")
+	if err := WriteIntsFile(p, "hdr", []int64{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := ReadIntsFile(p)
+	if err != nil || len(vals) != 3 {
+		t.Fatalf("vals=%v err=%v", vals, err)
+	}
+	if _, err := ReadIntsFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestReadDemandTraceValidates(t *testing.T) {
+	dir := t.TempDir()
+	ok := filepath.Join(dir, "d.txt")
+	if err := WriteIntsFile(ok, "", []int64{5, 1, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDemandTrace(ok); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "neg.txt")
+	if err := WriteIntsFile(bad, "", []int64{5, -1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDemandTrace(bad); err == nil {
+		t.Fatal("negative demand must fail")
+	}
+}
+
+func TestReadTimedTraceValidates(t *testing.T) {
+	dir := t.TempDir()
+	ok := filepath.Join(dir, "t.txt")
+	if err := WriteIntsFile(ok, "", []int64{0, 5, 5, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTimedTrace(ok); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "unsorted.txt")
+	if err := WriteIntsFile(bad, "", []int64{9, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTimedTrace(bad); err == nil {
+		t.Fatal("unsorted trace must fail")
+	}
+}
+
+func TestCurveFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "g.wcurve")
+	c := curve.MustNew([]int64{0, 9, 11, 20}, 3, 13)
+	if err := WriteCurve(p, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCurve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 12; k++ {
+		if back.MustAt(k) != c.MustAt(k) {
+			t.Fatalf("diverges at %d", k)
+		}
+	}
+	garbage := filepath.Join(dir, "bad.wcurve")
+	if err := os.WriteFile(garbage, []byte("nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCurve(garbage); err == nil {
+		t.Fatal("garbage curve must fail")
+	}
+	if _, err := ReadCurve(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing curve must fail")
+	}
+}

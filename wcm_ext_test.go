@@ -1,0 +1,202 @@
+package wcm
+
+// Facade tests for the extension APIs (dbf, shaper, chains, modal tasks,
+// approximate extraction, buffer sizing, shared PEs).
+
+import (
+	"testing"
+)
+
+func TestFacadeDBFFlow(t *testing.T) {
+	a, err := NewDBFWCETTask("a", 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDBFWCETTask("b", 6, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := NewDBFTaskSet(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := set.FeasibleEDF(120)
+	if err != nil || !v.Feasible {
+		t.Fatalf("U=1 implicit set must be EDF-feasible: %+v %v", v, err)
+	}
+	vc, err := set.FeasibleEDFCurve(120)
+	if err != nil || !vc.Feasible {
+		t.Fatalf("curve variant must also accept: %+v %v", vc, err)
+	}
+	res, err := SimulateEDF([]SchedTask{
+		{Name: "a", Period: 4, Demands: []int64{2}},
+		{Name: "b", Period: 6, Demands: []int64{3}},
+	}, 240)
+	if err != nil || res.Misses != 0 {
+		t.Fatalf("EDF sim: %d misses, %v", res.Misses, err)
+	}
+}
+
+func TestFacadeShaperFlow(t *testing.T) {
+	in := TimedTrace{0, 0, 0, 100}
+	sigma, err := PeriodicSpans(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ShapeTrace(in, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ShaperMaxDelay(in, out)
+	if err != nil || d != 20 {
+		t.Fatalf("max delay = %d, %v; want 20", d, err)
+	}
+}
+
+func TestFacadeModalAndApprox(t *testing.T) {
+	m := ModalTask{Modes: []ModalMode{
+		{Name: "hot", Lo: 50, Hi: 90, MinRun: 1, MaxRun: 2},
+		{Name: "cold", Lo: 5, Hi: 10, MinRun: 2, MaxRun: 4},
+	}}
+	w, err := m.Workload(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.WCET() != 90 {
+		t.Fatalf("modal WCET = %d", w.WCET())
+	}
+	demands, err := GenerateModalDemands([]DemandMode{
+		{Lo: 50, Hi: 90, MinRun: 1, MaxRun: 2},
+		{Lo: 5, Hi: 10, MinRun: 2, MaxRun: 4},
+	}, 300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := NewTraceAnalyzer(demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := an.Workload(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := ApproxWorkload(an, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 50; k++ {
+		if approx.Upper.MustAt(k) < exact.Upper.MustAt(k) {
+			t.Fatalf("approx below exact at %d", k)
+		}
+	}
+}
+
+func TestFacadeMinBufferAndSharedPE(t *testing.T) {
+	hiT, err := GenerateSporadic(0, 200, 500, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiSpans, err := SpansFromTrace(hiT, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiGamma, err := LinearCurve(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loT, err := GenerateSporadic(0, 400, 900, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loSpans, err := SpansFromTrace(loT, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loGamma, err := LinearCurve(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := FullService(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MinBuffer(loSpans, beta, loGamma)
+	if err != nil || b < 1 {
+		t.Fatalf("MinBuffer = %d, %v", b, err)
+	}
+	rep, err := AnalyzeSharedPE(beta, hiSpans, hiGamma, loSpans, loGamma, loT.Span())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BacklogEvents < 1 || rep.DelayNs < 1 {
+		t.Fatalf("shared-PE report degenerate: %+v", rep)
+	}
+	lo, err := LeftoverService(beta, hiSpans, hiGamma, loT.Span())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.At(1000) > beta.At(1000) {
+		t.Fatal("leftover exceeds capacity")
+	}
+}
+
+func TestFacadeChainFlow(t *testing.T) {
+	release := make(TimedTrace, 100)
+	for i := range release {
+		release[i] = int64(i) * 2_000
+	}
+	spans, err := SpansFromTrace(release, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := LinearCurve(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := []ChainStage{
+		{Name: "s0", Gamma: g, FreqHz: 1e9, BufferEvents: 8},
+		{Name: "s1", Gamma: g, FreqHz: 1e9, BufferEvents: 8},
+	}
+	reports, err := AnalyzeChain(spans, stages, release.Span()*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 || ChainEndToEndDelay(reports) <= 0 {
+		t.Fatalf("chain reports: %+v", reports)
+	}
+	items := make([]ChainItem, len(release))
+	for i := range items {
+		items[i] = ChainItem{ReadyAt: release[i], D: []int64{500, 500}}
+	}
+	st, err := RunChain(items, ChainConfig{BitRate: 1, Stages: []ChainStageConfig{
+		{Name: "s0", Hz: 1e9}, {Name: "s1", Hz: 1e9},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range stages {
+		if st.MaxBacklog[s] > reports[s].BacklogEvents {
+			t.Fatalf("stage %d sim backlog %d > bound %d", s, st.MaxBacklog[s], reports[s].BacklogEvents)
+		}
+	}
+}
+
+func TestFacadeCaseStudySweeps(t *testing.T) {
+	p := DefaultCaseStudyParams(4)
+	p.Clips = MPEGClipLibrary()[:1]
+	a, err := AnalyzeCaseStudy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := CaseStudyBufferSweep(a, []int{810, 1620})
+	if err != nil || len(bs) != 2 {
+		t.Fatalf("buffer sweep: %v %v", bs, err)
+	}
+	ws, err := CaseStudyWindowSweep(a, []int{1, 2})
+	if err != nil || len(ws) != 2 {
+		t.Fatalf("window sweep: %v %v", ws, err)
+	}
+	if ws[0].FGammaHz < ws[1].FGammaHz-1e-6 {
+		t.Fatal("shorter window must not tighten the bound")
+	}
+}

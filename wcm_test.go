@@ -1,0 +1,218 @@
+package wcm
+
+// Facade tests: every re-exported entry point is exercised once through
+// the public API, mirroring what a downstream user writes. Deep behaviour
+// is covered by the internal package suites.
+
+import (
+	"testing"
+)
+
+func TestFacadeWorkloadFlow(t *testing.T) {
+	demands := DemandTrace{900, 120, 130, 110, 880, 140}
+	w, err := FromDemandTrace(demands, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.WCET() != 900 || w.BCET() != 110 {
+		t.Fatalf("WCET/BCET = %d/%d", w.WCET(), w.BCET())
+	}
+	env, err := FromDemandTraces([]DemandTrace{demands, {1000, 100, 100, 100, 100, 100}}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.WCET() != 1000 || env.BCET() != 100 {
+		t.Fatalf("envelope WCET/BCET = %d/%d", env.WCET(), env.BCET())
+	}
+	a, err := NewTraceAnalyzer(demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := a.UpperAt(2); err != nil || v != 1020 {
+		t.Fatalf("UpperAt(2) = %d, %v", v, err)
+	}
+}
+
+func TestFacadeCurveConstructors(t *testing.T) {
+	c, err := NewCurve([]int64{0, 5, 8}, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MustAt(4) != 14 {
+		t.Fatalf("tail value = %d", c.MustAt(4))
+	}
+	l, err := LinearCurve(7)
+	if err != nil || l.MustAt(3) != 21 {
+		t.Fatal("LinearCurve broken")
+	}
+}
+
+func TestFacadeEventSequence(t *testing.T) {
+	ts, err := NewEventTypeSet(
+		EventType{Name: "a", BCET: 2, WCET: 4},
+		EventType{Name: "b", BCET: 1, WCET: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := NewEventSequence(ts, "a", "b", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := FromEventSequence(seq, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.WCET() != 4 || w.Upper.MustAt(3) != 11 {
+		t.Fatalf("sequence curves: %d %d", w.WCET(), w.Upper.MustAt(3))
+	}
+}
+
+func TestFacadePollingAndTypeCounts(t *testing.T) {
+	p := PollingTask{Period: 10, ThetaMin: 30, ThetaMax: 50, Ep: 9, Ec: 2}
+	w, err := p.Workload(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := UpperFromTypeCounts([]TypeCountBound{{
+		Name: "event", BCET: 9, WCET: 9,
+		Count: func(k int) int64 { return p.NMax(k) },
+	}}, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 20; k++ {
+		if g.MustAt(k) != w.Upper.MustAt(k) {
+			t.Fatalf("type-count route diverges at %d", k)
+		}
+	}
+}
+
+func TestFacadeNetcalcFlow(t *testing.T) {
+	tt, err := GenerateSporadic(0, 50, 120, 400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := SpansFromTrace(tt, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeSpans(spans, spans)
+	if err != nil || merged.MaxK() != 100 {
+		t.Fatal("MergeSpans broken")
+	}
+	periodic, err := PeriodicSpans(100, 10)
+	if err != nil || periodic.Alpha(250) != 3 {
+		t.Fatal("PeriodicSpans broken")
+	}
+
+	demands, err := GenerateModalDemands([]DemandMode{
+		{Lo: 10, Hi: 30, MinRun: 2, MaxRun: 5},
+		{Lo: 200, Hi: 300, MinRun: 1, MaxRun: 1},
+	}, 400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := FromDemandTrace(demands, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := MinFrequency(spans, w.Upper, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := MinFrequencyWCET(spans, w.WCET(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fg.Hz > fw.Hz {
+		t.Fatalf("Fγ %g > Fw %g", fg.Hz, fw.Hz)
+	}
+	beta, err := FullService(fg.Hz * (1 + 1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := CheckServiceConstraint(spans, beta, w.Upper, 5)
+	if err != nil || !ok {
+		t.Fatalf("eq. 8 violated at Fγ: %v %v", ok, err)
+	}
+	bl, err := BacklogEvents(spans, beta, w.Upper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl < 1 || bl > 5+1 {
+		t.Fatalf("event backlog %d incompatible with b=5 design", bl)
+	}
+	if _, err := DelayBound(spans, beta, w.Upper, tt.Span()); err != nil {
+		t.Fatal(err)
+	}
+	rl, err := RateLatencyService(1e9, 100)
+	if err != nil || rl.At(100) != 0 {
+		t.Fatal("RateLatencyService broken")
+	}
+}
+
+func TestFacadeRMSFlow(t *testing.T) {
+	hi, err := NewWCETTask("hi", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := NewWCETTask("lo", 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := NewRMSTaskSet(hi, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := set.Compare()
+	if err != nil || !cmp.WCET.Schedulable() {
+		t.Fatalf("classic pair must be schedulable: %v %v", cmp.WCET.Set, err)
+	}
+	if RMSUtilizationBound(1) != 1 {
+		t.Fatal("bound broken")
+	}
+	res, err := SimulateFixedPriority([]SchedTask{
+		{Name: "hi", Period: 2, Demands: []int64{1}},
+		{Name: "lo", Period: 5, Demands: []int64{1}},
+	}, 100)
+	if err != nil || res.Misses != 0 {
+		t.Fatalf("simulation: %d misses, %v", res.Misses, err)
+	}
+}
+
+func TestFacadePipelineFlow(t *testing.T) {
+	items := []PipelineItem{
+		{Bits: 100, D1: 50, D2: 100},
+		{Bits: 100, D1: 50, D2: 100},
+	}
+	st, err := RunPipeline(items, PipelineConfig{BitRate: 1e9, F1Hz: 1e9, F2Hz: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxBacklog < 1 || len(st.PE2Done) != 2 {
+		t.Fatalf("pipeline stats: %+v", st)
+	}
+}
+
+func TestFacadeCaseStudyFlow(t *testing.T) {
+	p := DefaultCaseStudyParams(4)
+	p.Clips = MPEGClipLibrary()[:1]
+	a, err := AnalyzeCaseStudy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FGamma.Hz >= a.FWCET.Hz {
+		t.Fatal("no savings in case study")
+	}
+	res, err := SimulateCaseStudyBacklogs(p, a, a.FGamma.Hz*1.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Overflowed {
+		t.Fatalf("backlog results: %+v", res)
+	}
+	if DefaultMPEGStream(8).MBPerFrame() != 1620 {
+		t.Fatal("stream geometry broken")
+	}
+}
