@@ -319,6 +319,122 @@ func extractionAnalyzer(b *testing.B) *core.Analyzer {
 	return a
 }
 
+// --- extraction-kernel benchmarks (BENCH_extract.json) --------------------
+//
+// Case-study-sized inputs: n ≥ 10⁴ activations, K ≥ 2·10³ window lengths —
+// the scale at which the MPEG-2 clips and the DVS-style frequency sweeps
+// exercise extraction. The *Naive variants measure the pre-kernel path
+// (one full pass per curve per k) the speedup criterion is judged against;
+// cmd/benchjson runs the same pairs and emits BENCH_extract.json.
+
+const (
+	extractBenchN = 40_000
+	extractBenchK = 4_000
+)
+
+// BenchmarkExtractWorkload measures fused/blocked/pool-parallel workload-
+// curve extraction (γᵘ and γˡ together) through the shared kernel.
+func BenchmarkExtractWorkload(b *testing.B) {
+	a := extractionAnalyzer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Workload(extractBenchK); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtractWorkloadNaive measures the pre-kernel extraction: one
+// O(n) pass per curve per k via the single-k queries.
+func BenchmarkExtractWorkloadNaive(b *testing.B) {
+	a := extractionAnalyzer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 1; k <= extractBenchK; k++ {
+			if _, err := a.UpperAt(k); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := a.LowerAt(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func extractionTimedTrace(b *testing.B) TimedTrace {
+	b.Helper()
+	tt, err := events.Sporadic(0, 10_000, 40_000, extractBenchN, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tt
+}
+
+// BenchmarkExtractSpans measures fused span-table extraction — minimal
+// d(k) and maximal D(k) in one kernel sweep.
+func BenchmarkExtractSpans(b *testing.B) {
+	tt := extractionTimedTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ExtractSpans(tt, extractBenchK); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtractSpansNaive measures the pre-kernel span extraction: one
+// full pass per table per k.
+func BenchmarkExtractSpansNaive(b *testing.B) {
+	tt := extractionTimedTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mins := make(Spans, extractBenchK)
+		maxs := make(MaxSpans, extractBenchK)
+		for k := 2; k <= extractBenchK; k++ {
+			best := tt[k-1] - tt[0]
+			for j := 1; j+k-1 < len(tt); j++ {
+				if d := tt[j+k-1] - tt[j]; d < best {
+					best = d
+				}
+			}
+			mins[k-1] = best
+			worst := int64(0)
+			for j := 0; j+k-1 < len(tt); j++ {
+				if d := tt[j+k-1] - tt[j]; d > worst {
+					worst = d
+				}
+			}
+			maxs[k-1] = worst
+		}
+	}
+}
+
+// BenchmarkAdmitsAnalyzed measures the monitor-path admissibility check on
+// an admissible trace (no early exit — the full fused scan runs to maxK)
+// with the Analyzer built once outside the loop.
+func BenchmarkAdmitsAnalyzed(b *testing.B) {
+	a := extractionAnalyzer(b)
+	w, err := a.Workload(extractBenchK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := w.AdmitsAnalyzed(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v != nil {
+			b.Fatalf("own trace rejected: %+v", *v)
+		}
+	}
+}
+
 // BenchmarkSchedSimulate measures the fixed-priority scheduler over a
 // 100k-unit horizon with three tasks.
 func BenchmarkSchedSimulate(b *testing.B) {

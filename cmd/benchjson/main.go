@@ -1,0 +1,200 @@
+// Command benchjson measures the extraction hot path — the fused, blocked,
+// pool-parallel kernel vs the naive pre-kernel algorithm — on a
+// case-study-sized instance and writes the result as JSON, so the repo's
+// perf trajectory is tracked file-to-file across PRs (BENCH_extract.json).
+//
+// Measured pairs:
+//
+//   - workload-curve extraction: Analyzer.Workload (kernel) vs the per-k
+//     UpperAt/LowerAt sweep it replaced;
+//   - span-table extraction: arrival.ExtractSpans (kernel, both tables
+//     fused) vs the per-k min and max passes;
+//   - admissibility: Workload.AdmitsAnalyzed (fused scan, Analyzer reuse)
+//     on an admissible trace (worst case: no early exit).
+//
+// Usage:
+//
+//	benchjson [-out BENCH_extract.json] [-n 40000] [-maxk 4000] [-mintime 300ms]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"wcm/internal/arrival"
+	"wcm/internal/core"
+	"wcm/internal/events"
+	"wcm/internal/kernel"
+)
+
+// Measurement is one benchmark's outcome.
+type Measurement struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Report is the BENCH_extract.json schema.
+type Report struct {
+	GeneratedAt string             `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Params      Params             `json:"params"`
+	Results     []Measurement      `json:"results"`
+	Speedups    map[string]float64 `json:"speedups"`
+}
+
+// Params records the instance size the numbers were taken at.
+type Params struct {
+	N          int   `json:"n"`
+	MaxK       int   `json:"max_k"`
+	MinTimeMs  int64 `json:"min_time_ms"`
+	KernelSeqT int64 `json:"kernel_seq_threshold"`
+}
+
+// measure times fn until minTime has elapsed (at least once) and reports
+// per-op wall time and allocation figures from the runtime's counters.
+func measure(name string, minTime time.Duration, fn func()) Measurement {
+	fn() // warm-up: page in, JIT-independent steady state
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	var elapsed time.Duration
+	for elapsed < minTime {
+		fn()
+		iters++
+		elapsed = time.Since(start)
+	}
+	runtime.ReadMemStats(&after)
+	return Measurement{
+		Name:        name,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+		Iterations:  iters,
+	}
+}
+
+func run(n, maxK int, minTime time.Duration, out string) (*Report, error) {
+	if n < 2 || maxK < 1 || maxK > n {
+		return nil, fmt.Errorf("need n ≥ 2 and 1 ≤ maxK ≤ n, got n=%d maxK=%d", n, maxK)
+	}
+	d, err := events.ModalDemands([]events.Mode{
+		{Lo: 100, Hi: 900, MinRun: 3, MaxRun: 9},
+		{Lo: 2000, Hi: 9000, MinRun: 1, MaxRun: 2},
+	}, n, 7)
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.NewAnalyzer(d)
+	if err != nil {
+		return nil, err
+	}
+	tt, err := events.Sporadic(0, 10_000, 40_000, n, 3)
+	if err != nil {
+		return nil, err
+	}
+	w, err := a.Workload(maxK)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Params: Params{
+			N: n, MaxK: maxK, MinTimeMs: minTime.Milliseconds(),
+			KernelSeqT: kernel.DefaultSeqThreshold,
+		},
+		Speedups: map[string]float64{},
+	}
+	add := func(m Measurement) { report.Results = append(report.Results, m) }
+
+	kernelWorkload := measure("extract_workload_kernel", minTime, func() {
+		if _, err := a.Workload(maxK); err != nil {
+			panic(err)
+		}
+	})
+	add(kernelWorkload)
+	naiveWorkload := measure("extract_workload_naive", minTime, func() {
+		// The pre-kernel Analyzer.Workload path: one O(n) pass per curve
+		// per k through the single-k queries.
+		for k := 1; k <= maxK; k++ {
+			if _, err := a.UpperAt(k); err != nil {
+				panic(err)
+			}
+			if _, err := a.LowerAt(k); err != nil {
+				panic(err)
+			}
+		}
+	})
+	add(naiveWorkload)
+
+	kernelSpans := measure("extract_spans_kernel", minTime, func() {
+		if _, _, err := arrival.ExtractSpans(tt, maxK); err != nil {
+			panic(err)
+		}
+	})
+	add(kernelSpans)
+	naiveSpans := measure("extract_spans_naive", minTime, func() {
+		if _, _, err := kernel.ExtractNaive(tt, maxK-1); err != nil {
+			panic(err)
+		}
+	})
+	add(naiveSpans)
+
+	kernelAdmits := measure("admits_kernel", minTime, func() {
+		v, err := w.AdmitsAnalyzed(a)
+		if err != nil {
+			panic(err)
+		}
+		if v != nil {
+			panic(fmt.Sprintf("own trace rejected: %+v", *v))
+		}
+	})
+	add(kernelAdmits)
+
+	report.Speedups["workload"] = naiveWorkload.NsPerOp / kernelWorkload.NsPerOp
+	report.Speedups["spans"] = naiveSpans.NsPerOp / kernelSpans.NsPerOp
+	// Admits shares the naive-workload baseline: pre-kernel it was the
+	// same 2·K·n sweep (plus an O(n) prefix rebuild per call).
+	report.Speedups["admits"] = naiveWorkload.NsPerOp / kernelAdmits.NsPerOp
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_extract.json", "output JSON path")
+	n := flag.Int("n", 40_000, "trace length (activations / events)")
+	maxK := flag.Int("maxk", 4_000, "largest window length K")
+	minTime := flag.Duration("mintime", 300*time.Millisecond, "min measuring time per benchmark")
+	flag.Parse()
+	report, err := run(*n, *maxK, *minTime, *out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (n=%d K=%d, GOMAXPROCS=%d)\n", *out, *n, *maxK, report.GOMAXPROCS)
+	for _, m := range report.Results {
+		fmt.Printf("  %-24s %14.0f ns/op %8.1f allocs/op\n", m.Name, m.NsPerOp, m.AllocsPerOp)
+	}
+	for name, s := range report.Speedups {
+		fmt.Printf("  speedup %-16s %6.2fx\n", name, s)
+	}
+}

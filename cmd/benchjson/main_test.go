@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRunWritesReport runs the harness at a toy size and checks the JSON
+// it emits is well-formed and internally consistent.
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	report, err := run(600, 80, 5*time.Millisecond, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if len(decoded.Results) != 5 {
+		t.Fatalf("got %d results, want 5", len(decoded.Results))
+	}
+	names := map[string]bool{}
+	for _, m := range decoded.Results {
+		names[m.Name] = true
+		if m.NsPerOp <= 0 || m.Iterations < 1 {
+			t.Fatalf("%s: ns_per_op=%v iterations=%d", m.Name, m.NsPerOp, m.Iterations)
+		}
+	}
+	for _, want := range []string{
+		"extract_workload_kernel", "extract_workload_naive",
+		"extract_spans_kernel", "extract_spans_naive", "admits_kernel",
+	} {
+		if !names[want] {
+			t.Fatalf("missing measurement %q", want)
+		}
+	}
+	for _, key := range []string{"workload", "spans", "admits"} {
+		if decoded.Speedups[key] <= 0 {
+			t.Fatalf("speedup %q = %v, want > 0", key, decoded.Speedups[key])
+		}
+	}
+	if report.Params.N != 600 || report.Params.MaxK != 80 {
+		t.Fatalf("params not recorded: %+v", report.Params)
+	}
+}
+
+// TestRunRejectsBadParams pins the argument validation.
+func TestRunRejectsBadParams(t *testing.T) {
+	for _, tc := range []struct{ n, maxK int }{{1, 1}, {100, 0}, {100, 101}} {
+		if _, err := run(tc.n, tc.maxK, time.Millisecond, filepath.Join(t.TempDir(), "x.json")); err == nil {
+			t.Fatalf("n=%d maxK=%d: expected error", tc.n, tc.maxK)
+		}
+	}
+}

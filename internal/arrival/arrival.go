@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"wcm/internal/events"
+	"wcm/internal/kernel"
 	"wcm/internal/pwl"
 )
 
@@ -76,25 +77,38 @@ func (s Spans) Alpha(dt int64) int {
 }
 
 // FromTrace computes the minimal-span table of a timed trace for
-// k = 1..maxK: d(k) = min over j of t[j+k−1] − t[j].
+// k = 1..maxK: d(k) = min over j of t[j+k−1] − t[j]. It routes through the
+// fused extraction kernel; use ExtractSpans when the maximal table D(k) is
+// needed too — both come out of the same pass.
 func FromTrace(tt events.TimedTrace, maxK int) (Spans, error) {
+	mins, _, err := ExtractSpans(tt, maxK)
+	return mins, err
+}
+
+// ExtractSpans computes BOTH span tables of a timed trace in one fused,
+// blocked, pool-parallel kernel sweep: the minimal spans d(k) behind the
+// upper arrival curve ᾱ and the maximal spans D(k) behind the lower curve
+// ᾱˡ (see MaxSpans). The span of k consecutive events is the k−1 offset
+// difference of the timestamp array, so the kernel runs directly on the
+// trace with maxK−1 as its largest offset.
+func ExtractSpans(tt events.TimedTrace, maxK int) (Spans, MaxSpans, error) {
 	if err := tt.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if maxK < 1 || maxK > len(tt) {
-		return nil, fmt.Errorf("%w: maxK=%d, n=%d", ErrBadMaxK, maxK, len(tt))
+		return nil, nil, fmt.Errorf("%w: maxK=%d, n=%d", ErrBadMaxK, maxK, len(tt))
 	}
-	spans := make(Spans, maxK)
+	up, lo, err := kernel.Extract(tt, maxK-1, kernel.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	mins := make(Spans, maxK)
+	maxs := make(MaxSpans, maxK)
 	for k := 2; k <= maxK; k++ {
-		best := tt[k-1] - tt[0]
-		for j := 1; j+k-1 < len(tt); j++ {
-			if d := tt[j+k-1] - tt[j]; d < best {
-				best = d
-			}
-		}
-		spans[k-1] = best
+		mins[k-1] = lo[k-1]
+		maxs[k-1] = up[k-1]
 	}
-	return spans, nil
+	return mins, maxs, nil
 }
 
 // Merge combines span tables from several traces into a table valid for all

@@ -1,0 +1,82 @@
+package arrival
+
+import (
+	"math/rand"
+	"testing"
+
+	"wcm/internal/events"
+)
+
+// Differential tests pinning the kernel-routed span extraction to the
+// naive per-k reference (the pre-kernel algorithm, reimplemented here):
+// exact equality for both tables, for every k.
+
+func naiveSpans(tt events.TimedTrace, maxK int) (Spans, MaxSpans) {
+	mins := make(Spans, maxK)
+	maxs := make(MaxSpans, maxK)
+	for k := 2; k <= maxK; k++ {
+		best := tt[k-1] - tt[0]
+		worst := int64(0)
+		for j := 0; j+k-1 < len(tt); j++ {
+			d := tt[j+k-1] - tt[j]
+			if d < best {
+				best = d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		mins[k-1] = best
+		maxs[k-1] = worst
+	}
+	return mins, maxs
+}
+
+func randTimedTrace(rng *rand.Rand, n int) events.TimedTrace {
+	tt := make(events.TimedTrace, n)
+	var t int64
+	for i := range tt {
+		tt[i] = t
+		t += rng.Int63n(5_000) // zero gaps allowed: simultaneous events
+	}
+	return tt
+}
+
+func TestSpanExtractionMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{1, 2, 9, 100, 640} {
+		tt := randTimedTrace(rng, n)
+		for _, maxK := range []int{1, 2, n/2 + 1, n} {
+			if maxK > n || maxK < 1 {
+				continue
+			}
+			wantMin, wantMax := naiveSpans(tt, maxK)
+			mins, err := FromTrace(tt, maxK)
+			if err != nil {
+				t.Fatalf("FromTrace n=%d maxK=%d: %v", n, maxK, err)
+			}
+			maxs, err := MaxSpansFromTrace(tt, maxK)
+			if err != nil {
+				t.Fatalf("MaxSpansFromTrace n=%d maxK=%d: %v", n, maxK, err)
+			}
+			bothMin, bothMax, err := ExtractSpans(tt, maxK)
+			if err != nil {
+				t.Fatalf("ExtractSpans n=%d maxK=%d: %v", n, maxK, err)
+			}
+			for k := 1; k <= maxK; k++ {
+				if mins[k-1] != wantMin[k-1] || bothMin[k-1] != wantMin[k-1] {
+					t.Fatalf("n=%d k=%d: d(k)=%d/%d want %d", n, k, mins[k-1], bothMin[k-1], wantMin[k-1])
+				}
+				if maxs[k-1] != wantMax[k-1] || bothMax[k-1] != wantMax[k-1] {
+					t.Fatalf("n=%d k=%d: D(k)=%d/%d want %d", n, k, maxs[k-1], bothMax[k-1], wantMax[k-1])
+				}
+			}
+			if err := mins.Validate(); err != nil {
+				t.Fatalf("minimal table invalid: %v", err)
+			}
+			if err := maxs.Validate(); err != nil {
+				t.Fatalf("maximal table invalid: %v", err)
+			}
+		}
+	}
+}

@@ -77,24 +77,10 @@ func (s MaxSpans) AlphaLower(dt int64) int {
 }
 
 // MaxSpansFromTrace computes D(k) = max_j t[j+k−1] − t[j] for k = 1..maxK.
+// It routes through the fused extraction kernel (see ExtractSpans).
 func MaxSpansFromTrace(tt events.TimedTrace, maxK int) (MaxSpans, error) {
-	if err := tt.Validate(); err != nil {
-		return nil, err
-	}
-	if maxK < 1 || maxK > len(tt) {
-		return nil, fmt.Errorf("%w: maxK=%d, n=%d", ErrBadMaxK, maxK, len(tt))
-	}
-	spans := make(MaxSpans, maxK)
-	for k := 2; k <= maxK; k++ {
-		worst := int64(0)
-		for j := 0; j+k-1 < len(tt); j++ {
-			if d := tt[j+k-1] - tt[j]; d > worst {
-				worst = d
-			}
-		}
-		spans[k-1] = worst
-	}
-	return spans, nil
+	_, maxs, err := ExtractSpans(tt, maxK)
+	return maxs, err
 }
 
 // MergeMax combines maximal-span tables from several traces into one valid

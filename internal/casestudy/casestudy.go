@@ -253,12 +253,22 @@ func Analyze(p Params) (*Analysis, error) {
 				errs[i] = err
 				return
 			}
-			spans, err := arrival.FromTrace(ct.Arrivals, maxK)
+			// Both extractions route through the shared fused/blocked
+			// kernel: spans come out of one pass over the timestamp
+			// array, γᵘ and γˡ out of one pass over the demand prefix
+			// sums (the clips themselves already run concurrently, so
+			// the kernel's own pool engages only when cores are spare).
+			spans, _, err := arrival.ExtractSpans(ct.Arrivals, maxK)
 			if err != nil {
 				errs[i] = fmt.Errorf("clip %q spans: %w", clip.Name, err)
 				return
 			}
-			gamma, err := core.FromTrace(ct.D2, maxK)
+			an, err := core.NewAnalyzer(ct.D2)
+			if err != nil {
+				errs[i] = fmt.Errorf("clip %q curves: %w", clip.Name, err)
+				return
+			}
+			gamma, err := an.Workload(maxK)
 			if err != nil {
 				errs[i] = fmt.Errorf("clip %q curves: %w", clip.Name, err)
 				return

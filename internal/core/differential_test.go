@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"wcm/internal/events"
+)
+
+// These tests pin the kernel-routed extraction to an independent naive
+// reference implemented right here: per-k full passes, exactly the
+// pre-kernel algorithm. The acceptance bar is EXACT equality — workload
+// curves, not conservative bounds — for every consumer: Workload,
+// WorkloadParallel, UpperCurve/LowerCurve and the Admits verdict.
+
+func naiveWorkload(t *testing.T, d events.DemandTrace, maxK int) (up, lo []int64) {
+	t.Helper()
+	prefix := make([]int64, len(d)+1)
+	for i, v := range d {
+		prefix[i+1] = prefix[i] + v
+	}
+	up = make([]int64, maxK+1)
+	lo = make([]int64, maxK+1)
+	for k := 1; k <= maxK; k++ {
+		bestU := int64(-1)
+		bestL := int64(-1)
+		for j := 0; j+k < len(prefix); j++ {
+			v := prefix[j+k] - prefix[j]
+			if v > bestU {
+				bestU = v
+			}
+			if bestL < 0 || v < bestL {
+				bestL = v
+			}
+		}
+		up[k], lo[k] = bestU, bestL
+	}
+	return up, lo
+}
+
+func randTrace(rng *rand.Rand, n int) events.DemandTrace {
+	d := make(events.DemandTrace, n)
+	for i := range d {
+		d[i] = rng.Int63n(10_000)
+	}
+	return d
+}
+
+func TestWorkloadMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 13, 100, 517} {
+		d := randTrace(rng, n)
+		for _, maxK := range []int{1, n/2 + 1, n} {
+			if maxK > n {
+				continue
+			}
+			wantUp, wantLo := naiveWorkload(t, d, maxK)
+			w, err := FromTrace(d, maxK)
+			if err != nil {
+				t.Fatalf("n=%d maxK=%d: %v", n, maxK, err)
+			}
+			a, err := NewAnalyzer(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 7} {
+				wp, err := a.WorkloadParallel(maxK, workers)
+				if err != nil {
+					t.Fatalf("parallel workers=%d: %v", workers, err)
+				}
+				for k := 1; k <= maxK; k++ {
+					if got := w.Upper.MustAt(k); got != wantUp[k] {
+						t.Fatalf("n=%d k=%d: γᵘ=%d want %d", n, k, got, wantUp[k])
+					}
+					if got := w.Lower.MustAt(k); got != wantLo[k] {
+						t.Fatalf("n=%d k=%d: γˡ=%d want %d", n, k, got, wantLo[k])
+					}
+					if wp.Upper.MustAt(k) != wantUp[k] || wp.Lower.MustAt(k) != wantLo[k] {
+						t.Fatalf("n=%d k=%d workers=%d: parallel diverges", n, k, workers)
+					}
+				}
+			}
+			upc, err := a.UpperCurve(maxK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loc, err := a.LowerCurve(maxK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 1; k <= maxK; k++ {
+				if upc.MustAt(k) != wantUp[k] || loc.MustAt(k) != wantLo[k] {
+					t.Fatalf("n=%d k=%d: Upper/LowerCurve diverge", n, k)
+				}
+			}
+		}
+	}
+}
+
+// naiveAdmits is the pre-kernel Admits, kept verbatim as the verdict oracle.
+func naiveAdmits(w Workload, d events.DemandTrace) (*Violation, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	prefix := make([]int64, len(d)+1)
+	for i, v := range d {
+		prefix[i+1] = prefix[i] + v
+	}
+	maxK := len(d)
+	if !w.Upper.Infinite() && w.Upper.MaxK() < maxK {
+		maxK = w.Upper.MaxK()
+	}
+	if !w.Lower.Infinite() && w.Lower.MaxK() < maxK {
+		maxK = w.Lower.MaxK()
+	}
+	for k := 1; k <= maxK; k++ {
+		up, err := w.Upper.At(k)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := w.Lower.At(k)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j+k <= len(d); j++ {
+			sum := prefix[j+k] - prefix[j]
+			if sum > up {
+				return &Violation{Start: j, Len: k, Sum: sum, Bound: up, Upper: true}, nil
+			}
+			if sum < lo {
+				return &Violation{Start: j, Len: k, Sum: sum, Bound: lo, Upper: false}, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+func TestAdmitsMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(120)
+		base := randTrace(rng, n)
+		maxK := 1 + rng.Intn(n)
+		w, err := FromTrace(base, maxK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Probe traces: the admissible base itself, plus mutants that
+		// push single activations above/below the extracted envelope.
+		probes := []events.DemandTrace{base}
+		for m := 0; m < 3; m++ {
+			mut := append(events.DemandTrace(nil), base...)
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				mut[i] += rng.Int63n(50_000)
+			case 1:
+				mut[i] = 0
+			case 2:
+				mut[i] = rng.Int63n(10_000)
+			}
+			probes = append(probes, mut)
+		}
+		for pi, d := range probes {
+			want, err := naiveAdmits(w, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := w.Admits(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := NewAnalyzer(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got2, err := w.AdmitsAnalyzed(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for vi, g := range []*Violation{got, got2} {
+				if (g == nil) != (want == nil) {
+					t.Fatalf("trial=%d probe=%d variant=%d: verdict %v, want %v", trial, pi, vi, g, want)
+				}
+				if g != nil && *g != *want {
+					t.Fatalf("trial=%d probe=%d variant=%d: violation %+v, want %+v", trial, pi, vi, *g, *want)
+				}
+			}
+		}
+	}
+}
+
+// TestAdmitsAnalyzedReuse checks one Analyzer can serve many checks (the
+// monitor-path pattern the reuse exists for).
+func TestAdmitsAnalyzedReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := randTrace(rng, 200)
+	a, err := NewAnalyzer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxK := range []int{1, 10, 200} {
+		w, err := FromTrace(d, maxK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := w.AdmitsAnalyzed(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != nil {
+			t.Fatalf("maxK=%d: own trace rejected: %+v", maxK, *v)
+		}
+	}
+}

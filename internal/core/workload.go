@@ -26,10 +26,10 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"wcm/internal/curve"
 	"wcm/internal/events"
+	"wcm/internal/kernel"
 )
 
 // Errors returned by this package.
@@ -111,9 +111,11 @@ func (w Workload) Gain(k int) (float64, error) {
 
 // Analyzer extracts workload curves from a demand trace in the sense of
 // Definition 1 restricted to the windows present in the trace. Extraction
-// uses prefix sums: γᵘ(k) = max_j S[j+k] − S[j] in O(n) per k, O(n·K) for a
-// full curve up to K. Single-k queries are exposed so hot paths (the Fmin
-// search of eq. 9) can evaluate lazily.
+// uses prefix sums: γᵘ(k) = max_j S[j+k] − S[j]. Single-k queries cost
+// O(n) and are exposed so hot paths (the Fmin search of eq. 9) can
+// evaluate lazily; full-curve extraction routes through the fused, blocked
+// and pool-parallel kernel of internal/kernel, which computes γᵘ and γˡ
+// together in ⌈K/B⌉ cache-resident passes instead of 2·K scattered ones.
 type Analyzer struct {
 	prefix []int64 // prefix[i] = sum of the first i demands; len = n+1
 }
@@ -169,70 +171,31 @@ func (a *Analyzer) LowerAt(k int) (int64, error) {
 
 // UpperCurve materializes γᵘ on k = 0..maxK.
 func (a *Analyzer) UpperCurve(maxK int) (curve.Curve, error) {
-	return a.curveTo(maxK, a.UpperAt)
+	w, err := a.Workload(maxK)
+	if err != nil {
+		return curve.Curve{}, err
+	}
+	return w.Upper, nil
 }
 
 // LowerCurve materializes γˡ on k = 0..maxK.
 func (a *Analyzer) LowerCurve(maxK int) (curve.Curve, error) {
-	return a.curveTo(maxK, a.LowerAt)
+	w, err := a.Workload(maxK)
+	if err != nil {
+		return curve.Curve{}, err
+	}
+	return w.Lower, nil
 }
 
-func (a *Analyzer) curveTo(maxK int, at func(int) (int64, error)) (curve.Curve, error) {
-	if maxK < 1 || maxK > a.Len() {
-		return curve.Curve{}, fmt.Errorf("%w: maxK=%d, n=%d", ErrBadK, maxK, a.Len())
-	}
-	vals := make([]int64, maxK+1)
-	for k := 1; k <= maxK; k++ {
-		v, err := at(k)
-		if err != nil {
-			return curve.Curve{}, err
-		}
-		vals[k] = v
-	}
-	return curve.NewFinite(vals)
-}
-
-// WorkloadParallel extracts (γᵘ, γˡ) up to maxK with the k-range split
-// across `workers` goroutines. The Analyzer is immutable after
-// construction, so concurrent UpperAt/LowerAt queries are safe; results
-// are identical to Workload. Use for long windows where the O(n·K)
-// extraction dominates (the MPEG-2 case study splits across clips first
-// and only falls back to this when there are more cores than clips).
-func (a *Analyzer) WorkloadParallel(maxK, workers int) (Workload, error) {
-	if workers < 1 {
-		return Workload{}, fmt.Errorf("core: workers=%d", workers)
-	}
+// extract runs the shared kernel over the prefix array and packages the
+// result as a curve pair. All full-curve extraction funnels through here.
+func (a *Analyzer) extract(maxK int, opt kernel.Options) (Workload, error) {
 	if maxK < 1 || maxK > a.Len() {
 		return Workload{}, fmt.Errorf("%w: maxK=%d, n=%d", ErrBadK, maxK, a.Len())
 	}
-	upVals := make([]int64, maxK+1)
-	loVals := make([]int64, maxK+1)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for k := w + 1; k <= maxK; k += workers {
-				u, err := a.UpperAt(k)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				l, err := a.LowerAt(k)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				upVals[k], loVals[k] = u, l
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return Workload{}, err
-		}
+	upVals, loVals, err := kernel.Extract(a.prefix, maxK, opt)
+	if err != nil {
+		return Workload{}, err
 	}
 	up, err := curve.NewFinite(upVals)
 	if err != nil {
@@ -245,17 +208,26 @@ func (a *Analyzer) WorkloadParallel(maxK, workers int) (Workload, error) {
 	return Workload{Upper: up, Lower: lo}, nil
 }
 
-// Workload extracts the full characterization (γᵘ, γˡ) up to maxK.
+// WorkloadParallel extracts (γᵘ, γˡ) up to maxK with the k-range split
+// across `workers` goroutines. It delegates to the shared kernel, which
+// partitions k into CONTIGUOUS per-worker blocks: each worker writes a
+// contiguous region of the result arrays (the previous strided-k split
+// interleaved all workers' writes into the same cache lines — false
+// sharing — and gave each worker the worst possible read locality).
+// Results are identical to Workload; small inputs fall back to the
+// sequential path so goroutine overhead never dominates.
+func (a *Analyzer) WorkloadParallel(maxK, workers int) (Workload, error) {
+	if workers < 1 {
+		return Workload{}, fmt.Errorf("core: workers=%d", workers)
+	}
+	return a.extract(maxK, kernel.Options{Workers: workers})
+}
+
+// Workload extracts the full characterization (γᵘ, γˡ) up to maxK using
+// the fused blocked kernel with its default worker pool (GOMAXPROCS-wide
+// for large jobs, sequential below the size threshold).
 func (a *Analyzer) Workload(maxK int) (Workload, error) {
-	up, err := a.UpperCurve(maxK)
-	if err != nil {
-		return Workload{}, err
-	}
-	lo, err := a.LowerCurve(maxK)
-	if err != nil {
-		return Workload{}, err
-	}
-	return Workload{Upper: up, Lower: lo}, nil
+	return a.extract(maxK, kernel.Options{})
 }
 
 // FromTrace extracts the workload characterization of a single demand trace
@@ -316,40 +288,79 @@ type Violation struct {
 // its schedulability argument assumed — the failure-injection tests use it
 // to show the analysis guarantees are exactly as strong as the model.
 func (w Workload) Admits(d events.DemandTrace) (*Violation, error) {
-	if err := d.Validate(); err != nil {
+	a, err := NewAnalyzer(d)
+	if err != nil {
 		return nil, err
 	}
-	prefix := make([]int64, len(d)+1)
-	for i, v := range d {
-		prefix[i+1] = prefix[i] + v
-	}
-	maxK := len(d)
+	return w.AdmitsAnalyzed(a)
+}
+
+// AdmitsAnalyzed is Admits against a pre-built Analyzer: the monitor path
+// checks the same trace against many candidate characterizations (or the
+// same characterization repeatedly as curves are refined), and rebuilding
+// the O(n) prefix array per check was pure waste. The scan itself runs on
+// the fused blocked kernel — one cache-resident pass per k-block computing
+// the min AND max window sum together — and exits on the first block
+// containing a violation; only then is that single window length rescanned
+// to locate the first offending window, so the reported Violation is
+// exactly the one the naive shortest-window-first scan finds.
+func (w Workload) AdmitsAnalyzed(a *Analyzer) (*Violation, error) {
+	n := a.Len()
+	maxK := n
 	if !w.Upper.Infinite() && w.Upper.MaxK() < maxK {
 		maxK = w.Upper.MaxK()
 	}
 	if !w.Lower.Infinite() && w.Lower.MaxK() < maxK {
 		maxK = w.Lower.MaxK()
 	}
-	for k := 1; k <= maxK; k++ {
+	if maxK < 1 {
+		return nil, nil
+	}
+	var (
+		scanErr  error
+		badK     int
+		badUp    int64
+		badLo    int64
+		violated bool
+	)
+	err := kernel.Scan(a.prefix, maxK, 0, func(k int, minSum, maxSum int64) bool {
 		up, err := w.Upper.At(k)
 		if err != nil {
-			return nil, err
+			scanErr = err
+			return false
 		}
 		lo, err := w.Lower.At(k)
 		if err != nil {
-			return nil, err
+			scanErr = err
+			return false
 		}
-		for j := 0; j+k <= len(d); j++ {
-			sum := prefix[j+k] - prefix[j]
-			if sum > up {
-				return &Violation{Start: j, Len: k, Sum: sum, Bound: up, Upper: true}, nil
-			}
-			if sum < lo {
-				return &Violation{Start: j, Len: k, Sum: sum, Bound: lo, Upper: false}, nil
-			}
+		if maxSum > up || minSum < lo {
+			badK, badUp, badLo, violated = k, up, lo, true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if !violated {
+		return nil, nil
+	}
+	// Rescan the one violating window length for its first bad window.
+	for j := 0; j+badK <= n; j++ {
+		sum := a.prefix[j+badK] - a.prefix[j]
+		if sum > badUp {
+			return &Violation{Start: j, Len: badK, Sum: sum, Bound: badUp, Upper: true}, nil
+		}
+		if sum < badLo {
+			return &Violation{Start: j, Len: badK, Sum: sum, Bound: badLo, Upper: false}, nil
 		}
 	}
-	return nil, nil
+	// Unreachable: the kernel found an extremum outside [lo, up].
+	return nil, fmt.Errorf("core: internal scan inconsistency at k=%d", badK)
 }
 
 // WorstTrace synthesizes the greedy-worst demand sequence consistent with

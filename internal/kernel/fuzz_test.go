@@ -1,0 +1,59 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzExtract fuzzes the fused/blocked/parallel kernel against the naive
+// reference: for arbitrary data and arbitrary (normalized) maxK, block
+// size and worker count, both must either fail identically or agree
+// bit-for-bit — the same guarantee the differential tests check on random
+// traces, here driven by the fuzzer's corpus.
+func FuzzExtract(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, 3, 2, 2)
+	f.Add([]byte{255, 255, 0, 0, 128, 7}, 1, 1, 1)
+	f.Add([]byte{}, 0, 0, 0)
+	f.Add([]byte{9}, 0, 64, 8)
+	f.Fuzz(func(t *testing.T, raw []byte, maxK, block, workers int) {
+		// Two bytes per sample, signed, so short inputs still yield
+		// interesting magnitudes and sign changes.
+		n := len(raw) / 2
+		data := make([]int64, n)
+		for i := 0; i < n; i++ {
+			data[i] = int64(int16(binary.LittleEndian.Uint16(raw[2*i:])))
+		}
+		if n > 0 {
+			maxK = ((maxK % n) + n) % n // normalize into 0..n-1
+		}
+		block = ((block % 130) + 130) % 130
+		workers = ((workers % 9) + 9) % 9
+
+		wantUp, wantLo, wantErr := ExtractNaive(data, maxK)
+		up, lo, err := Extract(data, maxK, Options{
+			BlockSize: block, Workers: workers, SeqThreshold: -1,
+		})
+		if (err == nil) != (wantErr == nil) {
+			t.Fatalf("error mismatch: kernel=%v naive=%v", err, wantErr)
+		}
+		if err != nil {
+			return
+		}
+		for k := 0; k <= maxK; k++ {
+			if up[k] != wantUp[k] || lo[k] != wantLo[k] {
+				t.Fatalf("k=%d (n=%d block=%d workers=%d): got (%d,%d) want (%d,%d)",
+					k, n, block, workers, up[k], lo[k], wantUp[k], wantLo[k])
+			}
+		}
+		// Scan must report the same extrema in the same domain.
+		err = Scan(data, maxK, block, func(k int, l, u int64) bool {
+			if u != wantUp[k] || l != wantLo[k] {
+				t.Fatalf("scan k=%d: got (%d,%d) want (%d,%d)", k, l, u, wantLo[k], wantUp[k])
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package kernel
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randData draws a length-n array; monotone=true yields a non-decreasing
+// array (the prefix-sum / timestamp shape real callers pass), otherwise
+// values are arbitrary, including negatives (the kernel must not care).
+func randData(rng *rand.Rand, n int, monotone bool) []int64 {
+	d := make([]int64, n)
+	var cum int64
+	for i := range d {
+		v := rng.Int63n(10_000) - 2_000
+		if monotone {
+			if v < 0 {
+				v = -v
+			}
+			cum += v
+			d[i] = cum
+		} else {
+			d[i] = v
+		}
+	}
+	return d
+}
+
+// TestExtractMatchesNaive is the central differential property test: the
+// fused/blocked/parallel kernel must be bit-identical to the naive
+// reference for random data, maxK, block sizes and worker counts.
+func TestExtractMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sizes := []int{1, 2, 3, 5, 17, 64, 65, 129, 257, 400}
+	blocks := []int{1, 2, 3, 7, 64, 101, 1000}
+	workerCounts := []int{0, 1, 2, 3, 5, 16}
+	for _, n := range sizes {
+		for _, monotone := range []bool{true, false} {
+			data := randData(rng, n, monotone)
+			for _, maxK := range []int{0, 1, n / 2, n - 1} {
+				if maxK > n-1 {
+					continue
+				}
+				wantUp, wantLo, err := ExtractNaive(data, maxK)
+				if err != nil {
+					t.Fatalf("naive n=%d maxK=%d: %v", n, maxK, err)
+				}
+				for _, b := range blocks {
+					for _, w := range workerCounts {
+						opt := Options{BlockSize: b, Workers: w, SeqThreshold: -1}
+						up, lo, err := Extract(data, maxK, opt)
+						if err != nil {
+							t.Fatalf("kernel n=%d maxK=%d b=%d w=%d: %v", n, maxK, b, w, err)
+						}
+						for k := 0; k <= maxK; k++ {
+							if up[k] != wantUp[k] || lo[k] != wantLo[k] {
+								t.Fatalf("n=%d maxK=%d b=%d w=%d monotone=%v: k=%d got (%d,%d) want (%d,%d)",
+									n, maxK, b, w, monotone, k, up[k], lo[k], wantUp[k], wantLo[k])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExtractDefaultsMatchNaive covers the default option path (auto block
+// size, GOMAXPROCS workers, sequential-fallback threshold) at a size big
+// enough to actually engage the pool.
+func TestExtractDefaultsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := randData(rng, 3_000, true)
+	maxK := 1_500
+	wantUp, wantLo, err := ExtractNaive(data, maxK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, lo, err := Extract(data, maxK, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= maxK; k++ {
+		if up[k] != wantUp[k] || lo[k] != wantLo[k] {
+			t.Fatalf("k=%d: got (%d,%d) want (%d,%d)", k, up[k], lo[k], wantUp[k], wantLo[k])
+		}
+	}
+}
+
+func TestExtractKnownValues(t *testing.T) {
+	// Demands 3,1,4,1,5 → prefix 0,3,4,8,9,14.
+	prefix := []int64{0, 3, 4, 8, 9, 14}
+	up, lo, err := Extract(prefix, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUp := []int64{0, 5, 6, 10, 11, 14}
+	wantLo := []int64{0, 1, 4, 6, 9, 14}
+	for k := range wantUp {
+		if up[k] != wantUp[k] || lo[k] != wantLo[k] {
+			t.Fatalf("k=%d: got (%d,%d) want (%d,%d)", k, up[k], lo[k], wantUp[k], wantLo[k])
+		}
+	}
+}
+
+func TestExtractValidation(t *testing.T) {
+	if _, _, err := Extract(nil, 0, Options{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("empty data: %v", err)
+	}
+	if _, _, err := Extract([]int64{0, 1}, 2, Options{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("maxK beyond domain: %v", err)
+	}
+	if _, _, err := Extract([]int64{0, 1}, -1, Options{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("negative maxK: %v", err)
+	}
+	if _, _, err := ExtractNaive(nil, 0); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("naive empty data: %v", err)
+	}
+	if err := Scan(nil, 0, 0, nil); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("scan empty data: %v", err)
+	}
+}
+
+// TestScanMatchesExtract checks that Scan visits every k in ascending
+// order with the same extrema Extract reports.
+func TestScanMatchesExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	data := randData(rng, 200, true)
+	maxK := 199
+	up, lo, err := Extract(data, maxK, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, block := range []int{1, 3, 64, 500} {
+		next := 1
+		err := Scan(data, maxK, block, func(k int, l, u int64) bool {
+			if k != next {
+				t.Fatalf("block=%d: visited k=%d, want %d", block, k, next)
+			}
+			if u != up[k] || l != lo[k] {
+				t.Fatalf("block=%d k=%d: got (%d,%d) want (%d,%d)", block, k, l, u, lo[k], up[k])
+			}
+			next++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next != maxK+1 {
+			t.Fatalf("block=%d: visited up to %d, want %d", block, next-1, maxK)
+		}
+	}
+}
+
+// TestScanEarlyExit checks the scan stops exactly where visit says so.
+func TestScanEarlyExit(t *testing.T) {
+	data := make([]int64, 100)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	visited := 0
+	err := Scan(data, 99, 8, func(k int, l, u int64) bool {
+		visited++
+		return k < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != 10 {
+		t.Fatalf("visited %d offsets, want 10", visited)
+	}
+}
+
+// TestExtractZeroMaxK: the degenerate offset-0 request used by span
+// extraction on single-event traces.
+func TestExtractZeroMaxK(t *testing.T) {
+	up, lo, err := Extract([]int64{42}, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(up) != 1 || len(lo) != 1 || up[0] != 0 || lo[0] != 0 {
+		t.Fatalf("got up=%v lo=%v", up, lo)
+	}
+}
+
+// TestExtractExtremeValues guards the accumulator initialization: data
+// whose differences include MinInt64-adjacent values must still round-trip.
+func TestExtractExtremeValues(t *testing.T) {
+	data := []int64{math.MaxInt64 / 2, math.MinInt64 / 2, 0, math.MaxInt64 / 2}
+	up, lo, err := Extract(data, 3, Options{BlockSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUp, wantLo, err := ExtractNaive(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 3; k++ {
+		if up[k] != wantUp[k] || lo[k] != wantLo[k] {
+			t.Fatalf("k=%d: got (%d,%d) want (%d,%d)", k, up[k], lo[k], wantUp[k], wantLo[k])
+		}
+	}
+}

@@ -165,6 +165,12 @@ type Spans = arrival.Spans
 // SpansFromTrace extracts d(k) = min_j(t[j+k−1] − t[j]) for k = 1..maxK.
 func SpansFromTrace(tt TimedTrace, maxK int) (Spans, error) { return arrival.FromTrace(tt, maxK) }
 
+// ExtractSpans extracts both span tables — minimal d(k) and maximal D(k) —
+// in one fused pass of the shared extraction kernel.
+func ExtractSpans(tt TimedTrace, maxK int) (Spans, MaxSpans, error) {
+	return arrival.ExtractSpans(tt, maxK)
+}
+
 // MergeSpans combines span tables from several traces (per-k minimum).
 func MergeSpans(tables ...Spans) (Spans, error) { return arrival.Merge(tables...) }
 
