@@ -10,7 +10,10 @@
 //   - span-table extraction: arrival.ExtractSpans (kernel, both tables
 //     fused) vs the per-k min and max passes;
 //   - admissibility: Workload.AdmitsAnalyzed (fused scan, Analyzer reuse)
-//     on an admissible trace (worst case: no early exit).
+//     on an admissible trace (worst case: no early exit);
+//   - ingestion: internal/stream incremental sliding-window maintenance, in
+//     samples/s — one stream (the per-shard serial path) and GOMAXPROCS
+//     streams fed concurrently (the wcmd sharded path).
 //
 // Usage:
 //
@@ -23,12 +26,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"wcm/internal/arrival"
 	"wcm/internal/core"
 	"wcm/internal/events"
 	"wcm/internal/kernel"
+	"wcm/internal/stream"
 )
 
 // Measurement is one benchmark's outcome.
@@ -38,6 +43,9 @@ type Measurement struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	Iterations  int     `json:"iterations"`
+	// SamplesPerSec is set for the ingest group only: demand samples
+	// absorbed per second of wall time.
+	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
 }
 
 // Report is the BENCH_extract.json schema.
@@ -162,11 +170,81 @@ func run(n, maxK int, minTime time.Duration, out string) (*Report, error) {
 	})
 	add(kernelAdmits)
 
+	// Ingest group: the internal/stream incremental path that wcmd serves.
+	// One op = pushing the whole n-sample trace through a stream in batches
+	// of ingestBatch; timestamps are shifted forward every op so the stream
+	// keeps accepting.
+	const ingestBatch = 512
+	ingestCfg := stream.Config{Window: 4096, MaxK: 256}
+	if ingestCfg.Window > n {
+		ingestCfg.Window = n
+	}
+	span := tt[len(tt)-1] + 1
+	feed := func(s *stream.Stream, scratch []int64, off int64) {
+		for j, v := range tt {
+			scratch[j] = v + off
+		}
+		for i := 0; i < n; i += ingestBatch {
+			hi := i + ingestBatch
+			if hi > n {
+				hi = n
+			}
+			if _, err := s.Ingest(scratch[i:hi], d[i:hi]); err != nil {
+				panic(err)
+			}
+		}
+	}
+	newStream := func() *stream.Stream {
+		s, err := stream.New(ingestCfg)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+
+	single := newStream()
+	singleScratch := make([]int64, n)
+	var singleOff int64
+	ingestSingle := measure("ingest_single_stream", minTime, func() {
+		feed(single, singleScratch, singleOff)
+		singleOff += span
+	})
+	ingestSingle.SamplesPerSec = float64(n) / (ingestSingle.NsPerOp / 1e9)
+	add(ingestSingle)
+
+	// Sharded: GOMAXPROCS independent streams fed concurrently — the wcmd
+	// multi-stream path, where per-stream locks never contend.
+	p := runtime.GOMAXPROCS(0)
+	shardStreams := make([]*stream.Stream, p)
+	shardScratch := make([][]int64, p)
+	shardOff := make([]int64, p)
+	for i := range shardStreams {
+		shardStreams[i] = newStream()
+		shardScratch[i] = make([]int64, n)
+	}
+	ingestSharded := measure("ingest_sharded_streams", minTime, func() {
+		var wg sync.WaitGroup
+		for i := 0; i < p; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				feed(shardStreams[i], shardScratch[i], shardOff[i])
+				shardOff[i] += span
+			}(i)
+		}
+		wg.Wait()
+	})
+	ingestSharded.SamplesPerSec = float64(p*n) / (ingestSharded.NsPerOp / 1e9)
+	add(ingestSharded)
+
 	report.Speedups["workload"] = naiveWorkload.NsPerOp / kernelWorkload.NsPerOp
 	report.Speedups["spans"] = naiveSpans.NsPerOp / kernelSpans.NsPerOp
 	// Admits shares the naive-workload baseline: pre-kernel it was the
 	// same 2·K·n sweep (plus an O(n) prefix rebuild per call).
 	report.Speedups["admits"] = naiveWorkload.NsPerOp / kernelAdmits.NsPerOp
+	// Throughput scaling from sharding: > 1 means independent streams really
+	// ingest in parallel.
+	report.Speedups["ingest_scaling"] = ingestSharded.SamplesPerSec / ingestSingle.SamplesPerSec
 
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -192,7 +270,11 @@ func main() {
 	}
 	fmt.Printf("wrote %s (n=%d K=%d, GOMAXPROCS=%d)\n", *out, *n, *maxK, report.GOMAXPROCS)
 	for _, m := range report.Results {
-		fmt.Printf("  %-24s %14.0f ns/op %8.1f allocs/op\n", m.Name, m.NsPerOp, m.AllocsPerOp)
+		fmt.Printf("  %-24s %14.0f ns/op %8.1f allocs/op", m.Name, m.NsPerOp, m.AllocsPerOp)
+		if m.SamplesPerSec > 0 {
+			fmt.Printf(" %12.0f samples/s", m.SamplesPerSec)
+		}
+		fmt.Println()
 	}
 	for name, s := range report.Speedups {
 		fmt.Printf("  speedup %-16s %6.2fx\n", name, s)

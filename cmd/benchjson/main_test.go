@@ -24,8 +24,8 @@ func TestRunWritesReport(t *testing.T) {
 	if err := json.Unmarshal(raw, &decoded); err != nil {
 		t.Fatalf("emitted JSON does not parse: %v", err)
 	}
-	if len(decoded.Results) != 5 {
-		t.Fatalf("got %d results, want 5", len(decoded.Results))
+	if len(decoded.Results) != 7 {
+		t.Fatalf("got %d results, want 7", len(decoded.Results))
 	}
 	names := map[string]bool{}
 	for _, m := range decoded.Results {
@@ -37,12 +37,19 @@ func TestRunWritesReport(t *testing.T) {
 	for _, want := range []string{
 		"extract_workload_kernel", "extract_workload_naive",
 		"extract_spans_kernel", "extract_spans_naive", "admits_kernel",
+		"ingest_single_stream", "ingest_sharded_streams",
 	} {
 		if !names[want] {
 			t.Fatalf("missing measurement %q", want)
 		}
 	}
-	for _, key := range []string{"workload", "spans", "admits"} {
+	for _, m := range decoded.Results {
+		if (m.Name == "ingest_single_stream" || m.Name == "ingest_sharded_streams") &&
+			m.SamplesPerSec <= 0 {
+			t.Fatalf("%s: samples_per_sec = %v, want > 0", m.Name, m.SamplesPerSec)
+		}
+	}
+	for _, key := range []string{"workload", "spans", "admits", "ingest_scaling"} {
 		if decoded.Speedups[key] <= 0 {
 			t.Fatalf("speedup %q = %v, want > 0", key, decoded.Speedups[key])
 		}

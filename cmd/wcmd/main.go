@@ -1,0 +1,105 @@
+// Command wcmd serves the streaming workload-characterization API: ingest
+// demand samples per stream, query sliding-window γᵘ/γˡ and span tables, run
+// the eq. (8) service check and eq. (9)/(10) minimum-frequency analyses, and
+// monitor admission contracts online. See internal/server for the routes.
+//
+// Usage:
+//
+//	wcmd -addr :8080 -window 1024 -maxk 256
+//
+// The process drains in-flight requests and exits cleanly on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wcm/internal/server"
+	"wcm/internal/stream"
+)
+
+func main() {
+	cfg, addr, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, addr, nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseFlags(args []string) (server.Config, string, error) {
+	fs := flag.NewFlagSet("wcmd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	shards := fs.Int("shards", server.DefaultShards, "stream registry shards")
+	window := fs.Int("window", stream.DefaultWindow, "sliding window length in samples")
+	maxK := fs.Int("maxk", stream.DefaultMaxK, "largest curve argument k maintained")
+	reextract := fs.Int("reextract", 0, "samples between anchor re-extractions (0 = window, <0 = off)")
+	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
+	if err := fs.Parse(args); err != nil {
+		return server.Config{}, "", err
+	}
+	return server.Config{
+		Shards:       *shards,
+		MaxBodyBytes: *maxBody,
+		Stream: stream.Config{
+			Window:         *window,
+			MaxK:           *maxK,
+			ReextractEvery: *reextract,
+		},
+	}, *addr, nil
+}
+
+// run binds addr, serves until ctx is cancelled, then shuts down gracefully.
+// If ready is non-nil it receives the bound address once the listener is up
+// (so tests can use ":0").
+func run(ctx context.Context, cfg server.Config, addr string, ready chan<- net.Addr) error {
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("wcmd listening on %s (shards=%d window=%d maxk=%d)",
+		ln.Addr(), cfg.Shards, cfg.Stream.Window, cfg.Stream.MaxK)
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Print("wcmd stopped")
+	return nil
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"wcm/internal/server"
+	"wcm/internal/stream"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, addr, err := parseFlags([]string{
+		"-addr", "127.0.0.1:9999", "-shards", "4", "-window", "64",
+		"-maxk", "8", "-reextract", "-1", "-max-body", "4096",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "127.0.0.1:9999" || cfg.Shards != 4 || cfg.MaxBodyBytes != 4096 {
+		t.Fatalf("cfg = %+v, addr = %q", cfg, addr)
+	}
+	if cfg.Stream.Window != 64 || cfg.Stream.MaxK != 8 || cfg.Stream.ReextractEvery != -1 {
+		t.Fatalf("stream cfg = %+v", cfg.Stream)
+	}
+	if _, _, err := parseFlags([]string{"-window", "notanumber"}); err == nil {
+		t.Fatal("bad flag value accepted")
+	}
+}
+
+// TestRunServesAndShutsDown boots the real server on an ephemeral port,
+// exercises a healthz → ingest → minfreq round trip over TCP, and verifies
+// the graceful-shutdown path.
+func TestRunServesAndShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	cfg := server.Config{Stream: stream.Config{Window: 64, MaxK: 16}}
+	go func() { done <- run(ctx, cfg, "127.0.0.1:0", ready) }()
+
+	var base string
+	select {
+	case a := <-ready:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := `{"t":[0,100,200,300],"demand":[5,7,6,9]}`
+	resp, err = http.Post(base+"/v1/streams/cam/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/v1/streams/cam/minfreq?b=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mf struct {
+		GammaHz float64 `json:"gamma_hz"`
+		WCETHz  float64 `json:"wcet_hz"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&mf); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || mf.GammaHz <= 0 || mf.GammaHz > mf.WCETHz {
+		t.Fatalf("minfreq: status %d, %+v", resp.StatusCode, mf)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown hung")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	err := run(context.Background(), server.Config{Shards: -1}, "127.0.0.1:0", nil)
+	if err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if !strings.Contains(fmt.Sprint(err), "shards") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -111,6 +111,17 @@ func ExtractSpans(tt events.TimedTrace, maxK int) (Spans, MaxSpans, error) {
 	return mins, maxs, nil
 }
 
+// FromValues validates raw span-table values produced elsewhere (e.g. the
+// incremental sliding-window maintainer of internal/stream) and packages
+// them as a Spans table. The input is copied.
+func FromValues(vals []int64) (Spans, error) {
+	s := append(Spans(nil), vals...)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 // Merge combines span tables from several traces into a table valid for all
 // of them: the arrival curve must upper-bound every trace, so the merged
 // d(k) is the MINIMUM of the individual d(k) (a shorter span means more

@@ -342,3 +342,30 @@ func TestQuickSpansBoundTraces(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFromValuesCopiesAndValidates(t *testing.T) {
+	raw := []int64{0, 5, 9}
+	s, err := FromValues(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[1] = 99
+	if s[1] != 5 {
+		t.Fatal("FromValues must copy its input")
+	}
+	if _, err := FromValues([]int64{1, 2}); !errors.Is(err, ErrBadSpans) {
+		t.Fatalf("d(1)≠0: want ErrBadSpans, got %v", err)
+	}
+	if _, err := FromValues([]int64{0, 4, 3}); !errors.Is(err, ErrBadSpans) {
+		t.Fatalf("decreasing: want ErrBadSpans, got %v", err)
+	}
+	if _, err := FromValues(nil); !errors.Is(err, ErrEmptySpans) {
+		t.Fatalf("empty: want ErrEmptySpans, got %v", err)
+	}
+	if _, err := MaxSpansFromValues([]int64{0, 3, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MaxSpansFromValues([]int64{0, 7, 3}); !errors.Is(err, ErrBadSpans) {
+		t.Fatalf("decreasing max spans: want ErrBadSpans, got %v", err)
+	}
+}

@@ -83,6 +83,17 @@ func MaxSpansFromTrace(tt events.TimedTrace, maxK int) (MaxSpans, error) {
 	return maxs, err
 }
 
+// MaxSpansFromValues validates raw maximal-span values produced elsewhere
+// (e.g. internal/stream) and packages them as a MaxSpans table. The input
+// is copied.
+func MaxSpansFromValues(vals []int64) (MaxSpans, error) {
+	s := append(MaxSpans(nil), vals...)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 // MergeMax combines maximal-span tables from several traces into one valid
 // for all of them: the merged D(k) is the MAXIMUM of the individual tables
 // (a longer span means fewer guaranteed events). Tables truncate to the

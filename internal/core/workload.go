@@ -279,14 +279,18 @@ type Violation struct {
 	Upper bool  // true: exceeded γᵘ; false: undercut γˡ
 }
 
-// Admits verifies that a demand trace is consistent with the
+// Admits verifies that a COMPLETE demand trace is consistent with the
 // characterization: every window of every length k within the curves'
 // domain satisfies γˡ(k) ≤ Σ demand ≤ γᵘ(k). It returns the first
 // violation found (scanning short windows first, so the report is the
-// tightest inconsistency). This is the runtime-monitor counterpart of the
-// model: a deployed system can check observed demands against the curves
-// its schedulability argument assumed — the failure-injection tests use it
-// to show the analysis guarantees are exactly as strong as the model.
+// tightest inconsistency), or nil when the trace conforms.
+//
+// Admits is the offline audit: it sees the whole trace at once and costs
+// O(K·n). For checking demands as they arrive, use Monitor (the O(window)
+// per-sample streaming equivalent) — or stream.Stream.SetContract /
+// wcmd's /contract + /verdict endpoints, which run a Monitor inside the
+// live characterization service. The failure-injection tests use Admits to
+// show the analysis guarantees are exactly as strong as the model.
 func (w Workload) Admits(d events.DemandTrace) (*Violation, error) {
 	a, err := NewAnalyzer(d)
 	if err != nil {
@@ -295,8 +299,8 @@ func (w Workload) Admits(d events.DemandTrace) (*Violation, error) {
 	return w.AdmitsAnalyzed(a)
 }
 
-// AdmitsAnalyzed is Admits against a pre-built Analyzer: the monitor path
-// checks the same trace against many candidate characterizations (or the
+// AdmitsAnalyzed is Admits against a pre-built Analyzer: audit pipelines
+// check the same trace against many candidate characterizations (or the
 // same characterization repeatedly as curves are refined), and rebuilding
 // the O(n) prefix array per check was pure waste. The scan itself runs on
 // the fused blocked kernel — one cache-resident pass per k-block computing

@@ -128,8 +128,27 @@ func Extract(data []int64, maxK int, opt Options) (up, lo []int64, err error) {
 	}
 	up = make([]int64, maxK+1)
 	lo = make([]int64, maxK+1)
+	if err := ExtractInto(data, maxK, opt, up, lo); err != nil {
+		return nil, nil, err
+	}
+	return up, lo, nil
+}
+
+// ExtractInto is Extract writing into caller-provided slices, for hot loops
+// that re-extract periodically and want zero steady-state allocations (the
+// re-extraction anchor of internal/stream). up and lo must each hold at
+// least maxK+1 elements; only indices 0..maxK are written.
+func ExtractInto(data []int64, maxK int, opt Options, up, lo []int64) error {
+	if err := validate(len(data), maxK); err != nil {
+		return err
+	}
+	if len(up) < maxK+1 || len(lo) < maxK+1 {
+		return fmt.Errorf("%w: result slices hold %d/%d values, need %d",
+			ErrBadInput, len(up), len(lo), maxK+1)
+	}
+	up[0], lo[0] = 0, 0
 	if maxK == 0 {
-		return up, lo, nil
+		return nil
 	}
 
 	work := int64(maxK) * int64(len(data))
@@ -139,7 +158,7 @@ func Extract(data []int64, maxK int, opt Options) (up, lo []int64, err error) {
 	}
 	if workers <= 1 || work < opt.seqThreshold() {
 		extractBlocked(data, 1, maxK, opt.blockSize(), up, lo)
-		return up, lo, nil
+		return nil
 	}
 
 	// Contiguous k-chunks: worker w owns [1+w·chunk, 1+(w+1)·chunk), so all
@@ -158,7 +177,7 @@ func Extract(data []int64, maxK int, opt Options) (up, lo []int64, err error) {
 		}(kLo, kHi)
 	}
 	wg.Wait()
-	return up, lo, nil
+	return nil
 }
 
 // extractBlocked fills up[k], lo[k] for k in [kLo, kHi] by streaming one

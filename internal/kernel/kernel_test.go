@@ -203,3 +203,35 @@ func TestExtractExtremeValues(t *testing.T) {
 		}
 	}
 }
+
+func TestExtractIntoReusesBuffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := randData(rng, 300, true)
+	wantUp, wantLo, err := Extract(data, 40, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oversized buffers with garbage: only 0..maxK may be written.
+	up := make([]int64, 64)
+	lo := make([]int64, 64)
+	for i := range up {
+		up[i], lo[i] = -7, -7
+	}
+	if err := ExtractInto(data, 40, Options{}, up, lo); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 40; k++ {
+		if up[k] != wantUp[k] || lo[k] != wantLo[k] {
+			t.Fatalf("ExtractInto mismatch at k=%d", k)
+		}
+	}
+	for k := 41; k < 64; k++ {
+		if up[k] != -7 || lo[k] != -7 {
+			t.Fatalf("ExtractInto wrote past maxK at k=%d", k)
+		}
+	}
+	// Undersized buffers are rejected.
+	if err := ExtractInto(data, 40, Options{}, make([]int64, 40), lo); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("short up buffer: want ErrBadInput, got %v", err)
+	}
+}

@@ -287,6 +287,39 @@ func MinFrequencyWCET(spans arrival.Spans, wcet int64, b int) (MinFrequencyResul
 	return minFrequency(spans, b, func(k int) (int64, error) { return wcet * int64(k), nil })
 }
 
+// FrequencyComparison holds the paper's headline comparison in one value:
+// the workload-curve minimum frequency Fᵞmin (eq. 9), the conventional
+// WCET-based Fʷmin (eq. 10) computed from the same span table with
+// w = γᵘ(1), and the relative saving 1 − Fᵞmin/Fʷmin.
+type FrequencyComparison struct {
+	Gamma  MinFrequencyResult // eq. (9)
+	WCET   MinFrequencyResult // eq. (10) with w = γᵘ(1)
+	Saving float64            // 1 − Gamma.Hz/WCET.Hz (0 when WCET.Hz == 0)
+}
+
+// CompareFrequencies computes eq. (9) and eq. (10) side by side — the live
+// control signal a DVS governor or admission controller acts on. γᵘ must be
+// defined at least on k = 1..MaxK(spans) − b.
+func CompareFrequencies(spans arrival.Spans, gammaU curve.Curve, b int) (FrequencyComparison, error) {
+	gamma, err := MinFrequency(spans, gammaU, b)
+	if err != nil {
+		return FrequencyComparison{}, err
+	}
+	wcet, err := gammaU.At(1)
+	if err != nil {
+		return FrequencyComparison{}, fmt.Errorf("netcalc: γᵘ(1) for eq. 10: %w", err)
+	}
+	wres, err := MinFrequencyWCET(spans, wcet, b)
+	if err != nil {
+		return FrequencyComparison{}, err
+	}
+	cmp := FrequencyComparison{Gamma: gamma, WCET: wres}
+	if wres.Hz > 0 {
+		cmp.Saving = 1 - gamma.Hz/wres.Hz
+	}
+	return cmp, nil
+}
+
 func minFrequency(spans arrival.Spans, b int, demand func(k int) (int64, error)) (MinFrequencyResult, error) {
 	if b < 0 {
 		return MinFrequencyResult{}, ErrBadBuffer

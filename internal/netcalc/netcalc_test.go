@@ -343,3 +343,57 @@ func TestQuickFminSatisfiesEq8(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCompareFrequenciesSideBySide(t *testing.T) {
+	d, err := events.PollingDemands(10, 30, 50, 9, 2, 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := core.FromTrace(d, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := events.Sporadic(0, 50, 200, 400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := arrival.FromTrace(tt, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const b = 2
+	cmp, err := CompareFrequencies(spans, w.Upper, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, err := MinFrequency(spans, w.Upper, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wres, err := MinFrequencyWCET(spans, w.Upper.MustAt(1), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Gamma != gamma || cmp.WCET != wres {
+		t.Fatalf("CompareFrequencies disagrees with its parts: %+v", cmp)
+	}
+	if cmp.Gamma.Hz > cmp.WCET.Hz {
+		t.Fatalf("Fᵞmin %g must not exceed Fʷmin %g", cmp.Gamma.Hz, cmp.WCET.Hz)
+	}
+	wantSaving := 1 - gamma.Hz/wres.Hz
+	if math.Abs(cmp.Saving-wantSaving) > 1e-12 {
+		t.Fatalf("saving %g, want %g", cmp.Saving, wantSaving)
+	}
+	// A curve defined only at k=0 cannot provide γᵘ(1) for eq. 10.
+	short, err := curve.NewFinite([]int64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shortSpans, err := arrival.Periodic(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareFrequencies(shortSpans, short, 0); err == nil {
+		t.Fatal("k=0-only curve must be rejected")
+	}
+}

@@ -1,0 +1,33 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzIngest throws arbitrary bytes at the ingest batch decoder. The decoder
+// must never panic, and anything it accepts must be structurally sound (the
+// invariants the handler relies on before touching stream state).
+func FuzzIngest(f *testing.F) {
+	f.Add([]byte(`{"t":[0,100,200],"demand":[5,7,6]}`))
+	f.Add([]byte(`{"t":[],"demand":[]}`))
+	f.Add([]byte(`{"t":[1],"demand":[1,2]}`))
+	f.Add([]byte(`{"t":[9223372036854775807],"demand":[-1]}`))
+	f.Add([]byte(`{"t":[1],"demand":[1],"unknown":true}`))
+	f.Add([]byte(`{"t":[1],"demand":[1]}{"t":[2],"demand":[2]}`))
+	f.Add([]byte(`nonsense`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("{\"t\":[1e999],\"demand\":[0]}"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeIngest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(req.T) == 0 || len(req.T) != len(req.Demand) {
+			t.Fatalf("accepted structurally invalid batch: t=%d demand=%d from %q",
+				len(req.T), len(req.Demand), data)
+		}
+	})
+}

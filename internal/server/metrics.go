@@ -1,0 +1,125 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the service's counters. Per-endpoint stats are plain atomics
+// updated on the request path; gauges derived from stream state are computed
+// at scrape time by the /metrics handler (see Server.handleMetrics), so the
+// hot path never touches them.
+type metrics struct {
+	start   time.Time
+	samples atomic.Uint64 // demand samples accepted
+	batches atomic.Uint64 // ingest batches accepted
+	// ingest batches whose result carried a fresh contract violation
+	violatingBatches atomic.Uint64
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+}
+
+// endpointStats accumulates request-path counters for one route.
+type endpointStats struct {
+	requests  atomic.Uint64
+	errors    atomic.Uint64 // responses with status ≥ 400
+	latencyNs atomic.Int64  // sum of handler latencies
+	maxNs     atomic.Int64  // worst handler latency seen
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+}
+
+// endpoint returns (registering if needed) the stats cell for a route. Called
+// once per route at mux construction, so the map is effectively read-only
+// afterwards.
+func (m *metrics) endpoint(name string) *endpointStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep := m.endpoints[name]
+	if ep == nil {
+		ep = &endpointStats{}
+		m.endpoints[name] = ep
+	}
+	return ep
+}
+
+func (ep *endpointStats) observe(d time.Duration, status int) {
+	ep.requests.Add(1)
+	if status >= 400 {
+		ep.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	ep.latencyNs.Add(ns)
+	for {
+		cur := ep.maxNs.Load()
+		if ns <= cur || ep.maxNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// gauges are scrape-time values aggregated over all live streams.
+type gauges struct {
+	streams    int64
+	inWindow   int64
+	reex       int64
+	drift      int64
+	violations int64
+}
+
+// write emits all metrics in the Prometheus text exposition format
+// (version 0.0.4) using only the standard library.
+func (m *metrics) write(w io.Writer, g gauges) {
+	emit := func(help, typ, name string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
+	}
+	emit("Demand samples accepted across all streams.", "counter",
+		"wcmd_samples_ingested_total", m.samples.Load())
+	emit("Ingest batches accepted.", "counter",
+		"wcmd_ingest_batches_total", m.batches.Load())
+	emit("Ingest batches that surfaced a contract violation.", "counter",
+		"wcmd_violating_batches_total", m.violatingBatches.Load())
+	emit("Live streams.", "gauge", "wcmd_streams", g.streams)
+	emit("Samples currently inside sliding windows, summed over streams.", "gauge",
+		"wcmd_samples_in_window", g.inWindow)
+	emit("Full batch re-extractions run as correctness anchors.", "counter",
+		"wcmd_reextractions_total", g.reex)
+	emit("Anchor re-extractions that disagreed with the incremental state (expect 0).",
+		"counter", "wcmd_reextraction_drift_total", g.drift)
+	emit("Contract violations observed, summed over streams.", "counter",
+		"wcmd_contract_violations_total", g.violations)
+	emit("Seconds since the server started.", "gauge",
+		"wcmd_uptime_seconds", fmt.Sprintf("%.3f", time.Since(m.start).Seconds()))
+
+	names := make([]string, 0, len(m.endpoints))
+	m.mu.Lock()
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP wcmd_requests_total Requests served, by endpoint.\n# TYPE wcmd_requests_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "wcmd_requests_total{endpoint=%q} %d\n", name, m.endpoints[name].requests.Load())
+	}
+	fmt.Fprintf(w, "# HELP wcmd_request_errors_total Responses with status >= 400, by endpoint.\n# TYPE wcmd_request_errors_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "wcmd_request_errors_total{endpoint=%q} %d\n", name, m.endpoints[name].errors.Load())
+	}
+	fmt.Fprintf(w, "# HELP wcmd_request_latency_ns_total Summed handler latency in nanoseconds, by endpoint.\n# TYPE wcmd_request_latency_ns_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "wcmd_request_latency_ns_total{endpoint=%q} %d\n", name, m.endpoints[name].latencyNs.Load())
+	}
+	fmt.Fprintf(w, "# HELP wcmd_request_latency_ns_max Worst handler latency in nanoseconds, by endpoint.\n# TYPE wcmd_request_latency_ns_max gauge\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "wcmd_request_latency_ns_max{endpoint=%q} %d\n", name, m.endpoints[name].maxNs.Load())
+	}
+}

@@ -1,0 +1,552 @@
+// Package server exposes the streaming workload-curve maintainer of
+// internal/stream as an HTTP/JSON service — the first piece of the
+// repository that serves traffic instead of batch-analyzing files.
+//
+// Streams are partitioned across fixed shards by FNV-1a hash of the stream
+// id; each shard guards only its id→stream map with its own RWMutex, and
+// every stream serializes its own state behind its own lock, so ingestion
+// into different streams never contends. The endpoints (all JSON):
+//
+//	POST   /v1/streams/{id}/ingest    {"t":[...], "demand":[...]}
+//	GET    /v1/streams/{id}/curves    γᵘ/γˡ and span tables of the window
+//	POST   /v1/streams/{id}/check     eq. (8)  {"freq_hz":F, "latency_ns":L, "buffer":b}
+//	GET    /v1/streams/{id}/minfreq?b=N   eq. (9) and eq. (10) side by side
+//	POST   /v1/streams/{id}/contract  {"upper":[...], "lower":[...], "window":W}
+//	GET    /v1/streams/{id}/verdict   online-monitor verdict (Admits-style)
+//	GET    /v1/streams                list streams
+//	DELETE /v1/streams/{id}           drop a stream
+//	GET    /healthz                   liveness
+//	GET    /metrics                   Prometheus text exposition
+//
+// Request bodies are size-limited (Config.MaxBodyBytes); unknown JSON
+// fields are rejected so client typos fail loudly.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"wcm/internal/core"
+	"wcm/internal/curve"
+	"wcm/internal/stream"
+)
+
+// Defaults for zero-valued Config fields.
+const (
+	DefaultShards       = 16
+	DefaultMaxBodyBytes = 1 << 20
+)
+
+// Config parameterizes a Server. The zero value picks service defaults.
+type Config struct {
+	// Shards is the number of stream-map partitions. Default 16.
+	Shards int
+	// MaxBodyBytes caps every request body. Default 1 MiB.
+	MaxBodyBytes int64
+	// Stream configures streams auto-created on first ingest.
+	Stream stream.Config
+}
+
+// Server is the wcmd HTTP service: a sharded registry of streams plus the
+// request handlers and metrics.
+type Server struct {
+	cfg     Config
+	shards  []*shard
+	mux     *http.ServeMux
+	metrics *metrics
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	streams map[string]*stream.Stream
+}
+
+// New builds a server. The stream defaults are validated eagerly so a bad
+// flag fails at startup, not on first ingest.
+func New(cfg Config) (*Server, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("server: shards=%d", cfg.Shards)
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxBodyBytes < 1 {
+		return nil, fmt.Errorf("server: max body bytes=%d", cfg.MaxBodyBytes)
+	}
+	if _, err := stream.New(cfg.Stream); err != nil {
+		return nil, fmt.Errorf("server: stream defaults: %w", err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		shards:  make([]*shard, cfg.Shards),
+		mux:     http.NewServeMux(),
+		metrics: newMetrics(),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{streams: make(map[string]*stream.Stream)}
+	}
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/streams/{id}/ingest", s.instrument("ingest", s.handleIngest))
+	s.mux.HandleFunc("GET /v1/streams/{id}/curves", s.instrument("curves", s.handleCurves))
+	s.mux.HandleFunc("POST /v1/streams/{id}/check", s.instrument("check", s.handleCheck))
+	s.mux.HandleFunc("GET /v1/streams/{id}/minfreq", s.instrument("minfreq", s.handleMinFreq))
+	s.mux.HandleFunc("POST /v1/streams/{id}/contract", s.instrument("contract", s.handleContract))
+	s.mux.HandleFunc("GET /v1/streams/{id}/verdict", s.instrument("verdict", s.handleVerdict))
+	s.mux.HandleFunc("GET /v1/streams", s.instrument("list", s.handleList))
+	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.instrument("delete", s.handleDelete))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// Handler returns the service's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) shardFor(id string) *shard {
+	h := fnv.New32a()
+	io.WriteString(h, id)
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// get returns the stream for id, or nil.
+func (s *Server) get(id string) *stream.Stream {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.streams[id]
+}
+
+// getOrCreate returns the stream for id, creating it with the server's
+// stream defaults on first use. created reports whether this call made it;
+// callers that then fail before any state lands may dropIfEmpty the stream
+// so rejected requests don't register ghosts.
+func (s *Server) getOrCreate(id string) (st *stream.Stream, created bool, err error) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	st = sh.streams[id]
+	sh.mu.RUnlock()
+	if st != nil {
+		return st, false, nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if st := sh.streams[id]; st != nil {
+		return st, false, nil
+	}
+	st, err = stream.New(s.cfg.Stream)
+	if err != nil {
+		return nil, false, err
+	}
+	sh.streams[id] = st
+	return st, true, nil
+}
+
+// dropIfEmpty removes a just-created stream that never accepted a sample.
+func (s *Server) dropIfEmpty(id string, st *stream.Stream) {
+	if st.Stats().Total != 0 {
+		return
+	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	if cur, ok := sh.streams[id]; ok && cur == st && cur.Stats().Total == 0 {
+		delete(sh.streams, id)
+	}
+	sh.mu.Unlock()
+}
+
+// ---- request/response shapes ---------------------------------------------
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type ingestRequest struct {
+	T      []int64 `json:"t"`
+	Demand []int64 `json:"demand"`
+}
+
+type violationJSON struct {
+	Start int   `json:"start"`
+	Len   int   `json:"len"`
+	Sum   int64 `json:"sum"`
+	Bound int64 `json:"bound"`
+	Upper bool  `json:"upper"`
+}
+
+func violationFrom(v *core.Violation) *violationJSON {
+	if v == nil {
+		return nil
+	}
+	return &violationJSON{Start: v.Start, Len: v.Len, Sum: v.Sum, Bound: v.Bound, Upper: v.Upper}
+}
+
+type ingestResponse struct {
+	Accepted   int            `json:"accepted"`
+	Total      int64          `json:"total"`
+	Violation  *violationJSON `json:"violation,omitempty"`
+	Violations int64          `json:"violations"`
+	Drift      int64          `json:"drift"`
+}
+
+type curvesResponse struct {
+	Total    int64   `json:"total"`
+	InWindow int     `json:"in_window"`
+	Upper    []int64 `json:"upper"`
+	Lower    []int64 `json:"lower"`
+	DMin     []int64 `json:"dmin"`
+	DMax     []int64 `json:"dmax"`
+}
+
+type checkRequest struct {
+	FreqHz    float64 `json:"freq_hz"`
+	LatencyNs int64   `json:"latency_ns"`
+	Buffer    int     `json:"buffer"`
+}
+
+type checkResponse struct {
+	OK bool `json:"ok"`
+}
+
+type minFreqResponse struct {
+	GammaHz       float64 `json:"gamma_hz"`
+	GammaAtK      int     `json:"gamma_at_k"`
+	GammaAtSpanNs int64   `json:"gamma_at_span_ns"`
+	WCETHz        float64 `json:"wcet_hz"`
+	WCETAtK       int     `json:"wcet_at_k"`
+	Saving        float64 `json:"saving"`
+	Buffer        int     `json:"buffer"`
+}
+
+type contractRequest struct {
+	Upper  []int64 `json:"upper"`
+	Lower  []int64 `json:"lower"`
+	Window int     `json:"window"`
+}
+
+type verdictResponse struct {
+	Admitted       bool           `json:"admitted"`
+	ContractSet    bool           `json:"contract_set"`
+	Total          int64          `json:"total"`
+	Violations     int64          `json:"violations"`
+	FirstViolation *violationJSON `json:"first_violation,omitempty"`
+	Drift          int64          `json:"drift"`
+}
+
+type streamInfo struct {
+	ID       string `json:"id"`
+	Total    int64  `json:"total"`
+	InWindow int    `json:"in_window"`
+}
+
+// ---- decoding -------------------------------------------------------------
+
+// decodeJSON strictly decodes one JSON object from r into dst.
+func decodeJSON(r io.Reader, dst any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	// Trailing garbage after the object is a client bug; reject it.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return errors.New("trailing data after JSON object")
+	}
+	return nil
+}
+
+// decodeIngest parses and structurally validates an ingest batch. Exposed
+// for the fuzz harness: it must never panic, whatever bytes arrive.
+func decodeIngest(r io.Reader) (ingestRequest, error) {
+	var req ingestRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return ingestRequest{}, err
+	}
+	if len(req.T) == 0 || len(req.Demand) == 0 {
+		return ingestRequest{}, errors.New(`"t" and "demand" must both be non-empty`)
+	}
+	if len(req.T) != len(req.Demand) {
+		return ingestRequest{}, fmt.Errorf(`"t" has %d entries, "demand" has %d`, len(req.T), len(req.Demand))
+	}
+	return req, nil
+}
+
+// ---- handlers --------------------------------------------------------------
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeIngest(r.Body)
+	if err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	id := r.PathValue("id")
+	st, created, err := s.getOrCreate(id)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	res, err := st.Ingest(req.T, req.Demand)
+	if err != nil {
+		if created {
+			s.dropIfEmpty(id, st)
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	s.metrics.samples.Add(uint64(res.Accepted))
+	s.metrics.batches.Add(1)
+	if res.Violation != nil {
+		s.metrics.violatingBatches.Add(1)
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Accepted:   res.Accepted,
+		Total:      res.Total,
+		Violation:  violationFrom(res.Violation),
+		Violations: res.Violations,
+		Drift:      res.Drift,
+	})
+}
+
+func (s *Server) handleCurves(w http.ResponseWriter, r *http.Request) {
+	st := s.get(r.PathValue("id"))
+	if st == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown stream"})
+		return
+	}
+	snap, err := st.Snapshot()
+	if err != nil {
+		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, curvesResponse{
+		Total:    snap.Total,
+		InWindow: snap.InWindow,
+		Upper:    snap.Workload.Upper.Values(),
+		Lower:    snap.Workload.Lower.Values(),
+		DMin:     snap.Spans,
+		DMax:     snap.MaxSpans,
+	})
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req checkRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if req.FreqHz <= 0 || req.LatencyNs < 0 || req.Buffer < 0 {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{"need freq_hz > 0, latency_ns ≥ 0, buffer ≥ 0"})
+		return
+	}
+	st := s.get(r.PathValue("id"))
+	if st == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown stream"})
+		return
+	}
+	ok, err := st.CheckService(req.FreqHz, req.LatencyNs, req.Buffer)
+	if err != nil {
+		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, checkResponse{OK: ok})
+}
+
+func (s *Server) handleMinFreq(w http.ResponseWriter, r *http.Request) {
+	b := 1
+	if q := r.URL.Query().Get("b"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"b must be a non-negative integer"})
+			return
+		}
+		b = v
+	}
+	st := s.get(r.PathValue("id"))
+	if st == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown stream"})
+		return
+	}
+	cmp, err := st.MinFrequency(b)
+	if err != nil {
+		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, minFreqResponse{
+		GammaHz:       cmp.Gamma.Hz,
+		GammaAtK:      cmp.Gamma.AtK,
+		GammaAtSpanNs: cmp.Gamma.AtSpanNs,
+		WCETHz:        cmp.WCET.Hz,
+		WCETAtK:       cmp.WCET.AtK,
+		Saving:        cmp.Saving,
+		Buffer:        b,
+	})
+}
+
+func (s *Server) handleContract(w http.ResponseWriter, r *http.Request) {
+	var req contractRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	up, err := curve.NewFinite(req.Upper)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("upper: %v", err)})
+		return
+	}
+	lo, err := curve.NewFinite(req.Lower)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("lower: %v", err)})
+		return
+	}
+	window := req.Window
+	if window == 0 {
+		window = up.MaxK()
+	}
+	id := r.PathValue("id")
+	st, created, err := s.getOrCreate(id)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	if err := st.SetContract(core.Workload{Upper: up, Lower: lo}, window); err != nil {
+		if created {
+			s.dropIfEmpty(id, st)
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"window": window})
+}
+
+func (s *Server) handleVerdict(w http.ResponseWriter, r *http.Request) {
+	st := s.get(r.PathValue("id"))
+	if st == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown stream"})
+		return
+	}
+	stats := st.Stats()
+	writeJSON(w, http.StatusOK, verdictResponse{
+		Admitted:       stats.Violations == 0,
+		ContractSet:    stats.ContractSet,
+		Total:          stats.Total,
+		Violations:     stats.Violations,
+		FirstViolation: violationFrom(stats.FirstViolation),
+		Drift:          stats.Drift,
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	var infos []streamInfo
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id, st := range sh.streams {
+			stats := st.Stats()
+			infos = append(infos, streamInfo{ID: id, Total: stats.Total, InWindow: stats.InWindow})
+		}
+		sh.mu.RUnlock()
+	}
+	if infos == nil {
+		infos = []streamInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"streams": infos})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.streams[id]
+	delete(sh.streams, id)
+	sh.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown stream"})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---- plumbing --------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// writeDecodeError maps body-decoding failures to 413 (body too large) or
+// 400 (malformed JSON).
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)})
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the body-size limit and per-endpoint
+// request/error/latency accounting.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.metrics.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		ep.observe(time.Since(start), rec.status)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var streams, inWindow, reex, drift, violations int64
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, st := range sh.streams {
+			stats := st.Stats()
+			streams++
+			inWindow += int64(stats.InWindow)
+			reex += stats.Reextractions
+			drift += stats.Drift
+			violations += stats.Violations
+		}
+		sh.mu.RUnlock()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, gauges{
+		streams:    streams,
+		inWindow:   inWindow,
+		reex:       reex,
+		drift:      drift,
+		violations: violations,
+	})
+}

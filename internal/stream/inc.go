@@ -1,0 +1,217 @@
+// Package stream maintains workload and arrival curves INCREMENTALLY over a
+// sliding window of demand samples — the long-running-service counterpart of
+// the batch extraction in internal/kernel.
+//
+// The batch kernel answers "given this whole trace, what are the curves?" in
+// O(K·m). A service ingesting samples forever cannot afford that per sample.
+// This package keeps the same quantities — for every offset k ≤ K the
+// extrema of the k-differences data[j+k] − data[j], restricted to windows
+// that lie entirely inside the last W data points — continuously up to date:
+//
+//   - workload curves: data is the running demand prefix sum, so
+//     γᵘ(k)/γˡ(k) are the max/min k-differences (Def. 1 of the paper,
+//     restricted to the sliding window);
+//   - span tables: data is the event timestamps, so d(k)/D(k) are the
+//     min/max (k−1)-differences.
+//
+// The structure is the classic monotone deque (sliding-window maximum),
+// instantiated once per offset and per extremum. A push appends one new
+// window per offset and expires old ones, so each of the 2K deques does
+// amortized O(1) work: Push is amortized O(K) worst case, and far cheaper in
+// practice because the inner pop loop usually terminates immediately.
+// Memory is bounded by the window, not the stream: at most W−k+1 live
+// entries per deque (O(K·W) worst case, typically O(K) — a deque only grows
+// when the data is monotone in its unfavourable direction).
+//
+// Results are BIT-IDENTICAL to kernel.Extract over the current window
+// contents: both compute exact int64 differences of the same values (the
+// prefix-sum base cancels in every difference). Stream re-runs the batch
+// kernel periodically as a correctness anchor and counts any disagreement in
+// a drift counter (see Stream).
+package stream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadConfig is wrapped by every configuration-validation error of the
+// package.
+var ErrBadConfig = errors.New("stream: invalid configuration")
+
+// mono is a monotone deque of (window-start index, k-difference value)
+// pairs. The slices grow as needed; popFront advances head and compacts
+// occasionally, so memory tracks the live entry count.
+type mono struct {
+	idx  []int64
+	val  []int64
+	head int
+}
+
+func (q *mono) len() int { return len(q.idx) - q.head }
+
+func (q *mono) frontIdx() int64 { return q.idx[q.head] }
+
+func (q *mono) frontVal() int64 { return q.val[q.head] }
+
+func (q *mono) popFront() {
+	q.head++
+	// Reclaim the dead prefix once it dominates the backing array.
+	if q.head > 32 && q.head > len(q.idx)/2 {
+		n := copy(q.idx, q.idx[q.head:])
+		copy(q.val, q.val[q.head:])
+		q.idx = q.idx[:n]
+		q.val = q.val[:n]
+		q.head = 0
+	}
+}
+
+// pushMax appends a window keeping the deque non-increasing in val: entries
+// dominated by the newcomer (≤ val, older) can never be the maximum again.
+func (q *mono) pushMax(idx, val int64) {
+	for len(q.idx) > q.head && q.val[len(q.val)-1] <= val {
+		q.idx = q.idx[:len(q.idx)-1]
+		q.val = q.val[:len(q.val)-1]
+	}
+	q.idx = append(q.idx, idx)
+	q.val = append(q.val, val)
+}
+
+// pushMin is pushMax mirrored for the minimum.
+func (q *mono) pushMin(idx, val int64) {
+	for len(q.idx) > q.head && q.val[len(q.val)-1] >= val {
+		q.idx = q.idx[:len(q.idx)-1]
+		q.val = q.val[:len(q.val)-1]
+	}
+	q.idx = append(q.idx, idx)
+	q.val = append(q.val, val)
+}
+
+// evict drops windows whose start index fell off the sliding window.
+func (q *mono) evict(low int64) {
+	for q.len() > 0 && q.frontIdx() < low {
+		q.popFront()
+	}
+}
+
+// Inc maintains, for every offset k = 1..maxOff, the extrema of the
+// k-differences data[j+k] − data[j] over all windows contained in the last
+// `window` pushed data points. It is the incremental counterpart of
+// kernel.Extract; Push costs amortized O(maxOff).
+type Inc struct {
+	maxOff int
+	window int     // max data points retained
+	ring   []int64 // last ≤ window data points, ring[i % window]
+	total  int64   // data points ever pushed
+	maxQ   []mono  // maxQ[k-1]: max k-differences
+	minQ   []mono  // minQ[k-1]: min k-differences
+}
+
+// NewInc builds an incremental extractor for offsets 1..maxOff over a
+// sliding window of `window` data points. Every offset must always have at
+// least one live window, so 1 ≤ maxOff ≤ window−1.
+func NewInc(maxOff, window int) (*Inc, error) {
+	if maxOff < 1 || window < maxOff+1 {
+		return nil, fmt.Errorf("%w: maxOff=%d, window=%d (need 1 ≤ maxOff ≤ window−1)",
+			ErrBadConfig, maxOff, window)
+	}
+	return &Inc{
+		maxOff: maxOff,
+		window: window,
+		ring:   make([]int64, window),
+		maxQ:   make([]mono, maxOff),
+		minQ:   make([]mono, maxOff),
+	}, nil
+}
+
+// Total returns the number of data points ever pushed.
+func (x *Inc) Total() int64 { return x.total }
+
+// Retained returns the number of data points currently in the window.
+func (x *Inc) Retained() int {
+	if x.total < int64(x.window) {
+		return int(x.total)
+	}
+	return x.window
+}
+
+// EffOff returns the largest offset with at least one live window:
+// min(maxOff, Retained()−1).
+func (x *Inc) EffOff() int {
+	e := x.Retained() - 1
+	if e > x.maxOff {
+		e = x.maxOff
+	}
+	return e
+}
+
+// Push appends one data point: one new window per offset enters, expired
+// windows leave. Amortized O(maxOff).
+func (x *Inc) Push(v int64) {
+	i := x.total // absolute index of the new point
+	x.ring[i%int64(x.window)] = v
+	x.total++
+	low := x.total - int64(x.window) // oldest retained absolute index
+	kMax := x.maxOff
+	if i < int64(kMax) {
+		kMax = int(i)
+	}
+	for k := 1; k <= kMax; k++ {
+		// The new window starts at j = i−k; maxOff ≤ window−1 guarantees
+		// j ≥ low, so it is always live.
+		j := i - int64(k)
+		d := v - x.ring[j%int64(x.window)]
+		x.maxQ[k-1].pushMax(j, d)
+		x.minQ[k-1].pushMin(j, d)
+	}
+	if low > 0 {
+		for k := range x.maxQ {
+			x.maxQ[k].evict(low)
+			x.minQ[k].evict(low)
+		}
+	}
+}
+
+// UpAt returns the maximum k-difference over the live windows. k must be in
+// 1..EffOff().
+func (x *Inc) UpAt(k int) (int64, error) {
+	if k < 1 || k > x.EffOff() {
+		return 0, fmt.Errorf("%w: offset k=%d, effective max %d", ErrBadConfig, k, x.EffOff())
+	}
+	return x.maxQ[k-1].frontVal(), nil
+}
+
+// LoAt returns the minimum k-difference over the live windows. k must be in
+// 1..EffOff().
+func (x *Inc) LoAt(k int) (int64, error) {
+	if k < 1 || k > x.EffOff() {
+		return 0, fmt.Errorf("%w: offset k=%d, effective max %d", ErrBadConfig, k, x.EffOff())
+	}
+	return x.minQ[k-1].frontVal(), nil
+}
+
+// AppendCurves appends the current extrema for offsets 0..EffOff() to up and
+// lo (index 0 is 0 by construction, matching kernel.Extract) and returns the
+// extended slices. Pass nil slices to allocate, or recycle buffers for
+// zero-allocation snapshots.
+func (x *Inc) AppendCurves(up, lo []int64) (outUp, outLo []int64) {
+	eff := x.EffOff()
+	up = append(up, 0)
+	lo = append(lo, 0)
+	for k := 1; k <= eff; k++ {
+		up = append(up, x.maxQ[k-1].frontVal())
+		lo = append(lo, x.minQ[k-1].frontVal())
+	}
+	return up, lo
+}
+
+// Rebase subtracts delta from every retained data point. All maintained
+// k-differences are invariant under a uniform shift, so only the ring
+// changes; the caller must shift every subsequently pushed value by the same
+// delta. Stream uses this to keep running prefix sums far from int64
+// overflow on effectively endless streams.
+func (x *Inc) Rebase(delta int64) {
+	for i := range x.ring {
+		x.ring[i] -= delta
+	}
+}

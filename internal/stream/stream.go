@@ -1,0 +1,538 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"wcm/internal/arrival"
+	"wcm/internal/core"
+	"wcm/internal/curve"
+	"wcm/internal/events"
+	"wcm/internal/kernel"
+	"wcm/internal/netcalc"
+	"wcm/internal/pwl"
+	"wcm/internal/service"
+)
+
+// Errors returned by this package (beyond ErrBadConfig).
+var (
+	ErrNoSamples = errors.New("stream: no samples ingested yet")
+	ErrBadBatch  = errors.New("stream: invalid ingest batch")
+	ErrNoSpans   = errors.New("stream: need at least 2 samples in window for span queries")
+)
+
+// Defaults for the zero-valued Config fields.
+const (
+	DefaultWindow = 1024
+	DefaultMaxK   = 256
+)
+
+// rebaseAt is the running-prefix-sum magnitude beyond which the next
+// re-extraction rebases the demand Inc (differences are shift-invariant, so
+// this is invisible to every query). Variable so tests can lower it.
+var rebaseAt int64 = 1 << 61
+
+// Config parameterizes a Stream. The zero value picks service defaults.
+type Config struct {
+	// Window is the sliding window length in samples. Default 1024; must be
+	// ≥ 2.
+	Window int
+	// MaxK is the largest window length k the curves cover, capped to
+	// Window. Default min(256, Window).
+	MaxK int
+	// ReextractEvery is the number of ingested samples between full batch
+	// re-extractions via internal/kernel — the correctness anchor that
+	// cross-checks the incremental state (and the rebase point for the
+	// running prefix sum). 0 means Window (amortized O(K) extra per
+	// sample); negative disables the anchor.
+	ReextractEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	if c.MaxK == 0 {
+		c.MaxK = DefaultMaxK
+	}
+	if c.MaxK > c.Window {
+		c.MaxK = c.Window
+	}
+	if c.ReextractEvery == 0 {
+		c.ReextractEvery = c.Window
+	}
+	return c
+}
+
+// Stream is one task's live characterization: a sliding window of
+// (timestamp, demand) samples with incrementally maintained workload curves
+// γᵘ/γˡ and span tables d(k)/D(k), an optional contract monitor, and the
+// Network-Calculus queries of the paper evaluated against the CURRENT
+// window. All methods are safe for concurrent use.
+type Stream struct {
+	mu     sync.Mutex
+	window int
+	maxK   int
+	reint  int // re-extraction interval; ≤ 0 disables
+
+	demands []int64 // ring of the last ≤ window raw demands
+	times   []int64 // ring of the last ≤ window raw timestamps
+	total   int64   // samples ever ingested
+	lastT   int64   // largest timestamp seen
+
+	prefixLast int64 // running demand prefix sum (rebasable)
+	pre        *Inc  // over prefix sums: offsets 1..maxK
+	spi        *Inc  // over timestamps: offsets 1..maxK−1 (nil when maxK == 1)
+
+	monitor    *core.Monitor   // nil until a contract is set
+	firstViol  *core.Violation // first contract violation ever seen
+	violations int64           // total contract violations
+
+	sinceAnchor   int   // samples since the last re-extraction
+	reextractions int64 // anchor runs performed
+	drift         int64 // anchor runs that disagreed with the incremental state
+
+	// Scratch buffers so re-extraction allocates nothing in steady state.
+	scratchData []int64
+	scratchUp   []int64
+	scratchLo   []int64
+	scratchUp2  []int64
+	scratchLo2  []int64
+}
+
+// New builds an empty stream.
+func New(cfg Config) (*Stream, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Window < 2 {
+		return nil, fmt.Errorf("%w: window=%d (need ≥ 2)", ErrBadConfig, cfg.Window)
+	}
+	if cfg.MaxK < 1 {
+		return nil, fmt.Errorf("%w: maxK=%d (need ≥ 1)", ErrBadConfig, cfg.MaxK)
+	}
+	s := &Stream{
+		window:  cfg.Window,
+		maxK:    cfg.MaxK,
+		reint:   cfg.ReextractEvery,
+		demands: make([]int64, cfg.Window),
+		times:   make([]int64, cfg.Window),
+	}
+	// Prefix sums: window+1 data points cover window samples; the initial
+	// base point 0 is pushed up front.
+	pre, err := NewInc(cfg.MaxK, cfg.Window+1)
+	if err != nil {
+		return nil, err
+	}
+	pre.Push(0)
+	s.pre = pre
+	if cfg.MaxK >= 2 {
+		spi, err := NewInc(cfg.MaxK-1, cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+		s.spi = spi
+	}
+	return s, nil
+}
+
+// IngestResult reports one accepted batch.
+type IngestResult struct {
+	Accepted   int             // samples in the batch
+	Total      int64           // samples ever ingested
+	Violation  *core.Violation // first contract violation IN THIS BATCH, if any
+	Violations int64           // cumulative contract violations
+	Drift      int64           // cumulative anchor disagreements (expect 0)
+}
+
+// Ingest appends a batch of samples: timestamps (non-decreasing, not before
+// anything already ingested) with their per-activation cycle demands
+// (non-negative). Validation is all-or-nothing: a bad batch changes no
+// state. Per sample the incremental update is amortized O(MaxK).
+func (s *Stream) Ingest(ts, demands []int64) (IngestResult, error) {
+	if len(ts) == 0 || len(ts) != len(demands) {
+		return IngestResult{}, fmt.Errorf("%w: %d timestamps, %d demands",
+			ErrBadBatch, len(ts), len(demands))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	last := s.lastT
+	for i := range ts {
+		if ts[i] < last {
+			return IngestResult{}, fmt.Errorf("%w: timestamp %d at index %d precedes %d",
+				ErrBadBatch, ts[i], i, last)
+		}
+		last = ts[i]
+		if demands[i] < 0 {
+			return IngestResult{}, fmt.Errorf("%w: negative demand %d at index %d",
+				ErrBadBatch, demands[i], i)
+		}
+	}
+
+	res := IngestResult{Accepted: len(ts)}
+	for i := range ts {
+		slot := s.total % int64(s.window)
+		s.demands[slot] = demands[i]
+		s.times[slot] = ts[i]
+		s.total++
+		s.lastT = ts[i]
+		s.prefixLast += demands[i]
+		s.pre.Push(s.prefixLast)
+		if s.spi != nil {
+			s.spi.Push(ts[i])
+		}
+		if s.monitor != nil {
+			v, err := s.monitor.Push(demands[i])
+			if err != nil {
+				return IngestResult{}, err
+			}
+			if v != nil {
+				s.violations++
+				if s.firstViol == nil {
+					s.firstViol = v
+				}
+				if res.Violation == nil {
+					res.Violation = v
+				}
+			}
+		}
+		if s.reint > 0 {
+			s.sinceAnchor++
+			if s.sinceAnchor >= s.reint {
+				if err := s.reextractLocked(); err != nil {
+					return IngestResult{}, err
+				}
+			}
+		}
+	}
+	res.Total = s.total
+	res.Violations = s.violations
+	res.Drift = s.drift
+	return res, nil
+}
+
+// SetContract installs (or replaces) the admission contract: every
+// subsequently ingested sample is checked by a core.Monitor against the
+// workload characterization w over windows up to `window` activations, and
+// violations are recorded (see Stats and IngestResult). The monitor starts
+// empty: only windows entirely after the call are checked.
+func (s *Stream) SetContract(w core.Workload, window int) error {
+	m, err := core.NewMonitor(w, window)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.monitor = m
+	return nil
+}
+
+// inWindowLocked returns the number of samples currently in the window.
+func (s *Stream) inWindowLocked() int {
+	if s.total < int64(s.window) {
+		return int(s.total)
+	}
+	return s.window
+}
+
+// effKLocked returns the largest curve argument currently defined.
+func (s *Stream) effKLocked() int {
+	k := s.inWindowLocked()
+	if k > s.maxK {
+		k = s.maxK
+	}
+	return k
+}
+
+// orderedLocked appends the retained samples of ring to dst in ingest order
+// (oldest first) and returns the extended slice.
+func (s *Stream) orderedLocked(dst, ring []int64) []int64 {
+	n := s.inWindowLocked()
+	start := s.total - int64(n)
+	for i := int64(0); i < int64(n); i++ {
+		dst = append(dst, ring[(start+i)%int64(s.window)])
+	}
+	return dst
+}
+
+// reextractLocked runs the batch kernel over the current window contents and
+// compares bit for bit with the incremental state — the correctness anchor.
+// Disagreement increments the drift counter and rebuilds the incremental
+// state from the window (the anchor wins). Also rebases the running prefix
+// sum when it approaches the int64 horizon.
+func (s *Stream) reextractLocked() error {
+	s.sinceAnchor = 0
+	s.reextractions++
+	n := s.inWindowLocked()
+	if n == 0 {
+		return nil
+	}
+
+	// Workload curves: prefix sums of the window's demands, base 0.
+	s.scratchData = s.scratchData[:0]
+	s.scratchData = append(s.scratchData, 0)
+	s.scratchData = s.orderedLocked(s.scratchData, s.demands)
+	var sum int64
+	for i := 1; i <= n; i++ {
+		sum += s.scratchData[i]
+		s.scratchData[i] = sum
+	}
+	effK := s.effKLocked()
+	s.scratchUp = grow(s.scratchUp, effK+1)
+	s.scratchLo = grow(s.scratchLo, effK+1)
+	if err := kernel.ExtractInto(s.scratchData, effK, kernel.Options{}, s.scratchUp, s.scratchLo); err != nil {
+		return err
+	}
+	s.scratchUp2, s.scratchLo2 = s.pre.AppendCurves(s.scratchUp2[:0], s.scratchLo2[:0])
+	agree := equal(s.scratchUp[:effK+1], s.scratchUp2) && equal(s.scratchLo[:effK+1], s.scratchLo2)
+
+	// Span tables: the window's timestamps, offsets up to effK−1.
+	if s.spi != nil && n >= 2 {
+		s.scratchData = s.orderedLocked(s.scratchData[:0], s.times)
+		off := effK - 1
+		if err := kernel.ExtractInto(s.scratchData, off, kernel.Options{}, s.scratchUp, s.scratchLo); err != nil {
+			return err
+		}
+		s.scratchUp2, s.scratchLo2 = s.spi.AppendCurves(s.scratchUp2[:0], s.scratchLo2[:0])
+		agree = agree && equal(s.scratchUp[:off+1], s.scratchUp2) && equal(s.scratchLo[:off+1], s.scratchLo2)
+	}
+
+	if !agree {
+		s.drift++
+		s.rebuildLocked()
+		return nil
+	}
+	if s.prefixLast >= rebaseAt {
+		// The window's demand sum is the new prefixLast; differences are
+		// invariant, so every maintained value survives unchanged.
+		windowSum := sum
+		s.pre.Rebase(s.prefixLast - windowSum)
+		s.prefixLast = windowSum
+	}
+	return nil
+}
+
+// rebuildLocked reconstructs the incremental state from the retained raw
+// samples — the recovery path should the anchor ever disagree.
+func (s *Stream) rebuildLocked() {
+	n := s.inWindowLocked()
+	pre, _ := NewInc(s.maxK, s.window+1)
+	pre.Push(0)
+	var spi *Inc
+	if s.maxK >= 2 {
+		spi, _ = NewInc(s.maxK-1, s.window)
+	}
+	start := s.total - int64(n)
+	var sum int64
+	for i := int64(0); i < int64(n); i++ {
+		slot := (start + i) % int64(s.window)
+		sum += s.demands[slot]
+		pre.Push(sum)
+		if spi != nil {
+			spi.Push(s.times[slot])
+		}
+	}
+	s.pre, s.spi, s.prefixLast = pre, spi, sum
+}
+
+func grow(b []int64, n int) []int64 {
+	if cap(b) < n {
+		return make([]int64, n)
+	}
+	return b[:n]
+}
+
+func equal(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Workload materializes the current sliding-window characterization
+// (γᵘ, γˡ) on k = 0..min(MaxK, samples in window).
+func (s *Stream) Workload() (core.Workload, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workloadLocked()
+}
+
+func (s *Stream) workloadLocked() (core.Workload, error) {
+	if s.total == 0 {
+		return core.Workload{}, ErrNoSamples
+	}
+	upVals, loVals := s.pre.AppendCurves(nil, nil)
+	up, err := curve.NewFinite(upVals)
+	if err != nil {
+		return core.Workload{}, err
+	}
+	lo, err := curve.NewFinite(loVals)
+	if err != nil {
+		return core.Workload{}, err
+	}
+	return core.Workload{Upper: up, Lower: lo}, nil
+}
+
+// Spans materializes the current span tables d(k) (minimal, behind ᾱ) and
+// D(k) (maximal, behind ᾱˡ) for k = 1..min(MaxK, samples in window).
+func (s *Stream) Spans() (arrival.Spans, arrival.MaxSpans, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spansLocked()
+}
+
+func (s *Stream) spansLocked() (arrival.Spans, arrival.MaxSpans, error) {
+	if s.total == 0 {
+		return nil, nil, ErrNoSamples
+	}
+	effK := s.effKLocked()
+	dmin := make([]int64, effK)
+	dmax := make([]int64, effK)
+	for k := 2; k <= effK; k++ {
+		lo, err := s.spi.LoAt(k - 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		up, err := s.spi.UpAt(k - 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		dmin[k-1], dmax[k-1] = lo, up
+	}
+	mins, err := arrival.FromValues(dmin)
+	if err != nil {
+		return nil, nil, err
+	}
+	maxs, err := arrival.MaxSpansFromValues(dmax)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mins, maxs, nil
+}
+
+// Snapshot is a consistent point-in-time view of a stream: curves and span
+// tables taken under one lock acquisition.
+type Snapshot struct {
+	Total    int64
+	InWindow int
+	Workload core.Workload
+	Spans    arrival.Spans
+	MaxSpans arrival.MaxSpans
+}
+
+// Snapshot captures curves and spans atomically.
+func (s *Stream) Snapshot() (Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.workloadLocked()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	spans, maxs, err := s.spansLocked()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return Snapshot{
+		Total:    s.total,
+		InWindow: s.inWindowLocked(),
+		Workload: w,
+		Spans:    spans,
+		MaxSpans: maxs,
+	}, nil
+}
+
+// MinFrequency evaluates eq. (9) and eq. (10) against the CURRENT window:
+// the minimum processor frequency avoiding overflow of a FIFO holding b
+// events, by workload curve and by single-value WCET. At least 2 samples
+// must be in the window.
+func (s *Stream) MinFrequency(b int) (netcalc.FrequencyComparison, error) {
+	snap, err := s.Snapshot()
+	if err != nil {
+		return netcalc.FrequencyComparison{}, err
+	}
+	if snap.Spans.MaxK() < 2 {
+		return netcalc.FrequencyComparison{}, ErrNoSpans
+	}
+	return netcalc.CompareFrequencies(snap.Spans, snap.Workload.Upper, b)
+}
+
+// CheckService evaluates eq. (8) against the current window: does a
+// processor of freqHz (optionally a rate-latency server with latencyNs)
+// keep a FIFO of b events from overflowing on this stream?
+func (s *Stream) CheckService(freqHz float64, latencyNs int64, b int) (bool, error) {
+	snap, err := s.Snapshot()
+	if err != nil {
+		return false, err
+	}
+	if snap.Spans.MaxK() < 2 {
+		return false, ErrNoSpans
+	}
+	var beta pwl.Curve
+	if latencyNs > 0 {
+		beta, err = service.RateLatency(freqHz, latencyNs)
+	} else {
+		beta, err = service.Full(freqHz)
+	}
+	if err != nil {
+		return false, err
+	}
+	return netcalc.CheckServiceConstraint(snap.Spans, beta, snap.Workload.Upper, b)
+}
+
+// Stats is the stream's observability surface.
+type Stats struct {
+	Total          int64           // samples ever ingested
+	InWindow       int             // samples currently characterized
+	Window         int             // configured sliding window
+	MaxK           int             // configured curve domain
+	LastTimestamp  int64           // largest timestamp ingested
+	Reextractions  int64           // anchor re-extractions run
+	Drift          int64           // anchor disagreements (expect 0)
+	ContractSet    bool            // a monitor is installed
+	Violations     int64           // contract violations observed
+	FirstViolation *core.Violation // earliest contract violation, if any
+}
+
+// Stats returns a consistent snapshot of the stream's counters.
+func (s *Stream) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Total:          s.total,
+		InWindow:       s.inWindowLocked(),
+		Window:         s.window,
+		MaxK:           s.maxK,
+		LastTimestamp:  s.lastT,
+		Reextractions:  s.reextractions,
+		Drift:          s.drift,
+		ContractSet:    s.monitor != nil,
+		Violations:     s.violations,
+		FirstViolation: s.firstViol,
+	}
+}
+
+// Reextract forces an anchor re-extraction now (normally they run every
+// Config.ReextractEvery samples) and reports the cumulative drift count.
+func (s *Stream) Reextract() (drift int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.total == 0 {
+		return 0, nil
+	}
+	if err := s.reextractLocked(); err != nil {
+		return 0, err
+	}
+	return s.drift, nil
+}
+
+// DemandTrace returns the retained window's demands in ingest order — the
+// batch the anchor re-extraction characterizes.
+func (s *Stream) DemandTrace() events.DemandTrace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return events.DemandTrace(s.orderedLocked(nil, s.demands))
+}

@@ -22,7 +22,9 @@
 //   - rate-monotonic analysis: RMSTask, RMSTaskSet with the classical
 //     Lehoczky test (eq. 3) and the workload-curve test (eq. 4);
 //   - the MPEG-2 case study: CaseStudyParams, AnalyzeCaseStudy,
-//     SimulateCaseStudyBacklogs (Fig. 6, Fmin, Fig. 7).
+//     SimulateCaseStudyBacklogs (Fig. 6, Fmin, Fig. 7);
+//   - streaming: CurveStream (incremental sliding-window curve
+//     maintenance) and WCMDServer, the HTTP service behind cmd/wcmd.
 //
 // See the runnable programs under examples/ for entry points, and DESIGN.md
 // for the mapping between paper artifacts and modules.
@@ -43,8 +45,10 @@ import (
 	"wcm/internal/pwl"
 	"wcm/internal/rms"
 	"wcm/internal/sched"
+	"wcm/internal/server"
 	"wcm/internal/service"
 	"wcm/internal/shaper"
+	"wcm/internal/stream"
 )
 
 // ---- Curves -------------------------------------------------------------
@@ -501,6 +505,52 @@ func FitPJDModel(s Spans) (PJDModel, error) { return arrival.FitPJD(s) }
 // ConvolveService min-plus convolves two service curves (tandem
 // composition, "pay bursts only once").
 func ConvolveService(a, b PWLCurve) PWLCurve { return pwl.Convolve(a, b) }
+
+// ---- Streaming curve maintenance and the wcmd service ---------------------
+
+// CurveStream maintains (γᵘ, γˡ) and the span tables d(k)/D(k)
+// incrementally over a sliding window of demand samples — amortized
+// O(MaxK) per sample instead of a full re-extraction — with a periodic
+// batch re-extraction as correctness anchor. Safe for concurrent use.
+type CurveStream = stream.Stream
+
+// CurveStreamConfig parameterizes a CurveStream (window, curve domain,
+// anchor cadence).
+type CurveStreamConfig = stream.Config
+
+// CurveStreamSnapshot is a consistent point-in-time view of a stream's
+// curves and span tables.
+type CurveStreamSnapshot = stream.Snapshot
+
+// CurveStreamStats is a stream's observability surface (totals, drift,
+// contract violations).
+type CurveStreamStats = stream.Stats
+
+// StreamIngestResult reports one accepted ingest batch.
+type StreamIngestResult = stream.IngestResult
+
+// FrequencyComparison holds eq. (9) and eq. (10) minimum frequencies side
+// by side with the relative saving.
+type FrequencyComparison = netcalc.FrequencyComparison
+
+// NewCurveStream builds an empty incremental curve maintainer.
+func NewCurveStream(cfg CurveStreamConfig) (*CurveStream, error) { return stream.New(cfg) }
+
+// CompareFrequencies computes eq. (9) and eq. (10) together.
+func CompareFrequencies(spans Spans, gammaU Curve, b int) (FrequencyComparison, error) {
+	return netcalc.CompareFrequencies(spans, gammaU, b)
+}
+
+// WCMDServer is the HTTP/JSON characterization service served by cmd/wcmd:
+// sharded CurveStream registry with ingest, curve, service-check,
+// min-frequency, contract/verdict and metrics endpoints.
+type WCMDServer = server.Server
+
+// WCMDServerConfig parameterizes a WCMDServer.
+type WCMDServerConfig = server.Config
+
+// NewWCMDServer builds the service; mount its Handler on any http.Server.
+func NewWCMDServer(cfg WCMDServerConfig) (*WCMDServer, error) { return server.New(cfg) }
 
 // DeconvolveArrival computes the exact output arrival curve a ⊘ b of a
 // flow with arrival a served by b, over u ∈ [0, uMax].
