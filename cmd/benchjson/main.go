@@ -1,31 +1,40 @@
-// Command benchjson measures the extraction hot path — the fused, blocked,
-// pool-parallel kernel vs the naive pre-kernel algorithm — on a
-// case-study-sized instance and writes the result as JSON, so the repo's
-// perf trajectory is tracked file-to-file across PRs (BENCH_extract.json).
+// Command benchjson measures the repository's two hot paths and writes the
+// results as JSON, so the perf trajectory is tracked file-to-file across PRs
+// (BENCH_extract.json):
 //
-// Measured pairs:
+//   - extraction: the fused, blocked, pool-parallel kernel vs the naive
+//     pre-kernel algorithm (workload curves, span tables, admissibility);
+//   - serving: the wcmd ingest and query paths, at stream level and through
+//     the real HTTP handler — JSON vs binary ingest encoding, cached vs
+//     uncached query answering, single stream vs sharded streams — repeated
+//     for each requested GOMAXPROCS value (-procs), with the value recorded
+//     per result so single-core and multi-core groups stay distinguishable.
 //
-//   - workload-curve extraction: Analyzer.Workload (kernel) vs the per-k
-//     UpperAt/LowerAt sweep it replaced;
-//   - span-table extraction: arrival.ExtractSpans (kernel, both tables
-//     fused) vs the per-k min and max passes;
-//   - admissibility: Workload.AdmitsAnalyzed (fused scan, Analyzer reuse)
-//     on an admissible trace (worst case: no early exit);
-//   - ingestion: internal/stream incremental sliding-window maintenance, in
-//     samples/s — one stream (the per-shard serial path) and GOMAXPROCS
-//     streams fed concurrently (the wcmd sharded path).
+// benchjson is also the CI perf regression guard: given -baseline (the
+// committed BENCH_extract.json), it fails if ingest-path allocs/op grew more
+// than -max-alloc-growth over the baseline; -max-binary-allocs bounds the
+// binary HTTP ingest path absolutely; -assert-scaling requires the sharded
+// ingest group to beat the single-stream group by that factor (skipped on
+// hosts with fewer than 4 CPUs, where there is no parallelism to measure).
 //
 // Usage:
 //
-//	benchjson [-out BENCH_extract.json] [-n 40000] [-maxk 4000] [-mintime 300ms]
+//	benchjson [-out BENCH_extract.json] [-n 40000] [-maxk 4000]
+//	          [-mintime 300ms] [-procs 1,4] [-baseline BENCH_extract.json]
+//	          [-max-alloc-growth 0.20] [-max-binary-allocs 8]
+//	          [-assert-scaling 1.5]
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -33,12 +42,14 @@ import (
 	"wcm/internal/core"
 	"wcm/internal/events"
 	"wcm/internal/kernel"
+	"wcm/internal/server"
 	"wcm/internal/stream"
 )
 
 // Measurement is one benchmark's outcome.
 type Measurement struct {
 	Name        string  `json:"name"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
@@ -52,7 +63,7 @@ type Measurement struct {
 type Report struct {
 	GeneratedAt string             `json:"generated_at"`
 	GoVersion   string             `json:"go_version"`
-	GOMAXPROCS  int                `json:"gomaxprocs"`
+	NumCPU      int                `json:"num_cpu"`
 	Params      Params             `json:"params"`
 	Results     []Measurement      `json:"results"`
 	Speedups    map[string]float64 `json:"speedups"`
@@ -66,10 +77,23 @@ type Params struct {
 	KernelSeqT int64 `json:"kernel_seq_threshold"`
 }
 
+// options collects the flag surface of run.
+type options struct {
+	n, maxK         int
+	minTime         time.Duration
+	out             string
+	procs           []int
+	baseline        string  // prior BENCH_extract.json to guard against; "" disables
+	maxAllocGrowth  float64 // allowed fractional allocs/op growth over baseline
+	maxBinaryAllocs float64 // absolute allocs/op bound for ingest_http_binary; 0 disables
+	assertScaling   float64 // required sharded/single samples/s ratio; 0 disables
+}
+
 // measure times fn until minTime has elapsed (at least once) and reports
-// per-op wall time and allocation figures from the runtime's counters.
+// per-op wall time and allocation figures from the runtime's counters,
+// stamped with the GOMAXPROCS it ran under.
 func measure(name string, minTime time.Duration, fn func()) Measurement {
-	fn() // warm-up: page in, JIT-independent steady state
+	fn() // warm-up: page in, reach pooled-buffer steady state
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
@@ -83,6 +107,7 @@ func measure(name string, minTime time.Duration, fn func()) Measurement {
 	runtime.ReadMemStats(&after)
 	return Measurement{
 		Name:        name,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
 		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
 		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
@@ -90,9 +115,95 @@ func measure(name string, minTime time.Duration, fn func()) Measurement {
 	}
 }
 
-func run(n, maxK int, minTime time.Duration, out string) (*Report, error) {
+// ---- serving-path harness ---------------------------------------------------
+
+// nullRW is a reusable no-op ResponseWriter so handler benchmarks measure
+// the handler, not a recorder.
+type nullRW struct {
+	h      http.Header
+	status int
+}
+
+func (w *nullRW) Header() http.Header         { return w.h }
+func (w *nullRW) WriteHeader(c int)           { w.status = c }
+func (w *nullRW) Write(p []byte) (int, error) { return len(p), nil }
+
+// rewindBody adapts a bytes.Reader to a rewindable request body without a
+// per-op io.NopCloser allocation.
+type rewindBody struct{ *bytes.Reader }
+
+func (rewindBody) Close() error { return nil }
+
+// ingestBench drives POST /v1/streams/{id}/ingest through the real handler.
+// One op = one batch of batchLen samples; timestamps advance forever and the
+// body is re-encoded per op from reused buffers, so the steady state
+// allocates only what the server path itself allocates.
+type ingestBench struct {
+	h        http.Handler
+	req      *http.Request
+	body     *bytes.Reader
+	rw       nullRW
+	buf      []byte
+	ts, ds   []int64
+	now, hop int64
+}
+
+func newIngestBench(h http.Handler, id, contentType string, ds []int64, hop int64) *ingestBench {
+	b := &ingestBench{h: h, ts: make([]int64, len(ds)), ds: ds, hop: hop, rw: nullRW{h: make(http.Header)}}
+	b.body = bytes.NewReader(nil)
+	req, err := http.NewRequest("POST", "/v1/streams/"+id+"/ingest", rewindBody{b.body})
+	if err != nil {
+		panic(err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	b.req = req
+	return b
+}
+
+func (b *ingestBench) encodeJSON() {
+	b.buf = append(b.buf[:0], `{"t":[`...)
+	for i, v := range b.ts {
+		if i > 0 {
+			b.buf = append(b.buf, ',')
+		}
+		b.buf = strconv.AppendInt(b.buf, v, 10)
+	}
+	b.buf = append(b.buf, `],"demand":[`...)
+	for i, v := range b.ds {
+		if i > 0 {
+			b.buf = append(b.buf, ',')
+		}
+		b.buf = strconv.AppendInt(b.buf, v, 10)
+	}
+	b.buf = append(b.buf, `]}`...)
+}
+
+func (b *ingestBench) op(binary bool) {
+	for i := range b.ts {
+		b.now += b.hop
+		b.ts[i] = b.now
+	}
+	if binary {
+		b.buf = server.AppendBinaryBatch(b.buf[:0], b.ts, b.ds)
+	} else {
+		b.encodeJSON()
+	}
+	b.body.Reset(b.buf)
+	b.req.ContentLength = int64(len(b.buf))
+	b.rw.status = 0
+	b.h.ServeHTTP(&b.rw, b.req)
+	if b.rw.status != http.StatusOK {
+		panic(fmt.Sprintf("ingest returned %d", b.rw.status))
+	}
+}
+
+func run(opts options) (*Report, error) {
+	n, maxK, minTime := opts.n, opts.maxK, opts.minTime
 	if n < 2 || maxK < 1 || maxK > n {
 		return nil, fmt.Errorf("need n ≥ 2 and 1 ≤ maxK ≤ n, got n=%d maxK=%d", n, maxK)
+	}
+	if len(opts.procs) == 0 {
+		opts.procs = []int{runtime.GOMAXPROCS(0)}
 	}
 	d, err := events.ModalDemands([]events.Mode{
 		{Lo: 100, Hi: 900, MinRun: 3, MaxRun: 9},
@@ -117,7 +228,7 @@ func run(n, maxK int, minTime time.Duration, out string) (*Report, error) {
 	report := &Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 		Params: Params{
 			N: n, MaxK: maxK, MinTimeMs: minTime.Milliseconds(),
 			KernelSeqT: kernel.DefaultSeqThreshold,
@@ -125,6 +236,8 @@ func run(n, maxK int, minTime time.Duration, out string) (*Report, error) {
 		Speedups: map[string]float64{},
 	}
 	add := func(m Measurement) { report.Results = append(report.Results, m) }
+
+	// ---- extraction group (kernel vs naive), at the ambient GOMAXPROCS ----
 
 	kernelWorkload := measure("extract_workload_kernel", minTime, func() {
 		if _, err := a.Workload(maxK); err != nil {
@@ -170,10 +283,14 @@ func run(n, maxK int, minTime time.Duration, out string) (*Report, error) {
 	})
 	add(kernelAdmits)
 
-	// Ingest group: the internal/stream incremental path that wcmd serves.
-	// One op = pushing the whole n-sample trace through a stream in batches
-	// of ingestBatch; timestamps are shifted forward every op so the stream
-	// keeps accepting.
+	report.Speedups["workload"] = naiveWorkload.NsPerOp / kernelWorkload.NsPerOp
+	report.Speedups["spans"] = naiveSpans.NsPerOp / kernelSpans.NsPerOp
+	// Admits shares the naive-workload baseline: pre-kernel it was the
+	// same 2·K·n sweep (plus an O(n) prefix rebuild per call).
+	report.Speedups["admits"] = naiveWorkload.NsPerOp / kernelAdmits.NsPerOp
+
+	// ---- serving group, once per requested GOMAXPROCS ----------------------
+
 	const ingestBatch = 512
 	ingestCfg := stream.Config{Window: 4096, MaxK: 256}
 	if ingestCfg.Window > n {
@@ -201,60 +318,211 @@ func run(n, maxK int, minTime time.Duration, out string) (*Report, error) {
 		}
 		return s
 	}
+	batchDemands := d[:min(ingestBatch, n)]
 
-	single := newStream()
-	singleScratch := make([]int64, n)
-	var singleOff int64
-	ingestSingle := measure("ingest_single_stream", minTime, func() {
-		feed(single, singleScratch, singleOff)
-		singleOff += span
-	})
-	ingestSingle.SamplesPerSec = float64(n) / (ingestSingle.NsPerOp / 1e9)
-	add(ingestSingle)
-
-	// Sharded: GOMAXPROCS independent streams fed concurrently — the wcmd
-	// multi-stream path, where per-stream locks never contend.
-	p := runtime.GOMAXPROCS(0)
-	shardStreams := make([]*stream.Stream, p)
-	shardScratch := make([][]int64, p)
-	shardOff := make([]int64, p)
-	for i := range shardStreams {
-		shardStreams[i] = newStream()
-		shardScratch[i] = make([]int64, n)
-	}
-	ingestSharded := measure("ingest_sharded_streams", minTime, func() {
-		var wg sync.WaitGroup
-		for i := 0; i < p; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				feed(shardStreams[i], shardScratch[i], shardOff[i])
-				shardOff[i] += span
-			}(i)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var lastSingle, lastSharded Measurement
+	for _, p := range opts.procs {
+		if p < 1 {
+			return nil, fmt.Errorf("bad -procs value %d", p)
 		}
-		wg.Wait()
-	})
-	ingestSharded.SamplesPerSec = float64(p*n) / (ingestSharded.NsPerOp / 1e9)
-	add(ingestSharded)
+		runtime.GOMAXPROCS(p)
 
-	report.Speedups["workload"] = naiveWorkload.NsPerOp / kernelWorkload.NsPerOp
-	report.Speedups["spans"] = naiveSpans.NsPerOp / kernelSpans.NsPerOp
-	// Admits shares the naive-workload baseline: pre-kernel it was the
-	// same 2·K·n sweep (plus an O(n) prefix rebuild per call).
-	report.Speedups["admits"] = naiveWorkload.NsPerOp / kernelAdmits.NsPerOp
-	// Throughput scaling from sharding: > 1 means independent streams really
-	// ingest in parallel.
-	report.Speedups["ingest_scaling"] = ingestSharded.SamplesPerSec / ingestSingle.SamplesPerSec
+		// Stream-level: one op = the whole n-sample trace in batches.
+		single := newStream()
+		singleScratch := make([]int64, n)
+		var singleOff int64
+		ingestSingle := measure("ingest_single_stream", minTime, func() {
+			feed(single, singleScratch, singleOff)
+			singleOff += span
+		})
+		ingestSingle.SamplesPerSec = float64(n) / (ingestSingle.NsPerOp / 1e9)
+		add(ingestSingle)
+
+		// Sharded: p independent streams fed concurrently — the wcmd
+		// multi-stream path, where per-stream locks never contend.
+		shardStreams := make([]*stream.Stream, p)
+		shardScratch := make([][]int64, p)
+		shardOff := make([]int64, p)
+		for i := range shardStreams {
+			shardStreams[i] = newStream()
+			shardScratch[i] = make([]int64, n)
+		}
+		ingestSharded := measure("ingest_sharded_streams", minTime, func() {
+			var wg sync.WaitGroup
+			for i := 0; i < p; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					feed(shardStreams[i], shardScratch[i], shardOff[i])
+					shardOff[i] += span
+				}(i)
+			}
+			wg.Wait()
+		})
+		ingestSharded.SamplesPerSec = float64(p*n) / (ingestSharded.NsPerOp / 1e9)
+		add(ingestSharded)
+		lastSingle, lastSharded = ingestSingle, ingestSharded
+
+		// HTTP-level: one op = one batch through the real handler, JSON vs
+		// binary encoding (client encode included in both).
+		srv, err := server.New(server.Config{Stream: ingestCfg})
+		if err != nil {
+			return nil, err
+		}
+		jb := newIngestBench(srv.Handler(), "j", "application/json", batchDemands, 3)
+		httpJSON := measure("ingest_http_json", minTime, func() { jb.op(false) })
+		httpJSON.SamplesPerSec = float64(len(batchDemands)) / (httpJSON.NsPerOp / 1e9)
+		add(httpJSON)
+		bb := newIngestBench(srv.Handler(), "b", server.ContentTypeBinary, batchDemands, 3)
+		httpBinary := measure("ingest_http_binary", minTime, func() { bb.op(true) })
+		httpBinary.SamplesPerSec = float64(len(batchDemands)) / (httpBinary.NsPerOp / 1e9)
+		add(httpBinary)
+		report.Speedups["ingest_binary_vs_json"] = httpJSON.NsPerOp / httpBinary.NsPerOp
+		// The absolute bound is checked on the GOMAXPROCS=1 group only:
+		// single-proc runs count exactly the handler's own allocations,
+		// while multi-proc runs also pick up background-GC noise.
+		if opts.maxBinaryAllocs > 0 && p == 1 && httpBinary.AllocsPerOp > opts.maxBinaryAllocs {
+			return nil, fmt.Errorf("ingest_http_binary allocates %.1f/op, bound %.1f (GOMAXPROCS=%d)",
+				httpBinary.AllocsPerOp, opts.maxBinaryAllocs, p)
+		}
+
+		// Query: version-keyed cache hit via the handler vs recomputing the
+		// same answer from a fresh snapshot each op.
+		checkBody := []byte(`{"freq_hz":100000000,"latency_ns":10,"buffer":2}`)
+		qbody := bytes.NewReader(nil)
+		qreq, err := http.NewRequest("POST", "/v1/streams/b/check", rewindBody{qbody})
+		if err != nil {
+			return nil, err
+		}
+		qreq.Header.Set("Content-Type", "application/json")
+		var qrw nullRW
+		qrw.h = make(http.Header)
+		cached := measure("query_check_cached", minTime, func() {
+			qbody.Reset(checkBody)
+			qreq.ContentLength = int64(len(checkBody))
+			qrw.status = 0
+			srv.Handler().ServeHTTP(&qrw, qreq)
+			if qrw.status != http.StatusOK {
+				panic(fmt.Sprintf("cached check returned %d", qrw.status))
+			}
+		})
+		add(cached)
+		qstream := newStream()
+		qscratch := make([]int64, n)
+		feed(qstream, qscratch, 0)
+		uncached := measure("query_check_uncached", minTime, func() {
+			snap, err := qstream.Snapshot()
+			if err != nil {
+				panic(err)
+			}
+			ok, err := snap.CheckService(1e8, 10, 2)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := json.Marshal(struct {
+				Version int64 `json:"version"`
+				OK      bool  `json:"ok"`
+			}{snap.Version, ok}); err != nil {
+				panic(err)
+			}
+		})
+		add(uncached)
+		report.Speedups["query_cached_vs_uncached"] = uncached.NsPerOp / cached.NsPerOp
+	}
+	runtime.GOMAXPROCS(prev)
+
+	// Throughput scaling from sharding at the largest measured GOMAXPROCS:
+	// > 1 means independent streams really ingest in parallel.
+	report.Speedups["ingest_scaling"] = lastSharded.SamplesPerSec / lastSingle.SamplesPerSec
+	if opts.assertScaling > 0 {
+		if runtime.NumCPU() < 4 {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping -assert-scaling %.2f: only %d CPUs\n",
+				opts.assertScaling, runtime.NumCPU())
+		} else if report.Speedups["ingest_scaling"] < opts.assertScaling {
+			return nil, fmt.Errorf("ingest_sharded_streams is only %.2f× ingest_single_stream, need ≥ %.2f×",
+				report.Speedups["ingest_scaling"], opts.assertScaling)
+		}
+	}
+
+	if opts.baseline != "" {
+		if err := guardAllocs(report, opts.baseline, opts.maxAllocGrowth); err != nil {
+			return nil, err
+		}
+	}
 
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return nil, err
 	}
 	buf = append(buf, '\n')
-	if err := os.WriteFile(out, buf, 0o644); err != nil {
+	if err := os.WriteFile(opts.out, buf, 0o644); err != nil {
 		return nil, err
 	}
 	return report, nil
+}
+
+// guardAllocs compares the HTTP ingest-path allocs/op against the committed
+// baseline report and fails on growth beyond the allowed fraction (plus an
+// absolute slack of 2 allocs so near-zero baselines aren't impossible to
+// meet). Only the ingest_http_* groups are guarded: they drive a fixed-size
+// batch through pooled steady state, so their counts are deterministic,
+// where the whole-trace stream groups pick up background-GC noise. Results
+// are matched by (name, gomaxprocs); names missing from the baseline pass —
+// a new benchmark can't regress.
+func guardAllocs(cur *Report, baselinePath string, growth float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	type key struct {
+		name  string
+		procs int
+	}
+	baseline := make(map[key]Measurement)
+	for _, m := range base.Results {
+		baseline[key{m.Name, m.GOMAXPROCS}] = m
+	}
+	for _, m := range cur.Results {
+		if !strings.HasPrefix(m.Name, "ingest_http_") {
+			continue
+		}
+		b, ok := baseline[key{m.Name, m.GOMAXPROCS}]
+		if !ok {
+			continue
+		}
+		limit := b.AllocsPerOp*(1+growth) + 2
+		if m.AllocsPerOp > limit {
+			return fmt.Errorf("%s (GOMAXPROCS=%d): %.1f allocs/op exceeds baseline %.1f by more than %.0f%% (+2)",
+				m.Name, m.GOMAXPROCS, m.AllocsPerOp, b.AllocsPerOp, growth*100)
+		}
+	}
+	return nil
+}
+
+// parseProcs parses the -procs flag ("1,4" → [1, 4]).
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -procs entry %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-procs is empty")
+	}
+	return out, nil
 }
 
 func main() {
@@ -262,21 +530,35 @@ func main() {
 	n := flag.Int("n", 40_000, "trace length (activations / events)")
 	maxK := flag.Int("maxk", 4_000, "largest window length K")
 	minTime := flag.Duration("mintime", 300*time.Millisecond, "min measuring time per benchmark")
+	procs := flag.String("procs", "1,4", "comma-separated GOMAXPROCS values for the serving group")
+	baseline := flag.String("baseline", "", "committed report to guard ingest allocs/op against")
+	maxAllocGrowth := flag.Float64("max-alloc-growth", 0.20, "allowed fractional allocs/op growth over -baseline")
+	maxBinaryAllocs := flag.Float64("max-binary-allocs", 0, "allocs/op bound for ingest_http_binary at GOMAXPROCS=1 (0 = off)")
+	assertScaling := flag.Float64("assert-scaling", 0, "required sharded/single ingest ratio (0 = off; skipped under 4 CPUs)")
 	flag.Parse()
-	report, err := run(*n, *maxK, *minTime, *out)
+	pr, err := parseProcs(*procs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (n=%d K=%d, GOMAXPROCS=%d)\n", *out, *n, *maxK, report.GOMAXPROCS)
+	report, err := run(options{
+		n: *n, maxK: *maxK, minTime: *minTime, out: *out, procs: pr,
+		baseline: *baseline, maxAllocGrowth: *maxAllocGrowth,
+		maxBinaryAllocs: *maxBinaryAllocs, assertScaling: *assertScaling,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (n=%d K=%d, cpus=%d)\n", *out, *n, *maxK, report.NumCPU)
 	for _, m := range report.Results {
-		fmt.Printf("  %-24s %14.0f ns/op %8.1f allocs/op", m.Name, m.NsPerOp, m.AllocsPerOp)
+		fmt.Printf("  %-24s p=%-2d %14.0f ns/op %8.1f allocs/op", m.Name, m.GOMAXPROCS, m.NsPerOp, m.AllocsPerOp)
 		if m.SamplesPerSec > 0 {
 			fmt.Printf(" %12.0f samples/s", m.SamplesPerSec)
 		}
 		fmt.Println()
 	}
 	for name, s := range report.Speedups {
-		fmt.Printf("  speedup %-16s %6.2fx\n", name, s)
+		fmt.Printf("  speedup %-24s %6.2fx\n", name, s)
 	}
 }

@@ -4,19 +4,31 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
 
+func toyOptions(t *testing.T, procs []int) options {
+	t.Helper()
+	return options{
+		n: 600, maxK: 80, minTime: 5 * time.Millisecond,
+		out:   filepath.Join(t.TempDir(), "bench.json"),
+		procs: procs,
+	}
+}
+
 // TestRunWritesReport runs the harness at a toy size and checks the JSON
-// it emits is well-formed and internally consistent.
+// it emits is well-formed and internally consistent: 5 extraction results
+// plus 6 serving results per requested GOMAXPROCS value, each stamped with
+// the GOMAXPROCS it ran under.
 func TestRunWritesReport(t *testing.T) {
-	out := filepath.Join(t.TempDir(), "bench.json")
-	report, err := run(600, 80, 5*time.Millisecond, out)
+	opts := toyOptions(t, []int{1, 2})
+	report, err := run(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw, err := os.ReadFile(out)
+	raw, err := os.ReadFile(opts.out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,32 +36,55 @@ func TestRunWritesReport(t *testing.T) {
 	if err := json.Unmarshal(raw, &decoded); err != nil {
 		t.Fatalf("emitted JSON does not parse: %v", err)
 	}
-	if len(decoded.Results) != 7 {
-		t.Fatalf("got %d results, want 7", len(decoded.Results))
+	want := 5 + 6*len(opts.procs)
+	if len(decoded.Results) != want {
+		t.Fatalf("got %d results, want %d", len(decoded.Results), want)
 	}
-	names := map[string]bool{}
+	servingProcs := map[string]map[int]bool{}
 	for _, m := range decoded.Results {
-		names[m.Name] = true
 		if m.NsPerOp <= 0 || m.Iterations < 1 {
 			t.Fatalf("%s: ns_per_op=%v iterations=%d", m.Name, m.NsPerOp, m.Iterations)
 		}
-	}
-	for _, want := range []string{
-		"extract_workload_kernel", "extract_workload_naive",
-		"extract_spans_kernel", "extract_spans_naive", "admits_kernel",
-		"ingest_single_stream", "ingest_sharded_streams",
-	} {
-		if !names[want] {
-			t.Fatalf("missing measurement %q", want)
+		if m.GOMAXPROCS < 1 {
+			t.Fatalf("%s: gomaxprocs not recorded", m.Name)
 		}
-	}
-	for _, m := range decoded.Results {
-		if (m.Name == "ingest_single_stream" || m.Name == "ingest_sharded_streams") &&
-			m.SamplesPerSec <= 0 {
+		if strings.HasPrefix(m.Name, "ingest_") || strings.HasPrefix(m.Name, "query_") {
+			if servingProcs[m.Name] == nil {
+				servingProcs[m.Name] = map[int]bool{}
+			}
+			servingProcs[m.Name][m.GOMAXPROCS] = true
+		}
+		if strings.HasPrefix(m.Name, "ingest_") && m.SamplesPerSec <= 0 {
 			t.Fatalf("%s: samples_per_sec = %v, want > 0", m.Name, m.SamplesPerSec)
 		}
 	}
-	for _, key := range []string{"workload", "spans", "admits", "ingest_scaling"} {
+	for _, name := range []string{
+		"ingest_single_stream", "ingest_sharded_streams",
+		"ingest_http_json", "ingest_http_binary",
+		"query_check_cached", "query_check_uncached",
+	} {
+		for _, p := range opts.procs {
+			if !servingProcs[name][p] {
+				t.Fatalf("missing measurement %q at GOMAXPROCS=%d", name, p)
+			}
+		}
+	}
+	for _, wantName := range []string{
+		"extract_workload_kernel", "extract_workload_naive",
+		"extract_spans_kernel", "extract_spans_naive", "admits_kernel",
+	} {
+		found := false
+		for _, m := range decoded.Results {
+			found = found || m.Name == wantName
+		}
+		if !found {
+			t.Fatalf("missing measurement %q", wantName)
+		}
+	}
+	for _, key := range []string{
+		"workload", "spans", "admits", "ingest_scaling",
+		"ingest_binary_vs_json", "query_cached_vs_uncached",
+	} {
 		if decoded.Speedups[key] <= 0 {
 			t.Fatalf("speedup %q = %v, want > 0", key, decoded.Speedups[key])
 		}
@@ -62,8 +97,75 @@ func TestRunWritesReport(t *testing.T) {
 // TestRunRejectsBadParams pins the argument validation.
 func TestRunRejectsBadParams(t *testing.T) {
 	for _, tc := range []struct{ n, maxK int }{{1, 1}, {100, 0}, {100, 101}} {
-		if _, err := run(tc.n, tc.maxK, time.Millisecond, filepath.Join(t.TempDir(), "x.json")); err == nil {
+		opts := toyOptions(t, []int{1})
+		opts.n, opts.maxK = tc.n, tc.maxK
+		if _, err := run(opts); err == nil {
 			t.Fatalf("n=%d maxK=%d: expected error", tc.n, tc.maxK)
+		}
+	}
+	opts := toyOptions(t, []int{0})
+	if _, err := run(opts); err == nil {
+		t.Fatal("procs=0: expected error")
+	}
+}
+
+// TestBinaryAllocBound pins the headline zero-allocation claim at harness
+// level: the binary HTTP ingest path must stay within the ISSUE's 8
+// allocs/op budget, enforced by the same flag CI uses.
+func TestBinaryAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the bound holds for normal builds only")
+	}
+	opts := toyOptions(t, []int{1})
+	opts.maxBinaryAllocs = 8
+	if _, err := run(opts); err != nil {
+		t.Fatalf("binary ingest path exceeds the alloc budget: %v", err)
+	}
+}
+
+// TestGuardAllocs exercises the regression guard against synthetic
+// baselines: growth within the allowance passes, beyond it fails, and
+// results absent from the baseline are ignored.
+func TestGuardAllocs(t *testing.T) {
+	writeBaseline := func(allocs float64) string {
+		path := filepath.Join(t.TempDir(), "base.json")
+		base := Report{Results: []Measurement{
+			{Name: "ingest_http_binary", GOMAXPROCS: 1, AllocsPerOp: allocs},
+		}}
+		raw, err := json.Marshal(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cur := &Report{Results: []Measurement{
+		{Name: "ingest_http_binary", GOMAXPROCS: 1, AllocsPerOp: 50},
+		{Name: "ingest_http_json", GOMAXPROCS: 1, AllocsPerOp: 1000},
+		{Name: "query_check_cached", GOMAXPROCS: 1, AllocsPerOp: 9999},
+	}}
+	if err := guardAllocs(cur, writeBaseline(45), 0.20); err != nil {
+		t.Fatalf("growth within allowance rejected: %v", err)
+	}
+	if err := guardAllocs(cur, writeBaseline(10), 0.20); err == nil {
+		t.Fatal("4x alloc growth passed the guard")
+	}
+	if err := guardAllocs(cur, "/does/not/exist.json", 0.20); err == nil {
+		t.Fatal("missing baseline file passed the guard")
+	}
+}
+
+// TestParseProcs pins the -procs flag parsing.
+func TestParseProcs(t *testing.T) {
+	got, err := parseProcs("1, 4")
+	if err != nil || len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("parseProcs(\"1, 4\") = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "x", "1,-2"} {
+		if _, err := parseProcs(bad); err == nil {
+			t.Fatalf("parseProcs(%q): expected error", bad)
 		}
 	}
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled in; its runtime
+// instrumentation allocates per intercepted call, so absolute allocs/op
+// bounds only hold in non-race builds.
+const raceEnabled = true

@@ -51,12 +51,14 @@ func parseFlags(args []string) (server.Config, string, error) {
 	maxK := fs.Int("maxk", stream.DefaultMaxK, "largest curve argument k maintained")
 	reextract := fs.Int("reextract", 0, "samples between anchor re-extractions (0 = window, <0 = off)")
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
+	pprof := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 	if err := fs.Parse(args); err != nil {
 		return server.Config{}, "", err
 	}
 	return server.Config{
 		Shards:       *shards,
 		MaxBodyBytes: *maxBody,
+		EnablePprof:  *pprof,
 		Stream: stream.Config{
 			Window:         *window,
 			MaxK:           *maxK,

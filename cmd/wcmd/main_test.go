@@ -17,7 +17,7 @@ import (
 func TestParseFlags(t *testing.T) {
 	cfg, addr, err := parseFlags([]string{
 		"-addr", "127.0.0.1:9999", "-shards", "4", "-window", "64",
-		"-maxk", "8", "-reextract", "-1", "-max-body", "4096",
+		"-maxk", "8", "-reextract", "-1", "-max-body", "4096", "-pprof",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -27,6 +27,16 @@ func TestParseFlags(t *testing.T) {
 	}
 	if cfg.Stream.Window != 64 || cfg.Stream.MaxK != 8 || cfg.Stream.ReextractEvery != -1 {
 		t.Fatalf("stream cfg = %+v", cfg.Stream)
+	}
+	if !cfg.EnablePprof {
+		t.Fatal("-pprof did not set EnablePprof")
+	}
+	cfg, _, err = parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.EnablePprof {
+		t.Fatal("pprof enabled by default")
 	}
 	if _, _, err := parseFlags([]string{"-window", "notanumber"}); err == nil {
 		t.Fatal("bad flag value accepted")

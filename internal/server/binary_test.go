@@ -1,0 +1,163 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"wcm/internal/stream"
+)
+
+func TestBinaryBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		ts := make([]int64, n)
+		ds := make([]int64, n)
+		for i := range ts {
+			ts[i] = rng.Int63() - rng.Int63()
+			ds[i] = rng.Int63() - rng.Int63()
+		}
+		enc := AppendBinaryBatch(nil, ts, ds)
+		if len(enc) != binaryHeaderLen+binarySampleLen*n {
+			t.Fatalf("n=%d: encoded %d bytes", n, len(enc))
+		}
+		gotT, gotD, err := decodeBinaryBatch(enc, nil, nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range ts {
+			if gotT[i] != ts[i] || gotD[i] != ds[i] {
+				t.Fatalf("n=%d i=%d: (%d,%d) want (%d,%d)", n, i, gotT[i], gotD[i], ts[i], ds[i])
+			}
+		}
+	}
+}
+
+func TestBinaryBatchDecodeErrors(t *testing.T) {
+	valid := AppendBinaryBatch(nil, []int64{1, 2}, []int64{3, 4})
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": {1, 0},
+		"zero count":   binary.LittleEndian.AppendUint32(nil, 0),
+		"truncated":    valid[:len(valid)-1],
+		"trailing":     append(append([]byte{}, valid...), 0),
+		"count beyond": binary.LittleEndian.AppendUint32(nil, 1<<30),
+	}
+	for name, body := range cases {
+		if _, _, err := decodeBinaryBatch(body, nil, nil); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+// TestBinaryIngestHTTP ingests the same trace once through JSON and once
+// through the binary format into two streams of one server, and requires
+// byte-identical /curves bodies — the binary path must be a pure encoding
+// change.
+func TestBinaryIngestHTTP(t *testing.T) {
+	ts := newTestServer(t, Config{Stream: stream.Config{Window: 64, MaxK: 16}})
+	rng := rand.New(rand.NewSource(7))
+	var now int64
+	tsv := make([]int64, 100)
+	dv := make([]int64, 100)
+	for i := range tsv {
+		now += int64(rng.Intn(50))
+		tsv[i] = now
+		dv[i] = int64(rng.Intn(1000))
+	}
+
+	for lo := 0; lo < len(tsv); lo += 25 {
+		hi := lo + 25
+		body := AppendBinaryBatch(nil, tsv[lo:hi], dv[lo:hi])
+		resp, err := http.Post(ts.URL+"/v1/streams/bin/ingest", ContentTypeBinary, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("binary ingest [%d:%d]: %d %s", lo, hi, resp.StatusCode, raw)
+		}
+
+		jbody := fmt.Sprintf(`{"t":%s,"demand":%s}`, jsonInts(tsv[lo:hi]), jsonInts(dv[lo:hi]))
+		code, m := doJSON(t, "POST", ts.URL+"/v1/streams/json/ingest", jbody)
+		if code != http.StatusOK {
+			t.Fatalf("json ingest [%d:%d]: %d %v", lo, hi, code, m)
+		}
+	}
+
+	binCurves := getBody(t, ts.URL+"/v1/streams/bin/curves")
+	jsonCurves := getBody(t, ts.URL+"/v1/streams/json/curves")
+	if !bytes.Equal(binCurves, jsonCurves) {
+		t.Fatalf("curves diverge:\nbinary: %s\njson:   %s", binCurves, jsonCurves)
+	}
+
+	// The binary batch counter saw exactly the binary batches.
+	metricsText := string(getBody(t, ts.URL+"/metrics"))
+	if want := "wcmd_ingest_binary_batches_total 4"; !bytes.Contains([]byte(metricsText), []byte(want)) {
+		t.Fatalf("metrics missing %q:\n%s", want, metricsText)
+	}
+}
+
+func TestBinaryIngestHTTPErrors(t *testing.T) {
+	ts := newTestServer(t, Config{Stream: stream.Config{Window: 16, MaxK: 4}})
+	// Structurally broken body → 400, and no ghost stream appears.
+	resp, err := http.Post(ts.URL+"/v1/streams/g/ingest", ContentTypeBinary, bytes.NewReader([]byte{9, 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("broken binary body: %d", resp.StatusCode)
+	}
+	// Valid encoding, invalid samples (negative demand) → 400 from the stream.
+	bad := AppendBinaryBatch(nil, []int64{1}, []int64{-5})
+	resp, err = http.Post(ts.URL+"/v1/streams/g/ingest", ContentTypeBinary, bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative demand: %d", resp.StatusCode)
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/streams/g/verdict", ""); code != http.StatusNotFound {
+		t.Fatalf("stream created by rejected binary ingest: %d", code)
+	}
+}
+
+func jsonInts(vs []int64) string {
+	var b bytes.Buffer
+	b.WriteByte('[')
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, raw)
+	}
+	return raw
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"wcm/internal/stream"
+)
+
+// maxCachedQueries caps the per-stream parameterized result maps (/check and
+// /minfreq keys). A stream version rarely sees more than a handful of
+// distinct query parameters; the cap only guards against a client sweeping
+// parameters faster than the stream ingests. On overflow the map starts a
+// fresh epoch rather than evicting — simpler, and the whole state dies at
+// the next version bump anyway.
+const maxCachedQueries = 256
+
+// cachedResp is one fully rendered HTTP answer: status plus the exact JSON
+// body bytes. Hits replay the bytes, so a cached response is bit-identical
+// to the miss that populated it by construction.
+type cachedResp struct {
+	status int
+	body   []byte
+}
+
+// checkKey identifies a /check query. All fields are comparable, so the
+// struct is directly usable as a map key.
+type checkKey struct {
+	freqHz    float64
+	latencyNs int64
+	buffer    int
+}
+
+// cacheState is an immutable-after-publish snapshot of everything computed
+// at one stream version. Readers obtain it with a single atomic load and
+// may use any field without synchronization; writers never mutate a
+// published state — they clone, extend and compare-and-swap (copy-on-write).
+type cacheState struct {
+	version int64
+
+	// snap is the stream.Snapshot taken at version, shared by every query
+	// computed from it (valid iff snapOK). Snapshot contents are built
+	// fresh per capture and never mutated afterwards, so sharing is safe.
+	snap   stream.Snapshot
+	snapOK bool
+
+	curves  *cachedResp // /curves rendered at version
+	verdict *cachedResp // /verdict rendered at version
+	check   map[checkKey]*cachedResp
+	minfreq map[int]*cachedResp // key: buffer b
+}
+
+// queryCache is the per-stream version-keyed response cache. The zero value
+// is ready to use.
+//
+// Invalidation needs no explicit step: stream.Stream bumps its version
+// (atomically, under the stream lock, before the mutating call returns) on
+// every ingest batch, contract change and forced re-extraction, and every
+// lookup compares the published state's version against Stream.Version().
+// A state built at an older version simply stops matching; the next miss
+// publishes a successor. Reads on the hit path are one atomic load plus a
+// map lookup — no locks, no stream access.
+type queryCache struct {
+	p atomic.Pointer[cacheState]
+}
+
+// load returns the current state (nil if nothing was published yet).
+func (c *queryCache) load() *cacheState { return c.p.Load() }
+
+// publish installs the result of fill into the state for version. If the
+// published state is for the same version it is cloned and extended; if it
+// is older (or absent) a fresh state replaces it; if it is NEWER the result
+// is stale — a mutation overtook this query — and is dropped. The CAS loop
+// makes concurrent misses at the same version merge instead of clobbering
+// each other.
+func (c *queryCache) publish(version int64, fill func(*cacheState)) {
+	for {
+		old := c.p.Load()
+		if old != nil && old.version > version {
+			return
+		}
+		var next *cacheState
+		if old != nil && old.version == version {
+			next = old.clone()
+		} else {
+			next = &cacheState{version: version}
+		}
+		fill(next)
+		if c.p.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// clone deep-copies the maps (published states are immutable, so sharing
+// them with a state about to be extended would race with readers).
+func (cs *cacheState) clone() *cacheState {
+	next := &cacheState{
+		version: cs.version,
+		snap:    cs.snap,
+		snapOK:  cs.snapOK,
+		curves:  cs.curves,
+		verdict: cs.verdict,
+	}
+	if cs.check != nil {
+		next.check = make(map[checkKey]*cachedResp, len(cs.check)+1)
+		for k, v := range cs.check {
+			next.check[k] = v
+		}
+	}
+	if cs.minfreq != nil {
+		next.minfreq = make(map[int]*cachedResp, len(cs.minfreq)+1)
+		for k, v := range cs.minfreq {
+			next.minfreq[k] = v
+		}
+	}
+	return next
+}
+
+// setCheck records a /check answer, starting a fresh epoch at the cap.
+func (cs *cacheState) setCheck(k checkKey, r *cachedResp) {
+	if cs.check == nil || len(cs.check) >= maxCachedQueries {
+		cs.check = make(map[checkKey]*cachedResp, 4)
+	}
+	cs.check[k] = r
+}
+
+// setMinFreq records a /minfreq answer, starting a fresh epoch at the cap.
+func (cs *cacheState) setMinFreq(b int, r *cachedResp) {
+	if cs.minfreq == nil || len(cs.minfreq) >= maxCachedQueries {
+		cs.minfreq = make(map[int]*cachedResp, 4)
+	}
+	cs.minfreq[b] = r
+}

@@ -5,6 +5,32 @@ import (
 	"testing"
 )
 
+// FuzzBinaryIngest throws arbitrary bytes at the binary batch decoder. It
+// must never panic, and anything it accepts must round-trip through the
+// encoder to the identical bytes (the format has exactly one encoding per
+// batch — no trailing slack, no alternative count).
+func FuzzBinaryIngest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Add(AppendBinaryBatch(nil, []int64{0, 100}, []int64{5, 7}))
+	f.Add(AppendBinaryBatch(nil, []int64{-1}, []int64{1 << 62}))
+	f.Add(append(AppendBinaryBatch(nil, []int64{1}, []int64{2}), 0xff))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts, ds, err := decodeBinaryBatch(data, nil, nil)
+		if err != nil {
+			return
+		}
+		if len(ts) == 0 || len(ts) != len(ds) {
+			t.Fatalf("accepted structurally invalid batch: t=%d d=%d", len(ts), len(ds))
+		}
+		if enc := AppendBinaryBatch(nil, ts, ds); !bytes.Equal(enc, data) {
+			t.Fatalf("round trip changed bytes: %x → %x", data, enc)
+		}
+	})
+}
+
 // FuzzIngest throws arbitrary bytes at the ingest batch decoder. The decoder
 // must never panic, and anything it accepts must be structurally sound (the
 // invariants the handler relies on before touching stream state).

@@ -19,6 +19,9 @@ type metrics struct {
 	batches atomic.Uint64 // ingest batches accepted
 	// ingest batches whose result carried a fresh contract violation
 	violatingBatches atomic.Uint64
+	binaryBatches    atomic.Uint64 // ingest batches decoded from the binary format
+	cacheHits        atomic.Uint64 // query responses replayed from the version-keyed cache
+	cacheMisses      atomic.Uint64 // query responses that had to be computed
 
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
@@ -86,6 +89,12 @@ func (m *metrics) write(w io.Writer, g gauges) {
 		"wcmd_ingest_batches_total", m.batches.Load())
 	emit("Ingest batches that surfaced a contract violation.", "counter",
 		"wcmd_violating_batches_total", m.violatingBatches.Load())
+	emit("Ingest batches decoded from the binary wire format.", "counter",
+		"wcmd_ingest_binary_batches_total", m.binaryBatches.Load())
+	emit("Query responses replayed from the version-keyed snapshot cache.", "counter",
+		"wcmd_query_cache_hits_total", m.cacheHits.Load())
+	emit("Query responses computed because no cached answer matched.", "counter",
+		"wcmd_query_cache_misses_total", m.cacheMisses.Load())
 	emit("Live streams.", "gauge", "wcmd_streams", g.streams)
 	emit("Samples currently inside sliding windows, summed over streams.", "gauge",
 		"wcmd_samples_in_window", g.inWindow)

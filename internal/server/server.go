@@ -1,13 +1,18 @@
 // Package server exposes the streaming workload-curve maintainer of
-// internal/stream as an HTTP/JSON service — the first piece of the
-// repository that serves traffic instead of batch-analyzing files.
+// internal/stream as an HTTP service — the first piece of the repository
+// that serves traffic instead of batch-analyzing files.
 //
 // Streams are partitioned across fixed shards by FNV-1a hash of the stream
-// id; each shard guards only its id→stream map with its own RWMutex, and
-// every stream serializes its own state behind its own lock, so ingestion
-// into different streams never contends. The endpoints (all JSON):
+// id; each shard guards only its id→stream map with its own RWMutex — held
+// for map access only, never across stream work — and every stream
+// serializes its own state behind its own lock, so ingestion into different
+// streams never contends. The endpoints:
 //
-//	POST   /v1/streams/{id}/ingest    {"t":[...], "demand":[...]}
+//	POST   /v1/streams/{id}/ingest    {"t":[...], "demand":[...]} — or the
+//	                                  columnar binary format (Content-Type
+//	                                  application/x-wcm-ingest, see
+//	                                  ContentTypeBinary) for the
+//	                                  zero-allocation fast path
 //	GET    /v1/streams/{id}/curves    γᵘ/γˡ and span tables of the window
 //	POST   /v1/streams/{id}/check     eq. (8)  {"freq_hz":F, "latency_ns":L, "buffer":b}
 //	GET    /v1/streams/{id}/minfreq?b=N   eq. (9) and eq. (10) side by side
@@ -17,6 +22,14 @@
 //	DELETE /v1/streams/{id}           drop a stream
 //	GET    /healthz                   liveness
 //	GET    /metrics                   Prometheus text exposition
+//
+// Query responses (/curves, /check, /minfreq, /verdict) are memoized in a
+// per-stream version-keyed cache (see queryCache): each stream carries a
+// monotonically increasing version bumped on every mutation, and a repeated
+// query at an unchanged version replays the previously rendered bytes after
+// one atomic load — read-heavy traffic between ingest batches never takes a
+// stream lock or re-walks curves. Responses carry the version they were
+// computed at.
 //
 // Request bodies are size-limited (Config.MaxBodyBytes); unknown JSON
 // fields are rejected so client typos fail loudly.
@@ -29,6 +42,7 @@ import (
 	"hash/fnv"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -50,6 +64,10 @@ type Config struct {
 	Shards int
 	// MaxBodyBytes caps every request body. Default 1 MiB.
 	MaxBodyBytes int64
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profiles expose internals (goroutine stacks, heap
+	// contents) that an operator must opt into serving.
+	EnablePprof bool
 	// Stream configures streams auto-created on first ingest.
 	Stream stream.Config
 }
@@ -63,9 +81,15 @@ type Server struct {
 	metrics *metrics
 }
 
+// entry pairs a stream with its version-keyed query cache.
+type entry struct {
+	st    *stream.Stream
+	cache queryCache
+}
+
 type shard struct {
 	mu      sync.RWMutex
-	streams map[string]*stream.Stream
+	streams map[string]*entry
 }
 
 // New builds a server. The stream defaults are validated eagerly so a bad
@@ -93,7 +117,7 @@ func New(cfg Config) (*Server, error) {
 		metrics: newMetrics(),
 	}
 	for i := range s.shards {
-		s.shards[i] = &shard{streams: make(map[string]*stream.Stream)}
+		s.shards[i] = &shard{streams: make(map[string]*entry)}
 	}
 	s.routes()
 	return s, nil
@@ -112,6 +136,15 @@ func (s *Server) routes() {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		// Mounted on the service mux (not http.DefaultServeMux) so only
+		// this handler serves them, and only when opted in.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // Handler returns the service's root handler.
@@ -123,47 +156,49 @@ func (s *Server) shardFor(id string) *shard {
 	return s.shards[h.Sum32()%uint32(len(s.shards))]
 }
 
-// get returns the stream for id, or nil.
-func (s *Server) get(id string) *stream.Stream {
+// get returns the entry for id, or nil.
+func (s *Server) get(id string) *entry {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	return sh.streams[id]
+	e := sh.streams[id]
+	sh.mu.RUnlock()
+	return e
 }
 
-// getOrCreate returns the stream for id, creating it with the server's
+// getOrCreate returns the entry for id, creating it with the server's
 // stream defaults on first use. created reports whether this call made it;
 // callers that then fail before any state lands may dropIfEmpty the stream
 // so rejected requests don't register ghosts.
-func (s *Server) getOrCreate(id string) (st *stream.Stream, created bool, err error) {
+func (s *Server) getOrCreate(id string) (e *entry, created bool, err error) {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
-	st = sh.streams[id]
+	e = sh.streams[id]
 	sh.mu.RUnlock()
-	if st != nil {
-		return st, false, nil
+	if e != nil {
+		return e, false, nil
 	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if st := sh.streams[id]; st != nil {
-		return st, false, nil
-	}
-	st, err = stream.New(s.cfg.Stream)
+	st, err := stream.New(s.cfg.Stream) // built outside the shard lock
 	if err != nil {
 		return nil, false, err
 	}
-	sh.streams[id] = st
-	return st, true, nil
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e := sh.streams[id]; e != nil {
+		return e, false, nil
+	}
+	e = &entry{st: st}
+	sh.streams[id] = e
+	return e, true, nil
 }
 
 // dropIfEmpty removes a just-created stream that never accepted a sample.
-func (s *Server) dropIfEmpty(id string, st *stream.Stream) {
-	if st.Stats().Total != 0 {
+func (s *Server) dropIfEmpty(id string, e *entry) {
+	if e.st.Stats().Total != 0 {
 		return
 	}
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	if cur, ok := sh.streams[id]; ok && cur == st && cur.Stats().Total == 0 {
+	if cur, ok := sh.streams[id]; ok && cur == e && cur.st.Stats().Total == 0 {
 		delete(sh.streams, id)
 	}
 	sh.mu.Unlock()
@@ -204,6 +239,7 @@ type ingestResponse struct {
 }
 
 type curvesResponse struct {
+	Version  int64   `json:"version"`
 	Total    int64   `json:"total"`
 	InWindow int     `json:"in_window"`
 	Upper    []int64 `json:"upper"`
@@ -219,10 +255,12 @@ type checkRequest struct {
 }
 
 type checkResponse struct {
-	OK bool `json:"ok"`
+	Version int64 `json:"version"`
+	OK      bool  `json:"ok"`
 }
 
 type minFreqResponse struct {
+	Version       int64   `json:"version"`
 	GammaHz       float64 `json:"gamma_hz"`
 	GammaAtK      int     `json:"gamma_at_k"`
 	GammaAtSpanNs int64   `json:"gamma_at_span_ns"`
@@ -239,6 +277,7 @@ type contractRequest struct {
 }
 
 type verdictResponse struct {
+	Version        int64          `json:"version"`
 	Admitted       bool           `json:"admitted"`
 	ContractSet    bool           `json:"contract_set"`
 	Total          int64          `json:"total"`
@@ -269,40 +308,117 @@ func decodeJSON(r io.Reader, dst any) error {
 	return nil
 }
 
-// decodeIngest parses and structurally validates an ingest batch. Exposed
-// for the fuzz harness: it must never panic, whatever bytes arrive.
-func decodeIngest(r io.Reader) (ingestRequest, error) {
-	var req ingestRequest
-	if err := decodeJSON(r, &req); err != nil {
-		return ingestRequest{}, err
+// decodeIngestInto parses and structurally validates a JSON ingest batch,
+// reusing req's slice capacity (encoding/json appends into the arrays it is
+// handed), so a pooled req decodes without per-request column allocations.
+func decodeIngestInto(r io.Reader, req *ingestRequest) error {
+	req.T, req.Demand = req.T[:0], req.Demand[:0]
+	if err := decodeJSON(r, req); err != nil {
+		return err
 	}
 	if len(req.T) == 0 || len(req.Demand) == 0 {
-		return ingestRequest{}, errors.New(`"t" and "demand" must both be non-empty`)
+		return errors.New(`"t" and "demand" must both be non-empty`)
 	}
 	if len(req.T) != len(req.Demand) {
-		return ingestRequest{}, fmt.Errorf(`"t" has %d entries, "demand" has %d`, len(req.T), len(req.Demand))
+		return fmt.Errorf(`"t" has %d entries, "demand" has %d`, len(req.T), len(req.Demand))
+	}
+	return nil
+}
+
+// decodeIngest parses one JSON ingest batch. Exposed for the fuzz harness:
+// it must never panic, whatever bytes arrive.
+func decodeIngest(r io.Reader) (ingestRequest, error) {
+	var req ingestRequest
+	if err := decodeIngestInto(r, &req); err != nil {
+		return ingestRequest{}, err
 	}
 	return req, nil
 }
 
-// ---- handlers --------------------------------------------------------------
+// ---- ingest fast path ------------------------------------------------------
+
+// ingestScratch holds every per-request buffer of the ingest path. One
+// instance cycles through scratchPool per request, so the steady state
+// allocates neither decode columns nor response bytes.
+type ingestScratch struct {
+	body []byte        // raw request body
+	t, d []int64       // binary-decoded columns
+	req  ingestRequest // JSON decode target (column capacity reused)
+	out  []byte        // rendered response
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &ingestScratch{body: make([]byte, 0, 4096)}
+}}
+
+// readBody reads r to EOF into buf (append semantics — pass a length-0
+// pooled buffer).
+func readBody(r io.Reader, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// appendIngestResponse renders the violation-free ingest response exactly as
+// encoding/json would (field order, omitted nil violation, trailing newline)
+// without reflection or allocation.
+func appendIngestResponse(dst []byte, res stream.IngestResult) []byte {
+	dst = append(dst, `{"accepted":`...)
+	dst = strconv.AppendInt(dst, int64(res.Accepted), 10)
+	dst = append(dst, `,"total":`...)
+	dst = strconv.AppendInt(dst, res.Total, 10)
+	dst = append(dst, `,"violations":`...)
+	dst = strconv.AppendInt(dst, res.Violations, 10)
+	dst = append(dst, `,"drift":`...)
+	dst = strconv.AppendInt(dst, res.Drift, 10)
+	dst = append(dst, '}', '\n')
+	return dst
+}
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	req, err := decodeIngest(r.Body)
+	sc := scratchPool.Get().(*ingestScratch)
+	defer scratchPool.Put(sc)
+
+	var ts, ds []int64
+	var err error
+	sc.body, err = readBody(r.Body, sc.body[:0])
+	if err == nil {
+		if r.Header.Get("Content-Type") == ContentTypeBinary {
+			sc.t, sc.d, err = decodeBinaryBatch(sc.body, sc.t[:0], sc.d[:0])
+			ts, ds = sc.t, sc.d
+			if err == nil {
+				s.metrics.binaryBatches.Add(1)
+			}
+		} else {
+			err = unmarshalIngest(sc.body, &sc.req)
+			ts, ds = sc.req.T, sc.req.Demand
+		}
+	}
 	if err != nil {
 		writeDecodeError(w, err)
 		return
 	}
+
 	id := r.PathValue("id")
-	st, created, err := s.getOrCreate(id)
+	e, created, err := s.getOrCreate(id)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
 		return
 	}
-	res, err := st.Ingest(req.T, req.Demand)
+	res, err := e.st.Ingest(ts, ds)
 	if err != nil {
 		if created {
-			s.dropIfEmpty(id, st)
+			s.dropIfEmpty(id, e)
 		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
@@ -311,28 +427,99 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.metrics.batches.Add(1)
 	if res.Violation != nil {
 		s.metrics.violatingBatches.Add(1)
+		writeJSON(w, http.StatusOK, ingestResponse{
+			Accepted:   res.Accepted,
+			Total:      res.Total,
+			Violation:  violationFrom(res.Violation),
+			Violations: res.Violations,
+			Drift:      res.Drift,
+		})
+		return
 	}
-	writeJSON(w, http.StatusOK, ingestResponse{
-		Accepted:   res.Accepted,
-		Total:      res.Total,
-		Violation:  violationFrom(res.Violation),
-		Violations: res.Violations,
-		Drift:      res.Drift,
+	sc.out = appendIngestResponse(sc.out[:0], res)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(sc.out) //nolint:errcheck // client gone; nothing to do
+}
+
+// unmarshalIngest strictly decodes a JSON ingest body from pre-read bytes
+// into a pooled request. A small shim so handleIngest and the fuzz-visible
+// decodeIngestInto share one validation path.
+func unmarshalIngest(body []byte, req *ingestRequest) error {
+	return decodeIngestInto(bytesReader(body), req)
+}
+
+// bytesReader adapts a byte slice to io.Reader without the bytes.Reader
+// indirection escaping to the heap per request.
+func bytesReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+// ---- cached query handlers -------------------------------------------------
+
+// renderJSON marshals v the same way writeJSON does (json.Encoder semantics,
+// trailing newline) into a reusable cached response.
+func renderJSON(status int, v any) *cachedResp {
+	body, err := json.Marshal(v)
+	if err != nil { // unreachable for the response types used here
+		return &cachedResp{status: http.StatusInternalServerError,
+			body: []byte(`{"error":"encoding failure"}` + "\n")}
+	}
+	return &cachedResp{status: status, body: append(body, '\n')}
+}
+
+func writeCached(w http.ResponseWriter, resp *cachedResp) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.status)
+	w.Write(resp.body) //nolint:errcheck // client gone; nothing to do
+}
+
+// snapshotFor returns a stream.Snapshot for e, reusing the cached one when
+// the stream version is unchanged so parameterized query misses (/check with
+// a new b at an old version) skip the stream lock too.
+func snapshotFor(e *entry) (stream.Snapshot, error) {
+	v := e.st.Version()
+	if cs := e.cache.load(); cs != nil && cs.version == v && cs.snapOK {
+		return cs.snap, nil
+	}
+	snap, err := e.st.Snapshot()
+	if err != nil {
+		return stream.Snapshot{}, err
+	}
+	e.cache.publish(snap.Version, func(ns *cacheState) {
+		ns.snap, ns.snapOK = snap, true
 	})
+	return snap, nil
 }
 
 func (s *Server) handleCurves(w http.ResponseWriter, r *http.Request) {
-	st := s.get(r.PathValue("id"))
-	if st == nil {
+	e := s.get(r.PathValue("id"))
+	if e == nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{"unknown stream"})
 		return
 	}
-	snap, err := st.Snapshot()
+	if cs := e.cache.load(); cs != nil && cs.version == e.st.Version() && cs.curves != nil {
+		s.metrics.cacheHits.Add(1)
+		writeCached(w, cs.curves)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+	snap, err := snapshotFor(e)
 	if err != nil {
 		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, curvesResponse{
+	resp := renderJSON(http.StatusOK, curvesResponse{
+		Version:  snap.Version,
 		Total:    snap.Total,
 		InWindow: snap.InWindow,
 		Upper:    snap.Workload.Upper.Values(),
@@ -340,6 +527,8 @@ func (s *Server) handleCurves(w http.ResponseWriter, r *http.Request) {
 		DMin:     snap.Spans,
 		DMax:     snap.MaxSpans,
 	})
+	e.cache.publish(snap.Version, func(ns *cacheState) { ns.curves = resp })
+	writeCached(w, resp)
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
@@ -353,17 +542,34 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 			errorResponse{"need freq_hz > 0, latency_ns ≥ 0, buffer ≥ 0"})
 		return
 	}
-	st := s.get(r.PathValue("id"))
-	if st == nil {
+	e := s.get(r.PathValue("id"))
+	if e == nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{"unknown stream"})
 		return
 	}
-	ok, err := st.CheckService(req.FreqHz, req.LatencyNs, req.Buffer)
+	key := checkKey{freqHz: req.FreqHz, latencyNs: req.LatencyNs, buffer: req.Buffer}
+	if cs := e.cache.load(); cs != nil && cs.version == e.st.Version() {
+		if resp, ok := cs.check[key]; ok {
+			s.metrics.cacheHits.Add(1)
+			writeCached(w, resp)
+			return
+		}
+	}
+	s.metrics.cacheMisses.Add(1)
+	snap, err := snapshotFor(e)
 	if err != nil {
 		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, checkResponse{OK: ok})
+	var resp *cachedResp
+	ok, err := snap.CheckService(req.FreqHz, req.LatencyNs, req.Buffer)
+	if err != nil {
+		resp = renderJSON(http.StatusConflict, errorResponse{err.Error()})
+	} else {
+		resp = renderJSON(http.StatusOK, checkResponse{Version: snap.Version, OK: ok})
+	}
+	e.cache.publish(snap.Version, func(ns *cacheState) { ns.setCheck(key, resp) })
+	writeCached(w, resp)
 }
 
 func (s *Server) handleMinFreq(w http.ResponseWriter, r *http.Request) {
@@ -376,25 +582,42 @@ func (s *Server) handleMinFreq(w http.ResponseWriter, r *http.Request) {
 		}
 		b = v
 	}
-	st := s.get(r.PathValue("id"))
-	if st == nil {
+	e := s.get(r.PathValue("id"))
+	if e == nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{"unknown stream"})
 		return
 	}
-	cmp, err := st.MinFrequency(b)
+	if cs := e.cache.load(); cs != nil && cs.version == e.st.Version() {
+		if resp, ok := cs.minfreq[b]; ok {
+			s.metrics.cacheHits.Add(1)
+			writeCached(w, resp)
+			return
+		}
+	}
+	s.metrics.cacheMisses.Add(1)
+	snap, err := snapshotFor(e)
 	if err != nil {
 		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, minFreqResponse{
-		GammaHz:       cmp.Gamma.Hz,
-		GammaAtK:      cmp.Gamma.AtK,
-		GammaAtSpanNs: cmp.Gamma.AtSpanNs,
-		WCETHz:        cmp.WCET.Hz,
-		WCETAtK:       cmp.WCET.AtK,
-		Saving:        cmp.Saving,
-		Buffer:        b,
-	})
+	var resp *cachedResp
+	cmp, err := snap.MinFrequency(b)
+	if err != nil {
+		resp = renderJSON(http.StatusConflict, errorResponse{err.Error()})
+	} else {
+		resp = renderJSON(http.StatusOK, minFreqResponse{
+			Version:       snap.Version,
+			GammaHz:       cmp.Gamma.Hz,
+			GammaAtK:      cmp.Gamma.AtK,
+			GammaAtSpanNs: cmp.Gamma.AtSpanNs,
+			WCETHz:        cmp.WCET.Hz,
+			WCETAtK:       cmp.WCET.AtK,
+			Saving:        cmp.Saving,
+			Buffer:        b,
+		})
+	}
+	e.cache.publish(snap.Version, func(ns *cacheState) { ns.setMinFreq(b, resp) })
+	writeCached(w, resp)
 }
 
 func (s *Server) handleContract(w http.ResponseWriter, r *http.Request) {
@@ -418,14 +641,14 @@ func (s *Server) handleContract(w http.ResponseWriter, r *http.Request) {
 		window = up.MaxK()
 	}
 	id := r.PathValue("id")
-	st, created, err := s.getOrCreate(id)
+	e, created, err := s.getOrCreate(id)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
 		return
 	}
-	if err := st.SetContract(core.Workload{Upper: up, Lower: lo}, window); err != nil {
+	if err := e.st.SetContract(core.Workload{Upper: up, Lower: lo}, window); err != nil {
 		if created {
-			s.dropIfEmpty(id, st)
+			s.dropIfEmpty(id, e)
 		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
@@ -434,13 +657,20 @@ func (s *Server) handleContract(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleVerdict(w http.ResponseWriter, r *http.Request) {
-	st := s.get(r.PathValue("id"))
-	if st == nil {
+	e := s.get(r.PathValue("id"))
+	if e == nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{"unknown stream"})
 		return
 	}
-	stats := st.Stats()
-	writeJSON(w, http.StatusOK, verdictResponse{
+	if cs := e.cache.load(); cs != nil && cs.version == e.st.Version() && cs.verdict != nil {
+		s.metrics.cacheHits.Add(1)
+		writeCached(w, cs.verdict)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+	stats := e.st.Stats()
+	resp := renderJSON(http.StatusOK, verdictResponse{
+		Version:        stats.Version,
 		Admitted:       stats.Violations == 0,
 		ContractSet:    stats.ContractSet,
 		Total:          stats.Total,
@@ -448,20 +678,30 @@ func (s *Server) handleVerdict(w http.ResponseWriter, r *http.Request) {
 		FirstViolation: violationFrom(stats.FirstViolation),
 		Drift:          stats.Drift,
 	})
+	e.cache.publish(stats.Version, func(ns *cacheState) { ns.verdict = resp })
+	writeCached(w, resp)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	var infos []streamInfo
+	// Collect entries under the shard locks, query stream stats after
+	// releasing them: Stats takes each stream's own lock, and holding the
+	// shard lock across that would stall ingests into sibling streams.
+	type idEntry struct {
+		id string
+		e  *entry
+	}
+	var entries []idEntry
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		for id, st := range sh.streams {
-			stats := st.Stats()
-			infos = append(infos, streamInfo{ID: id, Total: stats.Total, InWindow: stats.InWindow})
+		for id, e := range sh.streams {
+			entries = append(entries, idEntry{id, e})
 		}
 		sh.mu.RUnlock()
 	}
-	if infos == nil {
-		infos = []streamInfo{}
+	infos := make([]streamInfo, 0, len(entries))
+	for _, it := range entries {
+		stats := it.e.st.Stats()
+		infos = append(infos, streamInfo{ID: it.id, Total: stats.Total, InWindow: stats.InWindow})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"streams": infos})
 }
@@ -490,7 +730,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeDecodeError maps body-decoding failures to 413 (body too large) or
-// 400 (malformed JSON).
+// 400 (malformed input).
 func writeDecodeError(w http.ResponseWriter, err error) {
 	var tooBig *http.MaxBytesError
 	if errors.As(err, &tooBig) {
@@ -513,11 +753,14 @@ func (r *statusRecorder) WriteHeader(code int) {
 }
 
 // instrument wraps a handler with the body-size limit and per-endpoint
-// request/error/latency accounting.
+// request/error/latency accounting. When the declared Content-Length
+// already fits the limit the MaxBytesReader wrapper is skipped — net/http
+// bounds body reads by the declared length, so the limit cannot be exceeded
+// and the per-request wrapper allocation is pure overhead.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	ep := s.metrics.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Body != nil {
+		if r.Body != nil && (r.ContentLength < 0 || r.ContentLength > s.cfg.MaxBodyBytes) {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -528,18 +771,22 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var streams, inWindow, reex, drift, violations int64
+	var entries []*entry
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		for _, st := range sh.streams {
-			stats := st.Stats()
-			streams++
-			inWindow += int64(stats.InWindow)
-			reex += stats.Reextractions
-			drift += stats.Drift
-			violations += stats.Violations
+		for _, e := range sh.streams {
+			entries = append(entries, e)
 		}
 		sh.mu.RUnlock()
+	}
+	var streams, inWindow, reex, drift, violations int64
+	for _, e := range entries {
+		stats := e.st.Stats()
+		streams++
+		inWindow += int64(stats.InWindow)
+		reex += stats.Reextractions
+		drift += stats.Drift
+		violations += stats.Violations
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.write(w, gauges{

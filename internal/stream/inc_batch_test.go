@@ -1,0 +1,108 @@
+package stream
+
+// PushBatch is the ingest fast path: chunked ring writes plus one linear
+// scan per offset over the chunk's new windows (with full rescans whenever a
+// recorded extremum expires). These tests pin it bit-for-bit to the
+// one-value-at-a-time Push across chunk boundaries, ring wraparound and
+// degenerate window/offset combinations.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// incEqual compares the full observable state of two extractors: retained
+// counts and every live extremum.
+func incEqual(t *testing.T, got, want *Inc, ctx string) {
+	t.Helper()
+	if got.Total() != want.Total() || got.Retained() != want.Retained() || got.EffOff() != want.EffOff() {
+		t.Fatalf("%s: totals (%d,%d,%d) vs (%d,%d,%d)", ctx,
+			got.Total(), got.Retained(), got.EffOff(),
+			want.Total(), want.Retained(), want.EffOff())
+	}
+	for k := 1; k <= want.EffOff(); k++ {
+		gu, err1 := got.UpAt(k)
+		wu, err2 := want.UpAt(k)
+		gl, err3 := got.LoAt(k)
+		wl, err4 := want.LoAt(k)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			t.Fatalf("%s: query errors at k=%d: %v %v %v %v", ctx, k, err1, err2, err3, err4)
+		}
+		if gu != wu || gl != wl {
+			t.Fatalf("%s: k=%d: batch (%d,%d), sequential (%d,%d)", ctx, k, gu, gl, wu, wl)
+		}
+	}
+}
+
+func TestPushBatchMatchesPush(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	for trial := 0; trial < 60; trial++ {
+		window := 2 + rng.Intn(40)
+		maxOff := 1 + rng.Intn(window-1)
+		total := 1 + rng.Intn(6*window) // several ring wraps
+
+		batch, err := NewInc(maxOff, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := NewInc(maxOff, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		data := make([]int64, total)
+		for i := range data {
+			// Mix drifting runs (extrema survive) with jumps (extrema expire).
+			if rng.Intn(3) == 0 {
+				data[i] = rng.Int63n(1 << 30)
+			} else if i > 0 {
+				data[i] = data[i-1] + rng.Int63n(100) - 50
+			}
+		}
+
+		for i := 0; i < total; {
+			// Batch sizes deliberately straddle the window−maxOff chunk cap.
+			b := 1 + rng.Intn(2*window)
+			if i+b > total {
+				b = total - i
+			}
+			batch.PushBatch(data[i : i+b])
+			for _, v := range data[i : i+b] {
+				seq.Push(v)
+			}
+			i += b
+			incEqual(t, batch, seq, "mid-stream")
+		}
+
+		// AppendCurves must agree too (it reads every front at once).
+		bu, bl := batch.AppendCurves(nil, nil)
+		su, sl := seq.AppendCurves(nil, nil)
+		if len(bu) != len(su) {
+			t.Fatalf("curve lengths %d vs %d", len(bu), len(su))
+		}
+		for k := range bu {
+			if bu[k] != su[k] || bl[k] != sl[k] {
+				t.Fatalf("AppendCurves k=%d: (%d,%d) vs (%d,%d)", k, bu[k], bl[k], su[k], sl[k])
+			}
+		}
+	}
+}
+
+// TestPushBatchSingleChunkCap exercises the degenerate maxOff = window−1
+// configuration where every chunk is a single value.
+func TestPushBatchSingleChunkCap(t *testing.T) {
+	batch, err := NewInc(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := NewInc(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []int64{5, 1, 4, 9, 2, 2, 7, 0, 3, 8}
+	batch.PushBatch(data)
+	for _, v := range data {
+		seq.Push(v)
+	}
+	incEqual(t, batch, seq, "chunk-cap-1")
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"wcm/internal/arrival"
 	"wcm/internal/core"
@@ -76,6 +77,12 @@ type Stream struct {
 	maxK   int
 	reint  int // re-extraction interval; ≤ 0 disables
 
+	// version counts state mutations (ingest batches, contract changes,
+	// forced re-extractions). It is bumped under mu before the mutating
+	// call returns and is readable WITHOUT the lock, so version-keyed
+	// caches (internal/server) can validate a hit with one atomic load.
+	version atomic.Int64
+
 	demands []int64 // ring of the last ≤ window raw demands
 	times   []int64 // ring of the last ≤ window raw timestamps
 	total   int64   // samples ever ingested
@@ -93,7 +100,9 @@ type Stream struct {
 	reextractions int64 // anchor runs performed
 	drift         int64 // anchor runs that disagreed with the incremental state
 
-	// Scratch buffers so re-extraction allocates nothing in steady state.
+	// Scratch buffers so ingest and re-extraction allocate nothing in
+	// steady state.
+	scratchPre  []int64 // per-chunk prefix sums fed to pre.PushBatch
 	scratchData []int64
 	scratchUp   []int64
 	scratchLo   []int64
@@ -147,7 +156,9 @@ type IngestResult struct {
 // Ingest appends a batch of samples: timestamps (non-decreasing, not before
 // anything already ingested) with their per-activation cycle demands
 // (non-negative). Validation is all-or-nothing: a bad batch changes no
-// state. Per sample the incremental update is amortized O(MaxK).
+// state. The incremental update is expected amortized O(MaxK) per sample,
+// applied in chunks via Inc.PushBatch so the per-offset extrema are walked
+// once per batch, not once per sample.
 func (s *Stream) Ingest(ts, demands []int64) (IngestResult, error) {
 	if len(ts) == 0 || len(ts) != len(demands) {
 		return IngestResult{}, fmt.Errorf("%w: %d timestamps, %d demands",
@@ -168,47 +179,78 @@ func (s *Stream) Ingest(ts, demands []int64) (IngestResult, error) {
 		}
 	}
 
+	// Validation passed, so state WILL change. The deferred bump runs
+	// before the unlock above (LIFO), so it also covers error exits below:
+	// even a partially applied batch invalidates version-keyed caches.
+	defer s.version.Add(1)
+
 	res := IngestResult{Accepted: len(ts)}
-	for i := range ts {
-		slot := s.total % int64(s.window)
-		s.demands[slot] = demands[i]
-		s.times[slot] = ts[i]
-		s.total++
-		s.lastT = ts[i]
-		s.prefixLast += demands[i]
-		s.pre.Push(s.prefixLast)
+	w64 := int64(s.window)
+	for off := 0; off < len(ts); {
+		// Chunk up to the next anchor point so re-extractions land at
+		// exactly the same sample positions as the per-sample path did.
+		n := len(ts) - off
+		if s.reint > 0 {
+			if to := s.reint - s.sinceAnchor; to < n {
+				n = to
+			}
+		}
+		tsc, dc := ts[off:off+n], demands[off:off+n]
+		s.scratchPre = s.scratchPre[:0]
+		p := s.prefixLast
+		for i := 0; i < n; i++ {
+			slot := (s.total + int64(i)) % w64
+			s.demands[slot] = dc[i]
+			s.times[slot] = tsc[i]
+			p += dc[i]
+			s.scratchPre = append(s.scratchPre, p)
+		}
+		s.total += int64(n)
+		s.lastT = tsc[n-1]
+		s.prefixLast = p
+		s.pre.PushBatch(s.scratchPre)
 		if s.spi != nil {
-			s.spi.Push(ts[i])
+			s.spi.PushBatch(tsc)
 		}
 		if s.monitor != nil {
-			v, err := s.monitor.Push(demands[i])
-			if err != nil {
-				return IngestResult{}, err
-			}
-			if v != nil {
-				s.violations++
-				if s.firstViol == nil {
-					s.firstViol = v
+			for i := 0; i < n; i++ {
+				v, err := s.monitor.Push(dc[i])
+				if err != nil {
+					return IngestResult{}, err
 				}
-				if res.Violation == nil {
-					res.Violation = v
+				if v != nil {
+					s.violations++
+					if s.firstViol == nil {
+						s.firstViol = v
+					}
+					if res.Violation == nil {
+						res.Violation = v
+					}
 				}
 			}
 		}
 		if s.reint > 0 {
-			s.sinceAnchor++
+			s.sinceAnchor += n
 			if s.sinceAnchor >= s.reint {
 				if err := s.reextractLocked(); err != nil {
 					return IngestResult{}, err
 				}
 			}
 		}
+		off += n
 	}
 	res.Total = s.total
 	res.Violations = s.violations
 	res.Drift = s.drift
 	return res, nil
 }
+
+// Version returns the stream's mutation counter: it increases (and never
+// decreases) every time an ingest batch, contract change or forced
+// re-extraction touches state. Reading it does not take the stream lock, so
+// callers can validate version-keyed caches for free; Snapshot and Stats
+// record the version consistent with their contents.
+func (s *Stream) Version() int64 { return s.version.Load() }
 
 // SetContract installs (or replaces) the admission contract: every
 // subsequently ingested sample is checked by a core.Monitor against the
@@ -223,6 +265,7 @@ func (s *Stream) SetContract(w core.Workload, window int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.monitor = m
+	s.version.Add(1)
 	return nil
 }
 
@@ -415,8 +458,10 @@ func (s *Stream) spansLocked() (arrival.Spans, arrival.MaxSpans, error) {
 }
 
 // Snapshot is a consistent point-in-time view of a stream: curves and span
-// tables taken under one lock acquisition.
+// tables taken under one lock acquisition, tagged with the stream version
+// they were taken at.
 type Snapshot struct {
+	Version  int64
 	Total    int64
 	InWindow int
 	Workload core.Workload
@@ -437,6 +482,7 @@ func (s *Stream) Snapshot() (Snapshot, error) {
 		return Snapshot{}, err
 	}
 	return Snapshot{
+		Version:  s.version.Load(),
 		Total:    s.total,
 		InWindow: s.inWindowLocked(),
 		Workload: w,
@@ -445,33 +491,26 @@ func (s *Stream) Snapshot() (Snapshot, error) {
 	}, nil
 }
 
-// MinFrequency evaluates eq. (9) and eq. (10) against the CURRENT window:
-// the minimum processor frequency avoiding overflow of a FIFO holding b
-// events, by workload curve and by single-value WCET. At least 2 samples
-// must be in the window.
-func (s *Stream) MinFrequency(b int) (netcalc.FrequencyComparison, error) {
-	snap, err := s.Snapshot()
-	if err != nil {
-		return netcalc.FrequencyComparison{}, err
-	}
-	if snap.Spans.MaxK() < 2 {
+// MinFrequency evaluates eq. (9) and eq. (10) against the snapshot: the
+// minimum processor frequency avoiding overflow of a FIFO holding b events,
+// by workload curve and by single-value WCET. The snapshot must hold at
+// least 2 samples. Pure: callers may share one snapshot across queries.
+func (sn *Snapshot) MinFrequency(b int) (netcalc.FrequencyComparison, error) {
+	if sn.Spans.MaxK() < 2 {
 		return netcalc.FrequencyComparison{}, ErrNoSpans
 	}
-	return netcalc.CompareFrequencies(snap.Spans, snap.Workload.Upper, b)
+	return netcalc.CompareFrequencies(sn.Spans, sn.Workload.Upper, b)
 }
 
-// CheckService evaluates eq. (8) against the current window: does a
-// processor of freqHz (optionally a rate-latency server with latencyNs)
-// keep a FIFO of b events from overflowing on this stream?
-func (s *Stream) CheckService(freqHz float64, latencyNs int64, b int) (bool, error) {
-	snap, err := s.Snapshot()
-	if err != nil {
-		return false, err
-	}
-	if snap.Spans.MaxK() < 2 {
+// CheckService evaluates eq. (8) against the snapshot: does a processor of
+// freqHz (optionally a rate-latency server with latencyNs) keep a FIFO of b
+// events from overflowing on this stream? Pure, like Snapshot.MinFrequency.
+func (sn *Snapshot) CheckService(freqHz float64, latencyNs int64, b int) (bool, error) {
+	if sn.Spans.MaxK() < 2 {
 		return false, ErrNoSpans
 	}
 	var beta pwl.Curve
+	var err error
 	if latencyNs > 0 {
 		beta, err = service.RateLatency(freqHz, latencyNs)
 	} else {
@@ -480,11 +519,31 @@ func (s *Stream) CheckService(freqHz float64, latencyNs int64, b int) (bool, err
 	if err != nil {
 		return false, err
 	}
-	return netcalc.CheckServiceConstraint(snap.Spans, beta, snap.Workload.Upper, b)
+	return netcalc.CheckServiceConstraint(sn.Spans, beta, sn.Workload.Upper, b)
+}
+
+// MinFrequency evaluates eq. (9) and eq. (10) against the CURRENT window.
+// At least 2 samples must be in the window.
+func (s *Stream) MinFrequency(b int) (netcalc.FrequencyComparison, error) {
+	snap, err := s.Snapshot()
+	if err != nil {
+		return netcalc.FrequencyComparison{}, err
+	}
+	return snap.MinFrequency(b)
+}
+
+// CheckService evaluates eq. (8) against the current window.
+func (s *Stream) CheckService(freqHz float64, latencyNs int64, b int) (bool, error) {
+	snap, err := s.Snapshot()
+	if err != nil {
+		return false, err
+	}
+	return snap.CheckService(freqHz, latencyNs, b)
 }
 
 // Stats is the stream's observability surface.
 type Stats struct {
+	Version        int64           // mutation counter at capture time
 	Total          int64           // samples ever ingested
 	InWindow       int             // samples currently characterized
 	Window         int             // configured sliding window
@@ -502,6 +561,7 @@ func (s *Stream) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
+		Version:        s.version.Load(),
 		Total:          s.total,
 		InWindow:       s.inWindowLocked(),
 		Window:         s.window,
@@ -523,6 +583,7 @@ func (s *Stream) Reextract() (drift int64, err error) {
 	if s.total == 0 {
 		return 0, nil
 	}
+	defer s.version.Add(1) // counters (and possibly state) change
 	if err := s.reextractLocked(); err != nil {
 		return 0, err
 	}

@@ -361,7 +361,7 @@ func TestRebuildRecoversFromCorruption(t *testing.T) {
 	}
 	// Corrupt the incremental state behind the anchor's back.
 	s.mu.Lock()
-	s.pre.maxQ[0].val[s.pre.maxQ[0].head] += 999
+	s.pre.maxVal[0] += 999
 	s.mu.Unlock()
 	drift, err := s.Reextract()
 	if err != nil {

@@ -552,6 +552,19 @@ type WCMDServerConfig = server.Config
 // NewWCMDServer builds the service; mount its Handler on any http.Server.
 func NewWCMDServer(cfg WCMDServerConfig) (*WCMDServer, error) { return server.New(cfg) }
 
+// BinaryIngestContentType is the Content-Type selecting the columnar binary
+// ingest encoding on POST /v1/streams/{id}/ingest (see DESIGN.md §9).
+const BinaryIngestContentType = server.ContentTypeBinary
+
+// AppendBinaryIngestBatch encodes one ingest batch in the binary wire format
+// — uint32 LE sample count, then the timestamp column, then the demand
+// column, both little-endian int64 — appending to dst and returning the
+// extended slice. Panics if the slices differ in length or are empty, like
+// append-style encoders throughout the stdlib.
+func AppendBinaryIngestBatch(dst []byte, t, demand []int64) []byte {
+	return server.AppendBinaryBatch(dst, t, demand)
+}
+
 // DeconvolveArrival computes the exact output arrival curve a ⊘ b of a
 // flow with arrival a served by b, over u ∈ [0, uMax].
 func DeconvolveArrival(a, b PWLCurve, uMax int64) (PWLCurve, error) {

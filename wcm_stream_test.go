@@ -4,6 +4,7 @@ package wcm
 // the WCMDServer HTTP surface (over httptest, no network).
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -90,5 +91,31 @@ func TestFacadeWCMDServer(t *testing.T) {
 	resp.Body.Close()
 	if mf.GammaHz <= 0 || mf.GammaHz > mf.WCETHz {
 		t.Fatalf("minfreq over HTTP: %+v", mf)
+	}
+}
+
+func TestFacadeBinaryIngest(t *testing.T) {
+	srv, err := NewWCMDServer(WCMDServerConfig{Stream: CurveStreamConfig{Window: 16, MaxK: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+
+	body := AppendBinaryIngestBatch(nil, []int64{0, 100, 200, 300}, []int64{5, 7, 6, 9})
+	resp, err := http.Post(hts.URL+"/v1/streams/demo/ingest", BinaryIngestContentType,
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing struct {
+		Accepted int `json:"accepted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ing.Accepted != 4 {
+		t.Fatalf("binary ingest: status %d, %+v", resp.StatusCode, ing)
 	}
 }
