@@ -12,17 +12,22 @@
 //
 // benchjson is also the CI perf regression guard: given -baseline (the
 // committed BENCH_extract.json), it fails if ingest-path allocs/op grew more
-// than -max-alloc-growth over the baseline; -max-binary-allocs bounds the
-// binary HTTP ingest path absolutely; -assert-scaling requires the sharded
-// ingest group to beat the single-stream group by that factor (skipped on
-// hosts with fewer than 4 CPUs, where there is no parallelism to measure).
+// than -max-alloc-growth over the baseline, or ingest-path ns/op grew more
+// than -max-latency-growth; -max-binary-allocs bounds the binary HTTP ingest
+// path absolutely; -assert-scaling requires the sharded ingest group to beat
+// the single-stream group by that factor (skipped on hosts with fewer than 4
+// CPUs, where there is no parallelism to measure).
+//
+// The HTTP benches run with Config.SelfCurves enabled and send X-Request-Id,
+// so the measured path is the fully instrumented one: trace-ID propagation,
+// latency histograms, stage spans and the self-characterization feed.
 //
 // Usage:
 //
 //	benchjson [-out BENCH_extract.json] [-n 40000] [-maxk 4000]
 //	          [-mintime 300ms] [-procs 1,4] [-baseline BENCH_extract.json]
 //	          [-max-alloc-growth 0.20] [-max-binary-allocs 8]
-//	          [-assert-scaling 1.5]
+//	          [-max-latency-growth 0.10] [-assert-scaling 1.5]
 package main
 
 import (
@@ -79,14 +84,15 @@ type Params struct {
 
 // options collects the flag surface of run.
 type options struct {
-	n, maxK         int
-	minTime         time.Duration
-	out             string
-	procs           []int
-	baseline        string  // prior BENCH_extract.json to guard against; "" disables
-	maxAllocGrowth  float64 // allowed fractional allocs/op growth over baseline
-	maxBinaryAllocs float64 // absolute allocs/op bound for ingest_http_binary; 0 disables
-	assertScaling   float64 // required sharded/single samples/s ratio; 0 disables
+	n, maxK          int
+	minTime          time.Duration
+	out              string
+	procs            []int
+	baseline         string  // prior BENCH_extract.json to guard against; "" disables
+	maxAllocGrowth   float64 // allowed fractional allocs/op growth over baseline
+	maxBinaryAllocs  float64 // absolute allocs/op bound for ingest_http_binary; 0 disables
+	maxLatencyGrowth float64 // allowed fractional ns/op growth over baseline; 0 disables
+	assertScaling    float64 // required sharded/single samples/s ratio; 0 disables
 }
 
 // measure times fn until minTime has elapsed (at least once) and reports
@@ -156,6 +162,10 @@ func newIngestBench(h http.Handler, id, contentType string, ds []int64, hop int6
 		panic(err)
 	}
 	req.Header.Set("Content-Type", contentType)
+	// A well-behaved client sends its own request ID; setting it here both
+	// exercises the propagation path and keeps the benchmarked steady state
+	// free of the generated-ID allocation.
+	req.Header.Set("X-Request-Id", "bench-"+id)
 	b.req = req
 	return b
 }
@@ -366,8 +376,9 @@ func run(opts options) (*Report, error) {
 		lastSingle, lastSharded = ingestSingle, ingestSharded
 
 		// HTTP-level: one op = one batch through the real handler, JSON vs
-		// binary encoding (client encode included in both).
-		srv, err := server.New(server.Config{Stream: ingestCfg})
+		// binary encoding (client encode included in both). SelfCurves is
+		// on so the numbers cover the fully instrumented deployment config.
+		srv, err := server.New(server.Config{Stream: ingestCfg, SelfCurves: true})
 		if err != nil {
 			return nil, err
 		}
@@ -447,7 +458,7 @@ func run(opts options) (*Report, error) {
 	}
 
 	if opts.baseline != "" {
-		if err := guardAllocs(report, opts.baseline, opts.maxAllocGrowth); err != nil {
+		if err := guardBaseline(report, opts.baseline, opts.maxAllocGrowth, opts.maxLatencyGrowth); err != nil {
 			return nil, err
 		}
 	}
@@ -463,15 +474,18 @@ func run(opts options) (*Report, error) {
 	return report, nil
 }
 
-// guardAllocs compares the HTTP ingest-path allocs/op against the committed
-// baseline report and fails on growth beyond the allowed fraction (plus an
+// guardBaseline compares the HTTP ingest-path figures against the committed
+// baseline report. Allocs/op may grow at most the allowed fraction (plus an
 // absolute slack of 2 allocs so near-zero baselines aren't impossible to
-// meet). Only the ingest_http_* groups are guarded: they drive a fixed-size
-// batch through pooled steady state, so their counts are deterministic,
-// where the whole-trace stream groups pick up background-GC noise. Results
-// are matched by (name, gomaxprocs); names missing from the baseline pass —
-// a new benchmark can't regress.
-func guardAllocs(cur *Report, baselinePath string, growth float64) error {
+// meet). When latGrowth > 0, ns/op at GOMAXPROCS=1 may grow at most that
+// fraction (plus 1µs absolute slack); multi-proc latency is exempt — it
+// picks up scheduler and GC noise that makes a tight bound flaky. Only the
+// ingest_http_* groups are guarded: they drive a fixed-size batch through
+// pooled steady state, so their counts are deterministic, where the
+// whole-trace stream groups pick up background-GC noise. Results are
+// matched by (name, gomaxprocs); names missing from the baseline pass — a
+// new benchmark can't regress.
+func guardBaseline(cur *Report, baselinePath string, growth, latGrowth float64) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -500,6 +514,13 @@ func guardAllocs(cur *Report, baselinePath string, growth float64) error {
 		if m.AllocsPerOp > limit {
 			return fmt.Errorf("%s (GOMAXPROCS=%d): %.1f allocs/op exceeds baseline %.1f by more than %.0f%% (+2)",
 				m.Name, m.GOMAXPROCS, m.AllocsPerOp, b.AllocsPerOp, growth*100)
+		}
+		if latGrowth > 0 && m.GOMAXPROCS == 1 {
+			latLimit := b.NsPerOp*(1+latGrowth) + 1000
+			if m.NsPerOp > latLimit {
+				return fmt.Errorf("%s (GOMAXPROCS=%d): %.0f ns/op exceeds baseline %.0f by more than %.0f%% (+1µs)",
+					m.Name, m.GOMAXPROCS, m.NsPerOp, b.NsPerOp, latGrowth*100)
+			}
 		}
 	}
 	return nil
@@ -534,6 +555,7 @@ func main() {
 	baseline := flag.String("baseline", "", "committed report to guard ingest allocs/op against")
 	maxAllocGrowth := flag.Float64("max-alloc-growth", 0.20, "allowed fractional allocs/op growth over -baseline")
 	maxBinaryAllocs := flag.Float64("max-binary-allocs", 0, "allocs/op bound for ingest_http_binary at GOMAXPROCS=1 (0 = off)")
+	maxLatencyGrowth := flag.Float64("max-latency-growth", 0, "allowed fractional ns/op growth over -baseline at GOMAXPROCS=1 (0 = off)")
 	assertScaling := flag.Float64("assert-scaling", 0, "required sharded/single ingest ratio (0 = off; skipped under 4 CPUs)")
 	flag.Parse()
 	pr, err := parseProcs(*procs)
@@ -544,7 +566,8 @@ func main() {
 	report, err := run(options{
 		n: *n, maxK: *maxK, minTime: *minTime, out: *out, procs: pr,
 		baseline: *baseline, maxAllocGrowth: *maxAllocGrowth,
-		maxBinaryAllocs: *maxBinaryAllocs, assertScaling: *assertScaling,
+		maxBinaryAllocs: *maxBinaryAllocs, maxLatencyGrowth: *maxLatencyGrowth,
+		assertScaling: *assertScaling,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	wcmd -addr :8080 -window 1024 -maxk 256
+//	wcmd -addr :8080 -window 1024 -maxk 256 -log-format json -self-curves
+//
+// Structured logs go to stderr (-log-format json|text, -log-level); every
+// request carries a trace ID (X-Request-Id in and out) and requests slower
+// than -slow-request are logged at Warn. With -self-curves the server feeds
+// its own per-request cost into a built-in curve stream and serves its own
+// workload characterization at /debug/self.
 //
 // The process drains in-flight requests and exits cleanly on SIGINT/SIGTERM.
 package main
@@ -16,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -23,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"wcm/internal/obs"
 	"wcm/internal/server"
 	"wcm/internal/stream"
 )
@@ -52,7 +60,21 @@ func parseFlags(args []string) (server.Config, string, error) {
 	reextract := fs.Int("reextract", 0, "samples between anchor re-extractions (0 = window, <0 = off)")
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
 	pprof := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
+	logFormat := fs.String("log-format", "text", `structured log format: "json" or "text"`)
+	logLevel := fs.String("log-level", "info", "log level: debug|info|warn|error")
+	slowReq := fs.Duration("slow-request", server.DefaultSlowRequest,
+		"log requests slower than this at Warn (negative disables)")
+	selfCurves := fs.Bool("self-curves", false,
+		"characterize the server's own request costs and serve them at /debug/self")
 	if err := fs.Parse(args); err != nil {
+		return server.Config{}, "", err
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return server.Config{}, "", err
+	}
+	logger, err := obs.NewLogger(*logFormat, level, os.Stderr)
+	if err != nil {
 		return server.Config{}, "", err
 	}
 	return server.Config{
@@ -64,6 +86,9 @@ func parseFlags(args []string) (server.Config, string, error) {
 			MaxK:           *maxK,
 			ReextractEvery: *reextract,
 		},
+		Logger:      logger,
+		SlowRequest: *slowReq,
+		SelfCurves:  *selfCurves,
 	}, *addr, nil
 }
 
@@ -79,8 +104,16 @@ func run(ctx context.Context, cfg server.Config, addr string, ready chan<- net.A
 	if err != nil {
 		return err
 	}
-	log.Printf("wcmd listening on %s (shards=%d window=%d maxk=%d)",
-		ln.Addr(), cfg.Shards, cfg.Stream.Window, cfg.Stream.MaxK)
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.Discard()
+	}
+	logger.Info("wcmd listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.Int("shards", cfg.Shards),
+		slog.Int("window", cfg.Stream.Window),
+		slog.Int("maxk", cfg.Stream.MaxK),
+		slog.Bool("self_curves", cfg.SelfCurves))
 	if ready != nil {
 		ready <- ln.Addr()
 	}
@@ -102,6 +135,6 @@ func run(ctx context.Context, cfg server.Config, addr string, ready chan<- net.A
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Print("wcmd stopped")
+	logger.Info("wcmd stopped")
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
@@ -38,8 +39,39 @@ func TestParseFlags(t *testing.T) {
 	if cfg.EnablePprof {
 		t.Fatal("pprof enabled by default")
 	}
+	if cfg.Logger == nil {
+		t.Fatal("no default logger")
+	}
+	if cfg.SelfCurves {
+		t.Fatal("self curves on by default")
+	}
+	if cfg.SlowRequest != server.DefaultSlowRequest {
+		t.Fatalf("slow request default = %v", cfg.SlowRequest)
+	}
 	if _, _, err := parseFlags([]string{"-window", "notanumber"}); err == nil {
 		t.Fatal("bad flag value accepted")
+	}
+}
+
+func TestParseFlagsObservability(t *testing.T) {
+	cfg, _, err := parseFlags([]string{
+		"-log-format", "json", "-log-level", "debug",
+		"-slow-request", "50ms", "-self-curves",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Logger == nil || !cfg.SelfCurves || cfg.SlowRequest != 50*time.Millisecond {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if !cfg.Logger.Enabled(context.Background(), slog.LevelDebug) {
+		t.Fatal("-log-level debug not applied")
+	}
+	if _, _, err := parseFlags([]string{"-log-format", "yaml"}); err == nil {
+		t.Fatal("bad log format accepted")
+	}
+	if _, _, err := parseFlags([]string{"-log-level", "loud"}); err == nil {
+		t.Fatal("bad log level accepted")
 	}
 }
 

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 10, 10}, {1<<10 + 1, 11},
+		{1 << 35, 35},           // top finite bucket, inclusive
+		{1<<35 + 1, NumBuckets}, // first +Inf value
+		{math.MaxInt64, NumBuckets},
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.ns); got != c.want {
+			t.Fatalf("BucketIndex(%d) = %d, want %d", c.ns, got, c.want)
+		}
+		// The defining invariant: value ≤ upper bound of its bucket, and
+		// strictly above the previous bucket's bound.
+		if i := BucketIndex(c.ns); i < NumBuckets {
+			ub := int64(1) << i
+			if c.ns > ub {
+				t.Fatalf("ns %d above its bucket bound 2^%d", c.ns, i)
+			}
+			if i > 0 && c.ns <= ub/2 {
+				t.Fatalf("ns %d should be in a lower bucket than %d", c.ns, i)
+			}
+		}
+	}
+	if UpperBoundSeconds(NumBuckets) != math.Inf(1) {
+		t.Fatal("overflow bucket bound is not +Inf")
+	}
+	if got := UpperBoundSeconds(30); got != float64(1<<30)/1e9 {
+		t.Fatalf("UpperBoundSeconds(30) = %v", got)
+	}
+}
+
+func TestHistogramCountsAndCumulative(t *testing.T) {
+	var h Histogram
+	for _, ns := range []int64{1, 1, 3, 1000, 1 << 40, -5} {
+		h.ObserveNs(ns)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Counts[0] != 3 { // 1, 1 and the clamped -5
+		t.Fatalf("bucket 0 = %d", s.Counts[0])
+	}
+	if s.Counts[NumBuckets] != 1 {
+		t.Fatalf("+Inf bucket = %d", s.Counts[NumBuckets])
+	}
+	if got := s.CumulativeCount(NumBuckets); got != 6 {
+		t.Fatalf("cumulative over all buckets = %d", got)
+	}
+	if s.CumulativeCount(0) != 3 || s.CumulativeCount(1) != 3 || s.CumulativeCount(2) != 4 {
+		t.Fatalf("cumulative prefix wrong: %d %d %d",
+			s.CumulativeCount(0), s.CumulativeCount(1), s.CumulativeCount(2))
+	}
+	if s.SumNs != 1+1+3+1000+(1<<40) {
+		t.Fatalf("sum = %d", s.SumNs)
+	}
+	// Cumulative counts must be non-decreasing in the bucket index — the
+	// property the Prometheus exposition relies on.
+	prev := uint64(0)
+	for i := 0; i <= NumBuckets; i++ {
+		c := s.CumulativeCount(i)
+		if c < prev {
+			t.Fatalf("cumulative decreased at %d: %d < %d", i, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	var empty HistSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty p50 = %v", q)
+	}
+
+	// 100 observations at ~1µs, 5 at ~1ms: p50 must sit near 1µs, p99
+	// near 1ms. The log buckets guarantee only factor-2 accuracy, so the
+	// assertions are bracketing, not exact.
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.ObserveNs(1000)
+	}
+	for i := 0; i < 5; i++ {
+		h.ObserveNs(1_000_000)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 < 0.4e-6 || p50 > 2.1e-6 {
+		t.Fatalf("p50 = %v s, want ≈ 1µs", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 0.4e-3 || p99 > 2.1e-3 {
+		t.Fatalf("p99 = %v s, want ≈ 1ms", p99)
+	}
+	if p100 := s.Quantile(1.0); p100 < 0.4e-3 || p100 > 2.1e-3 {
+		t.Fatalf("p100 = %v s", p100)
+	}
+
+	// All mass in +Inf reports the top finite bound rather than Inf.
+	var inf Histogram
+	inf.ObserveNs(1 << 60)
+	if q := inf.Snapshot().Quantile(0.5); math.IsInf(q, 1) || q <= 0 {
+		t.Fatalf("overflow-only p50 = %v", q)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines and
+// checks the totals balance — run under -race in CI.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	if got := s.CumulativeCount(NumBuckets); got != s.Count {
+		t.Fatalf("bucket sum %d != count %d", got, s.Count)
+	}
+}
+
+func TestObserveAllocs(t *testing.T) {
+	var h Histogram
+	avg := testing.AllocsPerRun(1000, func() { h.ObserveNs(12345) })
+	if avg != 0 {
+		t.Fatalf("Observe allocates %.2f/op", avg)
+	}
+}

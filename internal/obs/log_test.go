@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger("json", slog.LevelInfo, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hello", "k", 7)
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("json log line not JSON: %q", buf.String())
+	}
+	if m["msg"] != "hello" || m["k"].(float64) != 7 {
+		t.Fatalf("line = %v", m)
+	}
+
+	buf.Reset()
+	l, err = NewLogger("text", slog.LevelWarn, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("dropped")
+	l.Warn("kept")
+	if s := buf.String(); strings.Contains(s, "dropped") || !strings.Contains(s, "kept") {
+		t.Fatalf("level filtering broken: %q", s)
+	}
+
+	if _, err := NewLogger("yaml", slog.LevelInfo, &buf); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "INFO": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "Error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestTraceIDs(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if len(id) != 25 || id[8] != '-' {
+			t.Fatalf("malformed trace id %q", id)
+		}
+		if !strings.HasPrefix(id, tracePrefix) {
+			t.Fatalf("id %q missing process prefix %q", id, tracePrefix)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRequestContextRoundTrip(t *testing.T) {
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("empty context returned %v", got)
+	}
+	// LoggerFrom on a bare context must be usable (and silent).
+	LoggerFrom(context.Background()).Info("into the void")
+
+	var buf bytes.Buffer
+	base, err := NewLogger("json", slog.LevelDebug, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rq Request
+	rq.Reset("trace-1", "ingest", base)
+	ctx := NewContext(context.Background(), &rq)
+	if FromContext(ctx) != &rq {
+		t.Fatal("request scope did not round-trip")
+	}
+	LoggerFrom(ctx).Debug("handled")
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["trace_id"] != "trace-1" || m["endpoint"] != "ingest" {
+		t.Fatalf("request attrs missing: %v", m)
+	}
+
+	// Reset must clear the derived logger so pooled reuse can't leak the
+	// previous request's attrs.
+	rq.Reset("trace-2", "curves", base)
+	buf.Reset()
+	rq.Logger().Debug("second")
+	if s := buf.String(); !strings.Contains(s, "trace-2") || strings.Contains(s, "trace-1") {
+		t.Fatalf("stale derived logger after Reset: %q", s)
+	}
+
+	// A scope with a nil base logger falls back to discard, not panic.
+	rq.Reset("trace-3", "check", nil)
+	rq.Logger().Info("dropped")
+}
+
+func TestDurationSecondsAttr(t *testing.T) {
+	a := DurationSeconds(1500 * time.Microsecond)
+	if a.Key != "duration" || a.Value.String() != "0.001500s" {
+		t.Fatalf("attr = %v=%v", a.Key, a.Value)
+	}
+}

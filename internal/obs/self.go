@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+
+	"wcm/internal/stream"
+)
+
+// Defaults for NewSelf's zero-valued config fields: a few thousand requests
+// of history with a curve domain wide enough for eq. (9) to see bursts.
+const (
+	DefaultSelfWindow = 4096
+	DefaultSelfMaxK   = 128
+)
+
+// SelfStream is the service characterizing itself with its own model: each
+// completed request's measured handler cost is one demand sample (in
+// microseconds of handler time) pushed into an internal/stream CurveStream,
+// so γᵘ(k)/γˡ(k) bound the work of any k consecutive requests and the
+// eq. (9) minimum frequency is the minimum service rate — in µs of handler
+// work per second — that keeps a FIFO of b requests from overflowing.
+// Dividing that rate by 1e6 gives it in "cores".
+//
+// Timestamps are monotonic nanoseconds since the SelfStream was created;
+// stream.Observe clamps the inevitable reordering of concurrent request
+// completions, so every observation is accepted.
+type SelfStream struct {
+	start    time.Time
+	st       *stream.Stream
+	observed atomic.Uint64 // requests pushed
+}
+
+// NewSelf builds the self-characterization stream. Zero-valued cfg fields
+// take the Self defaults above rather than stream's (larger) ones.
+func NewSelf(cfg stream.Config) (*SelfStream, error) {
+	if cfg.Window == 0 {
+		cfg.Window = DefaultSelfWindow
+	}
+	if cfg.MaxK == 0 {
+		cfg.MaxK = DefaultSelfMaxK
+	}
+	st, err := stream.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SelfStream{start: time.Now(), st: st}, nil
+}
+
+// Observe pushes one completed request: cost is the measured handler
+// latency, recorded as ⌈µs⌉ so even sub-microsecond cache hits contribute
+// nonzero demand (a zero-demand request would make γˡ degenerate without
+// representing any real work). Safe for concurrent use; errors cannot
+// occur (timestamps are clamped, demand is non-negative) and are ignored.
+func (s *SelfStream) Observe(cost time.Duration) {
+	us := (cost.Nanoseconds() + 999) / 1000
+	if us < 1 {
+		us = 1
+	}
+	if _, err := s.st.Observe(time.Since(s.start).Nanoseconds(), us); err == nil {
+		s.observed.Add(1)
+	}
+}
+
+// Observed returns the number of requests pushed so far.
+func (s *SelfStream) Observed() uint64 { return s.observed.Load() }
+
+// Stream exposes the underlying CurveStream for snapshots and queries.
+func (s *SelfStream) Stream() *stream.Stream { return s.st }

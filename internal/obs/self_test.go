@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"wcm/internal/stream"
+)
+
+func TestSelfStreamCharacterizes(t *testing.T) {
+	s, err := NewSelf(stream.Config{Window: 64, MaxK: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A steady 50µs handler with one 400µs outlier.
+	for i := 0; i < 20; i++ {
+		s.Observe(50 * time.Microsecond)
+	}
+	s.Observe(400 * time.Microsecond)
+	if s.Observed() != 21 {
+		t.Fatalf("observed = %d", s.Observed())
+	}
+
+	snap, err := s.Stream().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := snap.Workload.Upper.Values()
+	lo := snap.Workload.Lower.Values()
+	if up[1] != 400 { // worst single request, in µs
+		t.Fatalf("γᵘ(1) = %d µs, want 400", up[1])
+	}
+	if lo[1] != 50 {
+		t.Fatalf("γˡ(1) = %d µs, want 50", lo[1])
+	}
+	// Any 2 consecutive requests: at most outlier+steady, at least 2 steady.
+	if up[2] != 450 || lo[2] != 100 {
+		t.Fatalf("γ(2) = (%d, %d), want (450, 100)", up[2], lo[2])
+	}
+
+	// The eq. (9) figure must be computable and below the WCET-based one.
+	cmp, err := snap.MinFrequency(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Gamma.Hz <= 0 || cmp.Gamma.Hz > cmp.WCET.Hz {
+		t.Fatalf("min frequency %+v", cmp)
+	}
+}
+
+func TestSelfStreamDefaultsAndClamping(t *testing.T) {
+	s, err := NewSelf(stream.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stream().Stats(); st.Window != DefaultSelfWindow || st.MaxK != DefaultSelfMaxK {
+		t.Fatalf("defaults: window=%d maxK=%d", st.Window, st.MaxK)
+	}
+	// Sub-microsecond costs still register one unit of demand.
+	s.Observe(30 * time.Nanosecond)
+	snap, err := s.Stream().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Workload.Upper.Values()[1]; got != 1 {
+		t.Fatalf("sub-µs cost recorded as %d µs, want 1", got)
+	}
+
+	// Concurrent observers: every observation lands (timestamp clamping
+	// absorbs completion reordering). Run under -race in CI.
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Observe(5 * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Stream().Stats().Total; got != workers*per+1 {
+		t.Fatalf("total = %d, want %d", got, workers*per+1)
+	}
+}

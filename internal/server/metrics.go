@@ -3,16 +3,43 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
-	"sync"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
+
+	"wcm/internal/obs"
 )
 
-// metrics holds the service's counters. Per-endpoint stats are plain atomics
-// updated on the request path; gauges derived from stream state are computed
-// at scrape time by the /metrics handler (see Server.handleMetrics), so the
-// hot path never touches them.
+// Stage names for the hot-path timing spans. The ingest path is split at
+// its three phase boundaries (decode → shard/stream update → render);
+// the cached query paths record one span per outcome so hit and miss
+// latencies are separable distributions, not one blurred histogram.
+const (
+	stageDecode    = "decode"     // body read + JSON/binary parse
+	stageUpdate    = "update"     // shard lookup + stream lock + incremental update
+	stageRender    = "render"     // response encode + write
+	stageCacheHit  = "cache_hit"  // cached query replayed from the version-keyed cache
+	stageCacheMiss = "cache_miss" // query computed from a fresh snapshot
+)
+
+var stageNames = []string{stageDecode, stageUpdate, stageRender, stageCacheHit, stageCacheMiss}
+
+// metrics holds the service's counters and histograms. Per-endpoint and
+// per-stage cells are plain atomics updated on the request path; gauges
+// derived from stream state are computed at scrape time by the /metrics
+// handler (see Server.handleMetrics), so the hot path never touches them.
+//
+// INVARIANT: the endpoints and stages maps are built once by newMetrics
+// and never written afterwards — every route registers at mux
+// construction, before the first request. Lookups on the request path and
+// walks at scrape time therefore need no lock: a /metrics scrape can
+// never block (or be blocked by) request handling. Adding a route without
+// listing its name in newMetrics is a programming error that endpoint()
+// turns into a startup panic, not a silent data race.
 type metrics struct {
 	start   time.Time
 	samples atomic.Uint64 // demand samples accepted
@@ -23,34 +50,86 @@ type metrics struct {
 	cacheHits        atomic.Uint64 // query responses replayed from the version-keyed cache
 	cacheMisses      atomic.Uint64 // query responses that had to be computed
 
-	mu        sync.Mutex
-	endpoints map[string]*endpointStats
+	build buildInfo
+
+	endpoints map[string]*endpointStats // immutable after newMetrics
+	epNames   []string                  // sorted keys of endpoints
+	stages    map[string]*obs.Histogram // immutable after newMetrics
 }
 
-// endpointStats accumulates request-path counters for one route.
+// endpointStats accumulates request-path cells for one route: request and
+// error counters plus the full latency distribution. The histogram
+// replaced the earlier sum/max pair — sum and count still fall out of it
+// (the Prometheus _sum/_count series), and the distribution additionally
+// answers p50/p95/p99.
 type endpointStats struct {
-	requests  atomic.Uint64
-	errors    atomic.Uint64 // responses with status ≥ 400
-	latencyNs atomic.Int64  // sum of handler latencies
-	maxNs     atomic.Int64  // worst handler latency seen
+	requests atomic.Uint64
+	errors   atomic.Uint64 // responses with status ≥ 400
+	latency  obs.Histogram
 }
 
-func newMetrics() *metrics {
-	return &metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+// buildInfo is captured once at startup from the runtime.
+type buildInfo struct {
+	goVersion string
+	version   string // main module version ("(devel)" for tree builds)
+	revision  string // vcs.revision, if stamped
 }
 
-// endpoint returns (registering if needed) the stats cell for a route. Called
-// once per route at mux construction, so the map is effectively read-only
-// afterwards.
+func readBuildInfo() buildInfo {
+	b := buildInfo{goVersion: runtime.Version(), version: "unknown", revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if bi.Main.Version != "" {
+		b.version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			b.revision = s.Value
+		}
+	}
+	return b
+}
+
+// newMetrics pre-registers the complete endpoint set. See the invariant on
+// metrics: registration happens here and only here.
+func newMetrics(endpointNames []string) *metrics {
+	m := &metrics{
+		start:     time.Now(),
+		build:     readBuildInfo(),
+		endpoints: make(map[string]*endpointStats, len(endpointNames)),
+		stages:    make(map[string]*obs.Histogram, len(stageNames)),
+	}
+	for _, name := range endpointNames {
+		m.endpoints[name] = &endpointStats{}
+	}
+	m.epNames = append(m.epNames, endpointNames...)
+	sort.Strings(m.epNames)
+	for _, name := range stageNames {
+		m.stages[name] = &obs.Histogram{}
+	}
+	return m
+}
+
+// endpoint returns the stats cell for a pre-registered route. Unknown
+// names panic: they mean a route was added without registering it in
+// Server.routes, which would otherwise require request-path locking.
 func (m *metrics) endpoint(name string) *endpointStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	ep := m.endpoints[name]
 	if ep == nil {
-		ep = &endpointStats{}
-		m.endpoints[name] = ep
+		panic(fmt.Sprintf("server: endpoint %q not pre-registered in newMetrics", name))
 	}
 	return ep
+}
+
+// stage returns the histogram for a hot-path timing span.
+func (m *metrics) stage(name string) *obs.Histogram {
+	h := m.stages[name]
+	if h == nil {
+		panic(fmt.Sprintf("server: stage %q not pre-registered in newMetrics", name))
+	}
+	return h
 }
 
 func (ep *endpointStats) observe(d time.Duration, status int) {
@@ -58,14 +137,7 @@ func (ep *endpointStats) observe(d time.Duration, status int) {
 	if status >= 400 {
 		ep.errors.Add(1)
 	}
-	ns := d.Nanoseconds()
-	ep.latencyNs.Add(ns)
-	for {
-		cur := ep.maxNs.Load()
-		if ns <= cur || ep.maxNs.CompareAndSwap(cur, ns) {
-			break
-		}
-	}
+	ep.latency.Observe(d)
 }
 
 // gauges are scrape-time values aggregated over all live streams.
@@ -76,6 +148,73 @@ type gauges struct {
 	drift      int64
 	violations int64
 }
+
+// ---- Prometheus text exposition ---------------------------------------------
+
+// escapeLabel escapes a label VALUE per the Prometheus text format:
+// backslash, double quote and newline. Label names here are all literals.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// emittedBuckets is the subset of histogram bucket indices exported to
+// Prometheus: factor-4 steps from 1µs to ~17s. The in-memory histograms
+// keep full 2× resolution (quantile estimates use it); the exposition
+// coarsens to keep scrape size proportionate. Cumulative counts stay
+// exact at every emitted bound because lower unemitted buckets fold into
+// the first emitted one, and +Inf always closes the series.
+var emittedBuckets = func() []int {
+	var idx []int
+	for i := 10; i <= 34; i += 2 {
+		idx = append(idx, i)
+	}
+	return idx
+}()
+
+// formatLe renders a bucket bound the way Prometheus clients do: shortest
+// float64 round-trip representation.
+func formatLe(s float64) string { return strconv.FormatFloat(s, 'g', -1, 64) }
+
+// writeHistogramFamily emits one histogram metric family with a single
+// variable label. rows maps label value → snapshot, emitted in name order.
+func writeHistogramFamily(w io.Writer, family, help, label string, names []string,
+	snap func(string) obs.HistSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", family, help, family)
+	for _, name := range names {
+		s := snap(name)
+		lv := escapeLabel(name)
+		for _, i := range emittedBuckets {
+			fmt.Fprintf(w, "%s_bucket{%s=\"%s\",le=\"%s\"} %d\n",
+				family, label, lv, formatLe(obs.UpperBoundSeconds(i)), s.CumulativeCount(i))
+		}
+		fmt.Fprintf(w, "%s_bucket{%s=\"%s\",le=\"+Inf\"} %d\n", family, label, lv, s.Count)
+		fmt.Fprintf(w, "%s_sum{%s=\"%s\"} %g\n", family, label, lv, s.SumSeconds())
+		fmt.Fprintf(w, "%s_count{%s=\"%s\"} %d\n", family, label, lv, s.Count)
+	}
+}
+
+// quantiles reported in /metrics and /v1/stats.
+var reportedQuantiles = []struct {
+	label string
+	q     float64
+}{{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}}
 
 // write emits all metrics in the Prometheus text exposition format
 // (version 0.0.4) using only the standard library.
@@ -107,28 +246,37 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	emit("Seconds since the server started.", "gauge",
 		"wcmd_uptime_seconds", fmt.Sprintf("%.3f", time.Since(m.start).Seconds()))
 
-	names := make([]string, 0, len(m.endpoints))
-	m.mu.Lock()
-	for name := range m.endpoints {
-		names = append(names, name)
-	}
-	m.mu.Unlock()
-	sort.Strings(names)
+	fmt.Fprintf(w, "# HELP wcmd_build_info Build metadata; the value is always 1.\n"+
+		"# TYPE wcmd_build_info gauge\n"+
+		"wcmd_build_info{go_version=\"%s\",version=\"%s\",revision=\"%s\"} 1\n",
+		escapeLabel(m.build.goVersion), escapeLabel(m.build.version), escapeLabel(m.build.revision))
 
 	fmt.Fprintf(w, "# HELP wcmd_requests_total Requests served, by endpoint.\n# TYPE wcmd_requests_total counter\n")
-	for _, name := range names {
-		fmt.Fprintf(w, "wcmd_requests_total{endpoint=%q} %d\n", name, m.endpoints[name].requests.Load())
+	for _, name := range m.epNames {
+		fmt.Fprintf(w, "wcmd_requests_total{endpoint=\"%s\"} %d\n",
+			escapeLabel(name), m.endpoints[name].requests.Load())
 	}
 	fmt.Fprintf(w, "# HELP wcmd_request_errors_total Responses with status >= 400, by endpoint.\n# TYPE wcmd_request_errors_total counter\n")
-	for _, name := range names {
-		fmt.Fprintf(w, "wcmd_request_errors_total{endpoint=%q} %d\n", name, m.endpoints[name].errors.Load())
+	for _, name := range m.epNames {
+		fmt.Fprintf(w, "wcmd_request_errors_total{endpoint=\"%s\"} %d\n",
+			escapeLabel(name), m.endpoints[name].errors.Load())
 	}
-	fmt.Fprintf(w, "# HELP wcmd_request_latency_ns_total Summed handler latency in nanoseconds, by endpoint.\n# TYPE wcmd_request_latency_ns_total counter\n")
-	for _, name := range names {
-		fmt.Fprintf(w, "wcmd_request_latency_ns_total{endpoint=%q} %d\n", name, m.endpoints[name].latencyNs.Load())
+
+	writeHistogramFamily(w, "wcmd_request_latency_seconds",
+		"Handler latency distribution, by endpoint.", "endpoint", m.epNames,
+		func(name string) obs.HistSnapshot { return m.endpoints[name].latency.Snapshot() })
+	fmt.Fprintf(w, "# HELP wcmd_request_latency_quantile_seconds Estimated handler latency quantiles, by endpoint.\n"+
+		"# TYPE wcmd_request_latency_quantile_seconds gauge\n")
+	for _, name := range m.epNames {
+		s := m.endpoints[name].latency.Snapshot()
+		for _, rq := range reportedQuantiles {
+			fmt.Fprintf(w, "wcmd_request_latency_quantile_seconds{endpoint=\"%s\",quantile=\"%s\"} %g\n",
+				escapeLabel(name), rq.label, s.Quantile(rq.q))
+		}
 	}
-	fmt.Fprintf(w, "# HELP wcmd_request_latency_ns_max Worst handler latency in nanoseconds, by endpoint.\n# TYPE wcmd_request_latency_ns_max gauge\n")
-	for _, name := range names {
-		fmt.Fprintf(w, "wcmd_request_latency_ns_max{endpoint=%q} %d\n", name, m.endpoints[name].maxNs.Load())
-	}
+
+	writeHistogramFamily(w, "wcmd_stage_latency_seconds",
+		"Hot-path stage latency distribution (decode/update/render, cache hit/miss).",
+		"stage", stageNames,
+		func(name string) obs.HistSnapshot { return m.stages[name].Snapshot() })
 }

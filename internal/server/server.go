@@ -20,8 +20,22 @@
 //	GET    /v1/streams/{id}/verdict   online-monitor verdict (Admits-style)
 //	GET    /v1/streams                list streams
 //	DELETE /v1/streams/{id}           drop a stream
-//	GET    /healthz                   liveness
+//	GET    /v1/stats                  JSON latency stats (p50/p95/p99 per endpoint)
+//	GET    /healthz                   liveness + build info + uptime
 //	GET    /metrics                   Prometheus text exposition
+//	GET    /debug/self                the service's own workload curves (-self-curves)
+//
+// Observability (see internal/obs): every instrumented request carries a
+// trace ID — the client's X-Request-Id when present, generated otherwise —
+// echoed on the response and attached to a request-scoped slog.Logger that
+// handlers reach via obs.LoggerFrom(r.Context()). Latency lands in
+// lock-free log-bucketed histograms per endpoint and per hot-path stage
+// (decode/update/render, cache hit/miss), exported as Prometheus
+// histograms with p50/p95/p99 estimates. Requests slower than
+// Config.SlowRequest are logged at Warn with their trace ID. With
+// Config.SelfCurves the server additionally feeds each request's measured
+// cost into a built-in CurveStream and serves its own γᵘ/γˡ — the paper's
+// workload characterization applied to the service itself — at /debug/self.
 //
 // Query responses (/curves, /check, /minfreq, /verdict) are memoized in a
 // per-stream version-keyed cache (see queryCache): each stream carries a
@@ -41,6 +55,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -49,6 +64,7 @@ import (
 
 	"wcm/internal/core"
 	"wcm/internal/curve"
+	"wcm/internal/obs"
 	"wcm/internal/stream"
 )
 
@@ -56,6 +72,7 @@ import (
 const (
 	DefaultShards       = 16
 	DefaultMaxBodyBytes = 1 << 20
+	DefaultSlowRequest  = 250 * time.Millisecond
 )
 
 // Config parameterizes a Server. The zero value picks service defaults.
@@ -70,6 +87,16 @@ type Config struct {
 	EnablePprof bool
 	// Stream configures streams auto-created on first ingest.
 	Stream stream.Config
+	// Logger receives the service's structured log lines. nil discards
+	// them (tests, benchmarks without -v).
+	Logger *slog.Logger
+	// SlowRequest is the latency above which a request is logged at Warn
+	// with its trace ID. 0 picks DefaultSlowRequest; negative disables
+	// slow-request logging.
+	SlowRequest time.Duration
+	// SelfCurves feeds each request's measured cost into a built-in
+	// CurveStream and serves the service's own γᵘ/γˡ at /debug/self.
+	SelfCurves bool
 }
 
 // Server is the wcmd HTTP service: a sharded registry of streams plus the
@@ -79,6 +106,16 @@ type Server struct {
 	shards  []*shard
 	mux     *http.ServeMux
 	metrics *metrics
+
+	logger *slog.Logger
+	slow   time.Duration // 0 = slow-request logging disabled
+	self   *obs.SelfStream
+	scopes sync.Pool // *reqScope
+
+	// Hot-path stage histograms, resolved once so handlers skip the
+	// stage-name map lookup per request.
+	stDecode, stUpdate, stRender *obs.Histogram
+	stCacheHit, stCacheMiss      *obs.Histogram
 }
 
 // entry pairs a stream with its version-keyed query cache.
@@ -114,13 +151,44 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		shards:  make([]*shard, cfg.Shards),
 		mux:     http.NewServeMux(),
-		metrics: newMetrics(),
+		metrics: newMetrics(endpointNames),
+		logger:  cfg.Logger,
 	}
+	if s.logger == nil {
+		s.logger = obs.Discard()
+	}
+	switch {
+	case cfg.SlowRequest == 0:
+		s.slow = DefaultSlowRequest
+	case cfg.SlowRequest > 0:
+		s.slow = cfg.SlowRequest
+	}
+	if cfg.SelfCurves {
+		self, err := obs.NewSelf(stream.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("server: self stream: %w", err)
+		}
+		s.self = self
+	}
+	s.scopes.New = func() any { return new(reqScope) }
+	s.stDecode = s.metrics.stage(stageDecode)
+	s.stUpdate = s.metrics.stage(stageUpdate)
+	s.stRender = s.metrics.stage(stageRender)
+	s.stCacheHit = s.metrics.stage(stageCacheHit)
+	s.stCacheMiss = s.metrics.stage(stageCacheMiss)
 	for i := range s.shards {
 		s.shards[i] = &shard{streams: make(map[string]*entry)}
 	}
 	s.routes()
 	return s, nil
+}
+
+// endpointNames lists every instrumented route, pre-registering its metrics
+// cell in newMetrics. Adding a route means adding its name here — endpoint()
+// panics at startup otherwise (see the invariant on metrics).
+var endpointNames = []string{
+	"ingest", "curves", "check", "minfreq", "contract", "verdict",
+	"list", "delete", "stats", "healthz", "metrics", "self",
 }
 
 func (s *Server) routes() {
@@ -132,10 +200,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/streams/{id}/verdict", s.instrument("verdict", s.handleVerdict))
 	s.mux.HandleFunc("GET /v1/streams", s.instrument("list", s.handleList))
 	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.instrument("delete", s.handleDelete))
-	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	}))
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /debug/self", s.instrument("self", s.handleSelf))
 	if s.cfg.EnablePprof {
 		// Mounted on the service mux (not http.DefaultServeMux) so only
 		// this handler serves them, and only when opted in.
@@ -389,6 +457,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	sc := scratchPool.Get().(*ingestScratch)
 	defer scratchPool.Put(sc)
 
+	// Stage spans: tDecoded and tUpdated mark the decode→update→render
+	// phase boundaries so /metrics separates wire-format cost from
+	// curve-maintenance cost from response rendering.
+	tStart := time.Now()
 	var ts, ds []int64
 	var err error
 	sc.body, err = readBody(r.Body, sc.body[:0])
@@ -404,6 +476,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			ts, ds = sc.req.T, sc.req.Demand
 		}
 	}
+	tDecoded := time.Now()
+	s.stDecode.Observe(tDecoded.Sub(tStart))
 	if err != nil {
 		writeDecodeError(w, err)
 		return
@@ -416,6 +490,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := e.st.Ingest(ts, ds)
+	tUpdated := time.Now()
+	s.stUpdate.Observe(tUpdated.Sub(tDecoded))
 	if err != nil {
 		if created {
 			s.dropIfEmpty(id, e)
@@ -434,12 +510,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			Violations: res.Violations,
 			Drift:      res.Drift,
 		})
+		s.stRender.Observe(time.Since(tUpdated))
 		return
 	}
 	sc.out = appendIngestResponse(sc.out[:0], res)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(sc.out) //nolint:errcheck // client gone; nothing to do
+	s.stRender.Observe(time.Since(tUpdated))
 }
 
 // unmarshalIngest strictly decodes a JSON ingest body from pre-read bytes
@@ -501,18 +579,31 @@ func snapshotFor(e *entry) (stream.Snapshot, error) {
 	return snap, nil
 }
 
+// observeCacheHit / observeCacheMiss close a cached-query stage span that
+// opened at start, alongside the hit/miss counters.
+func (s *Server) observeCacheHit(start time.Time) {
+	s.metrics.cacheHits.Add(1)
+	s.stCacheHit.Observe(time.Since(start))
+}
+
+func (s *Server) observeCacheMiss(start time.Time) {
+	s.metrics.cacheMisses.Add(1)
+	s.stCacheMiss.Observe(time.Since(start))
+}
+
 func (s *Server) handleCurves(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	e := s.get(r.PathValue("id"))
 	if e == nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{"unknown stream"})
 		return
 	}
 	if cs := e.cache.load(); cs != nil && cs.version == e.st.Version() && cs.curves != nil {
-		s.metrics.cacheHits.Add(1)
 		writeCached(w, cs.curves)
+		s.observeCacheHit(start)
 		return
 	}
-	s.metrics.cacheMisses.Add(1)
+	defer s.observeCacheMiss(start)
 	snap, err := snapshotFor(e)
 	if err != nil {
 		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
@@ -547,15 +638,16 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{"unknown stream"})
 		return
 	}
+	start := time.Now()
 	key := checkKey{freqHz: req.FreqHz, latencyNs: req.LatencyNs, buffer: req.Buffer}
 	if cs := e.cache.load(); cs != nil && cs.version == e.st.Version() {
 		if resp, ok := cs.check[key]; ok {
-			s.metrics.cacheHits.Add(1)
 			writeCached(w, resp)
+			s.observeCacheHit(start)
 			return
 		}
 	}
-	s.metrics.cacheMisses.Add(1)
+	defer s.observeCacheMiss(start)
 	snap, err := snapshotFor(e)
 	if err != nil {
 		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
@@ -587,14 +679,15 @@ func (s *Server) handleMinFreq(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{"unknown stream"})
 		return
 	}
+	start := time.Now()
 	if cs := e.cache.load(); cs != nil && cs.version == e.st.Version() {
 		if resp, ok := cs.minfreq[b]; ok {
-			s.metrics.cacheHits.Add(1)
 			writeCached(w, resp)
+			s.observeCacheHit(start)
 			return
 		}
 	}
-	s.metrics.cacheMisses.Add(1)
+	defer s.observeCacheMiss(start)
 	snap, err := snapshotFor(e)
 	if err != nil {
 		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
@@ -657,17 +750,18 @@ func (s *Server) handleContract(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleVerdict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	e := s.get(r.PathValue("id"))
 	if e == nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{"unknown stream"})
 		return
 	}
 	if cs := e.cache.load(); cs != nil && cs.version == e.st.Version() && cs.verdict != nil {
-		s.metrics.cacheHits.Add(1)
 		writeCached(w, cs.verdict)
+		s.observeCacheHit(start)
 		return
 	}
-	s.metrics.cacheMisses.Add(1)
+	defer s.observeCacheMiss(start)
 	stats := e.st.Stats()
 	resp := renderJSON(http.StatusOK, verdictResponse{
 		Version:        stats.Version,
@@ -720,6 +814,142 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// ---- observability endpoints ------------------------------------------------
+
+type healthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Version       string  `json:"version"`
+	Revision      string  `json:"revision"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	b := s.metrics.build
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		GoVersion:     b.goVersion,
+		Version:       b.version,
+		Revision:      b.revision,
+	})
+}
+
+// latencyStatsJSON summarizes one histogram for /v1/stats. Requests/Errors
+// are zero for stage rows (stages count spans, not requests).
+type latencyStatsJSON struct {
+	Count       uint64  `json:"count"`
+	Errors      uint64  `json:"errors,omitempty"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P95Seconds  float64 `json:"p95_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+}
+
+func latencyStatsFrom(snap obs.HistSnapshot, errors uint64) latencyStatsJSON {
+	out := latencyStatsJSON{
+		Count:      snap.Count,
+		Errors:     errors,
+		P50Seconds: snap.Quantile(0.50),
+		P95Seconds: snap.Quantile(0.95),
+		P99Seconds: snap.Quantile(0.99),
+	}
+	if snap.Count > 0 {
+		out.MeanSeconds = snap.SumSeconds() / float64(snap.Count)
+	}
+	return out
+}
+
+type statsResponse struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Endpoints     map[string]latencyStatsJSON `json:"endpoints"`
+	Stages        map[string]latencyStatsJSON `json:"stages"`
+}
+
+// handleStats serves the histogram summaries as JSON — the same data the
+// Prometheus exposition carries, for humans with curl and no scraper.
+// Endpoints and stages that have seen no traffic are omitted.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		Endpoints:     make(map[string]latencyStatsJSON),
+		Stages:        make(map[string]latencyStatsJSON),
+	}
+	for _, name := range s.metrics.epNames {
+		ep := s.metrics.endpoints[name]
+		if ep.requests.Load() == 0 {
+			continue
+		}
+		resp.Endpoints[name] = latencyStatsFrom(ep.latency.Snapshot(), ep.errors.Load())
+	}
+	for _, name := range stageNames {
+		h := s.metrics.stages[name]
+		if h.Count() == 0 {
+			continue
+		}
+		resp.Stages[name] = latencyStatsFrom(h.Snapshot(), 0)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// selfResponse is the service's own workload characterization: the curves
+// of paper Definition 1 extracted from the per-request handler costs.
+// Demand units are µs of handler time, so gamma_hz ≈ 1e6 corresponds to one
+// fully-busy worker; saving is the eq. (9) vs eq. (10) frequency ratio.
+type selfResponse struct {
+	Observed uint64  `json:"observed"` // requests fed into the self stream
+	Total    int64   `json:"total"`
+	InWindow int     `json:"in_window"`
+	UpperUs  []int64 `json:"upper_us"` // γᵘ(k), µs, index = k
+	LowerUs  []int64 `json:"lower_us"` // γˡ(k), µs, index = k
+	GammaHz  float64 `json:"gamma_hz"` // eq. (9) minimum frequency
+	WCETHz   float64 `json:"wcet_hz"`  // eq. (10) WCET-based bound
+	Saving   float64 `json:"saving"`
+	Buffer   int     `json:"buffer"`
+}
+
+// handleSelf serves the self-characterization stream: the server applies
+// the paper's workload model to its own request costs. 404 unless the
+// server was built with Config.SelfCurves; 409 until a request has been
+// observed. Accepts ?b=N like /minfreq (default 1).
+func (s *Server) handleSelf(w http.ResponseWriter, r *http.Request) {
+	if s.self == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{"self-characterization disabled; start with -self-curves"})
+		return
+	}
+	b := 1
+	if q := r.URL.Query().Get("b"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"b must be a non-negative integer"})
+			return
+		}
+		b = v
+	}
+	snap, err := s.self.Stream().Snapshot()
+	if err != nil {
+		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
+		return
+	}
+	resp := selfResponse{
+		Observed: s.self.Observed(),
+		Total:    snap.Total,
+		InWindow: snap.InWindow,
+		UpperUs:  snap.Workload.Upper.Values(),
+		LowerUs:  snap.Workload.Lower.Values(),
+		Buffer:   b,
+	}
+	// A min-frequency failure (degenerate window) still leaves the curves
+	// worth serving; the frequency fields just stay zero.
+	if cmp, err := snap.MinFrequency(b); err == nil {
+		resp.GammaHz = cmp.Gamma.Hz
+		resp.WCETHz = cmp.WCET.Hz
+		resp.Saving = cmp.Saving
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // ---- plumbing --------------------------------------------------------------
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -752,21 +982,73 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the body-size limit and per-endpoint
-// request/error/latency accounting. When the declared Content-Length
-// already fits the limit the MaxBytesReader wrapper is skipped — net/http
-// bounds body reads by the declared length, so the limit cannot be exceeded
-// and the per-request wrapper allocation is pure overhead.
+// reqScope bundles every per-request observability cell — status recorder,
+// obs.Request scope and its context carrier — so instrument recycles all of
+// them through one pool Get/Put. Handlers must not retain w or r.Context()
+// past their return (none do; the contract is stated on obs.Request too).
+type reqScope struct {
+	rec statusRecorder
+	req obs.Request
+	ctx obs.RequestContext
+}
+
+// maxTraceIDLen bounds accepted client X-Request-Id values; longer ones are
+// replaced so a hostile client can't bloat every log line.
+const maxTraceIDLen = 64
+
+// instrument wraps a handler with the body-size limit and the per-request
+// observability envelope: trace-ID propagation (client X-Request-Id kept,
+// otherwise generated; always echoed on the response), a request-scoped
+// logger reachable via obs.LoggerFrom(r.Context()), per-endpoint
+// request/error/latency accounting, self-characterization feed, and
+// slow-request logging. When the declared Content-Length already fits the
+// limit the MaxBytesReader wrapper is skipped — net/http bounds body reads
+// by the declared length, so the limit cannot be exceeded and the
+// per-request wrapper allocation is pure overhead.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	ep := s.metrics.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Body != nil && (r.ContentLength < 0 || r.ContentLength > s.cfg.MaxBodyBytes) {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		id := r.Header.Get("X-Request-Id")
+		if id == "" || len(id) > maxTraceIDLen {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set("X-Request-Id", id)
+
+		sc := s.scopes.Get().(*reqScope)
+		sc.rec.ResponseWriter, sc.rec.status = w, http.StatusOK
+		sc.req.Reset(id, name, s.logger)
+		sc.ctx.Reset(r.Context(), &sc.req)
+		r = r.WithContext(&sc.ctx)
+
 		start := time.Now()
-		h(rec, r)
-		ep.observe(time.Since(start), rec.status)
+		h(&sc.rec, r)
+		d := time.Since(start)
+
+		status := sc.rec.status
+		ep.observe(d, status)
+		if s.self != nil {
+			s.self.Observe(d)
+		}
+		switch {
+		case s.slow > 0 && d >= s.slow:
+			sc.req.Logger().LogAttrs(r.Context(), slog.LevelWarn, "slow request",
+				slog.String("method", r.Method), slog.String("path", r.URL.Path),
+				slog.Int("status", status), obs.DurationSeconds(d))
+		case s.logger.Enabled(r.Context(), slog.LevelDebug):
+			// Access log at Debug — the Enabled check keeps the hot path
+			// free of the logger derivation unless someone is listening.
+			sc.req.Logger().LogAttrs(r.Context(), slog.LevelDebug, "request",
+				slog.String("method", r.Method), slog.String("path", r.URL.Path),
+				slog.Int("status", status), obs.DurationSeconds(d))
+		}
+
+		sc.rec.ResponseWriter = nil
+		sc.req.Reset("", "", nil)
+		sc.ctx.Reset(nil, nil)
+		s.scopes.Put(sc)
 	}
 }
 

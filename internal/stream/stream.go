@@ -102,7 +102,8 @@ type Stream struct {
 
 	// Scratch buffers so ingest and re-extraction allocate nothing in
 	// steady state.
-	scratchPre  []int64 // per-chunk prefix sums fed to pre.PushBatch
+	obsT, obsD  [1]int64 // Observe's single-sample batch
+	scratchPre  []int64  // per-chunk prefix sums fed to pre.PushBatch
 	scratchData []int64
 	scratchUp   []int64
 	scratchLo   []int64
@@ -178,10 +179,40 @@ func (s *Stream) Ingest(ts, demands []int64) (IngestResult, error) {
 				ErrBadBatch, demands[i], i)
 		}
 	}
+	return s.ingestLocked(ts, demands)
+}
 
+// Observe ingests a single sample with a caller-supplied clock reading,
+// clamping a timestamp that lags the newest one already ingested forward
+// to it instead of rejecting the batch. It exists for INTERNAL
+// self-observation streams (internal/obs feeding the service's own
+// request costs back into the model): concurrent request completions race
+// to the stream lock, so their wall-clock timestamps arrive slightly out
+// of order even though each reading was taken honestly. Clamping keeps
+// the span tables well-defined (a reordered pair collapses to a
+// simultaneous one) without the all-or-nothing validation external
+// ingest needs. Demand must still be non-negative. Allocation-free in
+// steady state.
+func (s *Stream) Observe(t, demand int64) (IngestResult, error) {
+	if demand < 0 {
+		return IngestResult{}, fmt.Errorf("%w: negative demand %d", ErrBadBatch, demand)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t < s.lastT {
+		t = s.lastT
+	}
+	s.obsT[0], s.obsD[0] = t, demand
+	return s.ingestLocked(s.obsT[:], s.obsD[:])
+}
+
+// ingestLocked applies a pre-validated batch: timestamps non-decreasing
+// and ≥ lastT, demands non-negative, len(ts) == len(demands) ≥ 1.
+func (s *Stream) ingestLocked(ts, demands []int64) (IngestResult, error) {
 	// Validation passed, so state WILL change. The deferred bump runs
-	// before the unlock above (LIFO), so it also covers error exits below:
-	// even a partially applied batch invalidates version-keyed caches.
+	// before the caller's unlock (LIFO), so it also covers error exits
+	// below: even a partially applied batch invalidates version-keyed
+	// caches.
 	defer s.version.Add(1)
 
 	res := IngestResult{Accepted: len(ts)}

@@ -409,3 +409,108 @@ func TestDemandTraceReturnsWindow(t *testing.T) {
 		}
 	}
 }
+
+// TestObserveClampsAndMatchesIngest pins the single-sample Observe hook:
+// a sequence of observations with out-of-order timestamps must produce
+// exactly the state Ingest would produce for the clamped (sorted-forward)
+// sequence, negative demand is rejected without a state change, and the
+// version bumps once per accepted observation.
+func TestObserveClampsAndMatchesIngest(t *testing.T) {
+	cfg := Config{Window: 16, MaxK: 8}
+	obs, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts := []int64{10, 30, 20, 25, 40, 40, 35}      // 20, 25, 35 lag and must clamp
+	clamped := []int64{10, 30, 30, 30, 40, 40, 40} // what Ingest should see
+	ds := []int64{5, 7, 6, 9, 5, 8, 7}
+	for i := range ts {
+		v0 := obs.Version()
+		res, err := obs.Observe(ts[i], ds[i])
+		if err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+		if res.Accepted != 1 || res.Total != int64(i+1) {
+			t.Fatalf("observe %d: %+v", i, res)
+		}
+		if obs.Version() != v0+1 {
+			t.Fatalf("observe %d: version %d → %d", i, v0, obs.Version())
+		}
+	}
+	if _, err := ref.Ingest(clamped, ds); err != nil {
+		t.Fatal(err)
+	}
+
+	so, err := obs.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := ref.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gu := so.Workload.Upper.Values()
+	wu := sr.Workload.Upper.Values()
+	for k := range wu {
+		if gu[k] != wu[k] {
+			t.Fatalf("γᵘ(%d): observe %d, ingest %d", k, gu[k], wu[k])
+		}
+	}
+	for k := 2; k <= so.Spans.MaxK(); k++ {
+		a, _ := so.Spans.At(k)
+		b, _ := sr.Spans.At(k)
+		if a != b {
+			t.Fatalf("d(%d): observe %d, ingest %d", k, a, b)
+		}
+	}
+
+	v0 := obs.Version()
+	if _, err := obs.Observe(100, -1); !errors.Is(err, ErrBadBatch) {
+		t.Fatalf("negative demand: %v", err)
+	}
+	if obs.Version() != v0 {
+		t.Fatal("rejected observation bumped the version")
+	}
+	if obs.Stats().Total != int64(len(ts)) {
+		t.Fatal("rejected observation changed state")
+	}
+
+	// An early timestamp after a rejection still clamps, not errors.
+	if _, err := obs.Observe(0, 3); err != nil {
+		t.Fatalf("clamped late observation: %v", err)
+	}
+	if got := obs.Stats().LastTimestamp; got != 40 {
+		t.Fatalf("lastT = %d, want clamped 40", got)
+	}
+}
+
+// TestObserveSteadyStateAllocs pins the Observe hot path at zero
+// allocations once scratch capacity is warm — it runs on every completed
+// request of the wcmd service.
+func TestObserveSteadyStateAllocs(t *testing.T) {
+	s, err := New(Config{Window: 64, MaxK: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tick int64
+	for i := 0; i < 200; i++ { // warm: fill window, cross one anchor
+		tick += 3
+		if _, err := s.Observe(tick, int64(i%11)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(300, func() {
+		tick += 3
+		if _, err := s.Observe(tick, 7); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Observe allocates %.2f/op, want 0", avg)
+	}
+}
