@@ -198,12 +198,60 @@ func (b *ingestBench) op(binary bool) {
 	} else {
 		b.encodeJSON()
 	}
-	b.body.Reset(b.buf)
-	b.req.ContentLength = int64(len(b.buf))
-	b.rw.status = 0
-	b.h.ServeHTTP(&b.rw, b.req)
-	if b.rw.status != http.StatusOK {
-		panic(fmt.Sprintf("ingest returned %d", b.rw.status))
+	serveWithRetry(b.h, &b.rw, b.req, func() {
+		b.body.Reset(b.buf)
+		b.req.ContentLength = int64(len(b.buf))
+	})
+}
+
+// Retry policy for transient overload answers from the server's load
+// shedder. The in-process benches drive handlers serially, so with any
+// limiter ≥ 1 they never actually shed — the policy exists so a future
+// bench shape with client-side concurrency degrades into backoff instead
+// of a flaky panic.
+const (
+	maxRetryAttempts = 8
+	backoffBase      = time.Millisecond
+	backoffCap       = 50 * time.Millisecond
+)
+
+// retryableStatus reports whether an HTTP status is a transient overload
+// answer worth retrying (429 shed, 503 busy).
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// backoffDelay returns the capped exponential backoff before retry
+// attempt (0-based): base doubling per attempt, capped.
+func backoffDelay(attempt int) time.Duration {
+	if attempt > 20 { // avoid shift overflow long past the cap
+		return backoffCap
+	}
+	d := backoffBase << uint(attempt)
+	if d > backoffCap {
+		d = backoffCap
+	}
+	return d
+}
+
+// serveWithRetry drives one request through h, retrying transient
+// overload answers with capped exponential backoff. reset rewinds the
+// request body before each attempt. Any other non-200 status — or
+// exhausting the retries — panics: the bench cannot measure a failing
+// path.
+func serveWithRetry(h http.Handler, rw *nullRW, req *http.Request, reset func()) {
+	for attempt := 0; ; attempt++ {
+		reset()
+		rw.status = 0
+		h.ServeHTTP(rw, req)
+		if rw.status == http.StatusOK {
+			return
+		}
+		if !retryableStatus(rw.status) || attempt+1 >= maxRetryAttempts {
+			panic(fmt.Sprintf("%s %s returned %d (attempt %d)",
+				req.Method, req.URL.Path, rw.status, attempt+1))
+		}
+		time.Sleep(backoffDelay(attempt))
 	}
 }
 
@@ -411,13 +459,10 @@ func run(opts options) (*Report, error) {
 		var qrw nullRW
 		qrw.h = make(http.Header)
 		cached := measure("query_check_cached", minTime, func() {
-			qbody.Reset(checkBody)
-			qreq.ContentLength = int64(len(checkBody))
-			qrw.status = 0
-			srv.Handler().ServeHTTP(&qrw, qreq)
-			if qrw.status != http.StatusOK {
-				panic(fmt.Sprintf("cached check returned %d", qrw.status))
-			}
+			serveWithRetry(srv.Handler(), &qrw, qreq, func() {
+				qbody.Reset(checkBody)
+				qreq.ContentLength = int64(len(checkBody))
+			})
 		})
 		add(cached)
 		qstream := newStream()

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelay(t *testing.T) {
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, time.Millisecond},
+		{1, 2 * time.Millisecond},
+		{4, 16 * time.Millisecond},
+		{6, backoffCap}, // 64ms exceeds the cap
+		{40, backoffCap},
+	}
+	for _, tc := range cases {
+		if got := backoffDelay(tc.attempt); got != tc.want {
+			t.Fatalf("backoffDelay(%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+}
+
+func TestRetryableStatus(t *testing.T) {
+	for code, want := range map[int]bool{
+		http.StatusTooManyRequests:     true,
+		http.StatusServiceUnavailable:  true,
+		http.StatusOK:                  false,
+		http.StatusBadRequest:          false,
+		http.StatusInternalServerError: false,
+	} {
+		if got := retryableStatus(code); got != want {
+			t.Fatalf("retryableStatus(%d) = %v, want %v", code, got, want)
+		}
+	}
+}
+
+// TestServeWithRetry checks the three outcomes: success after transient
+// sheds, panic on a non-retryable status, panic when retries run dry.
+func TestServeWithRetry(t *testing.T) {
+	newReq := func() *http.Request {
+		req, err := http.NewRequest("POST", "/x", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return req
+	}
+	mustPanic := func(t *testing.T, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		fn()
+	}
+
+	t.Run("recovers from transient sheds", func(t *testing.T) {
+		hits, resets := 0, 0
+		h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits++
+			if hits <= 2 {
+				w.WriteHeader(http.StatusTooManyRequests)
+				return
+			}
+			w.WriteHeader(http.StatusOK)
+		})
+		rw := nullRW{h: make(http.Header)}
+		serveWithRetry(h, &rw, newReq(), func() { resets++ })
+		if hits != 3 || resets != 3 {
+			t.Fatalf("hits=%d resets=%d, want 3/3", hits, resets)
+		}
+		if rw.status != http.StatusOK {
+			t.Fatalf("final status %d", rw.status)
+		}
+	})
+
+	t.Run("panics on non-retryable status", func(t *testing.T) {
+		hits := 0
+		h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits++
+			w.WriteHeader(http.StatusBadRequest)
+		})
+		rw := nullRW{h: make(http.Header)}
+		mustPanic(t, func() { serveWithRetry(h, &rw, newReq(), func() {}) })
+		if hits != 1 {
+			t.Fatalf("400 retried %d times", hits)
+		}
+	})
+
+	t.Run("panics when retries run dry", func(t *testing.T) {
+		hits := 0
+		h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits++
+			w.WriteHeader(http.StatusServiceUnavailable)
+		})
+		rw := nullRW{h: make(http.Header)}
+		mustPanic(t, func() { serveWithRetry(h, &rw, newReq(), func() {}) })
+		if hits != maxRetryAttempts {
+			t.Fatalf("503 tried %d times, want %d", hits, maxRetryAttempts)
+		}
+	})
+}

@@ -1,0 +1,23 @@
+//go:build faultinject
+
+package main
+
+import (
+	"flag"
+
+	"wcm/internal/server"
+)
+
+// addFaultFlag registers -inject-fault (faultinject builds only — see
+// fault_prod.go for the production stub). The spec is a comma-separated
+// list of kind:point[:duration] faults, e.g.
+//
+//	wcmd -inject-fault panic:handler:curves
+//	wcmd -inject-fault lockhold:ingest:update:500ms,sleep:handler:check:2s
+//
+// and is parsed by server.ParseFaults after flag parsing.
+func addFaultFlag(fs *flag.FlagSet) func() ([]server.Fault, error) {
+	spec := fs.String("inject-fault", "",
+		"inject faults at named points, comma-separated kind:point[:duration] (resilience testing only)")
+	return func() ([]server.Fault, error) { return server.ParseFaults(*spec) }
+}

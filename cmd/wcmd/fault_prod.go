@@ -1,0 +1,16 @@
+//go:build !faultinject
+
+package main
+
+import (
+	"flag"
+
+	"wcm/internal/server"
+)
+
+// addFaultFlag is a no-op in production builds: the -inject-fault flag
+// exists only when the binary is compiled with -tags faultinject, so a
+// deployed wcmd cannot be talked into sabotaging itself.
+func addFaultFlag(*flag.FlagSet) func() ([]server.Fault, error) {
+	return func() ([]server.Fault, error) { return nil, nil }
+}

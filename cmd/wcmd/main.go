@@ -13,6 +13,15 @@
 // its own per-request cost into a built-in curve stream and serves its own
 // workload characterization at /debug/self.
 //
+// The serving path is hardened against hostile traffic: connection-level
+// timeouts (-read-timeout, -write-timeout, -idle-timeout) cut slow-loris
+// clients, -request-timeout bounds each handler (contended reads past it
+// serve the last cached snapshot marked "degraded":true), and per-class
+// in-flight caps (-max-inflight-ingest, -max-inflight-read) shed overload
+// with 429 + Retry-After instead of collapsing. Handler panics answer 500
+// and are counted in wcmd_panics_total. Builds with the faultinject tag
+// additionally expose -inject-fault for resilience smoke tests.
+//
 // The process drains in-flight requests and exits cleanly on SIGINT/SIGTERM.
 package main
 
@@ -35,8 +44,28 @@ import (
 	"wcm/internal/stream"
 )
 
+// Transport-level defaults. ReadTimeout covers the whole request read
+// including the body — the slow-loris bound — while the shorter header
+// timeout cuts clients that never even finish their request line.
+const (
+	defaultReadHeaderTimeout = 10 * time.Second
+	defaultReadTimeout       = 30 * time.Second
+	defaultWriteTimeout      = 30 * time.Second
+	defaultIdleTimeout       = 2 * time.Minute
+	defaultRequestTimeout    = 10 * time.Second
+)
+
+// serveOpts carries the transport-level settings that belong to the
+// http.Server rather than the handler (which server.Config parameterizes).
+type serveOpts struct {
+	addr         string
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	idleTimeout  time.Duration
+}
+
 func main() {
-	cfg, addr, err := parseFlags(os.Args[1:])
+	cfg, opts, err := parseFlags(os.Args[1:])
 	if err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			os.Exit(0)
@@ -46,12 +75,12 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, cfg, addr, nil); err != nil {
+	if err := run(ctx, cfg, opts, nil); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func parseFlags(args []string) (server.Config, string, error) {
+func parseFlags(args []string) (server.Config, serveOpts, error) {
 	fs := flag.NewFlagSet("wcmd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	shards := fs.Int("shards", server.DefaultShards, "stream registry shards")
@@ -66,18 +95,35 @@ func parseFlags(args []string) (server.Config, string, error) {
 		"log requests slower than this at Warn (negative disables)")
 	selfCurves := fs.Bool("self-curves", false,
 		"characterize the server's own request costs and serve them at /debug/self")
+	readTimeout := fs.Duration("read-timeout", defaultReadTimeout,
+		"max duration for reading an entire request including the body (0 disables)")
+	writeTimeout := fs.Duration("write-timeout", defaultWriteTimeout,
+		"max duration for writing a response (0 disables)")
+	idleTimeout := fs.Duration("idle-timeout", defaultIdleTimeout,
+		"max keep-alive idle time between requests (0 disables)")
+	requestTimeout := fs.Duration("request-timeout", defaultRequestTimeout,
+		"per-request handler deadline; contended reads past it serve a degraded cached answer (0 disables)")
+	maxInflightIngest := fs.Int("max-inflight-ingest", server.DefaultMaxInflightIngest,
+		"max concurrently executing mutating requests before shedding with 429 (negative disables)")
+	maxInflightRead := fs.Int("max-inflight-read", server.DefaultMaxInflightRead,
+		"max concurrently executing read requests before degrading/shedding (negative disables)")
+	getFaults := addFaultFlag(fs)
 	if err := fs.Parse(args); err != nil {
-		return server.Config{}, "", err
+		return server.Config{}, serveOpts{}, err
 	}
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
-		return server.Config{}, "", err
+		return server.Config{}, serveOpts{}, err
 	}
 	logger, err := obs.NewLogger(*logFormat, level, os.Stderr)
 	if err != nil {
-		return server.Config{}, "", err
+		return server.Config{}, serveOpts{}, err
 	}
-	return server.Config{
+	faults, err := getFaults()
+	if err != nil {
+		return server.Config{}, serveOpts{}, err
+	}
+	cfg := server.Config{
 		Shards:       *shards,
 		MaxBodyBytes: *maxBody,
 		EnablePprof:  *pprof,
@@ -86,21 +132,32 @@ func parseFlags(args []string) (server.Config, string, error) {
 			MaxK:           *maxK,
 			ReextractEvery: *reextract,
 		},
-		Logger:      logger,
-		SlowRequest: *slowReq,
-		SelfCurves:  *selfCurves,
-	}, *addr, nil
+		Logger:            logger,
+		SlowRequest:       *slowReq,
+		SelfCurves:        *selfCurves,
+		RequestTimeout:    *requestTimeout,
+		MaxInflightIngest: *maxInflightIngest,
+		MaxInflightRead:   *maxInflightRead,
+		Faults:            faults,
+	}
+	opts := serveOpts{
+		addr:         *addr,
+		readTimeout:  *readTimeout,
+		writeTimeout: *writeTimeout,
+		idleTimeout:  *idleTimeout,
+	}
+	return cfg, opts, nil
 }
 
-// run binds addr, serves until ctx is cancelled, then shuts down gracefully.
-// If ready is non-nil it receives the bound address once the listener is up
-// (so tests can use ":0").
-func run(ctx context.Context, cfg server.Config, addr string, ready chan<- net.Addr) error {
+// run binds opts.addr, serves until ctx is cancelled, then shuts down
+// gracefully. If ready is non-nil it receives the bound address once the
+// listener is up (so tests can use ":0").
+func run(ctx context.Context, cfg server.Config, opts serveOpts, ready chan<- net.Addr) error {
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
 	}
@@ -113,12 +170,22 @@ func run(ctx context.Context, cfg server.Config, addr string, ready chan<- net.A
 		slog.Int("shards", cfg.Shards),
 		slog.Int("window", cfg.Stream.Window),
 		slog.Int("maxk", cfg.Stream.MaxK),
-		slog.Bool("self_curves", cfg.SelfCurves))
+		slog.Bool("self_curves", cfg.SelfCurves),
+		obs.DurationSeconds(opts.readTimeout))
 	if ready != nil {
 		ready <- ln.Addr()
 	}
 
-	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	// Full transport timeouts, not just the header bound: without
+	// ReadTimeout a client that dribbles its body one byte a minute holds
+	// a connection and its goroutine forever.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: defaultReadHeaderTimeout,
+		ReadTimeout:       opts.readTimeout,
+		WriteTimeout:      opts.writeTimeout,
+		IdleTimeout:       opts.idleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 

@@ -16,15 +16,15 @@ import (
 )
 
 func TestParseFlags(t *testing.T) {
-	cfg, addr, err := parseFlags([]string{
+	cfg, opts, err := parseFlags([]string{
 		"-addr", "127.0.0.1:9999", "-shards", "4", "-window", "64",
 		"-maxk", "8", "-reextract", "-1", "-max-body", "4096", "-pprof",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if addr != "127.0.0.1:9999" || cfg.Shards != 4 || cfg.MaxBodyBytes != 4096 {
-		t.Fatalf("cfg = %+v, addr = %q", cfg, addr)
+	if opts.addr != "127.0.0.1:9999" || cfg.Shards != 4 || cfg.MaxBodyBytes != 4096 {
+		t.Fatalf("cfg = %+v, opts = %+v", cfg, opts)
 	}
 	if cfg.Stream.Window != 64 || cfg.Stream.MaxK != 8 || cfg.Stream.ReextractEvery != -1 {
 		t.Fatalf("stream cfg = %+v", cfg.Stream)
@@ -32,7 +32,7 @@ func TestParseFlags(t *testing.T) {
 	if !cfg.EnablePprof {
 		t.Fatal("-pprof did not set EnablePprof")
 	}
-	cfg, _, err = parseFlags(nil)
+	cfg, opts, err = parseFlags(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,8 +48,42 @@ func TestParseFlags(t *testing.T) {
 	if cfg.SlowRequest != server.DefaultSlowRequest {
 		t.Fatalf("slow request default = %v", cfg.SlowRequest)
 	}
+	if opts.readTimeout != defaultReadTimeout || opts.writeTimeout != defaultWriteTimeout ||
+		opts.idleTimeout != defaultIdleTimeout {
+		t.Fatalf("transport timeout defaults = %+v", opts)
+	}
+	if cfg.RequestTimeout != defaultRequestTimeout {
+		t.Fatalf("request timeout default = %v", cfg.RequestTimeout)
+	}
+	if cfg.MaxInflightIngest != server.DefaultMaxInflightIngest ||
+		cfg.MaxInflightRead != server.DefaultMaxInflightRead {
+		t.Fatalf("in-flight defaults = %d/%d", cfg.MaxInflightIngest, cfg.MaxInflightRead)
+	}
+	if cfg.Faults != nil {
+		t.Fatalf("faults configured by default: %v", cfg.Faults)
+	}
 	if _, _, err := parseFlags([]string{"-window", "notanumber"}); err == nil {
 		t.Fatal("bad flag value accepted")
+	}
+}
+
+func TestParseFlagsResilience(t *testing.T) {
+	cfg, opts, err := parseFlags([]string{
+		"-read-timeout", "5s", "-write-timeout", "6s", "-idle-timeout", "7s",
+		"-request-timeout", "250ms", "-max-inflight-ingest", "2", "-max-inflight-read", "-1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.readTimeout != 5*time.Second || opts.writeTimeout != 6*time.Second ||
+		opts.idleTimeout != 7*time.Second {
+		t.Fatalf("opts = %+v", opts)
+	}
+	if cfg.RequestTimeout != 250*time.Millisecond {
+		t.Fatalf("RequestTimeout = %v", cfg.RequestTimeout)
+	}
+	if cfg.MaxInflightIngest != 2 || cfg.MaxInflightRead != -1 {
+		t.Fatalf("in-flight caps = %d/%d", cfg.MaxInflightIngest, cfg.MaxInflightRead)
 	}
 }
 
@@ -75,26 +109,42 @@ func TestParseFlagsObservability(t *testing.T) {
 	}
 }
 
+// startRun boots run() on an ephemeral port and returns the base URL, the
+// bound address and a cancel-and-wait shutdown func.
+func startRun(t *testing.T, cfg server.Config, opts serveOpts) (string, net.Addr, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	opts.addr = "127.0.0.1:0"
+	go func() { done <- run(ctx, cfg, opts, ready) }()
+	select {
+	case a := <-ready:
+		return "http://" + a.String(), a, func() error {
+			cancel()
+			select {
+			case err := <-done:
+				return err
+			case <-time.After(5 * time.Second):
+				return fmt.Errorf("shutdown hung")
+			}
+		}
+	case err := <-done:
+		cancel()
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		cancel()
+		t.Fatal("server never became ready")
+	}
+	panic("unreachable")
+}
+
 // TestRunServesAndShutsDown boots the real server on an ephemeral port,
 // exercises a healthz → ingest → minfreq round trip over TCP, and verifies
 // the graceful-shutdown path.
 func TestRunServesAndShutsDown(t *testing.T) {
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	ready := make(chan net.Addr, 1)
-	done := make(chan error, 1)
 	cfg := server.Config{Stream: stream.Config{Window: 64, MaxK: 16}}
-	go func() { done <- run(ctx, cfg, "127.0.0.1:0", ready) }()
-
-	var base string
-	select {
-	case a := <-ready:
-		base = "http://" + a.String()
-	case err := <-done:
-		t.Fatalf("server exited early: %v", err)
-	case <-time.After(5 * time.Second):
-		t.Fatal("server never became ready")
-	}
+	base, _, shutdown := startRun(t, cfg, serveOpts{})
 
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
@@ -131,19 +181,61 @@ func TestRunServesAndShutsDown(t *testing.T) {
 		t.Fatalf("minfreq: status %d, %+v", resp.StatusCode, mf)
 	}
 
-	cancel()
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("run returned %v", err)
+	if err := shutdown(); err != nil {
+		t.Fatalf("run returned %v", err)
+	}
+}
+
+// TestSlowClientDisconnected is the regression test for the slow-loris
+// hole: before ReadTimeout was set on the http.Server, a client that sent
+// its headers promptly and then dribbled the body could hold a connection
+// (and its handler goroutine) forever — ReadHeaderTimeout alone never
+// fires once the headers are in. With -read-timeout the server must cut
+// the connection.
+func TestSlowClientDisconnected(t *testing.T) {
+	cfg := server.Config{Stream: stream.Config{Window: 64, MaxK: 16}}
+	base, addr, shutdown := startRun(t, cfg, serveOpts{readTimeout: 300 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Headers complete, body promised but never delivered.
+	_, err = fmt.Fprintf(conn, "POST /v1/streams/sl/ingest HTTP/1.1\r\n"+
+		"Host: wcmd\r\nContent-Type: application/json\r\nContent-Length: 1000\r\n\r\n{")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	buf := make([]byte, 4096)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break // server cut the connection (or sent 408 and closed)
 		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("shutdown hung")
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("slow-loris connection survived %v, want cut around the 300ms read timeout", waited)
+	}
+
+	// The stalled connection consumed nothing durable: normal service.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after slow client: %d", resp.StatusCode)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("run returned %v", err)
 	}
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	err := run(context.Background(), server.Config{Shards: -1}, "127.0.0.1:0", nil)
+	err := run(context.Background(), server.Config{Shards: -1}, serveOpts{addr: "127.0.0.1:0"}, nil)
 	if err == nil {
 		t.Fatal("bad config accepted")
 	}

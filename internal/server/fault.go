@@ -1,0 +1,120 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Fault is one injected failure, used by the resilience test suite and —
+// behind the faultinject build tag — by the wcmd -inject-fault flag. The
+// server checks fault points only when Config.Faults is non-empty, so the
+// production request path pays a single nil check.
+//
+// Points:
+//
+//	handler:<endpoint>  fires inside the instrumented handler, before the
+//	                    endpoint logic runs (every endpoint name in
+//	                    endpointNames is valid)
+//	ingest:update       fires in the ingest handler after decode, just
+//	                    before the stream update
+//
+// Kinds:
+//
+//	panic     panic at the point (exercises the recovery middleware)
+//	sleep     block the request for Dur (slow handler / deadline overrun)
+//	lockhold  hold the target stream's lock for Dur before proceeding
+//	          (real lock contention: concurrent reads of the same stream
+//	          see ErrBusy and degrade); at points without a stream it
+//	          behaves like sleep
+type Fault struct {
+	Point string
+	Kind  string
+	Dur   time.Duration
+}
+
+// Fault kinds.
+const (
+	FaultPanic    = "panic"
+	FaultSleep    = "sleep"
+	FaultLockHold = "lockhold"
+)
+
+// ParseFaults parses a comma-separated fault list of the form
+// kind:point[:duration], e.g. "panic:handler:curves,lockhold:ingest:update:200ms".
+// The point itself may contain a colon (handler:curves), so the duration
+// is recognized as a trailing segment that parses as a time.Duration.
+func ParseFaults(spec string) ([]Fault, error) {
+	var out []Fault
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		segs := strings.Split(part, ":")
+		if len(segs) < 2 {
+			return nil, fmt.Errorf("server: fault %q: want kind:point[:duration]", part)
+		}
+		f := Fault{Kind: segs[0]}
+		rest := segs[1:]
+		if len(rest) > 1 {
+			if d, err := time.ParseDuration(rest[len(rest)-1]); err == nil {
+				f.Dur = d
+				rest = rest[:len(rest)-1]
+			}
+		}
+		f.Point = strings.Join(rest, ":")
+		switch f.Kind {
+		case FaultPanic:
+		case FaultSleep, FaultLockHold:
+			if f.Dur <= 0 {
+				return nil, fmt.Errorf("server: fault %q: kind %q needs a positive duration", part, f.Kind)
+			}
+		default:
+			return nil, fmt.Errorf("server: fault %q: unknown kind %q", part, f.Kind)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// buildFaults indexes the configured faults by point. Returns nil when
+// none are configured, keeping the request-path check a nil comparison.
+func buildFaults(fs []Fault) (map[string]Fault, error) {
+	if len(fs) == 0 {
+		return nil, nil
+	}
+	m := make(map[string]Fault, len(fs))
+	for _, f := range fs {
+		if f.Point == "" {
+			return nil, fmt.Errorf("server: fault with empty point")
+		}
+		if _, dup := m[f.Point]; dup {
+			return nil, fmt.Errorf("server: duplicate fault point %q", f.Point)
+		}
+		m[f.Point] = f
+	}
+	return m, nil
+}
+
+// fire triggers the fault registered at point, if any. e is the stream
+// entry in scope at the point (nil where there is none); lockhold without
+// a stream degenerates to sleep.
+func (s *Server) fire(point string, e *entry) {
+	f, ok := s.faults[point]
+	if !ok {
+		return
+	}
+	switch f.Kind {
+	case FaultPanic:
+		panic("injected fault at " + point)
+	case FaultSleep:
+		time.Sleep(f.Dur)
+	case FaultLockHold:
+		if e != nil {
+			e.st.HoldLock(f.Dur)
+		} else {
+			time.Sleep(f.Dur)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Endpoint classes for load shedding. Mutating endpoints (ingest,
+// contract, delete) and read endpoints (curves, check, minfreq, verdict,
+// list) are limited independently, so a flood of expensive ingests cannot
+// starve cheap reads and vice versa. Observability endpoints (healthz,
+// metrics, stats, self) are never shed: when the service is drowning is
+// exactly when an operator needs them.
+type epClass int
+
+const (
+	classNone epClass = iota // never shed
+	classIngest
+	classRead
+)
+
+// inflightLimiter is a bounded in-flight-request counter for one endpoint
+// class: pure atomics, no queue. acquire optimistically increments and
+// backs out over the limit, so admission costs one atomic add on the
+// happy path and overload never blocks — excess requests are shed
+// immediately with 429 (reads may instead fall back to a degraded cached
+// answer; see the shed handlers in server.go).
+type inflightLimiter struct {
+	max  int64
+	cur  atomic.Int64
+	shed atomic.Uint64
+}
+
+// newLimiter builds a limiter admitting at most max concurrent requests.
+// max ≤ 0 means unlimited (nil limiter).
+func newLimiter(max int) *inflightLimiter {
+	if max <= 0 {
+		return nil
+	}
+	return &inflightLimiter{max: int64(max)}
+}
+
+// acquire reports whether the request is admitted. Each admitted request
+// must be paired with exactly one release.
+func (l *inflightLimiter) acquire() bool {
+	if l == nil {
+		return true
+	}
+	if l.cur.Add(1) > l.max {
+		l.cur.Add(-1)
+		l.shed.Add(1)
+		return false
+	}
+	return true
+}
+
+func (l *inflightLimiter) release() {
+	if l != nil {
+		l.cur.Add(-1)
+	}
+}
+
+// Shed returns the number of requests turned away so far.
+func (l *inflightLimiter) Shed() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.shed.Load()
+}
+
+// Limit returns the configured cap (0 = unlimited).
+func (l *inflightLimiter) Limit() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.max
+}
+
+// Inflight returns the current in-flight count.
+func (l *inflightLimiter) Inflight() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.cur.Load()
+}
+
+// retryAfterSeconds is the Retry-After hint attached to every shed
+// response: in-flight overload clears in milliseconds once clients pause,
+// so the smallest representable backoff is the honest one.
+const retryAfterSeconds = "1"
+
+// writeShed emits the 429 overload answer with its Retry-After hint.
+func writeShed(w http.ResponseWriter, class string) {
+	w.Header().Set("Retry-After", retryAfterSeconds)
+	writeJSON(w, http.StatusTooManyRequests,
+		errorResponse{"overloaded: too many in-flight " + class + " requests"})
+}

@@ -49,6 +49,8 @@ type metrics struct {
 	binaryBatches    atomic.Uint64 // ingest batches decoded from the binary format
 	cacheHits        atomic.Uint64 // query responses replayed from the version-keyed cache
 	cacheMisses      atomic.Uint64 // query responses that had to be computed
+	panics           atomic.Uint64 // handler panics caught by the recovery barrier
+	degraded         atomic.Uint64 // responses served from a stale cache marked degraded
 
 	build buildInfo
 
@@ -140,13 +142,18 @@ func (ep *endpointStats) observe(d time.Duration, status int) {
 	ep.latency.Observe(d)
 }
 
-// gauges are scrape-time values aggregated over all live streams.
+// gauges are scrape-time values aggregated over all live streams, plus the
+// load-shedding readings sampled from the per-class limiters.
 type gauges struct {
 	streams    int64
 	inWindow   int64
 	reex       int64
 	drift      int64
 	violations int64
+
+	shedIngest, shedRead         uint64 // requests turned away, cumulative
+	limitIngest, limitRead       int64  // configured caps (0 = unlimited)
+	inflightIngest, inflightRead int64  // currently executing requests
 }
 
 // ---- Prometheus text exposition ---------------------------------------------
@@ -243,8 +250,25 @@ func (m *metrics) write(w io.Writer, g gauges) {
 		"counter", "wcmd_reextraction_drift_total", g.drift)
 	emit("Contract violations observed, summed over streams.", "counter",
 		"wcmd_contract_violations_total", g.violations)
+	emit("Handler panics caught by the recovery barrier.", "counter",
+		"wcmd_panics_total", m.panics.Load())
+	emit("Responses served from a stale cached snapshot, marked degraded.", "counter",
+		"wcmd_degraded_responses_total", m.degraded.Load())
 	emit("Seconds since the server started.", "gauge",
 		"wcmd_uptime_seconds", fmt.Sprintf("%.3f", time.Since(m.start).Seconds()))
+
+	fmt.Fprintf(w, "# HELP wcmd_shed_total Requests turned away by the in-flight limiter, by endpoint class.\n"+
+		"# TYPE wcmd_shed_total counter\n"+
+		"wcmd_shed_total{class=\"ingest\"} %d\nwcmd_shed_total{class=\"read\"} %d\n",
+		g.shedIngest, g.shedRead)
+	fmt.Fprintf(w, "# HELP wcmd_inflight_limit Configured in-flight request cap, by endpoint class (0 = unlimited).\n"+
+		"# TYPE wcmd_inflight_limit gauge\n"+
+		"wcmd_inflight_limit{class=\"ingest\"} %d\nwcmd_inflight_limit{class=\"read\"} %d\n",
+		g.limitIngest, g.limitRead)
+	fmt.Fprintf(w, "# HELP wcmd_inflight_requests Currently executing requests, by endpoint class.\n"+
+		"# TYPE wcmd_inflight_requests gauge\n"+
+		"wcmd_inflight_requests{class=\"ingest\"} %d\nwcmd_inflight_requests{class=\"read\"} %d\n",
+		g.inflightIngest, g.inflightRead)
 
 	fmt.Fprintf(w, "# HELP wcmd_build_info Build metadata; the value is always 1.\n"+
 		"# TYPE wcmd_build_info gauge\n"+

@@ -50,6 +50,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -58,8 +59,10 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wcm/internal/core"
@@ -73,6 +76,13 @@ const (
 	DefaultShards       = 16
 	DefaultMaxBodyBytes = 1 << 20
 	DefaultSlowRequest  = 250 * time.Millisecond
+	// Default in-flight caps per endpoint class. They bound goroutine and
+	// memory blow-up under overload, not steady-state throughput: a healthy
+	// deployment runs far below them, and a flood past them is answered
+	// with immediate 429s (or degraded cached reads) instead of an
+	// ever-growing convoy on the stream locks.
+	DefaultMaxInflightIngest = 256
+	DefaultMaxInflightRead   = 1024
 )
 
 // Config parameterizes a Server. The zero value picks service defaults.
@@ -97,6 +107,29 @@ type Config struct {
 	// SelfCurves feeds each request's measured cost into a built-in
 	// CurveStream and serves the service's own γᵘ/γˡ at /debug/self.
 	SelfCurves bool
+	// RequestTimeout bounds each request's handler execution: the request
+	// context carries the deadline, the ingest path refuses to start a
+	// stream update past it, and query paths stop waiting for a contended
+	// stream lock at it (serving a degraded cached answer instead, when
+	// one exists). ≤ 0 disables per-request deadlines — the zero value
+	// stays deadline-free so embedded uses (tests, benchmarks) measure
+	// the bare handlers; wcmd sets its own default via -request-timeout.
+	RequestTimeout time.Duration
+	// MaxInflightIngest caps concurrently executing mutating requests
+	// (ingest, contract, delete); excess requests are shed with 429 and
+	// Retry-After. 0 picks DefaultMaxInflightIngest; negative disables.
+	MaxInflightIngest int
+	// MaxInflightRead caps concurrently executing read requests (curves,
+	// check, minfreq, verdict, list); excess requests are served from the
+	// last cached snapshot marked "degraded":true when possible, shed with
+	// 429 otherwise. 0 picks DefaultMaxInflightRead; negative disables.
+	// Observability endpoints (healthz, metrics, stats, self) are never
+	// shed.
+	MaxInflightRead int
+	// Faults injects failures at named points for resilience testing (see
+	// Fault). Empty in production; wcmd only exposes -inject-fault behind
+	// the faultinject build tag.
+	Faults []Fault
 }
 
 // Server is the wcmd HTTP service: a sharded registry of streams plus the
@@ -112,16 +145,37 @@ type Server struct {
 	self   *obs.SelfStream
 	scopes sync.Pool // *reqScope
 
+	limIngest *inflightLimiter // nil = unlimited
+	limRead   *inflightLimiter // nil = unlimited
+	faults    map[string]Fault // nil = no fault injection
+
 	// Hot-path stage histograms, resolved once so handlers skip the
 	// stage-name map lookup per request.
 	stDecode, stUpdate, stRender *obs.Histogram
 	stCacheHit, stCacheMiss      *obs.Histogram
 }
 
-// entry pairs a stream with its version-keyed query cache.
+// Entry registry states (see entry.state). An entry starts live; leaving
+// the registry tombstones it, and the tombstone kind decides what a
+// racing late writer does: re-register (droppedEmpty — the removal was
+// only garbage collection of a ghost) or let go (deleted — the user asked
+// for the stream to die, so losing the race to a DELETE is a legal
+// ordering).
+const (
+	entryLive int32 = iota
+	entryDroppedEmpty
+	entryDeleted
+)
+
+// entry pairs a stream with its version-keyed query cache and its
+// registry-membership state. state only transitions away from entryLive
+// under the owning shard's write lock, so writers that observe a
+// tombstone after mutating the stream can resolve the race under that
+// same lock (see ensureRegistered).
 type entry struct {
 	st    *stream.Stream
 	cache queryCache
+	state atomic.Int32
 }
 
 type shard struct {
@@ -147,12 +201,25 @@ func New(cfg Config) (*Server, error) {
 	if _, err := stream.New(cfg.Stream); err != nil {
 		return nil, fmt.Errorf("server: stream defaults: %w", err)
 	}
+	if cfg.MaxInflightIngest == 0 {
+		cfg.MaxInflightIngest = DefaultMaxInflightIngest
+	}
+	if cfg.MaxInflightRead == 0 {
+		cfg.MaxInflightRead = DefaultMaxInflightRead
+	}
+	faults, err := buildFaults(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		cfg:     cfg,
-		shards:  make([]*shard, cfg.Shards),
-		mux:     http.NewServeMux(),
-		metrics: newMetrics(endpointNames),
-		logger:  cfg.Logger,
+		cfg:       cfg,
+		shards:    make([]*shard, cfg.Shards),
+		mux:       http.NewServeMux(),
+		metrics:   newMetrics(endpointNames),
+		logger:    cfg.Logger,
+		limIngest: newLimiter(cfg.MaxInflightIngest),
+		limRead:   newLimiter(cfg.MaxInflightRead),
+		faults:    faults,
 	}
 	if s.logger == nil {
 		s.logger = obs.Discard()
@@ -192,18 +259,18 @@ var endpointNames = []string{
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/streams/{id}/ingest", s.instrument("ingest", s.handleIngest))
-	s.mux.HandleFunc("GET /v1/streams/{id}/curves", s.instrument("curves", s.handleCurves))
-	s.mux.HandleFunc("POST /v1/streams/{id}/check", s.instrument("check", s.handleCheck))
-	s.mux.HandleFunc("GET /v1/streams/{id}/minfreq", s.instrument("minfreq", s.handleMinFreq))
-	s.mux.HandleFunc("POST /v1/streams/{id}/contract", s.instrument("contract", s.handleContract))
-	s.mux.HandleFunc("GET /v1/streams/{id}/verdict", s.instrument("verdict", s.handleVerdict))
-	s.mux.HandleFunc("GET /v1/streams", s.instrument("list", s.handleList))
-	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.instrument("delete", s.handleDelete))
-	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
-	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
-	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
-	s.mux.HandleFunc("GET /debug/self", s.instrument("self", s.handleSelf))
+	s.mux.HandleFunc("POST /v1/streams/{id}/ingest", s.instrument("ingest", classIngest, s.handleIngest, nil))
+	s.mux.HandleFunc("GET /v1/streams/{id}/curves", s.instrument("curves", classRead, s.handleCurves, s.shedCurves))
+	s.mux.HandleFunc("POST /v1/streams/{id}/check", s.instrument("check", classRead, s.handleCheck, s.shedCheck))
+	s.mux.HandleFunc("GET /v1/streams/{id}/minfreq", s.instrument("minfreq", classRead, s.handleMinFreq, s.shedMinFreq))
+	s.mux.HandleFunc("POST /v1/streams/{id}/contract", s.instrument("contract", classIngest, s.handleContract, nil))
+	s.mux.HandleFunc("GET /v1/streams/{id}/verdict", s.instrument("verdict", classRead, s.handleVerdict, s.shedVerdict))
+	s.mux.HandleFunc("GET /v1/streams", s.instrument("list", classRead, s.handleList, nil))
+	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.instrument("delete", classIngest, s.handleDelete, nil))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", classNone, s.handleStats, nil))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", classNone, s.handleHealthz, nil))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", classNone, s.handleMetrics, nil))
+	s.mux.HandleFunc("GET /debug/self", s.instrument("self", classNone, s.handleSelf, nil))
 	if s.cfg.EnablePprof {
 		// Mounted on the service mux (not http.DefaultServeMux) so only
 		// this handler serves them, and only when opted in.
@@ -259,17 +326,54 @@ func (s *Server) getOrCreate(id string) (e *entry, created bool, err error) {
 	return e, true, nil
 }
 
-// dropIfEmpty removes a just-created stream that never accepted a sample.
+// dropIfEmpty removes a just-created stream that was never mutated, so a
+// rejected first request doesn't register a ghost. The version check (not
+// just Total) also protects entries that carry only a contract.
+//
+// The removed entry is tombstoned entryDroppedEmpty rather than silently
+// forgotten: a concurrent request may have fetched the same entry via
+// get()/getOrCreate() before the delete and mutated it right after the
+// version check here — without the tombstone those samples would land in
+// an orphaned stream invisible to every later read. Such late writers
+// detect the tombstone after their mutation and re-register through
+// ensureRegistered.
 func (s *Server) dropIfEmpty(id string, e *entry) {
-	if e.st.Stats().Total != 0 {
+	if e.st.Version() != 0 {
 		return
 	}
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	if cur, ok := sh.streams[id]; ok && cur == e && cur.st.Stats().Total == 0 {
+	if cur, ok := sh.streams[id]; ok && cur == e && cur.st.Version() == 0 {
+		e.state.Store(entryDroppedEmpty)
 		delete(sh.streams, id)
 	}
 	sh.mu.Unlock()
+}
+
+// ensureRegistered resolves the dropIfEmpty race for a writer that just
+// mutated e: if a concurrent dropIfEmpty tombstoned the entry between
+// this request's lookup and its mutation, re-register it so the mutation
+// stays reachable. Returns an error when re-registration is impossible
+// (a different stream now owns the id) — the caller fails the request
+// loudly instead of acknowledging samples no read can see. A deleted
+// tombstone is left alone: the mutation simply serialized before the
+// user's DELETE.
+func (s *Server) ensureRegistered(id string, e *entry) error {
+	if e.state.Load() != entryDroppedEmpty {
+		return nil
+	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e.state.Load() != entryDroppedEmpty {
+		return nil
+	}
+	if cur, ok := sh.streams[id]; ok && cur != e {
+		return fmt.Errorf("stream %q was dropped and re-created concurrently; retry", id)
+	}
+	sh.streams[id] = e
+	e.state.Store(entryLive)
+	return nil
 }
 
 // ---- request/response shapes ---------------------------------------------
@@ -483,11 +587,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// A request already past its deadline must not start a stream update:
+	// the client has given up, and the work would only grow the convoy.
+	if r.Context().Err() != nil {
+		writeBusy(w, "request deadline exceeded before stream update")
+		return
+	}
+
 	id := r.PathValue("id")
 	e, created, err := s.getOrCreate(id)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
 		return
+	}
+	if s.faults != nil {
+		s.fire("ingest:update", e)
 	}
 	res, err := e.st.Ingest(ts, ds)
 	tUpdated := time.Now()
@@ -497,6 +611,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			s.dropIfEmpty(id, e)
 		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	if err := s.ensureRegistered(id, e); err != nil {
+		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
 		return
 	}
 	s.metrics.samples.Add(uint64(res.Accepted))
@@ -563,13 +681,21 @@ func writeCached(w http.ResponseWriter, resp *cachedResp) {
 
 // snapshotFor returns a stream.Snapshot for e, reusing the cached one when
 // the stream version is unchanged so parameterized query misses (/check with
-// a new b at an old version) skip the stream lock too.
-func snapshotFor(e *entry) (stream.Snapshot, error) {
+// a new b at an old version) skip the stream lock too. When ctx carries a
+// deadline the stream lock is only waited for until then — past it the
+// call fails with stream.ErrBusy and the caller degrades (see busyFallback).
+func snapshotFor(ctx context.Context, e *entry) (stream.Snapshot, error) {
 	v := e.st.Version()
 	if cs := e.cache.load(); cs != nil && cs.version == v && cs.snapOK {
 		return cs.snap, nil
 	}
-	snap, err := e.st.Snapshot()
+	var snap stream.Snapshot
+	var err error
+	if dl, ok := ctx.Deadline(); ok {
+		snap, err = e.st.SnapshotWithin(time.Until(dl))
+	} else {
+		snap, err = e.st.Snapshot()
+	}
 	if err != nil {
 		return stream.Snapshot{}, err
 	}
@@ -577,6 +703,157 @@ func snapshotFor(e *entry) (stream.Snapshot, error) {
 		ns.snap, ns.snapOK = snap, true
 	})
 	return snap, nil
+}
+
+// ---- degraded reads --------------------------------------------------------
+
+// degradedSuffix closes a degraded response body: cached bodies are JSON
+// objects rendered by renderJSON and always end "}\n", so splicing the
+// marker before the brace keeps every other byte identical to the last
+// good answer.
+var degradedSuffix = []byte(",\"degraded\":true}\n")
+
+// degradedBody returns resp's body with "degraded":true spliced into the
+// object, or nil when resp is unusable as a degraded answer (error status,
+// or not shaped like a rendered object).
+func degradedBody(resp *cachedResp) []byte {
+	if resp == nil || resp.status != http.StatusOK {
+		return nil
+	}
+	b := resp.body
+	if len(b) < 2 || b[len(b)-2] != '}' || b[len(b)-1] != '\n' {
+		return nil
+	}
+	out := make([]byte, 0, len(b)-2+len(degradedSuffix))
+	out = append(out, b[:len(b)-2]...)
+	return append(out, degradedSuffix...)
+}
+
+// serveDegraded writes a stale-but-valid cached answer marked degraded,
+// with the X-Wcm-Degraded header for clients that route on headers, and
+// logs how stale the data is.
+func (s *Server) serveDegraded(w http.ResponseWriter, r *http.Request, e *entry, body []byte) {
+	s.metrics.degraded.Add(1)
+	w.Header().Set("X-Wcm-Degraded", "true")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body) //nolint:errcheck // client gone; nothing to do
+	var age time.Duration
+	if lm := e.st.LastMutation(); !lm.IsZero() {
+		age = time.Since(lm)
+	}
+	obs.LoggerFrom(r.Context()).LogAttrs(r.Context(), slog.LevelWarn, "degraded response",
+		slog.String("path", r.URL.Path), slog.Float64("staleness_seconds", age.Seconds()))
+}
+
+// writeBusy is the answer of last resort on a read or ingest path that ran
+// out of deadline budget with nothing cached to fall back on: 503 with the
+// same Retry-After hint as a shed.
+func writeBusy(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", retryAfterSeconds)
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{msg})
+}
+
+// busyFallback resolves a snapshot/stats failure on a read path: ErrBusy
+// (lock contended past the request deadline) degrades to the last cached
+// answer when one exists — 503 otherwise — and every other error keeps its
+// 409 shape from before the resilience layer.
+func (s *Server) busyFallback(w http.ResponseWriter, r *http.Request, e *entry, err error, pick func(*cacheState) *cachedResp) {
+	if !errors.Is(err, stream.ErrBusy) {
+		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
+		return
+	}
+	if cs := e.cache.load(); cs != nil {
+		if body := degradedBody(pick(cs)); body != nil {
+			s.serveDegraded(w, r, e, body)
+			return
+		}
+	}
+	writeBusy(w, "stream busy past request deadline; no cached answer")
+}
+
+// degradeOr is the shed fallback core for read endpoints: a fresh cached
+// answer (stream version unchanged) is served normally — a shed read that
+// costs one atomic load is not worth turning away — a stale one is served
+// marked degraded, and with nothing cached the request is shed with 429.
+func (s *Server) degradeOr(w http.ResponseWriter, r *http.Request, e *entry, pick func(*cacheState) *cachedResp) {
+	cs := e.cache.load()
+	if cs == nil {
+		writeShed(w, "read")
+		return
+	}
+	resp := pick(cs)
+	if resp == nil {
+		writeShed(w, "read")
+		return
+	}
+	if cs.version == e.st.Version() {
+		writeCached(w, resp)
+		return
+	}
+	body := degradedBody(resp)
+	if body == nil {
+		writeShed(w, "read")
+		return
+	}
+	s.serveDegraded(w, r, e, body)
+}
+
+// shedCurves — shed fallback for GET /curves (see degradeOr).
+func (s *Server) shedCurves(w http.ResponseWriter, r *http.Request) {
+	e := s.get(r.PathValue("id"))
+	if e == nil {
+		writeShed(w, "read")
+		return
+	}
+	s.degradeOr(w, r, e, func(cs *cacheState) *cachedResp { return cs.curves })
+}
+
+// shedVerdict — shed fallback for GET /verdict.
+func (s *Server) shedVerdict(w http.ResponseWriter, r *http.Request) {
+	e := s.get(r.PathValue("id"))
+	if e == nil {
+		writeShed(w, "read")
+		return
+	}
+	s.degradeOr(w, r, e, func(cs *cacheState) *cachedResp { return cs.verdict })
+}
+
+// shedCheck — shed fallback for POST /check. The body still has to be
+// decoded (the cache is keyed by the query parameters), but the stream
+// lock is never touched.
+func (s *Server) shedCheck(w http.ResponseWriter, r *http.Request) {
+	var req checkRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	e := s.get(r.PathValue("id"))
+	if e == nil {
+		writeShed(w, "read")
+		return
+	}
+	key := checkKey{freqHz: req.FreqHz, latencyNs: req.LatencyNs, buffer: req.Buffer}
+	s.degradeOr(w, r, e, func(cs *cacheState) *cachedResp { return cs.check[key] })
+}
+
+// shedMinFreq — shed fallback for GET /minfreq.
+func (s *Server) shedMinFreq(w http.ResponseWriter, r *http.Request) {
+	b := 1
+	if q := r.URL.Query().Get("b"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"b must be a non-negative integer"})
+			return
+		}
+		b = v
+	}
+	e := s.get(r.PathValue("id"))
+	if e == nil {
+		writeShed(w, "read")
+		return
+	}
+	s.degradeOr(w, r, e, func(cs *cacheState) *cachedResp { return cs.minfreq[b] })
 }
 
 // observeCacheHit / observeCacheMiss close a cached-query stage span that
@@ -604,9 +881,9 @@ func (s *Server) handleCurves(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.observeCacheMiss(start)
-	snap, err := snapshotFor(e)
+	snap, err := snapshotFor(r.Context(), e)
 	if err != nil {
-		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
+		s.busyFallback(w, r, e, err, func(cs *cacheState) *cachedResp { return cs.curves })
 		return
 	}
 	resp := renderJSON(http.StatusOK, curvesResponse{
@@ -648,9 +925,9 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	defer s.observeCacheMiss(start)
-	snap, err := snapshotFor(e)
+	snap, err := snapshotFor(r.Context(), e)
 	if err != nil {
-		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
+		s.busyFallback(w, r, e, err, func(cs *cacheState) *cachedResp { return cs.check[key] })
 		return
 	}
 	var resp *cachedResp
@@ -688,9 +965,9 @@ func (s *Server) handleMinFreq(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	defer s.observeCacheMiss(start)
-	snap, err := snapshotFor(e)
+	snap, err := snapshotFor(r.Context(), e)
 	if err != nil {
-		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
+		s.busyFallback(w, r, e, err, func(cs *cacheState) *cachedResp { return cs.minfreq[b] })
 		return
 	}
 	var resp *cachedResp
@@ -733,6 +1010,10 @@ func (s *Server) handleContract(w http.ResponseWriter, r *http.Request) {
 	if window == 0 {
 		window = up.MaxK()
 	}
+	if r.Context().Err() != nil {
+		writeBusy(w, "request deadline exceeded before contract update")
+		return
+	}
 	id := r.PathValue("id")
 	e, created, err := s.getOrCreate(id)
 	if err != nil {
@@ -744,6 +1025,10 @@ func (s *Server) handleContract(w http.ResponseWriter, r *http.Request) {
 			s.dropIfEmpty(id, e)
 		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	if err := s.ensureRegistered(id, e); err != nil {
+		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"window": window})
@@ -762,7 +1047,16 @@ func (s *Server) handleVerdict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.observeCacheMiss(start)
-	stats := e.st.Stats()
+	var stats stream.Stats
+	if dl, ok := r.Context().Deadline(); ok {
+		var err error
+		if stats, err = e.st.StatsWithin(time.Until(dl)); err != nil {
+			s.busyFallback(w, r, e, err, func(cs *cacheState) *cachedResp { return cs.verdict })
+			return
+		}
+	} else {
+		stats = e.st.Stats()
+	}
 	resp := renderJSON(http.StatusOK, verdictResponse{
 		Version:        stats.Version,
 		Admitted:       stats.Violations == 0,
@@ -804,8 +1098,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	_, ok := sh.streams[id]
-	delete(sh.streams, id)
+	e, ok := sh.streams[id]
+	if ok {
+		e.state.Store(entryDeleted)
+		delete(sh.streams, id)
+	}
 	sh.mu.Unlock()
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorResponse{"unknown stream"})
@@ -860,8 +1157,18 @@ func latencyStatsFrom(snap obs.HistSnapshot, errors uint64) latencyStatsJSON {
 	return out
 }
 
+// classLimitJSON reports one endpoint class's load-shedding state.
+type classLimitJSON struct {
+	Limit    int64  `json:"limit"` // 0 = unlimited
+	Inflight int64  `json:"inflight"`
+	Shed     uint64 `json:"shed"`
+}
+
 type statsResponse struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Panics        uint64                      `json:"panics"`
+	Degraded      uint64                      `json:"degraded"`
+	Limits        map[string]classLimitJSON   `json:"limits"`
 	Endpoints     map[string]latencyStatsJSON `json:"endpoints"`
 	Stages        map[string]latencyStatsJSON `json:"stages"`
 }
@@ -872,8 +1179,14 @@ type statsResponse struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
 		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
-		Endpoints:     make(map[string]latencyStatsJSON),
-		Stages:        make(map[string]latencyStatsJSON),
+		Panics:        s.metrics.panics.Load(),
+		Degraded:      s.metrics.degraded.Load(),
+		Limits: map[string]classLimitJSON{
+			"ingest": {Limit: s.limIngest.Limit(), Inflight: s.limIngest.Inflight(), Shed: s.limIngest.Shed()},
+			"read":   {Limit: s.limRead.Limit(), Inflight: s.limRead.Inflight(), Shed: s.limRead.Shed()},
+		},
+		Endpoints: make(map[string]latencyStatsJSON),
+		Stages:    make(map[string]latencyStatsJSON),
 	}
 	for _, name := range s.metrics.epNames {
 		ep := s.metrics.endpoints[name]
@@ -971,15 +1284,24 @@ func writeDecodeError(w http.ResponseWriter, err error) {
 	writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 }
 
-// statusRecorder captures the response code for metrics.
+// statusRecorder captures the response code for metrics, and whether any
+// part of the response reached the wire — the recovery path may still send
+// a clean 500 only while nothing has been written.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(p)
 }
 
 // reqScope bundles every per-request observability cell — status recorder,
@@ -996,17 +1318,41 @@ type reqScope struct {
 // replaced so a hostile client can't bloat every log line.
 const maxTraceIDLen = 64
 
-// instrument wraps a handler with the body-size limit and the per-request
-// observability envelope: trace-ID propagation (client X-Request-Id kept,
-// otherwise generated; always echoed on the response), a request-scoped
-// logger reachable via obs.LoggerFrom(r.Context()), per-endpoint
+// instrument wraps a handler with the body-size limit, the resilience
+// envelope and the per-request observability envelope.
+//
+// Resilience: the endpoint class picks an in-flight limiter — when it
+// sheds, the shed fallback runs instead of h (or a plain 429 when the
+// endpoint has none); Config.RequestTimeout > 0 attaches a deadline to the
+// request context; the handler runs inside a recover barrier (see
+// serveRecovered) so a panic answers 500 instead of killing the
+// connection's goroutine state. Shed and recovered requests flow through
+// the same accounting below, so the histogram-totals == request-counter
+// invariants hold for them too.
+//
+// Observability: trace-ID propagation (client X-Request-Id kept, otherwise
+// generated; always echoed on the response), a request-scoped logger
+// reachable via obs.LoggerFrom(r.Context()), per-endpoint
 // request/error/latency accounting, self-characterization feed, and
 // slow-request logging. When the declared Content-Length already fits the
 // limit the MaxBytesReader wrapper is skipped — net/http bounds body reads
 // by the declared length, so the limit cannot be exceeded and the
 // per-request wrapper allocation is pure overhead.
-func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+func (s *Server) instrument(name string, class epClass, h, shed http.HandlerFunc) http.HandlerFunc {
 	ep := s.metrics.endpoint(name)
+	point := "handler:" + name // fault point, concatenated once
+	var lim *inflightLimiter
+	className := "read"
+	switch class {
+	case classIngest:
+		lim, className = s.limIngest, "ingest"
+	case classRead:
+		lim = s.limRead
+	}
+	if shed == nil {
+		cn := className
+		shed = func(w http.ResponseWriter, r *http.Request) { writeShed(w, cn) }
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Body != nil && (r.ContentLength < 0 || r.ContentLength > s.cfg.MaxBodyBytes) {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -1017,14 +1363,27 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		w.Header().Set("X-Request-Id", id)
 
+		handler := h
+		if lim.acquire() {
+			defer lim.release() // deferred: must pair even when h panics
+		} else {
+			handler = shed
+		}
+
 		sc := s.scopes.Get().(*reqScope)
-		sc.rec.ResponseWriter, sc.rec.status = w, http.StatusOK
+		sc.rec.ResponseWriter, sc.rec.status, sc.rec.wrote = w, http.StatusOK, false
 		sc.req.Reset(id, name, s.logger)
-		sc.ctx.Reset(r.Context(), &sc.req)
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		sc.ctx.Reset(ctx, &sc.req)
 		r = r.WithContext(&sc.ctx)
 
 		start := time.Now()
-		h(&sc.rec, r)
+		s.serveRecovered(name, point, handler, &sc.rec, r, &sc.req)
 		d := time.Since(start)
 
 		status := sc.rec.status
@@ -1052,6 +1411,39 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// serveRecovered runs h inside the panic barrier: a handler panic is
+// logged at Error with the request's trace ID, the panic value and the
+// stack, counted in wcmd_panics_total, and answered with a clean 500 when
+// nothing has reached the wire yet (when headers are already out the
+// connection is past saving — the status is recorded as 500 for metrics
+// and net/http closes the stream). http.ErrAbortHandler is re-raised: it
+// is the sanctioned way to abort a connection, not a defect.
+func (s *Server) serveRecovered(name, point string, h http.HandlerFunc, rec *statusRecorder, r *http.Request, req *obs.Request) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if p == http.ErrAbortHandler { //nolint:errorlint // sentinel identity per net/http contract
+			panic(p)
+		}
+		s.metrics.panics.Add(1)
+		req.Logger().LogAttrs(r.Context(), slog.LevelError, "handler panic",
+			slog.String("endpoint", name),
+			slog.String("panic", fmt.Sprint(p)),
+			slog.String("stack", string(debug.Stack())))
+		if !rec.wrote {
+			writeJSON(rec, http.StatusInternalServerError, errorResponse{"internal server error"})
+		} else {
+			rec.status = http.StatusInternalServerError
+		}
+	}()
+	if s.faults != nil {
+		s.fire(point, nil)
+	}
+	h(rec, r)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var entries []*entry
 	for _, sh := range s.shards {
@@ -1077,5 +1469,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		reex:       reex,
 		drift:      drift,
 		violations: violations,
+
+		shedIngest:     s.limIngest.Shed(),
+		shedRead:       s.limRead.Shed(),
+		limitIngest:    s.limIngest.Limit(),
+		limitRead:      s.limRead.Limit(),
+		inflightIngest: s.limIngest.Inflight(),
+		inflightRead:   s.limRead.Inflight(),
 	})
 }

@@ -52,10 +52,14 @@ func Summarize(samples []int64) (Summary, error) {
 }
 
 // Percentile returns the p-th percentile (0..100) of an ASCENDING-sorted
-// sample set using the nearest-rank method. Panics on empty input.
+// sample set using the nearest-rank method. An empty sample set yields 0:
+// a summary helper reachable from servers and CLI reports must not be able
+// to panic on hostile or empty input — callers that need to distinguish
+// "no data" from a zero percentile check emptiness themselves (Summarize
+// already returns ErrEmpty).
 func Percentile(sorted []int64, p float64) int64 {
 	if len(sorted) == 0 {
-		panic(ErrEmpty)
+		return 0
 	}
 	if p <= 0 {
 		return sorted[0]

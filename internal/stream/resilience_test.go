@@ -1,0 +1,132 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSnapshotWithinBusy pins the ErrBusy contract: while another
+// goroutine holds the stream lock, a bounded snapshot attempt with a
+// budget shorter than the hold-up fails fast with ErrBusy, and a
+// subsequent unbounded snapshot succeeds once the lock frees up.
+func TestSnapshotWithinBusy(t *testing.T) {
+	s, err := New(Config{Window: 8, MaxK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest([]int64{0, 100, 200}, []int64{5, 7, 6}); err != nil {
+		t.Fatal(err)
+	}
+
+	held := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		close(held)
+		time.Sleep(150 * time.Millisecond)
+		s.mu.Unlock()
+		close(done)
+	}()
+	<-held
+
+	start := time.Now()
+	if _, err := s.SnapshotWithin(20 * time.Millisecond); !errors.Is(err, ErrBusy) {
+		t.Fatalf("SnapshotWithin under contention: err = %v, want ErrBusy", err)
+	}
+	if waited := time.Since(start); waited > 120*time.Millisecond {
+		t.Fatalf("SnapshotWithin(20ms) blocked %v", waited)
+	}
+	// A zero budget is a single TryLock attempt.
+	if _, err := s.SnapshotWithin(0); !errors.Is(err, ErrBusy) {
+		t.Fatalf("SnapshotWithin(0) under contention: err = %v, want ErrBusy", err)
+	}
+
+	<-done
+	snap, err := s.SnapshotWithin(time.Second)
+	if err != nil {
+		t.Fatalf("SnapshotWithin after release: %v", err)
+	}
+	if snap.Total != 3 || snap.InWindow != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// TestHoldLockBlocksIngest verifies the fault-injection helper really
+// manufactures contention: an ingest issued while HoldLock is active
+// completes only after the hold-up elapses.
+func TestHoldLockBlocksIngest(t *testing.T) {
+	s, err := New(Config{Window: 8, MaxK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hold = 100 * time.Millisecond
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		s.HoldLock(hold)
+	}()
+	<-started
+	// Wait until the helper actually owns the lock.
+	for s.mu.TryLock() {
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	if _, err := s.Ingest([]int64{1}, []int64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited < hold/2 {
+		t.Fatalf("ingest finished after %v, expected to block ~%v behind HoldLock", waited, hold)
+	}
+}
+
+// TestLastMutation checks the staleness accessor: zero before any
+// mutation, advancing on ingest and contract changes, lock-free while the
+// stream is held.
+func TestLastMutation(t *testing.T) {
+	s, err := New(Config{Window: 8, MaxK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.LastMutation().IsZero() {
+		t.Fatalf("LastMutation before any mutation = %v, want zero", s.LastMutation())
+	}
+	before := time.Now()
+	if _, err := s.Ingest([]int64{0}, []int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	m1 := s.LastMutation()
+	if m1.Before(before.Add(-time.Second)) || m1.After(time.Now().Add(time.Second)) {
+		t.Fatalf("LastMutation after ingest = %v, now = %v", m1, time.Now())
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, err := s.Ingest([]int64{10}, []int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if m2 := s.LastMutation(); !m2.After(m1) {
+		t.Fatalf("LastMutation did not advance: %v then %v", m1, m2)
+	}
+
+	// Readable while the lock is held elsewhere (it must not take mu).
+	held := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		close(held)
+		<-release
+		s.mu.Unlock()
+	}()
+	<-held
+	got := make(chan time.Time, 1)
+	go func() { got <- s.LastMutation() }()
+	select {
+	case ts := <-got:
+		if ts.IsZero() {
+			t.Fatal("LastMutation zero after two ingests")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("LastMutation blocked on the stream lock")
+	}
+	close(release)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wcm/internal/arrival"
 	"wcm/internal/core"
@@ -21,6 +22,11 @@ var (
 	ErrNoSamples = errors.New("stream: no samples ingested yet")
 	ErrBadBatch  = errors.New("stream: invalid ingest batch")
 	ErrNoSpans   = errors.New("stream: need at least 2 samples in window for span queries")
+	// ErrBusy is returned by SnapshotWithin when the stream lock could not
+	// be acquired inside the caller's budget — the signal the serving layer
+	// uses to fall back to a cached (degraded) answer instead of blocking a
+	// request past its deadline.
+	ErrBusy = errors.New("stream: lock busy past deadline")
 )
 
 // Defaults for the zero-valued Config fields.
@@ -82,6 +88,12 @@ type Stream struct {
 	// call returns and is readable WITHOUT the lock, so version-keyed
 	// caches (internal/server) can validate a hit with one atomic load.
 	version atomic.Int64
+
+	// lastMut is the wall-clock time of the last version bump (unix
+	// nanoseconds; 0 until the first mutation), readable without the lock —
+	// the staleness accessor behind LastMutation that lets a degraded read
+	// report how old the state it served is.
+	lastMut atomic.Int64
 
 	demands []int64 // ring of the last ≤ window raw demands
 	times   []int64 // ring of the last ≤ window raw timestamps
@@ -213,7 +225,7 @@ func (s *Stream) ingestLocked(ts, demands []int64) (IngestResult, error) {
 	// before the caller's unlock (LIFO), so it also covers error exits
 	// below: even a partially applied batch invalidates version-keyed
 	// caches.
-	defer s.version.Add(1)
+	defer s.bumpLocked()
 
 	res := IngestResult{Accepted: len(ts)}
 	w64 := int64(s.window)
@@ -283,6 +295,25 @@ func (s *Stream) ingestLocked(ts, demands []int64) (IngestResult, error) {
 // record the version consistent with their contents.
 func (s *Stream) Version() int64 { return s.version.Load() }
 
+// bumpLocked advances the version and stamps the mutation time. Must be
+// called with mu held (or via defer scheduled under mu).
+func (s *Stream) bumpLocked() {
+	s.version.Add(1)
+	s.lastMut.Store(time.Now().UnixNano())
+}
+
+// LastMutation returns the wall-clock time of the last state mutation, or
+// the zero time if the stream was never mutated. Lock-free, like Version:
+// a degraded read can stamp the answer it serves with its staleness
+// without touching the contended stream.
+func (s *Stream) LastMutation() time.Time {
+	ns := s.lastMut.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
 // SetContract installs (or replaces) the admission contract: every
 // subsequently ingested sample is checked by a core.Monitor against the
 // workload characterization w over windows up to `window` activations, and
@@ -296,7 +327,7 @@ func (s *Stream) SetContract(w core.Workload, window int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.monitor = m
-	s.version.Add(1)
+	s.bumpLocked()
 	return nil
 }
 
@@ -504,6 +535,61 @@ type Snapshot struct {
 func (s *Stream) Snapshot() (Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+// SnapshotWithin captures a snapshot like Snapshot, but gives up with
+// ErrBusy if the stream lock cannot be acquired within d: it polls
+// TryLock with a short growing sleep instead of queueing on the mutex, so
+// a request that is already near its deadline never joins a convoy behind
+// a long-held lock. d ≤ 0 means a single TryLock attempt.
+func (s *Stream) SnapshotWithin(d time.Duration) (Snapshot, error) {
+	if !s.lockWithin(d) {
+		return Snapshot{}, ErrBusy
+	}
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+// lockWithin tries to acquire mu for at most d, backing off from 50µs to
+// 2ms between attempts. Reports whether the lock was acquired.
+func (s *Stream) lockWithin(d time.Duration) bool {
+	if s.mu.TryLock() {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	deadline := time.Now().Add(d)
+	pause := 50 * time.Microsecond
+	for {
+		if rem := time.Until(deadline); rem <= 0 {
+			return false
+		} else if pause > rem {
+			pause = rem
+		}
+		time.Sleep(pause)
+		if s.mu.TryLock() {
+			return true
+		}
+		if pause < 2*time.Millisecond {
+			pause *= 2
+		}
+	}
+}
+
+// HoldLock acquires the stream lock and holds it for d before releasing.
+// It is a fault-injection aid for resilience tests and the wcmd
+// -inject-fault hook: it manufactures the lock contention a monster batch
+// or a stalled ingest would cause, so degraded-read and deadline paths
+// can be exercised deterministically. Never use it on a production path.
+func (s *Stream) HoldLock(d time.Duration) {
+	s.mu.Lock()
+	time.Sleep(d)
+	s.mu.Unlock()
+}
+
+func (s *Stream) snapshotLocked() (Snapshot, error) {
 	w, err := s.workloadLocked()
 	if err != nil {
 		return Snapshot{}, err
@@ -591,6 +677,10 @@ type Stats struct {
 func (s *Stream) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+func (s *Stream) statsLocked() Stats {
 	return Stats{
 		Version:        s.version.Load(),
 		Total:          s.total,
@@ -606,6 +696,17 @@ func (s *Stream) Stats() Stats {
 	}
 }
 
+// StatsWithin reports stats like Stats, but gives up with ErrBusy if the
+// stream lock cannot be acquired within d (see SnapshotWithin for the
+// acquisition strategy). d ≤ 0 means a single TryLock attempt.
+func (s *Stream) StatsWithin(d time.Duration) (Stats, error) {
+	if !s.lockWithin(d) {
+		return Stats{}, ErrBusy
+	}
+	defer s.mu.Unlock()
+	return s.statsLocked(), nil
+}
+
 // Reextract forces an anchor re-extraction now (normally they run every
 // Config.ReextractEvery samples) and reports the cumulative drift count.
 func (s *Stream) Reextract() (drift int64, err error) {
@@ -614,7 +715,7 @@ func (s *Stream) Reextract() (drift int64, err error) {
 	if s.total == 0 {
 		return 0, nil
 	}
-	defer s.version.Add(1) // counters (and possibly state) change
+	defer s.bumpLocked() // counters (and possibly state) change
 	if err := s.reextractLocked(); err != nil {
 		return 0, err
 	}
