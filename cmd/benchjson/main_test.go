@@ -36,7 +36,7 @@ func TestRunWritesReport(t *testing.T) {
 	if err := json.Unmarshal(raw, &decoded); err != nil {
 		t.Fatalf("emitted JSON does not parse: %v", err)
 	}
-	want := 5 + 6*len(opts.procs)
+	want := 5 + 7*len(opts.procs)
 	if len(decoded.Results) != want {
 		t.Fatalf("got %d results, want %d", len(decoded.Results), want)
 	}
@@ -60,7 +60,7 @@ func TestRunWritesReport(t *testing.T) {
 	}
 	for _, name := range []string{
 		"ingest_single_stream", "ingest_sharded_streams",
-		"ingest_http_json", "ingest_http_binary",
+		"ingest_http_json", "ingest_http_binary", "ingest_async_pipeline",
 		"query_check_cached", "query_check_uncached",
 	} {
 		for _, p := range opts.procs {
@@ -82,8 +82,8 @@ func TestRunWritesReport(t *testing.T) {
 		}
 	}
 	for _, key := range []string{
-		"workload", "spans", "admits", "ingest_scaling",
-		"ingest_binary_vs_json", "query_cached_vs_uncached",
+		"workload", "spans", "admits", "ingest_scaling", "ingest_sharding_gain",
+		"ingest_binary_vs_json", "ingest_async_vs_sync", "query_cached_vs_uncached",
 	} {
 		if decoded.Speedups[key] <= 0 {
 			t.Fatalf("speedup %q = %v, want > 0", key, decoded.Speedups[key])

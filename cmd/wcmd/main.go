@@ -107,6 +107,10 @@ func parseFlags(args []string) (server.Config, serveOpts, error) {
 		"max concurrently executing mutating requests before shedding with 429 (negative disables)")
 	maxInflightRead := fs.Int("max-inflight-read", server.DefaultMaxInflightRead,
 		"max concurrently executing read requests before degrading/shedding (negative disables)")
+	ingestRing := fs.Int("ingest-ring", 1024,
+		"per-shard async ingest queue capacity; concurrent batches coalesce into fused stream updates (0 = synchronous ingest)")
+	coalesce := fs.Int("coalesce", server.DefaultCoalesceBudget,
+		"max queued ingest batches fused per pipeline worker wakeup")
 	getFaults := addFaultFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return server.Config{}, serveOpts{}, err
@@ -138,6 +142,8 @@ func parseFlags(args []string) (server.Config, serveOpts, error) {
 		RequestTimeout:    *requestTimeout,
 		MaxInflightIngest: *maxInflightIngest,
 		MaxInflightRead:   *maxInflightRead,
+		IngestRing:        *ingestRing,
+		CoalesceBudget:    *coalesce,
 		Faults:            faults,
 	}
 	opts := serveOpts{
@@ -199,6 +205,10 @@ func run(ctx context.Context, cfg server.Config, opts serveOpts, ready chan<- ne
 	if err := hs.Shutdown(shutCtx); err != nil {
 		return err
 	}
+	// After the HTTP layer has drained, stop the async ingest pipeline:
+	// every batch acknowledged into a shard ring is applied before the
+	// workers exit, so a 200 sent just before SIGTERM is never lost.
+	srv.Close()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

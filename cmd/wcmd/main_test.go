@@ -4,10 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -59,11 +61,21 @@ func TestParseFlags(t *testing.T) {
 		cfg.MaxInflightRead != server.DefaultMaxInflightRead {
 		t.Fatalf("in-flight defaults = %d/%d", cfg.MaxInflightIngest, cfg.MaxInflightRead)
 	}
+	if cfg.IngestRing != 1024 || cfg.CoalesceBudget != server.DefaultCoalesceBudget {
+		t.Fatalf("pipeline defaults = %d/%d", cfg.IngestRing, cfg.CoalesceBudget)
+	}
 	if cfg.Faults != nil {
 		t.Fatalf("faults configured by default: %v", cfg.Faults)
 	}
 	if _, _, err := parseFlags([]string{"-window", "notanumber"}); err == nil {
 		t.Fatal("bad flag value accepted")
+	}
+	cfg, _, err = parseFlags([]string{"-ingest-ring", "0", "-coalesce", "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.IngestRing != 0 || cfg.CoalesceBudget != 7 {
+		t.Fatalf("pipeline flags = %d/%d", cfg.IngestRing, cfg.CoalesceBudget)
 	}
 }
 
@@ -230,6 +242,58 @@ func TestSlowClientDisconnected(t *testing.T) {
 		t.Fatalf("healthz after slow client: %d", resp.StatusCode)
 	}
 	if err := shutdown(); err != nil {
+		t.Fatalf("run returned %v", err)
+	}
+}
+
+// TestShutdownDrainsPipeline is the SIGTERM-with-in-flight-batches
+// regression test for the async ingest pipeline: run() must call
+// server.Close after the HTTP drain, so a shutdown that lands in the middle
+// of heavy ingest traffic neither hangs (handlers parked on worker
+// completions) nor strands acknowledged batches in the rings. Clients keep
+// posting throughout shutdown; every response must be a 200 or a clean
+// transport/refusal error, and run() must return promptly.
+func TestShutdownDrainsPipeline(t *testing.T) {
+	cfg := server.Config{
+		Stream:         stream.Config{Window: 64, MaxK: 8},
+		IngestRing:     8,
+		CoalesceBudget: 4,
+	}
+	base, _, shutdown := startRun(t, cfg, serveOpts{})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("sig%d", g)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				base3 := int64(i * 3)
+				body := fmt.Sprintf(`{"t":[%d,%d],"demand":[1,2]}`, base3+1, base3+2)
+				resp, err := http.Post(base+"/v1/streams/"+id+"/ingest", "application/json", strings.NewReader(body))
+				if err != nil {
+					return // connection refused/reset: HTTP layer is down
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("stream %s batch %d: status %d during shutdown", id, i, resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(50 * time.Millisecond) // let traffic build before the signal
+	err := shutdown()
+	close(stop)
+	wg.Wait()
+	if err != nil {
 		t.Fatalf("run returned %v", err)
 	}
 }

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCountBucketIndex(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3},
+		{9, 4}, {1024, 10}, {32768, 15}, {32769, CountNumBuckets},
+		{math.MaxInt64, CountNumBuckets},
+	}
+	for _, c := range cases {
+		if got := CountBucketIndex(c.n); got != c.want {
+			t.Errorf("CountBucketIndex(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	// Every finite bucket's bound must cover its own index's values.
+	for i := 0; i < CountNumBuckets; i++ {
+		ub := int64(CountUpperBound(i))
+		if got := CountBucketIndex(ub); got != i {
+			t.Errorf("bound %d of bucket %d lands in bucket %d", ub, i, got)
+		}
+	}
+	if !math.IsInf(CountUpperBound(CountNumBuckets), 1) {
+		t.Error("overflow bucket bound is not +Inf")
+	}
+}
+
+func TestCountHistObserveSnapshot(t *testing.T) {
+	var h CountHist
+	for _, n := range []int64{1, 1, 2, 7, 64, 100000, -3} {
+		h.Observe(n)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count)
+	}
+	if s.Sum != 1+1+2+7+64+100000+0 {
+		t.Fatalf("Sum = %d, want %d", s.Sum, 1+1+2+7+64+100000)
+	}
+	if s.Counts[0] != 3 { // 1, 1, and clamped -3
+		t.Fatalf("bucket 0 = %d, want 3", s.Counts[0])
+	}
+	if s.Counts[CountNumBuckets] != 1 { // 100000 overflows
+		t.Fatalf("+Inf bucket = %d, want 1", s.Counts[CountNumBuckets])
+	}
+	if got := s.CumulativeCount(CountNumBuckets); got != 7 {
+		t.Fatalf("CumulativeCount(+Inf) = %d, want 7", got)
+	}
+	if mean := s.Mean(); mean != float64(s.Sum)/7 {
+		t.Fatalf("Mean = %v", mean)
+	}
+	if (CountHistSnapshot{}).Mean() != 0 {
+		t.Fatal("empty Mean != 0")
+	}
+}
+
+func TestCountHistConcurrent(t *testing.T) {
+	var h CountHist
+	var wg sync.WaitGroup
+	const g, per = 4, 10000
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for j := int64(0); j < per; j++ {
+				h.Observe(base + j%17)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != g*per {
+		t.Fatalf("Count = %d, want %d", s.Count, g*per)
+	}
+	var sum uint64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != g*per {
+		t.Fatalf("bucket sum = %d, want %d", sum, g*per)
+	}
+}

@@ -1,0 +1,140 @@
+// Package ringbuf provides a fixed-capacity single-producer single-consumer
+// (SPSC) ring buffer, the queue primitive behind the wcmd async ingest
+// pipeline: HTTP handlers enqueue batch descriptors, one goroutine per
+// registry shard drains them.
+//
+// The design is the classic two-counter ring: the producer owns tail, the
+// consumer owns head, each side only ever WRITES its own counter and READS
+// the other's, so a push and a pop never contend on the same cache line.
+// Both counters are padded to 64-byte boundaries — without the padding they
+// would share a line and every push would invalidate the consumer's cached
+// head (false sharing), serializing exactly the two parties the structure
+// exists to decouple. Counters are monotonically increasing uint64s
+// (position & mask indexes the buffer), so full/empty are distinguishable
+// without a wasted slot and wraparound of the ring needs no special casing;
+// the counters themselves would take centuries to overflow at any realistic
+// rate.
+//
+// All operations are non-blocking: TryPush reports false on a full (or
+// closed) ring, TryPop/PopBatch report empty. Waiting strategies — spin,
+// sleep, channel wakeup — belong to the caller, which knows its latency
+// budget; internal/server pairs the ring with a 1-deep wakeup channel.
+package ringbuf
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
+
+// ErrBadCapacity is returned by New for capacities < 1.
+var ErrBadCapacity = errors.New("ringbuf: capacity must be ≥ 1")
+
+// pad is a cache-line spacer. 64 bytes covers x86-64 and most arm64 cores;
+// Apple silicon's 128-byte lines would want two of these, but the adjacent
+// fields here are written from one side only, so 64 is the meaningful
+// boundary for the producer/consumer split.
+type pad [64]byte
+
+// SPSC is a single-producer single-consumer ring buffer of T. The zero
+// value is not usable; construct with New. One goroutine may call the
+// producer side (TryPush, Close) and one goroutine the consumer side
+// (TryPop, PopBatch) concurrently; any other concurrency is the caller's
+// to serialize (internal/server guards the producer side with a per-shard
+// mutex so many handlers appear as one producer).
+type SPSC[T any] struct {
+	_      pad
+	head   atomic.Uint64 // next position to pop; consumer-written
+	_      pad
+	tail   atomic.Uint64 // next position to push; producer-written
+	_      pad
+	closed atomic.Bool
+	_      pad
+	mask   uint64
+	buf    []T
+}
+
+// New builds a ring with capacity rounded up to the next power of two
+// (mask indexing keeps the hot path division-free).
+func New[T any](capacity int) (*SPSC[T], error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadCapacity, capacity)
+	}
+	c := 1 << bits.Len64(uint64(capacity-1)) // next power of two ≥ capacity
+	if c < 1 {
+		c = 1
+	}
+	return &SPSC[T]{mask: uint64(c - 1), buf: make([]T, c)}, nil
+}
+
+// Cap returns the ring's capacity.
+func (r *SPSC[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of buffered elements. Exact when called from
+// either endpoint goroutine; a racing snapshot otherwise (the queue-depth
+// gauge reads it from the metrics scraper).
+func (r *SPSC[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// TryPush enqueues v and reports success. It fails — without blocking —
+// when the ring is full or closed. Producer side.
+func (r *SPSC[T]) TryPush(v T) bool {
+	if r.closed.Load() {
+		return false
+	}
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false // full
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1) // release: publishes the slot write above
+	return true
+}
+
+// TryPop dequeues the oldest element. ok is false on an empty ring —
+// including a closed one; drain by popping until empty after Close.
+// Consumer side.
+func (r *SPSC[T]) TryPop() (v T, ok bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return v, false
+	}
+	v = r.buf[h&r.mask]
+	var zero T
+	r.buf[h&r.mask] = zero // drop the reference so popped elements can be GC'd
+	r.head.Store(h + 1)
+	return v, true
+}
+
+// PopBatch dequeues up to len(dst) elements into dst and returns the count
+// — the consumer's drain primitive: one load of tail serves the whole
+// batch. Consumer side.
+func (r *SPSC[T]) PopBatch(dst []T) int {
+	h := r.head.Load()
+	n := int(r.tail.Load() - h)
+	if n == 0 || len(dst) == 0 {
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	var zero T
+	for i := 0; i < n; i++ {
+		dst[i] = r.buf[(h+uint64(i))&r.mask]
+		r.buf[(h+uint64(i))&r.mask] = zero
+	}
+	r.head.Store(h + uint64(n))
+	return n
+}
+
+// Close marks the ring closed: subsequent TryPush calls fail immediately.
+// Elements already buffered remain poppable (close/drain on shutdown).
+// Close is idempotent. Producer side (or an owner that has quiesced the
+// producer).
+func (r *SPSC[T]) Close() { r.closed.Store(true) }
+
+// Closed reports whether Close was called. The consumer exits when
+// Closed() && the ring is empty.
+func (r *SPSC[T]) Closed() bool { return r.closed.Load() }

@@ -1,0 +1,310 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wcm/internal/stream"
+)
+
+// asyncTestConfig builds a server config with the async ingest pipeline on,
+// sized small enough that coalescing and ring-full paths are reachable.
+func asyncTestConfig(sc stream.Config) Config {
+	return Config{
+		Shards:         4,
+		Stream:         sc,
+		IngestRing:     16,
+		CoalesceBudget: 8,
+	}
+}
+
+// rawReq performs one request and returns status plus the exact body bytes.
+func rawReq(t *testing.T, method, url, contentType string, body []byte) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// TestAsyncIngestDifferential drives a synchronous server and an async-
+// pipeline server through the same deterministic request schedule — valid
+// batches, malformed batches, contract violations, binary-format bodies,
+// multiple streams — and requires every response, and every final query
+// answer, to be byte-identical. This is the end-to-end counterpart of the
+// stream-level IngestBatches differential: it proves the enqueue → worker →
+// coalesced-apply → render path preserves the synchronous API exactly.
+func TestAsyncIngestDifferential(t *testing.T) {
+	sc := stream.Config{Window: 64, MaxK: 16, ReextractEvery: 13}
+	syncTS := newTestServer(t, Config{Shards: 4, Stream: sc})
+	asyncSrv, err := New(asyncTestConfig(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer asyncSrv.Close()
+	asyncTS := httptest.NewServer(asyncSrv.Handler())
+	defer asyncTS.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	ids := []string{"alpha", "beta", "gamma"}
+	lastT := map[string]int64{}
+
+	type step struct {
+		method, path, ct string
+		body             []byte
+	}
+	var steps []step
+	// A tight contract on beta so violating batches exercise the violation
+	// response shape through the async path.
+	steps = append(steps, step{"POST", "/v1/streams/beta/contract", "",
+		[]byte(`{"upper":[0,5,9],"lower":[0,0,0],"window":8}`)})
+	for i := 0; i < 120; i++ {
+		id := ids[rng.Intn(len(ids))]
+		n := 1 + rng.Intn(6)
+		ts := make([]int64, n)
+		ds := make([]int64, n)
+		for j := range ts {
+			lastT[id] += 1 + int64(rng.Intn(5))
+			ts[j] = lastT[id]
+			ds[j] = int64(rng.Intn(8))
+		}
+		switch i % 10 {
+		case 3: // timestamp regression → 400
+			ts[n-1] = ts[0] - 1
+		case 6: // negative demand → 400
+			ds[0] = -4
+		case 9: // column length mismatch → 400
+			ds = ds[:0]
+		}
+		st := step{method: "POST", path: "/v1/streams/" + id + "/ingest"}
+		if i%4 == 0 {
+			st.ct = ContentTypeBinary
+			st.body = AppendBinaryBatch(nil, ts, ds)
+			if len(ds) == 0 { // binary format can't express a mismatch; corrupt instead
+				st.body = st.body[:len(st.body)-3]
+			}
+		} else {
+			st.body = []byte(fmt.Sprintf(`{"t":%s,"demand":%s}`, jsonInts(ts), jsonInts(ds)))
+		}
+		steps = append(steps, st)
+	}
+
+	for i, st := range steps {
+		ss, sb := rawReq(t, st.method, syncTS.URL+st.path, st.ct, st.body)
+		as, ab := rawReq(t, st.method, asyncTS.URL+st.path, st.ct, st.body)
+		if ss != as || !bytes.Equal(sb, ab) {
+			t.Fatalf("step %d %s: sync %d %q, async %d %q", i, st.path, ss, sb, as, ab)
+		}
+	}
+	for _, id := range ids {
+		for _, q := range []string{"/curves", "/verdict"} {
+			ss, sb := rawReq(t, "GET", syncTS.URL+"/v1/streams/"+id+q, "", nil)
+			as, ab := rawReq(t, "GET", asyncTS.URL+"/v1/streams/"+id+q, "", nil)
+			if ss != as || !bytes.Equal(sb, ab) {
+				t.Fatalf("%s%s: sync %d %q, async %d %q", id, q, ss, sb, as, ab)
+			}
+		}
+	}
+}
+
+// TestAsyncConcurrentIngest hammers the pipeline from many goroutines —
+// several streams per shard so one worker wakeup sees multiple groups, and
+// enough concurrency that batches genuinely coalesce — then checks global
+// consistency: every accepted sample is visible in its stream's total, and
+// the worker-side metrics agree with the responses the clients saw.
+func TestAsyncConcurrentIngest(t *testing.T) {
+	sc := stream.Config{Window: 64, MaxK: 8, ReextractEvery: 17}
+	srv, err := New(asyncTestConfig(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const goroutines = 8
+	const batches = 30
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("s%d", g) // one stream per goroutine: order stays deterministic
+			for i := 0; i < batches; i++ {
+				base := int64(i * 4)
+				body := fmt.Sprintf(`{"t":[%d,%d,%d],"demand":[1,2,3]}`, base+1, base+2, base+3)
+				resp, err := http.Post(ts.URL+"/v1/streams/"+id+"/ingest", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("stream %s batch %d: status %d", id, i, resp.StatusCode)
+					return
+				}
+				accepted.Add(3)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var total int64
+	for g := 0; g < goroutines; g++ {
+		status, m := doJSON(t, "GET", ts.URL+fmt.Sprintf("/v1/streams/s%d/verdict", g), "")
+		if status != http.StatusOK {
+			t.Fatalf("verdict s%d: status %d", g, status)
+		}
+		total += int64(m["total"].(float64))
+	}
+	if total != accepted.Load() {
+		t.Fatalf("streams hold %d samples, clients were acked %d", total, accepted.Load())
+	}
+	if got := srv.metrics.samples.Load(); int64(got) != accepted.Load() {
+		t.Fatalf("samples counter %d, acked %d", got, accepted.Load())
+	}
+	if srv.metrics.coalesce.Count() == 0 {
+		t.Fatal("coalesce histogram saw no drains")
+	}
+}
+
+// TestShutdownDrainsInflight closes the server while ingests are in flight
+// and verifies the drain contract: every batch a client got a 200 for is
+// present in stream state afterwards, no handler hangs, and post-Close
+// ingests still succeed via the synchronous fallback.
+func TestShutdownDrainsInflight(t *testing.T) {
+	sc := stream.Config{Window: 64, MaxK: 8}
+	srv, err := New(asyncTestConfig(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const goroutines = 6
+	var acked [goroutines]int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			id := fmt.Sprintf("d%d", g)
+			for i := 0; ; i++ {
+				base := int64(i * 3)
+				body := fmt.Sprintf(`{"t":[%d,%d],"demand":[1,1]}`, base+1, base+2)
+				resp, err := http.Post(ts.URL+"/v1/streams/"+id+"/ingest", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("stream %s batch %d: status %d", id, i, resp.StatusCode)
+					return
+				}
+				acked[g] += 2
+				if i >= 40 { // enough iterations that Close lands mid-traffic
+					return
+				}
+			}
+		}(g)
+	}
+	close(start)
+	srv.Close() // races the in-flight ingests on purpose
+	wg.Wait()
+
+	for g := 0; g < goroutines; g++ {
+		status, m := doJSON(t, "GET", ts.URL+fmt.Sprintf("/v1/streams/d%d/verdict", g), "")
+		if status != http.StatusOK {
+			t.Fatalf("verdict d%d: status %d", g, status)
+		}
+		if total := int64(m["total"].(float64)); total != acked[g] {
+			t.Fatalf("stream d%d holds %d samples, client was acked %d", g, total, acked[g])
+		}
+	}
+
+	// The pipeline is gone; ingest must keep working synchronously.
+	status, m := doJSON(t, "POST", ts.URL+"/v1/streams/late/ingest", `{"t":[1,2],"demand":[5,5]}`)
+	if status != http.StatusOK || m["accepted"].(float64) != 2 {
+		t.Fatalf("post-Close ingest: status %d, body %v", status, m)
+	}
+	srv.Close() // idempotent
+}
+
+// TestAsyncMetricsExposition checks the pipeline's scrape-time surface:
+// the coalesce histogram and the per-shard queue-depth gauge appear when
+// the pipeline is on, and neither leaks into a synchronous server's scrape.
+func TestAsyncMetricsExposition(t *testing.T) {
+	sc := stream.Config{Window: 32, MaxK: 8}
+	srv, err := New(asyncTestConfig(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, _ := doJSON(t, "POST", ts.URL+"/v1/streams/m/ingest", `{"t":[1,2,3],"demand":[4,5,6]}`)
+	if status != http.StatusOK {
+		t.Fatalf("ingest: status %d", status)
+	}
+	body := string(getBody(t, ts.URL+"/metrics"))
+	for _, want := range []string{
+		"wcmd_ingest_coalesce_batches_count 1",
+		`wcmd_ingest_coalesce_batches_bucket{le="1"} 1`,
+		`wcmd_ingest_queue_depth{shard="0"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("async /metrics missing %q", want)
+		}
+	}
+
+	syncTS := newTestServer(t, Config{Stream: sc})
+	body = string(getBody(t, syncTS.URL+"/metrics"))
+	if strings.Contains(body, "wcmd_ingest_queue_depth") {
+		t.Error("sync /metrics exposes queue depth")
+	}
+}
+
+// TestAsyncConfigValidation: negative pipeline knobs must fail at startup.
+func TestAsyncConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{{IngestRing: -1}, {CoalesceBudget: -1}} {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	// CoalesceBudget without IngestRing is inert but legal.
+	if _, err := New(Config{CoalesceBudget: 4}); err != nil {
+		t.Fatal(err)
+	}
+}

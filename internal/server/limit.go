@@ -25,9 +25,16 @@ const (
 // happy path and overload never blocks — excess requests are shed
 // immediately with 429 (reads may instead fall back to a degraded cached
 // answer; see the shed handlers in server.go).
+// cur is bumped twice by every admitted request (acquire/release) from
+// whichever core the handler runs on, so it gets a cache line to itself:
+// without the spacers, cur and shed of the two limiters allocated together
+// could land on one line and every ingest admission would invalidate the
+// read path's admission line.
 type inflightLimiter struct {
 	max  int64
+	_    [64 - 8]byte
 	cur  atomic.Int64
+	_    [64 - 8]byte
 	shed atomic.Uint64
 }
 

@@ -40,17 +40,33 @@ var stageNames = []string{stageDecode, stageUpdate, stageRender, stageCacheHit, 
 // never block (or be blocked by) request handling. Adding a route without
 // listing its name in newMetrics is a programming error that endpoint()
 // turns into a startup panic, not a silent data race.
+// The hot counters are grouped by the path that bumps them, with cache-line
+// spacers between the groups: ingest-path counters share a line with each
+// other (they are bumped together, by the same goroutine per batch) but not
+// with the read-path counters, so a stream of ingests does not invalidate
+// the line that concurrent query traffic is bumping, and vice versa — the
+// same false-sharing repair as stream.Stream's version counter.
 type metrics struct {
-	start   time.Time
+	start time.Time
+
+	_       [64]byte      // ingest-path counters on their own cache line
 	samples atomic.Uint64 // demand samples accepted
 	batches atomic.Uint64 // ingest batches accepted
 	// ingest batches whose result carried a fresh contract violation
 	violatingBatches atomic.Uint64
 	binaryBatches    atomic.Uint64 // ingest batches decoded from the binary format
-	cacheHits        atomic.Uint64 // query responses replayed from the version-keyed cache
-	cacheMisses      atomic.Uint64 // query responses that had to be computed
-	panics           atomic.Uint64 // handler panics caught by the recovery barrier
-	degraded         atomic.Uint64 // responses served from a stale cache marked degraded
+
+	_           [64 - 4*8]byte // read-path counters on the next line
+	cacheHits   atomic.Uint64  // query responses replayed from the version-keyed cache
+	cacheMisses atomic.Uint64  // query responses that had to be computed
+
+	_        [64 - 2*8]byte // cold/error counters off both hot lines
+	panics   atomic.Uint64  // handler panics caught by the recovery barrier
+	degraded atomic.Uint64  // responses served from a stale cache marked degraded
+
+	// coalesce records batches-fused-per-worker-wakeup when the async
+	// ingest pipeline is on (1 = no coalescing happened for that drain).
+	coalesce obs.CountHist
 
 	build buildInfo
 
@@ -154,6 +170,10 @@ type gauges struct {
 	shedIngest, shedRead         uint64 // requests turned away, cumulative
 	limitIngest, limitRead       int64  // configured caps (0 = unlimited)
 	inflightIngest, inflightRead int64  // currently executing requests
+
+	// queueDepths samples each shard's ingest ring occupancy at scrape
+	// time; nil when the async pipeline is off.
+	queueDepths []int
 }
 
 // ---- Prometheus text exposition ---------------------------------------------
@@ -269,6 +289,25 @@ func (m *metrics) write(w io.Writer, g gauges) {
 		"# TYPE wcmd_inflight_requests gauge\n"+
 		"wcmd_inflight_requests{class=\"ingest\"} %d\nwcmd_inflight_requests{class=\"read\"} %d\n",
 		g.inflightIngest, g.inflightRead)
+
+	if s := m.coalesce.Snapshot(); s.Count > 0 || g.queueDepths != nil {
+		fmt.Fprintf(w, "# HELP wcmd_ingest_coalesce_batches Ingest batches fused per async worker wakeup (1 = no coalescing).\n"+
+			"# TYPE wcmd_ingest_coalesce_batches histogram\n")
+		for i := 0; i < obs.CountNumBuckets; i++ {
+			fmt.Fprintf(w, "wcmd_ingest_coalesce_batches_bucket{le=\"%s\"} %d\n",
+				formatLe(obs.CountUpperBound(i)), s.CumulativeCount(i))
+		}
+		fmt.Fprintf(w, "wcmd_ingest_coalesce_batches_bucket{le=\"+Inf\"} %d\n", s.Count)
+		fmt.Fprintf(w, "wcmd_ingest_coalesce_batches_sum %d\n", s.Sum)
+		fmt.Fprintf(w, "wcmd_ingest_coalesce_batches_count %d\n", s.Count)
+	}
+	if g.queueDepths != nil {
+		fmt.Fprintf(w, "# HELP wcmd_ingest_queue_depth Enqueued ingest jobs waiting in each shard's ring at scrape time.\n"+
+			"# TYPE wcmd_ingest_queue_depth gauge\n")
+		for i, d := range g.queueDepths {
+			fmt.Fprintf(w, "wcmd_ingest_queue_depth{shard=\"%d\"} %d\n", i, d)
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP wcmd_build_info Build metadata; the value is always 1.\n"+
 		"# TYPE wcmd_build_info gauge\n"+

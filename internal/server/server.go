@@ -130,6 +130,18 @@ type Config struct {
 	// Fault). Empty in production; wcmd only exposes -inject-fault behind
 	// the faultinject build tag.
 	Faults []Fault
+	// IngestRing enables the async ingest pipeline: each registry shard
+	// gets an SPSC ring of this capacity (rounded up to a power of two)
+	// and a dedicated worker goroutine that drains it, coalescing batches
+	// that arrived concurrently into single fused stream updates (see
+	// async.go). 0 keeps ingest synchronous — the right default for
+	// embedded uses (tests, libraries) that never call Server.Close;
+	// wcmd turns it on via -ingest-ring. Negative is invalid.
+	IngestRing int
+	// CoalesceBudget caps how many queued jobs one worker wakeup drains
+	// and fuses (only meaningful with IngestRing > 0). 0 picks
+	// DefaultCoalesceBudget; negative is invalid.
+	CoalesceBudget int
 }
 
 // Server is the wcmd HTTP service: a sharded registry of streams plus the
@@ -148,6 +160,11 @@ type Server struct {
 	limIngest *inflightLimiter // nil = unlimited
 	limRead   *inflightLimiter // nil = unlimited
 	faults    map[string]Fault // nil = no fault injection
+
+	// Async ingest pipeline (nil/zero when Config.IngestRing == 0).
+	pipes   []*ingestPipe // one per shard, index-aligned with shards
+	workers sync.WaitGroup
+	closing atomic.Bool
 
 	// Hot-path stage histograms, resolved once so handlers skip the
 	// stage-name map lookup per request.
@@ -246,6 +263,18 @@ func New(cfg Config) (*Server, error) {
 	for i := range s.shards {
 		s.shards[i] = &shard{streams: make(map[string]*entry)}
 	}
+	if cfg.IngestRing < 0 || cfg.CoalesceBudget < 0 {
+		return nil, fmt.Errorf("server: ingest ring=%d coalesce=%d", cfg.IngestRing, cfg.CoalesceBudget)
+	}
+	if cfg.IngestRing > 0 {
+		budget := cfg.CoalesceBudget
+		if budget == 0 {
+			budget = DefaultCoalesceBudget
+		}
+		if err := s.startPipeline(cfg.IngestRing, budget); err != nil {
+			return nil, err
+		}
+	}
 	s.routes()
 	return s, nil
 }
@@ -285,10 +314,16 @@ func (s *Server) routes() {
 // Handler returns the service's root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-func (s *Server) shardFor(id string) *shard {
+// shardIndex maps a stream id to its registry shard — and, when the async
+// ingest pipeline is on, to the dedicated ingest worker for that shard.
+func (s *Server) shardIndex(id string) uint32 {
 	h := fnv.New32a()
 	io.WriteString(h, id)
-	return s.shards[h.Sum32()%uint32(len(s.shards))]
+	return h.Sum32() % uint32(len(s.shards))
+}
+
+func (s *Server) shardFor(id string) *shard {
+	return s.shards[s.shardIndex(id)]
 }
 
 // get returns the entry for id, or nil.
@@ -602,6 +637,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.faults != nil {
 		s.fire("ingest:update", e)
+	}
+	if s.pipes != nil && s.ingestAsync(w, r, sc, tDecoded, id, e, created, ts, ds) {
+		return
 	}
 	res, err := e.st.Ingest(ts, ds)
 	tUpdated := time.Now()
@@ -1476,5 +1514,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		limitRead:      s.limRead.Limit(),
 		inflightIngest: s.limIngest.Inflight(),
 		inflightRead:   s.limRead.Inflight(),
+
+		queueDepths: s.asyncDepths(),
 	})
 }

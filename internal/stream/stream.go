@@ -87,13 +87,17 @@ type Stream struct {
 	// forced re-extractions). It is bumped under mu before the mutating
 	// call returns and is readable WITHOUT the lock, so version-keyed
 	// caches (internal/server) can validate a hit with one atomic load.
+	//
+	// version and lastMut are the only fields read lock-free while ingest
+	// is writing everything around them, so they get their own cache line:
+	// without the padding, every cache-validation load on a read path would
+	// ping-pong the line that mu and the ring bookkeeping are being written
+	// through (false sharing — one of the contention sources behind the
+	// multicore ingest cliff).
+	_       [64]byte
 	version atomic.Int64
-
-	// lastMut is the wall-clock time of the last version bump (unix
-	// nanoseconds; 0 until the first mutation), readable without the lock —
-	// the staleness accessor behind LastMutation that lets a degraded read
-	// report how old the state it served is.
 	lastMut atomic.Int64
+	_       [64 - 16]byte
 
 	demands []int64 // ring of the last ≤ window raw demands
 	times   []int64 // ring of the last ≤ window raw timestamps
@@ -116,6 +120,7 @@ type Stream struct {
 	// steady state.
 	obsT, obsD  [1]int64 // Observe's single-sample batch
 	scratchPre  []int64  // per-chunk prefix sums fed to pre.PushBatch
+	scratchTs   []int64  // per-chunk fused timestamps (IngestBatches)
 	scratchData []int64
 	scratchUp   []int64
 	scratchLo   []int64
@@ -179,19 +184,32 @@ func (s *Stream) Ingest(ts, demands []int64) (IngestResult, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	last := s.lastT
+	if _, err := validateBatch(ts, demands, s.lastT); err != nil {
+		return IngestResult{}, err
+	}
+	return s.ingestLocked(ts, demands)
+}
+
+// validateBatch checks one pre-sized batch against the stream's ordering and
+// sign invariants, starting from `last` (the newest timestamp already
+// accepted). On success it returns the batch's final timestamp, so runs of
+// batches can be validated back to back without touching stream state. It is
+// the single source of truth for ingest validation — Ingest and
+// IngestBatches must reject exactly the same batches with exactly the same
+// errors for the async pipeline to be response-identical to the sync path.
+func validateBatch(ts, demands []int64, last int64) (int64, error) {
 	for i := range ts {
 		if ts[i] < last {
-			return IngestResult{}, fmt.Errorf("%w: timestamp %d at index %d precedes %d",
+			return 0, fmt.Errorf("%w: timestamp %d at index %d precedes %d",
 				ErrBadBatch, ts[i], i, last)
 		}
 		last = ts[i]
 		if demands[i] < 0 {
-			return IngestResult{}, fmt.Errorf("%w: negative demand %d at index %d",
+			return 0, fmt.Errorf("%w: negative demand %d at index %d",
 				ErrBadBatch, demands[i], i)
 		}
 	}
-	return s.ingestLocked(ts, demands)
+	return last, nil
 }
 
 // Observe ingests a single sample with a caller-supplied clock reading,
@@ -286,6 +304,212 @@ func (s *Stream) ingestLocked(ts, demands []int64) (IngestResult, error) {
 	res.Violations = s.violations
 	res.Drift = s.drift
 	return res, nil
+}
+
+// Batch is one ingest request's samples, as queued by the async pipeline.
+type Batch struct {
+	Ts      []int64
+	Demands []int64
+}
+
+// BatchResult reports the outcome of one Batch of an IngestBatches call:
+// exactly what the corresponding Ingest call would have returned.
+type BatchResult struct {
+	Res IngestResult
+	Err error
+}
+
+// IngestBatches ingests a sequence of batches under ONE lock acquisition,
+// fusing runs of consecutive valid batches into shared Inc.PushBatch scans —
+// the cross-request coalescing behind the async ingest pipeline. Results are
+// written into the caller-supplied results slice (len(results) must equal
+// len(batches); both are typically reused worker scratch, so steady-state
+// ingest stays allocation-free).
+//
+// Per batch, the outcome is EXACTLY what a sequential Ingest call would have
+// produced: an invalid batch records its validation error, changes no state,
+// and does not break later batches (they validate against the timestamps
+// actually accepted so far); a valid batch records the same counts, total,
+// violation attribution, and one version bump. Fusion never moves anchor
+// re-extractions — chunks still split at the same absolute sample positions
+// — so incremental state, drift accounting, and rebase timing are
+// bit-identical to the sequential path (Inc.PushBatch is split-invariant).
+//
+// The one knowing divergence: if the batch kernel or the contract monitor
+// errors mid-run (unreachable after validation — see applyRunLocked), a
+// fused run may have applied more of the failing and following batches'
+// samples than sequential ingest would have before reporting the error.
+func (s *Stream) IngestBatches(batches []Batch, results []BatchResult) {
+	if len(batches) != len(results) {
+		panic(fmt.Sprintf("stream: IngestBatches with %d batches, %d results", len(batches), len(results)))
+	}
+	if len(batches) == 0 {
+		return
+	}
+	for i := range results {
+		results[i] = BatchResult{} // results are reused scratch: clear stale state
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := 0
+	for i < len(batches) {
+		b := batches[i]
+		if len(b.Ts) == 0 || len(b.Ts) != len(b.Demands) {
+			results[i] = BatchResult{Err: fmt.Errorf("%w: %d timestamps, %d demands",
+				ErrBadBatch, len(b.Ts), len(b.Demands))}
+			i++
+			continue
+		}
+		last, err := validateBatch(b.Ts, b.Demands, s.lastT)
+		if err != nil {
+			results[i] = BatchResult{Err: err}
+			i++
+			continue
+		}
+		// Extend the run through every consecutive batch that stays valid
+		// against the timestamps the run will have accepted by then.
+		j := i + 1
+		for j < len(batches) {
+			nb := batches[j]
+			if len(nb.Ts) == 0 || len(nb.Ts) != len(nb.Demands) {
+				break
+			}
+			nlast, err := validateBatch(nb.Ts, nb.Demands, last)
+			if err != nil {
+				break
+			}
+			last = nlast
+			j++
+		}
+		s.applyRunLocked(batches[i:j], results[i:j])
+		i = j
+	}
+}
+
+// applyRunLocked applies a pre-validated run of batches as one fused sample
+// sequence. Chunks split only at anchor boundaries (never at batch
+// boundaries), so a single Inc scan pass serves every request in the run;
+// per-batch results are recorded as the walk crosses each batch's last
+// sample, reproducing sequential attribution of totals, violations, and
+// drift. Anchor rule: a batch ending exactly on an anchor position records
+// its result AFTER that anchor runs (sequentially the anchor fires inside
+// that batch's ingest); a batch ending mid-chunk records before it.
+func (s *Stream) applyRunLocked(run []Batch, results []BatchResult) {
+	w64 := int64(s.window)
+	base := s.total // flat positions below are relative to this
+	remaining := 0
+	for _, b := range run {
+		remaining += len(b.Ts)
+	}
+	bi, off := 0, 0    // walk cursor: next sample is run[bi].Ts[off]
+	rec := 0           // batches 0..rec-1 have recorded results
+	flat := int64(0)   // samples of the run recorded so far
+	record := func() { // record run[rec], which just ended, and bump
+		flat += int64(len(run[rec].Ts))
+		results[rec] = BatchResult{Res: IngestResult{
+			Accepted:   len(run[rec].Ts),
+			Total:      base + flat,
+			Violation:  results[rec].Res.Violation,
+			Violations: s.violations,
+			Drift:      s.drift,
+		}}
+		s.bumpLocked()
+		rec++
+	}
+	fail := func(err error) { // unreachable in practice; see IngestBatches
+		for ; rec < len(run); rec++ {
+			results[rec] = BatchResult{Err: err}
+			s.bumpLocked()
+		}
+	}
+	for remaining > 0 {
+		n := remaining
+		if s.reint > 0 {
+			if to := s.reint - s.sinceAnchor; to < n {
+				n = to
+			}
+		}
+		// Gather the chunk across batch boundaries: rings, fused prefix
+		// sums, fused timestamps.
+		s.scratchPre = s.scratchPre[:0]
+		s.scratchTs = s.scratchTs[:0]
+		p := s.prefixLast
+		gbi, goff := bi, off
+		for taken := 0; taken < n; {
+			b := run[gbi]
+			take := len(b.Ts) - goff
+			if take > n-taken {
+				take = n - taken
+			}
+			for x := 0; x < take; x++ {
+				slot := (s.total + int64(taken+x)) % w64
+				s.demands[slot] = b.Demands[goff+x]
+				s.times[slot] = b.Ts[goff+x]
+				p += b.Demands[goff+x]
+				s.scratchPre = append(s.scratchPre, p)
+			}
+			s.scratchTs = append(s.scratchTs, b.Ts[goff:goff+take]...)
+			taken += take
+			goff += take
+			if goff == len(b.Ts) {
+				gbi++
+				goff = 0
+			}
+		}
+		s.total += int64(n)
+		s.lastT = s.scratchTs[n-1]
+		s.prefixLast = p
+		s.pre.PushBatch(s.scratchPre)
+		if s.spi != nil {
+			s.spi.PushBatch(s.scratchTs)
+		}
+		remaining -= n
+		// Walk the chunk's samples for monitor checks and batch-boundary
+		// crossings. endsAtChunk notes a batch whose last sample is the
+		// chunk's last sample: it records after the anchor below.
+		endsAtChunk := false
+		for t := 0; t < n; t++ {
+			b := run[bi]
+			if s.monitor != nil {
+				v, err := s.monitor.Push(b.Demands[off])
+				if err != nil {
+					fail(err)
+					return
+				}
+				if v != nil {
+					s.violations++
+					if s.firstViol == nil {
+						s.firstViol = v
+					}
+					if results[bi].Res.Violation == nil {
+						results[bi].Res.Violation = v
+					}
+				}
+			}
+			off++
+			if off == len(b.Ts) {
+				if t == n-1 {
+					endsAtChunk = true
+				} else {
+					record()
+				}
+				bi++
+				off = 0
+			}
+		}
+		if s.reint > 0 {
+			s.sinceAnchor += n
+			if s.sinceAnchor >= s.reint {
+				if err := s.reextractLocked(); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}
+		if endsAtChunk {
+			record()
+		}
+	}
 }
 
 // Version returns the stream's mutation counter: it increases (and never
@@ -384,7 +608,14 @@ func (s *Stream) reextractLocked() error {
 	effK := s.effKLocked()
 	s.scratchUp = grow(s.scratchUp, effK+1)
 	s.scratchLo = grow(s.scratchLo, effK+1)
-	if err := kernel.ExtractInto(s.scratchData, effK, kernel.Options{}, s.scratchUp, s.scratchLo); err != nil {
+	// Workers: 1 — the anchor runs under the stream mutex, and the kernel's
+	// pool (its default at this window·K size) would spawn GOMAXPROCS
+	// goroutines per anchor while holding it: scheduler allocations (malg/
+	// allocm) on the ingest hot path — the 4-proc "0 → 189 allocs/op"
+	// regression — plus worker fan-out behind the most contended lock in
+	// the service. Single-threaded extraction here is also what keeps each
+	// registry shard's ingest goroutine independent of the others.
+	if err := kernel.ExtractInto(s.scratchData, effK, kernel.Options{Workers: 1}, s.scratchUp, s.scratchLo); err != nil {
 		return err
 	}
 	s.scratchUp2, s.scratchLo2 = s.pre.AppendCurves(s.scratchUp2[:0], s.scratchLo2[:0])
@@ -394,7 +625,7 @@ func (s *Stream) reextractLocked() error {
 	if s.spi != nil && n >= 2 {
 		s.scratchData = s.orderedLocked(s.scratchData[:0], s.times)
 		off := effK - 1
-		if err := kernel.ExtractInto(s.scratchData, off, kernel.Options{}, s.scratchUp, s.scratchLo); err != nil {
+		if err := kernel.ExtractInto(s.scratchData, off, kernel.Options{Workers: 1}, s.scratchUp, s.scratchLo); err != nil {
 			return err
 		}
 		s.scratchUp2, s.scratchLo2 = s.spi.AppendCurves(s.scratchUp2[:0], s.scratchLo2[:0])
