@@ -50,6 +50,7 @@ import (
 	"wcm/internal/kernel"
 	"wcm/internal/server"
 	"wcm/internal/stream"
+	"wcm/internal/wal"
 )
 
 // Measurement is one benchmark's outcome.
@@ -484,6 +485,76 @@ func run(opts options) (*Report, error) {
 		asyncSrv.Close()
 		report.Speedups["ingest_async_vs_sync"] = httpAsync.SamplesPerSec /
 			(float64(len(batchDemands)) / (httpBinary.NsPerOp / 1e9))
+
+		// Durable ingest, same binary wire format with the WAL on. Two
+		// shapes, because the fsync policies are built for different paths:
+		// "always" is measured on the serial synchronous path (one fsync
+		// per request — its contract), while "batch" is measured through
+		// the async pipeline with concurrent clients, where its one
+		// fsync-per-worker-wakeup amortizes over every coalesced batch.
+		// wal_overhead is the fraction of in-memory throughput the default
+		// deployment (async + fsync=batch) retains vs the same pipeline
+		// without a WAL.
+		openWAL := func(pol wal.Policy) (*wal.Manager, string, error) {
+			dir, err := os.MkdirTemp("", "benchwal")
+			if err != nil {
+				return nil, "", err
+			}
+			m, err := wal.Open(wal.Options{
+				Dir: dir, Shards: server.DefaultShards, Policy: pol, Stream: ingestCfg,
+			})
+			if err != nil {
+				os.RemoveAll(dir) //nolint:errcheck
+				return nil, "", err
+			}
+			return m, dir, nil
+		}
+		alwaysM, alwaysDir, err := openWAL(wal.PolicyAlways)
+		if err != nil {
+			return nil, err
+		}
+		walSyncSrv, err := server.New(server.Config{Stream: ingestCfg, SelfCurves: true, WAL: alwaysM})
+		if err != nil {
+			return nil, err
+		}
+		wb := newIngestBench(walSyncSrv.Handler(), "w", server.ContentTypeBinary, batchDemands, 3)
+		walAlways := measure("ingest_wal_always", minTime, func() { wb.op(true) })
+		walAlways.SamplesPerSec = float64(len(batchDemands)) / (walAlways.NsPerOp / 1e9)
+		add(walAlways)
+		walSyncSrv.Close()
+		os.RemoveAll(alwaysDir) //nolint:errcheck
+
+		batchM, batchDir, err := openWAL(wal.PolicyBatch)
+		if err != nil {
+			return nil, err
+		}
+		walAsyncSrv, err := server.New(server.Config{
+			Stream: ingestCfg, SelfCurves: true, IngestRing: 1024, WAL: batchM,
+		})
+		if err != nil {
+			return nil, err
+		}
+		wab := make([]*ingestBench, clients)
+		for i := range wab {
+			wab[i] = newIngestBench(walAsyncSrv.Handler(), "wa"+strconv.Itoa(i),
+				server.ContentTypeBinary, batchDemands, 3)
+		}
+		walBatch := measure("ingest_wal_batch", minTime, func() {
+			var wg sync.WaitGroup
+			for i := range wab {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					wab[i].op(true)
+				}(i)
+			}
+			wg.Wait()
+		})
+		walBatch.SamplesPerSec = float64(clients*len(batchDemands)) / (walBatch.NsPerOp / 1e9)
+		add(walBatch)
+		walAsyncSrv.Close()
+		os.RemoveAll(batchDir) //nolint:errcheck
+		report.Speedups["wal_overhead"] = walBatch.SamplesPerSec / httpAsync.SamplesPerSec
 
 		// Query: version-keyed cache hit via the handler vs recomputing the
 		// same answer from a fresh snapshot each op.

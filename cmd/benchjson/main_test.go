@@ -20,7 +20,7 @@ func toyOptions(t *testing.T, procs []int) options {
 
 // TestRunWritesReport runs the harness at a toy size and checks the JSON
 // it emits is well-formed and internally consistent: 5 extraction results
-// plus 6 serving results per requested GOMAXPROCS value, each stamped with
+// plus 9 serving results per requested GOMAXPROCS value, each stamped with
 // the GOMAXPROCS it ran under.
 func TestRunWritesReport(t *testing.T) {
 	opts := toyOptions(t, []int{1, 2})
@@ -36,7 +36,7 @@ func TestRunWritesReport(t *testing.T) {
 	if err := json.Unmarshal(raw, &decoded); err != nil {
 		t.Fatalf("emitted JSON does not parse: %v", err)
 	}
-	want := 5 + 7*len(opts.procs)
+	want := 5 + 9*len(opts.procs)
 	if len(decoded.Results) != want {
 		t.Fatalf("got %d results, want %d", len(decoded.Results), want)
 	}
@@ -61,6 +61,7 @@ func TestRunWritesReport(t *testing.T) {
 	for _, name := range []string{
 		"ingest_single_stream", "ingest_sharded_streams",
 		"ingest_http_json", "ingest_http_binary", "ingest_async_pipeline",
+		"ingest_wal_always", "ingest_wal_batch",
 		"query_check_cached", "query_check_uncached",
 	} {
 		for _, p := range opts.procs {
@@ -84,6 +85,7 @@ func TestRunWritesReport(t *testing.T) {
 	for _, key := range []string{
 		"workload", "spans", "admits", "ingest_scaling", "ingest_sharding_gain",
 		"ingest_binary_vs_json", "ingest_async_vs_sync", "query_cached_vs_uncached",
+		"wal_overhead",
 	} {
 		if decoded.Speedups[key] <= 0 {
 			t.Fatalf("speedup %q = %v, want > 0", key, decoded.Speedups[key])

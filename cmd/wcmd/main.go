@@ -22,6 +22,14 @@
 // and are counted in wcmd_panics_total. Builds with the faultinject tag
 // additionally expose -inject-fault for resilience smoke tests.
 //
+// With -data-dir set, wcmd is durable: every acknowledged ingest batch is
+// in a per-shard write-ahead log before its 200 goes out (group-committed
+// per -fsync), streams are snapshotted every -snapshot-interval, and a
+// restart over the same directory replays snapshots + WAL tail before the
+// listener binds — kill -9 loses only unacknowledged batches. SIGTERM
+// additionally checkpoints and writes a clean-shutdown marker so the next
+// boot replays (nearly) nothing.
+//
 // The process drains in-flight requests and exits cleanly on SIGINT/SIGTERM.
 package main
 
@@ -42,6 +50,7 @@ import (
 	"wcm/internal/obs"
 	"wcm/internal/server"
 	"wcm/internal/stream"
+	"wcm/internal/wal"
 )
 
 // Transport-level defaults. ReadTimeout covers the whole request read
@@ -62,6 +71,12 @@ type serveOpts struct {
 	readTimeout  time.Duration
 	writeTimeout time.Duration
 	idleTimeout  time.Duration
+
+	// Durability settings; run opens the WAL itself (before the server,
+	// before the listener) so parseFlags stays side-effect free.
+	dataDir    string
+	fsync      wal.Policy
+	walSegment int64
 }
 
 func main() {
@@ -111,8 +126,20 @@ func parseFlags(args []string) (server.Config, serveOpts, error) {
 		"per-shard async ingest queue capacity; concurrent batches coalesce into fused stream updates (0 = synchronous ingest)")
 	coalesce := fs.Int("coalesce", server.DefaultCoalesceBudget,
 		"max queued ingest batches fused per pipeline worker wakeup")
+	dataDir := fs.String("data-dir", "",
+		"directory for the write-ahead log and snapshots; empty = in-memory only (no durability)")
+	fsyncMode := fs.String("fsync", "batch",
+		`WAL durability policy: "always" (fsync per coalesced group), "batch" (one fsync per worker wakeup), "none"`)
+	walSegment := fs.Int64("wal-segment", wal.DefaultSegmentBytes,
+		"WAL segment rotation size in bytes")
+	snapshotInterval := fs.Duration("snapshot-interval", time.Minute,
+		"how often to snapshot streams and truncate replayed WAL segments (0 disables periodic checkpoints)")
 	getFaults := addFaultFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return server.Config{}, serveOpts{}, err
+	}
+	fsync, err := wal.ParsePolicy(*fsyncMode)
+	if err != nil {
 		return server.Config{}, serveOpts{}, err
 	}
 	level, err := obs.ParseLevel(*logLevel)
@@ -144,6 +171,7 @@ func parseFlags(args []string) (server.Config, serveOpts, error) {
 		MaxInflightRead:   *maxInflightRead,
 		IngestRing:        *ingestRing,
 		CoalesceBudget:    *coalesce,
+		SnapshotInterval:  *snapshotInterval,
 		Faults:            faults,
 	}
 	opts := serveOpts{
@@ -151,6 +179,9 @@ func parseFlags(args []string) (server.Config, serveOpts, error) {
 		readTimeout:  *readTimeout,
 		writeTimeout: *writeTimeout,
 		idleTimeout:  *idleTimeout,
+		dataDir:      *dataDir,
+		fsync:        fsync,
+		walSegment:   *walSegment,
 	}
 	return cfg, opts, nil
 }
@@ -159,17 +190,44 @@ func parseFlags(args []string) (server.Config, serveOpts, error) {
 // gracefully. If ready is non-nil it receives the bound address once the
 // listener is up (so tests can use ":0").
 func run(ctx context.Context, cfg server.Config, opts serveOpts, ready chan<- net.Addr) error {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.Discard()
+	}
+	if opts.dataDir != "" {
+		shards := cfg.Shards
+		if shards == 0 {
+			shards = server.DefaultShards // mirror server.New's defaulting
+		}
+		m, err := wal.Open(wal.Options{
+			Dir:          opts.dataDir,
+			Shards:       shards,
+			SegmentBytes: opts.walSegment,
+			Policy:       opts.fsync,
+			Stream:       cfg.Stream,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.WAL = m
+		logger.Info("wcmd durability on",
+			slog.String("data_dir", opts.dataDir),
+			slog.String("fsync", opts.fsync.String()),
+			slog.Bool("clean_start", m.CleanStart()))
+	}
+	// server.New runs WAL recovery; the listener binds only after it
+	// returns, so no request can observe a half-replayed registry.
 	srv, err := server.New(cfg)
 	if err != nil {
+		if cfg.WAL != nil {
+			cfg.WAL.Close() //nolint:errcheck // already failing; keep the first error
+		}
 		return err
 	}
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
+		srv.Close()
 		return err
-	}
-	logger := cfg.Logger
-	if logger == nil {
-		logger = obs.Discard()
 	}
 	logger.Info("wcmd listening",
 		slog.String("addr", ln.Addr().String()),

@@ -15,6 +15,7 @@ import (
 
 	"wcm/internal/server"
 	"wcm/internal/stream"
+	"wcm/internal/wal"
 )
 
 func TestParseFlags(t *testing.T) {
@@ -305,5 +306,80 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	}
 	if !strings.Contains(fmt.Sprint(err), "shards") {
 		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestParseFlagsDurability(t *testing.T) {
+	cfg, opts, err := parseFlags([]string{
+		"-data-dir", "/tmp/wcmd-data", "-fsync", "always",
+		"-wal-segment", "65536", "-snapshot-interval", "30s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.dataDir != "/tmp/wcmd-data" || opts.fsync != wal.PolicyAlways || opts.walSegment != 65536 {
+		t.Fatalf("durability opts = %+v", opts)
+	}
+	if cfg.SnapshotInterval != 30*time.Second {
+		t.Fatalf("snapshot interval = %v", cfg.SnapshotInterval)
+	}
+	if _, _, err := parseFlags([]string{"-fsync", "sometimes"}); err == nil {
+		t.Fatal("bad -fsync accepted")
+	}
+	cfg, opts, err = parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.dataDir != "" || opts.fsync != wal.PolicyBatch || opts.walSegment != wal.DefaultSegmentBytes {
+		t.Fatalf("durability defaults = %+v", opts)
+	}
+	if cfg.SnapshotInterval != time.Minute {
+		t.Fatalf("snapshot interval default = %v", cfg.SnapshotInterval)
+	}
+}
+
+// TestDurableRestart is the process-level durability round trip: run with
+// -data-dir, ingest, shut down on the signal path, then boot a second run
+// over the same directory and require the stream back — with the clean
+// marker honored (clean_start true, nothing replayed from the log).
+func TestDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := server.Config{Shards: 4, Stream: stream.Config{Window: 64, MaxK: 16}}
+	opts := serveOpts{dataDir: dir, fsync: wal.PolicyBatch, walSegment: 1 << 20}
+	base, _, shutdown := startRun(t, cfg, opts)
+
+	body := `{"t":[0,100,200,300],"demand":[5,7,6,9]}`
+	resp, err := http.Post(base+"/v1/streams/cam/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d", resp.StatusCode)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("first run returned %v", err)
+	}
+
+	base, _, shutdown = startRun(t, cfg, opts)
+	defer shutdown() //nolint:errcheck
+	resp, err = http.Get(base + "/v1/streams/cam/curves")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), `"total":4`) {
+		t.Fatalf("restart lost the stream: %d %s", resp.StatusCode, raw)
+	}
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	hz := string(raw)
+	if !strings.Contains(hz, `"clean_start":true`) || !strings.Contains(hz, `"replayed_batches":0`) {
+		t.Fatalf("healthz after clean restart: %s", hz)
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"wcm/internal/ringbuf"
 	"wcm/internal/stream"
+	"wcm/internal/wal"
 )
 
 // The async ingest pipeline (Config.IngestRing > 0) restructures the ingest
@@ -75,6 +76,7 @@ var jobPool = sync.Pool{New: func() any {
 // contention moved off the stream mutex onto a critical section that does
 // no stream work), and the 1-slot wake signal for the worker.
 type ingestPipe struct {
+	idx    int // shard index, = position in Server.pipes/shards/walShards
 	ring   *ringbuf.SPSC[*ingestJob]
 	pushMu sync.Mutex
 	wake   chan struct{}
@@ -84,6 +86,11 @@ type ingestPipe struct {
 	group   []*ingestJob
 	batches []stream.Batch
 	results []stream.BatchResult
+
+	// pending collects jobs whose WAL records await the wakeup-wide group
+	// commit (fsync policy "batch"): applied and appended, not yet durable,
+	// their handlers still parked. Worker-owned.
+	pending []*ingestJob
 }
 
 // startPipeline builds the per-shard pipes and spawns their workers.
@@ -96,12 +103,14 @@ func (s *Server) startPipeline(ringCap, budget int) error {
 			return fmt.Errorf("server: ingest ring: %w", err)
 		}
 		p := &ingestPipe{
+			idx:     i,
 			ring:    ring,
 			wake:    make(chan struct{}, 1),
 			jobs:    make([]*ingestJob, budget),
 			group:   make([]*ingestJob, 0, budget),
 			batches: make([]stream.Batch, 0, budget),
 			results: make([]stream.BatchResult, budget),
+			pending: make([]*ingestJob, 0, budget),
 		}
 		s.pipes[i] = p
 		s.workers.Add(1)
@@ -110,24 +119,41 @@ func (s *Server) startPipeline(ringCap, budget int) error {
 	return nil
 }
 
-// Close shuts the async pipeline down: rings stop accepting work (handlers
-// fall back to synchronous ingest), workers drain and complete every job
-// already acknowledged into a ring, then exit. Safe to call multiple times
-// and on servers that never started the pipeline. The HTTP layer should
-// stop accepting requests first (http.Server.Shutdown) — wcmd does — but
-// even without that, post-Close ingests stay correct via the fallback.
+// Close shuts the server's background machinery down: the async rings stop
+// accepting work (handlers fall back to synchronous ingest) and workers
+// drain and complete every job already acknowledged into a ring; then, with
+// durability on, the checkpoint loop stops, a final checkpoint snapshots
+// every stream, and the WAL closes with its clean-shutdown marker — so a
+// restart replays (nearly) nothing. Safe to call multiple times and on
+// servers with neither subsystem. The HTTP layer should stop accepting
+// requests first (http.Server.Shutdown) — wcmd does — but even without
+// that, post-Close ingests stay correct via the fallback (they answer 500
+// once the WAL is closed, rather than acknowledging non-durable data).
 func (s *Server) Close() {
-	if s.pipes == nil || !s.closing.CompareAndSwap(false, true) {
+	if !s.closing.CompareAndSwap(false, true) {
 		return
 	}
-	for _, p := range s.pipes {
-		p.ring.Close()
-		select {
-		case p.wake <- struct{}{}:
-		default:
+	if s.pipes != nil {
+		for _, p := range s.pipes {
+			p.ring.Close()
+			select {
+			case p.wake <- struct{}{}:
+			default:
+			}
+		}
+		s.workers.Wait()
+	}
+	if s.wal != nil {
+		if s.ckStop != nil {
+			close(s.ckStop)
+			<-s.ckDone
+		}
+		s.checkpointAll()
+		if err := s.wal.Close(); err != nil {
+			s.logger.LogAttrs(context.Background(), slog.LevelError, "wal close failed",
+				slog.String("error", err.Error()))
 		}
 	}
-	s.workers.Wait()
 }
 
 // enqueueIngest hands a job to the shard's worker and reports whether it
@@ -205,18 +231,37 @@ func (s *Server) ingestWorker(p *ingestPipe) {
 					jobs[k] = nil
 				}
 			}
-			s.applyGroup(lead.e, p.group, p.batches, p.results[:len(p.group)])
+			s.applyGroup(p, lead.e, p.group, p.batches, p.results[:len(p.group)])
+		}
+		// Wakeup-wide group commit (fsync policy "batch"): every group of
+		// this drain is applied and appended; one fsync makes them all
+		// durable before ANY of their handlers is released.
+		if len(p.pending) > 0 {
+			if err := s.walShards[p.idx].Commit(); err != nil {
+				failPending(p.pending, err)
+			}
+			for _, job := range p.pending {
+				job.done <- struct{}{}
+			}
+			p.pending = p.pending[:0]
 		}
 	}
 }
 
 // applyGroup runs one stream's coalesced batches and completes their jobs:
 // per-job registry fixups (the same dropIfEmpty/ensureRegistered dance the
-// sync handler does), metrics, completion signal. A panic inside the stream
-// update is caught here — job owners are parked on done and MUST be
-// released — answered as 500s on every job of the group, mirroring the
-// handler-side recovery barrier.
-func (s *Server) applyGroup(e *entry, group []*ingestJob, batches []stream.Batch, results []stream.BatchResult) {
+// sync handler does), metrics, WAL logging, completion signal. A panic
+// inside the stream update is caught here — job owners are parked on done
+// and MUST be released — answered as 500s on every job of the group,
+// mirroring the handler-side recovery barrier (nothing was appended to the
+// WAL for a panicked group: the append comes after a successful apply).
+//
+// With durability on, successful jobs are appended to the shard's WAL
+// before their handlers are released; whether this group fsyncs now or
+// rides the wakeup-wide commit depends on the policy — "always" commits
+// per group, "batch" defers the jobs onto p.pending for one commit per
+// drain, "none" never waits for the disk.
+func (s *Server) applyGroup(p *ingestPipe, e *entry, group []*ingestJob, batches []stream.Batch, results []stream.BatchResult) {
 	panicked := func() (p any) {
 		defer func() { p = recover() }()
 		e.st.IngestBatches(batches, results)
@@ -251,7 +296,36 @@ func (s *Server) applyGroup(e *entry, group []*ingestJob, batches []stream.Batch
 				}
 			}
 		}
-		job.done <- struct{}{}
+	}
+	if s.wal == nil {
+		for _, job := range group {
+			job.done <- struct{}{}
+		}
+		return
+	}
+	s.walLogGroup(p.idx, e, group)
+	switch s.wal.Policy() {
+	case wal.PolicyAlways:
+		if err := s.walShards[p.idx].Commit(); err != nil {
+			failPending(group, err)
+		}
+		for _, job := range group {
+			job.done <- struct{}{}
+		}
+	case wal.PolicyBatch:
+		// Failed jobs have nothing awaiting durability; release them now.
+		// Successful ones park until the wakeup-wide commit in ingestWorker.
+		for _, job := range group {
+			if job.err != nil {
+				job.done <- struct{}{}
+			} else {
+				p.pending = append(p.pending, job)
+			}
+		}
+	default: // wal.PolicyNone
+		for _, job := range group {
+			job.done <- struct{}{}
+		}
 	}
 }
 

@@ -1,27 +1,25 @@
 package server
 
 import (
-	"encoding/binary"
-	"fmt"
+	"wcm/internal/wirefmt"
 )
 
 // ContentTypeBinary selects the columnar binary ingest format on
-// POST /v1/streams/{id}/ingest. The wire layout (all little-endian) is
+// POST /v1/streams/{id}/ingest. The wire layout lives in internal/wirefmt
+// (it is shared with the WAL record payloads of internal/wal): all
+// little-endian,
 //
 //	uint32  n        number of samples, ≥ 1
 //	int64×n t        timestamps, ingest order
 //	int64×n demand   per-activation cycle demands
 //
-// — exactly 4+16·n bytes, nothing else. Columnar (all timestamps, then all
-// demands) so the decoder writes two contiguous int64 runs instead of
-// interleaving, and a trailing truncation can never be mistaken for a
-// shorter valid batch: any length not matching the count is rejected.
+// — exactly 4+16·n bytes, nothing else.
 const ContentTypeBinary = "application/x-wcm-ingest"
 
 // binaryHeaderLen is the length prefix, binarySampleLen one (t, demand) pair.
 const (
-	binaryHeaderLen = 4
-	binarySampleLen = 16
+	binaryHeaderLen = wirefmt.HeaderLen
+	binarySampleLen = wirefmt.SampleLen
 )
 
 // AppendBinaryBatch appends the binary ingest encoding of the batch to dst
@@ -29,17 +27,7 @@ const (
 // the encoder is for clients (and benchmarks), which control their batches,
 // so it panics on misuse instead of returning an error.
 func AppendBinaryBatch(dst []byte, t, d []int64) []byte {
-	if len(t) != len(d) || len(t) == 0 {
-		panic(fmt.Sprintf("server: binary batch needs len(t)=len(d)≥1, got %d and %d", len(t), len(d)))
-	}
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(t)))
-	for _, v := range t {
-		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
-	}
-	for _, v := range d {
-		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
-	}
-	return dst
+	return wirefmt.AppendBatch(dst, t, d)
 }
 
 // decodeBinaryBatch decodes one binary ingest body into t and d, appending
@@ -47,25 +35,5 @@ func AppendBinaryBatch(dst []byte, t, d []int64) []byte {
 // zero-allocation steady state). It must never panic, whatever bytes
 // arrive — the fuzz harness feeds it arbitrary input.
 func decodeBinaryBatch(body []byte, t, d []int64) (ts, ds []int64, err error) {
-	if len(body) < binaryHeaderLen {
-		return t, d, fmt.Errorf("binary ingest: body %d bytes, need at least the %d-byte count prefix",
-			len(body), binaryHeaderLen)
-	}
-	n := int64(binary.LittleEndian.Uint32(body))
-	if n == 0 {
-		return t, d, fmt.Errorf("binary ingest: sample count is 0")
-	}
-	want := int64(binaryHeaderLen) + binarySampleLen*n
-	if int64(len(body)) != want {
-		return t, d, fmt.Errorf("binary ingest: count %d implies %d bytes, body has %d", n, want, len(body))
-	}
-	tcol := body[binaryHeaderLen:]
-	dcol := tcol[8*n:]
-	for i := int64(0); i < n; i++ {
-		t = append(t, int64(binary.LittleEndian.Uint64(tcol[8*i:])))
-	}
-	for i := int64(0); i < n; i++ {
-		d = append(d, int64(binary.LittleEndian.Uint64(dcol[8*i:])))
-	}
-	return t, d, nil
+	return wirefmt.DecodeBatch(body, t, d)
 }

@@ -24,9 +24,12 @@ const (
 	stageRender    = "render"     // response encode + write
 	stageCacheHit  = "cache_hit"  // cached query replayed from the version-keyed cache
 	stageCacheMiss = "cache_miss" // query computed from a fresh snapshot
+	stageWALAppend = "wal_append" // one WAL record framed + written to the segment
+	stageWALFsync  = "wal_fsync"  // one group-commit fsync of a shard's segment
 )
 
-var stageNames = []string{stageDecode, stageUpdate, stageRender, stageCacheHit, stageCacheMiss}
+var stageNames = []string{stageDecode, stageUpdate, stageRender, stageCacheHit, stageCacheMiss,
+	stageWALAppend, stageWALFsync}
 
 // metrics holds the service's counters and histograms. Per-endpoint and
 // per-stage cells are plain atomics updated on the request path; gauges
@@ -174,6 +177,10 @@ type gauges struct {
 	// queueDepths samples each shard's ingest ring occupancy at scrape
 	// time; nil when the async pipeline is off.
 	queueDepths []int
+
+	// wal carries the durability counters; nil when the server runs
+	// without a write-ahead log.
+	wal *walGauges
 }
 
 // ---- Prometheus text exposition ---------------------------------------------
@@ -307,6 +314,29 @@ func (m *metrics) write(w io.Writer, g gauges) {
 		for i, d := range g.queueDepths {
 			fmt.Fprintf(w, "wcmd_ingest_queue_depth{shard=\"%d\"} %d\n", i, d)
 		}
+	}
+
+	if g.wal != nil {
+		emit("Bytes appended to the write-ahead log.", "counter",
+			"wcmd_wal_bytes_total", g.wal.bytes)
+		emit("Records appended to the write-ahead log.", "counter",
+			"wcmd_wal_appends_total", g.wal.appends)
+		emit("Group-commit fsyncs of WAL segments.", "counter",
+			"wcmd_wal_fsyncs_total", g.wal.fsyncs)
+		emit("Torn WAL tails truncated during recovery (expect 0 or 1 per crash).", "counter",
+			"wcmd_wal_torn_tails_total", g.wal.torn)
+		emit("Ingest batches replayed from the WAL at boot.", "counter",
+			"wcmd_recovery_replayed_batches", g.wal.replayedBatches)
+		emit("Demand samples replayed from the WAL at boot.", "counter",
+			"wcmd_recovery_replayed_samples", g.wal.replayedSamples)
+		emit("Streams restored from snapshots and WAL replay at boot.", "counter",
+			"wcmd_recovery_streams", g.wal.recoveredStreams)
+		clean := 0
+		if g.wal.cleanStart {
+			clean = 1
+		}
+		emit("Whether this boot found a clean-shutdown marker (1) or ran crash recovery (0).",
+			"gauge", "wcmd_wal_clean_start", clean)
 	}
 
 	fmt.Fprintf(w, "# HELP wcmd_build_info Build metadata; the value is always 1.\n"+

@@ -69,6 +69,7 @@ import (
 	"wcm/internal/curve"
 	"wcm/internal/obs"
 	"wcm/internal/stream"
+	"wcm/internal/wal"
 )
 
 // Defaults for zero-valued Config fields.
@@ -142,6 +143,20 @@ type Config struct {
 	// and fuses (only meaningful with IngestRing > 0). 0 picks
 	// DefaultCoalesceBudget; negative is invalid.
 	CoalesceBudget int
+	// WAL enables durability: every acknowledged ingest batch is appended
+	// to this write-ahead log before the response goes out, and New
+	// replays the log's recovery state into the registry before returning
+	// (see durability.go). The manager must have been Opened with
+	// Shards == Config.Shards and the same stream config; its lifecycle
+	// belongs to the server once attached — Server.Close checkpoints and
+	// closes it. nil keeps the server purely in-memory (the default, and
+	// the zero-overhead path: no WAL branch is taken anywhere hot).
+	WAL *wal.Manager
+	// SnapshotInterval is the period of the background checkpoint loop
+	// (snapshot every live stream, truncate the WAL). 0 disables periodic
+	// checkpoints — Close still runs a final one. Only meaningful with
+	// WAL set.
+	SnapshotInterval time.Duration
 }
 
 // Server is the wcmd HTTP service: a sharded registry of streams plus the
@@ -165,6 +180,14 @@ type Server struct {
 	pipes   []*ingestPipe // one per shard, index-aligned with shards
 	workers sync.WaitGroup
 	closing atomic.Bool
+
+	// Durability (nil/zero when Config.WAL == nil; see durability.go).
+	wal        *wal.Manager
+	walShards  []*wal.ShardLog // index-aligned with shards
+	recovering atomic.Bool
+	recovered  recoveryStats
+	ckStop     chan struct{} // closes the checkpoint loop
+	ckDone     chan struct{} // checkpoint loop exited
 
 	// Hot-path stage histograms, resolved once so handlers skip the
 	// stage-name map lookup per request.
@@ -273,6 +296,16 @@ func New(cfg Config) (*Server, error) {
 		}
 		if err := s.startPipeline(cfg.IngestRing, budget); err != nil {
 			return nil, err
+		}
+	}
+	if cfg.WAL != nil {
+		if err := s.attachWAL(cfg.WAL); err != nil {
+			return nil, err
+		}
+		if cfg.SnapshotInterval > 0 {
+			s.ckStop = make(chan struct{})
+			s.ckDone = make(chan struct{})
+			go s.checkpointLoop(cfg.SnapshotInterval)
 		}
 	}
 	s.routes()
@@ -654,6 +687,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if err := s.ensureRegistered(id, e); err != nil {
 		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
 		return
+	}
+	if s.wal != nil {
+		// Durability before acknowledgement: the batch is applied, now it
+		// must survive a crash before the client is told it was accepted.
+		if err := s.walLogSync(id, e, res, ts, ds); err != nil {
+			writeJSON(w, http.StatusInternalServerError,
+				errorResponse{fmt.Sprintf("wal append failed: %v", err)})
+			return
+		}
 	}
 	s.metrics.samples.Add(uint64(res.Accepted))
 	s.metrics.batches.Add(1)
@@ -1134,17 +1176,42 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	sh := s.shardFor(id)
+	idx := s.shardIndex(id)
+	sh := s.shards[idx]
+	var walErr error
 	sh.mu.Lock()
 	e, ok := sh.streams[id]
 	if ok {
 		e.state.Store(entryDeleted)
 		delete(sh.streams, id)
+		if s.wal != nil {
+			// Under the shard write lock: every ingest append happens under
+			// the read lock with a not-deleted check, so no record for this
+			// incarnation can follow the tombstone.
+			walErr = s.walShards[idx].AppendTombstone(id)
+		}
 	}
 	sh.mu.Unlock()
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorResponse{"unknown stream"})
 		return
+	}
+	if s.wal != nil {
+		if walErr == nil {
+			walErr = s.walShards[idx].Commit()
+		}
+		if walErr != nil {
+			// The in-memory delete already happened; surface that durability
+			// did not — a recovery could resurrect this stream.
+			writeJSON(w, http.StatusInternalServerError,
+				errorResponse{fmt.Sprintf("stream deleted but wal tombstone failed: %v", walErr)})
+			return
+		}
+		if err := s.walShards[idx].RemoveSnapshot(id); err != nil {
+			writeJSON(w, http.StatusInternalServerError,
+				errorResponse{fmt.Sprintf("stream deleted but snapshot removal failed: %v", err)})
+			return
+		}
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -1152,22 +1219,32 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // ---- observability endpoints ------------------------------------------------
 
 type healthResponse struct {
-	Status        string  `json:"status"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	GoVersion     string  `json:"go_version"`
-	Version       string  `json:"version"`
-	Revision      string  `json:"revision"`
+	Status        string          `json:"status"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	GoVersion     string          `json:"go_version"`
+	Version       string          `json:"version"`
+	Revision      string          `json:"revision"`
+	Durability    *durabilityJSON `json:"durability,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	b := s.metrics.build
-	writeJSON(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
 		GoVersion:     b.goVersion,
 		Version:       b.version,
 		Revision:      b.revision,
-	})
+		Durability:    s.durabilityStatus(),
+	}
+	status := http.StatusOK
+	if s.Recovering() {
+		// Readiness, not liveness: hold traffic until WAL replay has every
+		// acknowledged batch back.
+		resp.Status = "recovering"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }
 
 // latencyStatsJSON summarizes one histogram for /v1/stats. Requests/Errors
@@ -1516,5 +1593,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		inflightRead:   s.limRead.Inflight(),
 
 		queueDepths: s.asyncDepths(),
+		wal:         s.walGaugesNow(),
 	})
 }

@@ -56,6 +56,13 @@ type Config struct {
 	ReextractEvery int
 }
 
+// Resolved returns the config with every zero field replaced by its
+// default — the exact parameters a stream built from c will run with.
+// Durability layers (internal/wal) persist the resolved form so a config
+// mismatch between the on-disk state and a restarted process is detected
+// by equality, defaults included.
+func (c Config) Resolved() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Window == 0 {
 		c.Window = DefaultWindow
@@ -166,6 +173,7 @@ func New(cfg Config) (*Stream, error) {
 type IngestResult struct {
 	Accepted   int             // samples in the batch
 	Total      int64           // samples ever ingested
+	Version    int64           // stream version after this batch's bump
 	Violation  *core.Violation // first contract violation IN THIS BATCH, if any
 	Violations int64           // cumulative contract violations
 	Drift      int64           // cumulative anchor disagreements (expect 0)
@@ -301,6 +309,10 @@ func (s *Stream) ingestLocked(ts, demands []int64) (IngestResult, error) {
 		off += n
 	}
 	res.Total = s.total
+	// The deferred bump has not run yet (LIFO at return), so the version
+	// this batch lands at is the current one plus its own bump. The WAL
+	// tags each logged batch with it for exactly-once replay.
+	res.Version = s.version.Load() + 1
 	res.Violations = s.violations
 	res.Drift = s.drift
 	return res, nil
@@ -409,6 +421,7 @@ func (s *Stream) applyRunLocked(run []Batch, results []BatchResult) {
 		results[rec] = BatchResult{Res: IngestResult{
 			Accepted:   len(run[rec].Ts),
 			Total:      base + flat,
+			Version:    s.version.Load() + 1, // matches the bump just below
 			Violation:  results[rec].Res.Violation,
 			Violations: s.violations,
 			Drift:      s.drift,

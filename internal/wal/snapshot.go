@@ -1,0 +1,200 @@
+package wal
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Snapshot files. One file per stream per shard directory, written by the
+// checkpointer (tmp + rename, so a crash mid-write never leaves a partial
+// snapshot under the live name) and replacing the need to replay every WAL
+// segment from the beginning of time. The layout:
+//
+//	8×byte  magic     "WCMSNAP1"
+//	uint64  snapSeg   the segment the checkpoint rotated to before
+//	                  capturing this state: every record the snapshot
+//	                  covers lives in a segment < snapSeg
+//	int64   version   the stream version at capture (duplicated from the
+//	                  state blob so replay filtering never needs to decode
+//	                  the blob first)
+//	uint16  idLen     little-endian, then the id bytes
+//	uint32  stateLen  little-endian, then the stream.State blob
+//	uint32  crc       CRC-32C of every preceding byte
+//
+// Validity at recovery: a snapshot is trusted only when no tombstone for
+// its id lives at or after snapSeg — a DELETE that raced a checkpoint
+// always lands its tombstone in a segment ≥ snapSeg (appends go to the
+// rotated-to segment), so the tombstone wins and the snapshot is discarded.
+
+const snapMagic = "WCMSNAP1"
+
+// snapFixedLen is everything before the id bytes; snapTrailerLen the CRC.
+const (
+	snapFixedLen   = len(snapMagic) + 8 + 8 + 2
+	snapTrailerLen = 4
+)
+
+// snapshotFile is one parsed snapshot.
+type snapshotFile struct {
+	id      string
+	seg     uint64 // snapSeg
+	version int64
+	state   []byte
+}
+
+// appendSnapshot encodes a snapshot file's contents.
+func appendSnapshot(dst []byte, id string, snapSeg uint64, version int64, state []byte) []byte {
+	start := len(dst)
+	dst = append(dst, snapMagic...)
+	dst = binary.LittleEndian.AppendUint64(dst, snapSeg)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(version))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(id)))
+	dst = append(dst, id...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(state)))
+	dst = append(dst, state...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(dst[start:], castagnoli))
+}
+
+// parseSnapshot decodes and CRC-checks snapshot bytes. Never panics on
+// arbitrary input (FuzzSnapshot).
+func parseSnapshot(b []byte) (snapshotFile, error) {
+	if len(b) < snapFixedLen+snapTrailerLen {
+		return snapshotFile{}, fmt.Errorf("wal: snapshot %d bytes, need at least %d",
+			len(b), snapFixedLen+snapTrailerLen)
+	}
+	if string(b[:len(snapMagic)]) != snapMagic {
+		return snapshotFile{}, fmt.Errorf("wal: snapshot magic %q, want %q", b[:len(snapMagic)], snapMagic)
+	}
+	body, crc := b[:len(b)-snapTrailerLen], binary.LittleEndian.Uint32(b[len(b)-snapTrailerLen:])
+	if crc32.Checksum(body, castagnoli) != crc {
+		return snapshotFile{}, fmt.Errorf("wal: snapshot CRC mismatch")
+	}
+	p := body[len(snapMagic):]
+	sf := snapshotFile{
+		seg:     binary.LittleEndian.Uint64(p),
+		version: int64(binary.LittleEndian.Uint64(p[8:])),
+	}
+	idLen := int(binary.LittleEndian.Uint16(p[16:]))
+	p = p[18:]
+	if idLen > len(p) {
+		return snapshotFile{}, fmt.Errorf("wal: snapshot id length %d exceeds file", idLen)
+	}
+	sf.id = string(p[:idLen])
+	p = p[idLen:]
+	if len(p) < 4 {
+		return snapshotFile{}, fmt.Errorf("wal: snapshot truncated before state length")
+	}
+	stateLen := binary.LittleEndian.Uint32(p)
+	if int(stateLen) != len(p)-4 {
+		return snapshotFile{}, fmt.Errorf("wal: snapshot state length %d, %d bytes remain", stateLen, len(p)-4)
+	}
+	sf.state = append([]byte(nil), p[4:]...)
+	return sf, nil
+}
+
+// snapFileName maps a stream id to its snapshot file name. Ids are
+// arbitrary URL path segments, so the name is base64url of the id; very
+// long ids switch to a truncated prefix plus a SHA-256 tag so the name
+// stays under filesystem limits while remaining collision-free in
+// practice. The mapping only needs to be deterministic and injective —
+// recovery reads the authoritative id from the file header, never from
+// the name.
+func snapFileName(id string) string {
+	enc := base64.RawURLEncoding.EncodeToString([]byte(id))
+	if len(enc) > 160 {
+		sum := sha256.Sum256([]byte(id))
+		enc = enc[:96] + "-" + hex.EncodeToString(sum[:16])
+	}
+	return "snap-" + enc + ".snap"
+}
+
+// writeSnapshotFile durably writes a snapshot: tmp file, fsync, rename,
+// fsync the directory. After it returns, a crash at any point leaves
+// either the old snapshot or the complete new one — never a torn mix.
+func writeSnapshotFile(dir, id string, snapSeg uint64, version int64, state []byte) error {
+	data := appendSnapshot(nil, id, snapSeg, version, state)
+	final := filepath.Join(dir, snapFileName(id))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readSnapshots loads every parseable snapshot in dir, keyed by id.
+// Corrupt snapshot files are deleted (the WAL tail still holds anything
+// not checkpointed away, and a bad snapshot must not shadow a good future
+// one under the same name) and counted via the returned tally.
+func readSnapshots(dir string) (map[string]snapshotFile, int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	snaps := make(map[string]snapshotFile)
+	bad := 0
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, "snap-") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(path) // a checkpoint died mid-write; the tmp is garbage
+			continue
+		}
+		if !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, bad, err
+		}
+		sf, err := parseSnapshot(data)
+		if err != nil {
+			bad++
+			os.Remove(path)
+			continue
+		}
+		snaps[sf.id] = sf
+	}
+	return snaps, bad, nil
+}
+
+// syncDir fsyncs a directory so renames and removals inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,79 @@
+// Package wirefmt holds the columnar binary batch encoding shared by the
+// HTTP ingest fast path (Content-Type application/x-wcm-ingest, see
+// internal/server) and the write-ahead log record payloads (internal/wal).
+// It is a leaf package — no internal imports — precisely so both layers can
+// share one codec: what travels on the wire is byte-for-byte what lands on
+// disk, and one fuzzer covers both.
+//
+// The layout (all little-endian) is
+//
+//	uint32  n        number of samples, ≥ 1
+//	int64×n t        timestamps, ingest order
+//	int64×n demand   per-activation cycle demands
+//
+// — exactly 4+16·n bytes, nothing else. Columnar (all timestamps, then all
+// demands) so the decoder writes two contiguous int64 runs instead of
+// interleaving, and a trailing truncation can never be mistaken for a
+// shorter valid batch: any length not matching the count is rejected.
+package wirefmt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// HeaderLen is the length of the uint32 count prefix; SampleLen the size of
+// one (t, demand) pair.
+const (
+	HeaderLen = 4
+	SampleLen = 16
+)
+
+// EncodedLen returns the exact encoded size of an n-sample batch.
+func EncodedLen(n int) int { return HeaderLen + SampleLen*n }
+
+// AppendBatch appends the columnar encoding of the batch to dst and returns
+// the extended slice. len(t) must equal len(d) and be ≥ 1 — the encoder is
+// for batch producers (clients, benchmarks, the WAL appender), which control
+// their batches, so it panics on misuse instead of returning an error.
+func AppendBatch(dst []byte, t, d []int64) []byte {
+	if len(t) != len(d) || len(t) == 0 {
+		panic(fmt.Sprintf("wirefmt: batch needs len(t)=len(d)≥1, got %d and %d", len(t), len(d)))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(t)))
+	for _, v := range t {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	for _, v := range d {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	return dst
+}
+
+// DecodeBatch decodes one encoded batch into t and d, appending to the
+// passed slices (pass length-0 slices with retained capacity for a
+// zero-allocation steady state). It must never panic, whatever bytes
+// arrive — fuzz harnesses feed it arbitrary input.
+func DecodeBatch(body []byte, t, d []int64) (ts, ds []int64, err error) {
+	if len(body) < HeaderLen {
+		return t, d, fmt.Errorf("binary ingest: body %d bytes, need at least the %d-byte count prefix",
+			len(body), HeaderLen)
+	}
+	n := int64(binary.LittleEndian.Uint32(body))
+	if n == 0 {
+		return t, d, fmt.Errorf("binary ingest: sample count is 0")
+	}
+	want := int64(HeaderLen) + SampleLen*n
+	if int64(len(body)) != want {
+		return t, d, fmt.Errorf("binary ingest: count %d implies %d bytes, body has %d", n, want, len(body))
+	}
+	tcol := body[HeaderLen:]
+	dcol := tcol[8*n:]
+	for i := int64(0); i < n; i++ {
+		t = append(t, int64(binary.LittleEndian.Uint64(tcol[8*i:])))
+	}
+	for i := int64(0); i < n; i++ {
+		d = append(d, int64(binary.LittleEndian.Uint64(dcol[8*i:])))
+	}
+	return t, d, nil
+}
