@@ -17,7 +17,11 @@
 // path absolutely; -assert-scaling requires the sharded ingest group at the
 // largest -procs value to beat the same group at the smallest by that factor
 // — the multicore scaling floor (skipped on hosts with fewer than 4 CPUs,
-// where there is no parallelism to measure).
+// where there is no parallelism to measure); -assert-query-cache requires
+// the 95/5 read-heavy mix to run at least that many times faster with the
+// query cache than without it; -max-hit-allocs bounds the cache-hit path's
+// allocations absolutely. -procs groups larger than the host's CPU count
+// are skipped with a note — oversubscribed numbers measure scheduler churn.
 //
 // The HTTP benches run with Config.SelfCurves enabled and send X-Request-Id,
 // so the measured path is the fully instrumented one: trace-ID propagation,
@@ -36,6 +40,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"runtime"
@@ -95,6 +100,8 @@ type options struct {
 	maxBinaryAllocs  float64 // absolute allocs/op bound for ingest_http_binary; 0 disables
 	maxLatencyGrowth float64 // allowed fractional ns/op growth over baseline; 0 disables
 	assertScaling    float64 // required sharded samples/s ratio, largest vs smallest procs group; 0 disables
+	assertQueryCache float64 // required query_mixed_uncached/cached ratio; 0 disables
+	maxHitAllocs     float64 // absolute allocs/op bound for query_check_cached at GOMAXPROCS=1; 0 disables
 }
 
 // measure times fn until minTime has elapsed (at least once) and reports
@@ -384,10 +391,19 @@ func run(opts options) (*Report, error) {
 	defer runtime.GOMAXPROCS(prev)
 	var lastSingle, lastSharded Measurement
 	shardedByProc := make(map[int]Measurement)
+	var ranProcs []int
 	for _, p := range opts.procs {
 		if p < 1 {
 			return nil, fmt.Errorf("bad -procs value %d", p)
 		}
+		if p > runtime.NumCPU() {
+			// Oversubscribed groups measure scheduler churn, not the server,
+			// and their numbers poison cross-host baseline comparisons.
+			fmt.Fprintf(os.Stderr, "benchjson: skipping GOMAXPROCS=%d serving group: host has only %d CPUs\n",
+				p, runtime.NumCPU())
+			continue
+		}
+		ranProcs = append(ranProcs, p)
 		runtime.GOMAXPROCS(p)
 
 		// Stream-level: one op = the whole n-sample trace in batches.
@@ -556,45 +572,134 @@ func run(opts options) (*Report, error) {
 		os.RemoveAll(batchDir) //nolint:errcheck
 		report.Speedups["wal_overhead"] = walBatch.SamplesPerSec / httpAsync.SamplesPerSec
 
-		// Query: version-keyed cache hit via the handler vs recomputing the
-		// same answer from a fresh snapshot each op.
-		checkBody := []byte(`{"freq_hz":100000000,"latency_ns":10,"buffer":2}`)
-		qbody := bytes.NewReader(nil)
-		qreq, err := http.NewRequest("POST", "/v1/streams/b/check", rewindBody{qbody})
+		// ---- query group ---------------------------------------------------
+		// Both sides drive the REAL handler: the cached server answers from
+		// the version-keyed cache (singleflight misses, pooled renders), the
+		// uncached one is the same handler built with Config.DisableQueryCache
+		// — every read takes a fresh snapshot and re-renders through
+		// encoding/json. So the comparison is cache-on vs cache-off over
+		// identical code, not handler vs hand-written recomputation.
+		// SelfCurves is off here (unlike the ingest benches): the
+		// self-characterization feed adds identical per-request work to both
+		// sides, diluting the measured cache effect; and with no logger and
+		// no request timeout the handler's bare-context fast path is active —
+		// the shape a latency-sensitive reader deploys.
+		qsrv, err := server.New(server.Config{Stream: ingestCfg})
 		if err != nil {
 			return nil, err
 		}
-		qreq.Header.Set("Content-Type", "application/json")
-		var qrw nullRW
-		qrw.h = make(http.Header)
-		cached := measure("query_check_cached", minTime, func() {
-			serveWithRetry(srv.Handler(), &qrw, qreq, func() {
-				qbody.Reset(checkBody)
-				qreq.ContentLength = int64(len(checkBody))
-			})
-		})
+		usrv, err := server.New(server.Config{Stream: ingestCfg, DisableQueryCache: true})
+		if err != nil {
+			return nil, err
+		}
+		seedQ := newIngestBench(qsrv.Handler(), "q", server.ContentTypeBinary, batchDemands, 3)
+		seedU := newIngestBench(usrv.Handler(), "q", server.ContentTypeBinary, batchDemands, 3)
+		for _, seed := range []*ingestBench{seedQ, seedU} {
+			for i := 0; i*ingestBatch < 2*ingestCfg.Window; i++ {
+				seed.op(true) // fill the window so queries see full curves
+			}
+		}
+		checkBody := []byte(`{"freq_hz":100000000,"latency_ns":10,"buffer":2}`)
+		newQueryOp := func(h http.Handler, method, path string, body []byte, accept string) func() {
+			br := bytes.NewReader(nil)
+			var rc io.ReadCloser = http.NoBody
+			if body != nil {
+				rc = rewindBody{br}
+			}
+			req, err := http.NewRequest(method, path, rc)
+			if err != nil {
+				panic(err)
+			}
+			req.Header.Set("X-Request-Id", "bench-q")
+			if body != nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			if accept != "" {
+				req.Header.Set("Accept", accept)
+			}
+			rw := &nullRW{h: make(http.Header)}
+			return func() {
+				serveWithRetry(h, rw, req, func() {
+					if body != nil {
+						br.Reset(body)
+						req.ContentLength = int64(len(body))
+					}
+				})
+			}
+		}
+
+		checkCachedOp := newQueryOp(qsrv.Handler(), "POST", "/v1/streams/q/check", checkBody, "")
+		cached := measure("query_check_cached", minTime, checkCachedOp)
 		add(cached)
-		qstream := newStream()
-		qscratch := make([]int64, n)
-		feed(qstream, qscratch, 0)
-		uncached := measure("query_check_uncached", minTime, func() {
-			snap, err := qstream.Snapshot()
-			if err != nil {
-				panic(err)
-			}
-			ok, err := snap.CheckService(1e8, 10, 2)
-			if err != nil {
-				panic(err)
-			}
-			if _, err := json.Marshal(struct {
-				Version int64 `json:"version"`
-				OK      bool  `json:"ok"`
-			}{snap.Version, ok}); err != nil {
-				panic(err)
+		if opts.maxHitAllocs > 0 && p == 1 && cached.AllocsPerOp > opts.maxHitAllocs {
+			return nil, fmt.Errorf("query_check_cached allocates %.1f/op, bound %.1f (GOMAXPROCS=%d)",
+				cached.AllocsPerOp, opts.maxHitAllocs, p)
+		}
+		checkUncachedOp := newQueryOp(usrv.Handler(), "POST", "/v1/streams/q/check", checkBody, "")
+		uncached := measure("query_check_uncached", minTime, checkUncachedOp)
+		add(uncached)
+		report.Speedups["query_check_cached_vs_uncached"] = uncached.NsPerOp / cached.NsPerOp
+
+		curvesJSONOp := newQueryOp(qsrv.Handler(), "GET", "/v1/streams/q/curves", nil, "")
+		curvesJSON := measure("query_curves_cached", minTime, curvesJSONOp)
+		add(curvesJSON)
+		curvesBinOp := newQueryOp(qsrv.Handler(), "GET", "/v1/streams/q/curves", nil,
+			server.ContentTypeQueryBinary)
+		curvesBin := measure("query_curves_binary", minTime, curvesBinOp)
+		add(curvesBin)
+		report.Speedups["query_binary_vs_json"] = curvesJSON.NsPerOp / curvesBin.NsPerOp
+
+		batchBody := []byte(`{"ids":["q"],"curves":true,"verdict":true,"minfreq_b":2,` +
+			`"check":{"freq_hz":100000000,"latency_ns":10,"buffer":2}}`)
+		batchOp := newQueryOp(qsrv.Handler(), "POST", "/v1/query", batchBody, "")
+		add(measure("query_batch_all", minTime, batchOp))
+
+		// 95/5 read-heavy mix — the workload the cache exists for. Every
+		// 20th request ingests a small batch (bumping the stream version, so
+		// the next read of each kind on the cached side is a real miss that
+		// re-renders), the rest alternate curves and check reads. Small write
+		// batches keep the ingest cost from flooding the read-path signal:
+		// with 512-sample writes both sides converge on ingest time and the
+		// ratio stops meaning anything.
+		const mixEvery = 20
+		mixDemands := d[:min(64, n)]
+		mixCachedIngest := newIngestBench(qsrv.Handler(), "q", server.ContentTypeBinary, mixDemands, 3)
+		mixCachedIngest.now = seedQ.now // streams demand monotonic timestamps
+		mixN := 0
+		mixedCached := measure("query_mixed_cached", minTime, func() {
+			mixN++
+			switch {
+			case mixN%mixEvery == 0:
+				mixCachedIngest.op(true)
+			case mixN%2 == 0:
+				curvesJSONOp()
+			default:
+				checkCachedOp()
 			}
 		})
-		add(uncached)
-		report.Speedups["query_cached_vs_uncached"] = uncached.NsPerOp / cached.NsPerOp
+		add(mixedCached)
+		curvesUncachedOp := newQueryOp(usrv.Handler(), "GET", "/v1/streams/q/curves", nil, "")
+		mixUncachedIngest := newIngestBench(usrv.Handler(), "q", server.ContentTypeBinary, mixDemands, 3)
+		mixUncachedIngest.now = seedU.now
+		mixM := 0
+		mixedUncached := measure("query_mixed_uncached", minTime, func() {
+			mixM++
+			switch {
+			case mixM%mixEvery == 0:
+				mixUncachedIngest.op(true)
+			case mixM%2 == 0:
+				curvesUncachedOp()
+			default:
+				checkUncachedOp()
+			}
+		})
+		add(mixedUncached)
+		ratio := mixedUncached.NsPerOp / mixedCached.NsPerOp
+		report.Speedups["query_cached_vs_uncached"] = ratio
+		if opts.assertQueryCache > 0 && ratio < opts.assertQueryCache {
+			return nil, fmt.Errorf("query_mixed_cached is only %.2f× faster than uncached, need ≥ %.2f× (GOMAXPROCS=%d)",
+				ratio, opts.assertQueryCache, p)
+		}
 	}
 	runtime.GOMAXPROCS(prev)
 
@@ -604,9 +709,12 @@ func run(opts options) (*Report, error) {
 	// single -procs group the cross-proc ratio degenerates to the in-group
 	// sharding gain (sharded vs single-stream at that GOMAXPROCS), which is
 	// also reported separately either way.
+	if len(ranProcs) == 0 {
+		return nil, fmt.Errorf("every -procs value exceeds the host's %d CPUs — nothing to measure", runtime.NumCPU())
+	}
 	report.Speedups["ingest_sharding_gain"] = lastSharded.SamplesPerSec / lastSingle.SamplesPerSec
-	minP, maxP := opts.procs[0], opts.procs[0]
-	for _, p := range opts.procs {
+	minP, maxP := ranProcs[0], ranProcs[0]
+	for _, p := range ranProcs {
 		minP, maxP = min(minP, p), max(maxP, p)
 	}
 	if maxP > minP {
@@ -724,6 +832,8 @@ func main() {
 	maxBinaryAllocs := flag.Float64("max-binary-allocs", 0, "allocs/op bound for ingest_http_binary at GOMAXPROCS=1 (0 = off)")
 	maxLatencyGrowth := flag.Float64("max-latency-growth", 0, "allowed fractional ns/op growth over -baseline at GOMAXPROCS=1 (0 = off)")
 	assertScaling := flag.Float64("assert-scaling", 0, "required sharded ingest scaling ratio, largest vs smallest -procs group (0 = off; skipped under 4 CPUs)")
+	assertQueryCache := flag.Float64("assert-query-cache", 0, "required query_mixed_uncached/cached ns/op ratio (0 = off)")
+	maxHitAllocs := flag.Float64("max-hit-allocs", 0, "allocs/op bound for query_check_cached at GOMAXPROCS=1 (0 = off)")
 	flag.Parse()
 	pr, err := parseProcs(*procs)
 	if err != nil {
@@ -734,7 +844,8 @@ func main() {
 		n: *n, maxK: *maxK, minTime: *minTime, out: *out, procs: pr,
 		baseline: *baseline, maxAllocGrowth: *maxAllocGrowth,
 		maxBinaryAllocs: *maxBinaryAllocs, maxLatencyGrowth: *maxLatencyGrowth,
-		assertScaling: *assertScaling,
+		assertScaling: *assertScaling, assertQueryCache: *assertQueryCache,
+		maxHitAllocs: *maxHitAllocs,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -20,10 +21,16 @@ func toyOptions(t *testing.T, procs []int) options {
 
 // TestRunWritesReport runs the harness at a toy size and checks the JSON
 // it emits is well-formed and internally consistent: 5 extraction results
-// plus 9 serving results per requested GOMAXPROCS value, each stamped with
-// the GOMAXPROCS it ran under.
+// plus 14 serving results per requested GOMAXPROCS value, each stamped
+// with the GOMAXPROCS it ran under. Requested values exceeding the host's
+// CPU count are skipped (they would measure fake parallelism), so the
+// expectations below are phrased against the values that actually ran.
 func TestRunWritesReport(t *testing.T) {
 	opts := toyOptions(t, []int{1, 2})
+	ranProcs := opts.procs
+	if runtime.NumCPU() < 2 {
+		ranProcs = []int{1}
+	}
 	report, err := run(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -36,7 +43,7 @@ func TestRunWritesReport(t *testing.T) {
 	if err := json.Unmarshal(raw, &decoded); err != nil {
 		t.Fatalf("emitted JSON does not parse: %v", err)
 	}
-	want := 5 + 9*len(opts.procs)
+	want := 5 + 14*len(ranProcs)
 	if len(decoded.Results) != want {
 		t.Fatalf("got %d results, want %d", len(decoded.Results), want)
 	}
@@ -63,8 +70,10 @@ func TestRunWritesReport(t *testing.T) {
 		"ingest_http_json", "ingest_http_binary", "ingest_async_pipeline",
 		"ingest_wal_always", "ingest_wal_batch",
 		"query_check_cached", "query_check_uncached",
+		"query_curves_cached", "query_curves_binary", "query_batch_all",
+		"query_mixed_cached", "query_mixed_uncached",
 	} {
-		for _, p := range opts.procs {
+		for _, p := range ranProcs {
 			if !servingProcs[name][p] {
 				t.Fatalf("missing measurement %q at GOMAXPROCS=%d", name, p)
 			}
@@ -85,6 +94,7 @@ func TestRunWritesReport(t *testing.T) {
 	for _, key := range []string{
 		"workload", "spans", "admits", "ingest_scaling", "ingest_sharding_gain",
 		"ingest_binary_vs_json", "ingest_async_vs_sync", "query_cached_vs_uncached",
+		"query_check_cached_vs_uncached", "query_binary_vs_json",
 		"wal_overhead",
 	} {
 		if decoded.Speedups[key] <= 0 {
@@ -108,6 +118,12 @@ func TestRunRejectsBadParams(t *testing.T) {
 	opts := toyOptions(t, []int{0})
 	if _, err := run(opts); err == nil {
 		t.Fatal("procs=0: expected error")
+	}
+	// Every requested GOMAXPROCS exceeding the host's CPUs is an error, not
+	// a silent no-measurement run.
+	opts = toyOptions(t, []int{runtime.NumCPU() + 1})
+	if _, err := run(opts); err == nil {
+		t.Fatal("all -procs values over NumCPU: expected error")
 	}
 }
 

@@ -110,6 +110,8 @@ func parseFlags(args []string) (server.Config, serveOpts, error) {
 		"log requests slower than this at Warn (negative disables)")
 	selfCurves := fs.Bool("self-curves", false,
 		"characterize the server's own request costs and serve them at /debug/self")
+	noQueryCache := fs.Bool("no-query-cache", false,
+		"disable the version-keyed query cache; every read recomputes and re-renders (debugging aid)")
 	readTimeout := fs.Duration("read-timeout", defaultReadTimeout,
 		"max duration for reading an entire request including the body (0 disables)")
 	writeTimeout := fs.Duration("write-timeout", defaultWriteTimeout,
@@ -166,6 +168,7 @@ func parseFlags(args []string) (server.Config, serveOpts, error) {
 		Logger:            logger,
 		SlowRequest:       *slowReq,
 		SelfCurves:        *selfCurves,
+		DisableQueryCache: *noQueryCache,
 		RequestTimeout:    *requestTimeout,
 		MaxInflightIngest: *maxInflightIngest,
 		MaxInflightRead:   *maxInflightRead,

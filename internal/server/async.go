@@ -91,6 +91,10 @@ type ingestPipe struct {
 	// commit (fsync policy "batch"): applied and appended, not yet durable,
 	// their handlers still parked. Worker-owned.
 	pending []*ingestJob
+
+	// recs is walLogGroup's reusable record scratch, so a group append
+	// allocates nothing in steady state. Worker-owned.
+	recs []wal.IngestRec
 }
 
 // startPipeline builds the per-shard pipes and spawns their workers.
@@ -111,6 +115,7 @@ func (s *Server) startPipeline(ringCap, budget int) error {
 			batches: make([]stream.Batch, 0, budget),
 			results: make([]stream.BatchResult, budget),
 			pending: make([]*ingestJob, 0, budget),
+			recs:    make([]wal.IngestRec, 0, budget),
 		}
 		s.pipes[i] = p
 		s.workers.Add(1)
@@ -303,7 +308,7 @@ func (s *Server) applyGroup(p *ingestPipe, e *entry, group []*ingestJob, batches
 		}
 		return
 	}
-	s.walLogGroup(p.idx, e, group)
+	s.walLogGroup(p, e, group)
 	switch s.wal.Policy() {
 	case wal.PolicyAlways:
 		if err := s.walShards[p.idx].Commit(); err != nil {

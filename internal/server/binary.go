@@ -16,6 +16,14 @@ import (
 // — exactly 4+16·n bytes, nothing else.
 const ContentTypeBinary = "application/x-wcm-ingest"
 
+// ContentTypeQueryBinary selects the columnar binary query response format
+// on GET /curves, POST /check and GET /minfreq, negotiated via the Accept
+// header. The wire layout (kind-tagged, little-endian, columnar) lives in
+// internal/wirefmt (AppendCurves/AppendCheck/AppendMinFreq and the matching
+// decoders). Error responses are always JSON regardless of Accept — the
+// non-200 status is the discriminator.
+const ContentTypeQueryBinary = "application/x-wcm-curves"
+
 // binaryHeaderLen is the length prefix, binarySampleLen one (t, demand) pair.
 const (
 	binaryHeaderLen = wirefmt.HeaderLen

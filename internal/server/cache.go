@@ -1,6 +1,9 @@
 package server
 
 import (
+	"context"
+	"errors"
+	"sync"
 	"sync/atomic"
 
 	"wcm/internal/stream"
@@ -10,16 +13,20 @@ import (
 // /minfreq keys). A stream version rarely sees more than a handful of
 // distinct query parameters; the cap only guards against a client sweeping
 // parameters faster than the stream ingests. On overflow the map starts a
-// fresh epoch rather than evicting — simpler, and the whole state dies at
-// the next version bump anyway.
+// fresh epoch rather than evicting — simpler, and the whole map dies at the
+// next version bump anyway. Epoch resets are counted (wcmd_query_cache_epoch
+// _resets_total) so an operator can see a parameter sweep happening.
 const maxCachedQueries = 256
 
-// cachedResp is one fully rendered HTTP answer: status plus the exact JSON
-// body bytes. Hits replay the bytes, so a cached response is bit-identical
-// to the miss that populated it by construction.
+// cachedResp is one fully rendered HTTP answer: status plus the exact body
+// bytes, stamped with the stream version it was computed at and the wire
+// format of the body. Hits replay the bytes, so a cached response is
+// bit-identical to the miss that populated it by construction.
 type cachedResp struct {
-	status int
-	body   []byte
+	status  int
+	body    []byte
+	version int64
+	binary  bool // body is the columnar query encoding, not JSON
 }
 
 // checkKey identifies a /check query. All fields are comparable, so the
@@ -30,24 +37,221 @@ type checkKey struct {
 	buffer    int
 }
 
-// cacheState is an immutable-after-publish snapshot of everything computed
-// at one stream version. Readers obtain it with a single atomic load and
-// may use any field without synchronization; writers never mutate a
-// published state — they clone, extend and compare-and-swap (copy-on-write).
-type cacheState struct {
-	version int64
-
-	// snap is the stream.Snapshot taken at version, shared by every query
-	// computed from it (valid iff snapOK). Snapshot contents are built
-	// fresh per capture and never mutated afterwards, so sharing is safe.
-	snap   stream.Snapshot
-	snapOK bool
-
-	curves  *cachedResp // /curves rendered at version
-	verdict *cachedResp // /verdict rendered at version
-	check   map[checkKey]*cachedResp
-	minfreq map[int]*cachedResp // key: buffer b
+// respSlot is a single-answer cache cell: one atomic pointer to the most
+// recently rendered response for an unparameterized (endpoint, format)
+// pair. A hit is one atomic load plus a version compare — no state clone,
+// no map, no lock. Publishing never clones anything: the slot either
+// advances to a newer version or keeps what it has (a CAS loop drops stale
+// results that lost a race against a fresher render).
+type respSlot struct {
+	p atomic.Pointer[cachedResp]
 }
+
+// get returns the cached answer iff it was rendered at version.
+func (s *respSlot) get(version int64) *cachedResp {
+	if r := s.p.Load(); r != nil && r.version == version {
+		return r
+	}
+	return nil
+}
+
+// last returns whatever the slot holds, any version — the degraded-read
+// fallback, which explicitly serves stale answers.
+func (s *respSlot) last() *cachedResp { return s.p.Load() }
+
+// put installs r unless the slot already holds a newer version.
+func (s *respSlot) put(r *cachedResp) {
+	for {
+		old := s.p.Load()
+		if old != nil && old.version > r.version {
+			return
+		}
+		if s.p.CompareAndSwap(old, r) {
+			return
+		}
+	}
+}
+
+// paramMap is an immutable-after-publish map of parameterized answers at
+// one version. Readers obtain it with a single atomic load and may look up
+// any key without synchronization; writers never mutate a published map —
+// they clone, extend and compare-and-swap. Unlike the old whole-cache
+// clone-on-miss, only this small capped map is ever copied, and only when a
+// genuinely new parameter shows up at an unchanged version.
+type paramMap[K comparable] struct {
+	version int64
+	m       map[K]*cachedResp
+}
+
+// paramCache is the per-(endpoint, format) parameterized answer cache.
+// The zero value is ready to use.
+type paramCache[K comparable] struct {
+	p atomic.Pointer[paramMap[K]]
+}
+
+// get returns the answer for k iff the published map is at version.
+func (c *paramCache[K]) get(version int64, k K) *cachedResp {
+	if pm := c.p.Load(); pm != nil && pm.version == version {
+		return pm.m[k]
+	}
+	return nil
+}
+
+// getAny returns the answer for k at whatever version is published — the
+// degraded-read fallback.
+func (c *paramCache[K]) getAny(k K) *cachedResp {
+	if pm := c.p.Load(); pm != nil {
+		return pm.m[k]
+	}
+	return nil
+}
+
+// put records the answer for k at version. reset reports that the cap was
+// hit and a fresh epoch replaced the map (the caller counts those).
+// A stale version (older than the published map) is dropped.
+func (c *paramCache[K]) put(version int64, k K, r *cachedResp) (reset bool) {
+	for {
+		old := c.p.Load()
+		if old != nil && old.version > version {
+			return reset
+		}
+		next := &paramMap[K]{version: version}
+		if old != nil && old.version == version {
+			if len(old.m) >= maxCachedQueries {
+				reset = true
+				next.m = map[K]*cachedResp{k: r}
+			} else {
+				next.m = make(map[K]*cachedResp, len(old.m)+1)
+				for ok, ov := range old.m {
+					next.m[ok] = ov
+				}
+				next.m[k] = r
+			}
+		} else {
+			next.m = map[K]*cachedResp{k: r}
+		}
+		if c.p.CompareAndSwap(old, next) {
+			return reset
+		}
+	}
+}
+
+// cachedSnap pins the stream.Snapshot taken at one version so every
+// parameterized miss at that version (a /check with a new key, a /minfreq
+// with a new b) reuses it instead of taking the stream lock again.
+// Snapshot contents are built fresh per capture and never mutated
+// afterwards, so sharing is safe.
+type cachedSnap struct {
+	version int64
+	snap    stream.Snapshot
+}
+
+type snapSlot struct {
+	p atomic.Pointer[cachedSnap]
+}
+
+func (s *snapSlot) get(version int64) (stream.Snapshot, bool) {
+	if cs := s.p.Load(); cs != nil && cs.version == version {
+		return cs.snap, true
+	}
+	return stream.Snapshot{}, false
+}
+
+func (s *snapSlot) put(version int64, snap stream.Snapshot) {
+	next := &cachedSnap{version: version, snap: snap}
+	for {
+		old := s.p.Load()
+		if old != nil && old.version >= version {
+			return
+		}
+		if s.p.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ---- singleflight ----------------------------------------------------------
+
+// Endpoint ordinals for flight keys.
+const (
+	epCurves uint8 = iota
+	epCheck
+	epMinFreq
+	epVerdict
+)
+
+// flightKey names one render: which endpoint, which wire format, which
+// query parameters, at which stream generation. The version is part of the
+// key on purpose — a reader that observed version 6 must not piggyback on a
+// render started for version 5.
+type flightKey struct {
+	ep      uint8
+	binary  bool
+	version int64
+	ck      checkKey // zero unless ep == epCheck
+	b       int      // zero unless ep == epMinFreq
+}
+
+// flightCall is one in-progress render. done closes when resp/err are set;
+// followers block on it (bounded by their request context).
+type flightCall struct {
+	done chan struct{}
+	resp *cachedResp
+	err  error
+}
+
+// flightGroup deduplicates concurrent renders of the same flightKey: the
+// first goroutine in becomes the leader and renders, later arrivals wait
+// for its result. The map only ever holds in-progress calls, so the mutex
+// is uncontended except during an actual miss storm — hits never touch it.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[flightKey]*flightCall
+}
+
+// errRenderAborted is what followers see when the leader panicked before
+// producing a result (the panic itself propagates on the leader's request).
+var errRenderAborted = errors.New("concurrent render aborted")
+
+// do runs render under singleflight for key. Exactly one caller (the
+// leader) executes render; concurrent callers with the same key wait for
+// the leader's result until ctx expires, then fail with stream.ErrBusy so
+// the caller's degraded-read fallback takes over. led reports whether this
+// call was the leader (for metrics).
+func (g *flightGroup) do(ctx context.Context, key flightKey, render func() (*cachedResp, error)) (resp *cachedResp, led bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			if c.resp == nil && c.err == nil {
+				return nil, false, errRenderAborted
+			}
+			return c.resp, false, c.err
+		case <-ctx.Done():
+			return nil, false, stream.ErrBusy
+		}
+	}
+	if g.m == nil {
+		g.m = make(map[flightKey]*flightCall)
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+	defer func() {
+		// Publish-then-release even on panic: followers must never be
+		// stranded on done, and the flight must leave the map so the next
+		// request can retry rather than join a dead call.
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.resp, c.err = render()
+	return c.resp, true, c.err
+}
+
+// ---- per-stream cache ------------------------------------------------------
 
 // queryCache is the per-stream version-keyed response cache. The zero value
 // is ready to use.
@@ -55,79 +259,44 @@ type cacheState struct {
 // Invalidation needs no explicit step: stream.Stream bumps its version
 // (atomically, under the stream lock, before the mutating call returns) on
 // every ingest batch, contract change and forced re-extraction, and every
-// lookup compares the published state's version against Stream.Version().
-// A state built at an older version simply stops matching; the next miss
-// publishes a successor. Reads on the hit path are one atomic load plus a
-// map lookup — no locks, no stream access.
+// lookup compares the cached answer's version against Stream.Version().
+// An answer rendered at an older version simply stops matching; the next
+// miss renders a successor into its slot. Hits are one atomic load (plus a
+// map lookup for parameterized endpoints) — no locks, no stream access,
+// and unlike the previous design a miss never clones cache state: each
+// endpoint/format pair owns an independent slot.
 type queryCache struct {
-	p atomic.Pointer[cacheState]
+	snap snapSlot
+
+	curves    respSlot // GET /curves, JSON
+	curvesBin respSlot // GET /curves, binary
+	verdict   respSlot // GET /verdict (JSON only)
+
+	check      paramCache[checkKey] // POST /check, JSON
+	checkBin   paramCache[checkKey] // POST /check, binary
+	minfreq    paramCache[int]      // GET /minfreq, JSON; key: buffer b
+	minfreqBin paramCache[int]      // GET /minfreq, binary
+
+	flights flightGroup
 }
 
-// load returns the current state (nil if nothing was published yet).
-func (c *queryCache) load() *cacheState { return c.p.Load() }
-
-// publish installs the result of fill into the state for version. If the
-// published state is for the same version it is cloned and extended; if it
-// is older (or absent) a fresh state replaces it; if it is NEWER the result
-// is stale — a mutation overtook this query — and is dropped. The CAS loop
-// makes concurrent misses at the same version merge instead of clobbering
-// each other.
-func (c *queryCache) publish(version int64, fill func(*cacheState)) {
-	for {
-		old := c.p.Load()
-		if old != nil && old.version > version {
-			return
-		}
-		var next *cacheState
-		if old != nil && old.version == version {
-			next = old.clone()
-		} else {
-			next = &cacheState{version: version}
-		}
-		fill(next)
-		if c.p.CompareAndSwap(old, next) {
-			return
-		}
+func (c *queryCache) curvesSlot(binary bool) *respSlot {
+	if binary {
+		return &c.curvesBin
 	}
+	return &c.curves
 }
 
-// clone deep-copies the maps (published states are immutable, so sharing
-// them with a state about to be extended would race with readers).
-func (cs *cacheState) clone() *cacheState {
-	next := &cacheState{
-		version: cs.version,
-		snap:    cs.snap,
-		snapOK:  cs.snapOK,
-		curves:  cs.curves,
-		verdict: cs.verdict,
+func (c *queryCache) checkCache(binary bool) *paramCache[checkKey] {
+	if binary {
+		return &c.checkBin
 	}
-	if cs.check != nil {
-		next.check = make(map[checkKey]*cachedResp, len(cs.check)+1)
-		for k, v := range cs.check {
-			next.check[k] = v
-		}
-	}
-	if cs.minfreq != nil {
-		next.minfreq = make(map[int]*cachedResp, len(cs.minfreq)+1)
-		for k, v := range cs.minfreq {
-			next.minfreq[k] = v
-		}
-	}
-	return next
+	return &c.check
 }
 
-// setCheck records a /check answer, starting a fresh epoch at the cap.
-func (cs *cacheState) setCheck(k checkKey, r *cachedResp) {
-	if cs.check == nil || len(cs.check) >= maxCachedQueries {
-		cs.check = make(map[checkKey]*cachedResp, 4)
+func (c *queryCache) minfreqCache(binary bool) *paramCache[int] {
+	if binary {
+		return &c.minfreqBin
 	}
-	cs.check[k] = r
-}
-
-// setMinFreq records a /minfreq answer, starting a fresh epoch at the cap.
-func (cs *cacheState) setMinFreq(b int, r *cachedResp) {
-	if cs.minfreq == nil || len(cs.minfreq) >= maxCachedQueries {
-		cs.minfreq = make(map[int]*cachedResp, 4)
-	}
-	cs.minfreq[b] = r
+	return &c.minfreq
 }

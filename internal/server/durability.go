@@ -155,25 +155,41 @@ func (s *Server) walLogSync(id string, e *entry, res stream.IngestResult, ts, ds
 }
 
 // walLogGroup appends one coalesced group's successful batches, all under a
-// single shard-read-lock acquisition. An append failure marks the job
-// failed (500) — its batch is applied in memory but will not survive a
-// crash, and acknowledging it would break the durability contract.
-func (s *Server) walLogGroup(idx int, e *entry, group []*ingestJob) {
-	l := s.walShards[idx]
-	sh := s.shards[idx]
+// single shard-read-lock acquisition and — via AppendIngestGroup — a single
+// encode-and-write. An append failure marks every still-successful job of
+// the group failed (500): the write is all-or-nothing from the group's
+// perspective (a partial write is a torn tail recovery refuses to trust),
+// and an applied-but-unlogged batch must not be acknowledged.
+func (s *Server) walLogGroup(p *ingestPipe, e *entry, group []*ingestJob) {
+	l := s.walShards[p.idx]
+	sh := s.shards[p.idx]
+	p.recs = p.recs[:0]
 	sh.mu.RLock()
 	if e.state.Load() != entryDeleted {
 		for _, job := range group {
-			if job.err != nil {
-				continue
+			if job.err == nil {
+				p.recs = append(p.recs, wal.IngestRec{
+					ID: job.id, Version: job.res.Version, Ts: job.ts, Ds: job.ds})
 			}
-			if err := l.AppendIngest(job.id, job.res.Version, job.ts, job.ds); err != nil {
-				job.err = fmt.Errorf("wal append failed: %w", err)
-				job.errCode = 500
+		}
+		if len(p.recs) > 0 {
+			if err := l.AppendIngestGroup(p.recs); err != nil {
+				for _, job := range group {
+					if job.err == nil {
+						job.err = fmt.Errorf("wal append failed: %w", err)
+						job.errCode = 500
+					}
+				}
 			}
 		}
 	}
 	sh.mu.RUnlock()
+	// Drop the aliased job buffers: recs is worker-owned scratch that
+	// outlives the drain, the ts/ds columns belong to handler pools.
+	for i := range p.recs {
+		p.recs[i] = wal.IngestRec{}
+	}
+	p.recs = p.recs[:0]
 }
 
 // failPending marks every still-pending job of a wakeup failed after a

@@ -59,17 +59,27 @@ type metrics struct {
 	violatingBatches atomic.Uint64
 	binaryBatches    atomic.Uint64 // ingest batches decoded from the binary format
 
-	_           [64 - 4*8]byte // read-path counters on the next line
-	cacheHits   atomic.Uint64  // query responses replayed from the version-keyed cache
-	cacheMisses atomic.Uint64  // query responses that had to be computed
+	_             [64 - 4*8]byte // read-path counters on the next line
+	cacheHits     atomic.Uint64  // query responses replayed from the version-keyed cache
+	cacheMisses   atomic.Uint64  // query responses that had to be computed
+	renders       atomic.Uint64  // responses actually rendered (≤ misses under singleflight)
+	sfLeader      atomic.Uint64  // singleflight calls that led the render for their key
+	sfShared      atomic.Uint64  // singleflight calls that piggybacked on a leader
+	binaryQueries atomic.Uint64  // query requests that negotiated the binary response format
+	epochResets   atomic.Uint64  // parameterized cache maps restarted at the entry cap
 
-	_        [64 - 2*8]byte // cold/error counters off both hot lines
+	_        [64 - 7*8]byte // cold/error counters off the hot read line
 	panics   atomic.Uint64  // handler panics caught by the recovery barrier
 	degraded atomic.Uint64  // responses served from a stale cache marked degraded
 
 	// coalesce records batches-fused-per-worker-wakeup when the async
 	// ingest pipeline is on (1 = no coalescing happened for that drain).
 	coalesce obs.CountHist
+
+	// batchStreams records streams-answered-per-/v1/query-request — the
+	// read-side mirror of coalesce: how much per-request overhead each
+	// batch amortizes.
+	batchStreams obs.CountHist
 
 	build buildInfo
 
@@ -268,6 +278,16 @@ func (m *metrics) write(w io.Writer, g gauges) {
 		"wcmd_query_cache_hits_total", m.cacheHits.Load())
 	emit("Query responses computed because no cached answer matched.", "counter",
 		"wcmd_query_cache_misses_total", m.cacheMisses.Load())
+	emit("Query responses actually rendered (misses minus singleflight sharing).", "counter",
+		"wcmd_query_renders_total", m.renders.Load())
+	emit("Singleflight calls that led the render for their key.", "counter",
+		"wcmd_query_singleflight_leader_total", m.sfLeader.Load())
+	emit("Singleflight calls that piggybacked on a concurrent render.", "counter",
+		"wcmd_query_singleflight_shared_total", m.sfShared.Load())
+	emit("Query requests answered in the binary response format.", "counter",
+		"wcmd_query_binary_total", m.binaryQueries.Load())
+	emit("Parameterized query cache maps restarted at the entry cap.", "counter",
+		"wcmd_query_cache_epoch_resets_total", m.epochResets.Load())
 	emit("Live streams.", "gauge", "wcmd_streams", g.streams)
 	emit("Samples currently inside sliding windows, summed over streams.", "gauge",
 		"wcmd_samples_in_window", g.inWindow)
@@ -307,6 +327,17 @@ func (m *metrics) write(w io.Writer, g gauges) {
 		fmt.Fprintf(w, "wcmd_ingest_coalesce_batches_bucket{le=\"+Inf\"} %d\n", s.Count)
 		fmt.Fprintf(w, "wcmd_ingest_coalesce_batches_sum %d\n", s.Sum)
 		fmt.Fprintf(w, "wcmd_ingest_coalesce_batches_count %d\n", s.Count)
+	}
+	if s := m.batchStreams.Snapshot(); s.Count > 0 {
+		fmt.Fprintf(w, "# HELP wcmd_query_batch_streams Streams answered per /v1/query request.\n"+
+			"# TYPE wcmd_query_batch_streams histogram\n")
+		for i := 0; i < obs.CountNumBuckets; i++ {
+			fmt.Fprintf(w, "wcmd_query_batch_streams_bucket{le=\"%s\"} %d\n",
+				formatLe(obs.CountUpperBound(i)), s.CumulativeCount(i))
+		}
+		fmt.Fprintf(w, "wcmd_query_batch_streams_bucket{le=\"+Inf\"} %d\n", s.Count)
+		fmt.Fprintf(w, "wcmd_query_batch_streams_sum %d\n", s.Sum)
+		fmt.Fprintf(w, "wcmd_query_batch_streams_count %d\n", s.Count)
 	}
 	if g.queueDepths != nil {
 		fmt.Fprintf(w, "# HELP wcmd_ingest_queue_depth Enqueued ingest jobs waiting in each shard's ring at scrape time.\n"+

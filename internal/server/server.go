@@ -54,7 +54,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"log/slog"
 	"net/http"
@@ -157,6 +156,12 @@ type Config struct {
 	// checkpoints — Close still runs a final one. Only meaningful with
 	// WAL set.
 	SnapshotInterval time.Duration
+	// DisableQueryCache turns the version-keyed query cache off: every
+	// read takes a fresh snapshot and renders from scratch (json.Marshal,
+	// no singleflight, no memoization). It exists for benchmarks — an
+	// honest cached-vs-uncached comparison must run both sides through the
+	// same handler stack — and for debugging cache suspicion in the field.
+	DisableQueryCache bool
 }
 
 // Server is the wcmd HTTP service: a sharded registry of streams plus the
@@ -171,6 +176,11 @@ type Server struct {
 	slow   time.Duration // 0 = slow-request logging disabled
 	self   *obs.SelfStream
 	scopes sync.Pool // *reqScope
+
+	// bareCtx skips the per-request context wrap (one http.Request copy
+	// per request) when nothing could observe it: no request deadline and
+	// a discarding logger. See instrument.
+	bareCtx bool
 
 	limIngest *inflightLimiter // nil = unlimited
 	limRead   *inflightLimiter // nil = unlimited
@@ -278,6 +288,7 @@ func New(cfg Config) (*Server, error) {
 		s.self = self
 	}
 	s.scopes.New = func() any { return new(reqScope) }
+	s.bareCtx = cfg.RequestTimeout <= 0 && s.logger == obs.Discard()
 	s.stDecode = s.metrics.stage(stageDecode)
 	s.stUpdate = s.metrics.stage(stageUpdate)
 	s.stRender = s.metrics.stage(stageRender)
@@ -317,7 +328,7 @@ func New(cfg Config) (*Server, error) {
 // panics at startup otherwise (see the invariant on metrics).
 var endpointNames = []string{
 	"ingest", "curves", "check", "minfreq", "contract", "verdict",
-	"list", "delete", "stats", "healthz", "metrics", "self",
+	"list", "delete", "stats", "healthz", "metrics", "self", "query",
 }
 
 func (s *Server) routes() {
@@ -327,6 +338,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/streams/{id}/minfreq", s.instrument("minfreq", classRead, s.handleMinFreq, s.shedMinFreq))
 	s.mux.HandleFunc("POST /v1/streams/{id}/contract", s.instrument("contract", classIngest, s.handleContract, nil))
 	s.mux.HandleFunc("GET /v1/streams/{id}/verdict", s.instrument("verdict", classRead, s.handleVerdict, s.shedVerdict))
+	s.mux.HandleFunc("POST /v1/query", s.instrument("query", classRead, s.handleBatchQuery, nil))
 	s.mux.HandleFunc("GET /v1/streams", s.instrument("list", classRead, s.handleList, nil))
 	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.instrument("delete", classIngest, s.handleDelete, nil))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", classNone, s.handleStats, nil))
@@ -349,10 +361,21 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // shardIndex maps a stream id to its registry shard — and, when the async
 // ingest pipeline is on, to the dedicated ingest worker for that shard.
+// Inline FNV-1a: byte-for-byte the sequence hash/fnv.New32a produces —
+// existing WAL directories partition records by this value, so the mapping
+// must never change — without the per-call hasher allocation the interface
+// path costs.
 func (s *Server) shardIndex(id string) uint32 {
-	h := fnv.New32a()
-	io.WriteString(h, id)
-	return h.Sum32() % uint32(len(s.shards))
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return h % uint32(len(s.shards))
 }
 
 func (s *Server) shardFor(id string) *shard {
@@ -743,7 +766,10 @@ func (r *sliceReader) Read(p []byte) (int, error) {
 // ---- cached query handlers -------------------------------------------------
 
 // renderJSON marshals v the same way writeJSON does (json.Encoder semantics,
-// trailing newline) into a reusable cached response.
+// trailing newline) into a reusable cached response. It remains the renderer
+// for error answers, /verdict and the DisableQueryCache path; the hot OK
+// paths use the hand renderers in render.go, which are held byte-identical
+// to this one by TestRenderersMatchEncodingJSON.
 func renderJSON(status int, v any) *cachedResp {
 	body, err := json.Marshal(v)
 	if err != nil { // unreachable for the response types used here
@@ -754,35 +780,276 @@ func renderJSON(status int, v any) *cachedResp {
 }
 
 func writeCached(w http.ResponseWriter, resp *cachedResp) {
-	w.Header().Set("Content-Type", "application/json")
+	ct := "application/json"
+	if resp.binary {
+		ct = ContentTypeQueryBinary
+	}
+	setHeaderValue(w.Header(), "Content-Type", ct)
 	w.WriteHeader(resp.status)
 	w.Write(resp.body) //nolint:errcheck // client gone; nothing to do
 }
 
+// freshSnapshot takes a snapshot honoring the request deadline: when ctx
+// carries one the stream lock is only waited for until then — past it the
+// call fails with stream.ErrBusy and the caller degrades (see busyFallback).
+func freshSnapshot(ctx context.Context, e *entry) (stream.Snapshot, error) {
+	if dl, ok := ctx.Deadline(); ok {
+		return e.st.SnapshotWithin(time.Until(dl))
+	}
+	return e.st.Snapshot()
+}
+
 // snapshotFor returns a stream.Snapshot for e, reusing the cached one when
 // the stream version is unchanged so parameterized query misses (/check with
-// a new b at an old version) skip the stream lock too. When ctx carries a
-// deadline the stream lock is only waited for until then — past it the
-// call fails with stream.ErrBusy and the caller degrades (see busyFallback).
+// a new key at an old version) skip the stream lock too.
 func snapshotFor(ctx context.Context, e *entry) (stream.Snapshot, error) {
-	v := e.st.Version()
-	if cs := e.cache.load(); cs != nil && cs.version == v && cs.snapOK {
-		return cs.snap, nil
+	if snap, ok := e.cache.snap.get(e.st.Version()); ok {
+		return snap, nil
 	}
-	var snap stream.Snapshot
-	var err error
-	if dl, ok := ctx.Deadline(); ok {
-		snap, err = e.st.SnapshotWithin(time.Until(dl))
-	} else {
-		snap, err = e.st.Snapshot()
-	}
+	snap, err := freshSnapshot(ctx, e)
 	if err != nil {
 		return stream.Snapshot{}, err
 	}
-	e.cache.publish(snap.Version, func(ns *cacheState) {
-		ns.snap, ns.snapOK = snap, true
-	})
+	e.cache.snap.put(snap.Version, snap)
 	return snap, nil
+}
+
+// statsFor mirrors freshSnapshot for the /verdict stats read.
+func statsFor(ctx context.Context, e *entry) (stream.Stats, error) {
+	if dl, ok := ctx.Deadline(); ok {
+		return e.st.StatsWithin(time.Until(dl))
+	}
+	return e.st.Stats(), nil
+}
+
+// ---- query resolvers -------------------------------------------------------
+//
+// Each resolver answers one endpoint from the per-stream cache: a fresh
+// cached response is a hit (one atomic load); otherwise exactly one
+// goroutine per (endpoint, format, parameters, stream generation) renders
+// under singleflight while concurrent readers of the same key wait for its
+// result — bounded by their request deadline, past which they fall out with
+// stream.ErrBusy into the degraded-read path. With DisableQueryCache every
+// call renders from scratch (the honest uncached baseline for benchmarks).
+
+// observeFlight counts singleflight outcomes: a led flight performed (at
+// most) the one render for its (key, generation); shared flights
+// piggybacked on a leader.
+func (s *Server) observeFlight(led bool) {
+	if led {
+		s.metrics.sfLeader.Add(1)
+	} else {
+		s.metrics.sfShared.Add(1)
+	}
+}
+
+func (s *Server) resolveCurves(ctx context.Context, e *entry, binary bool) (resp *cachedResp, hit bool, err error) {
+	if s.cfg.DisableQueryCache {
+		snap, err := freshSnapshot(ctx, e)
+		if err != nil {
+			return nil, false, err
+		}
+		if binary {
+			return renderCurvesResp(snap, true), false, nil
+		}
+		return renderJSON(http.StatusOK, curvesResponse{
+			Version:  snap.Version,
+			Total:    snap.Total,
+			InWindow: snap.InWindow,
+			Upper:    snap.Workload.Upper.Values(),
+			Lower:    snap.Workload.Lower.Values(),
+			DMin:     snap.Spans,
+			DMax:     snap.MaxSpans,
+		}), false, nil
+	}
+	slot := e.cache.curvesSlot(binary)
+	v := e.st.Version()
+	if resp := slot.get(v); resp != nil {
+		return resp, true, nil
+	}
+	resp, led, err := e.cache.flights.do(ctx, flightKey{ep: epCurves, binary: binary, version: v},
+		func() (*cachedResp, error) {
+			if resp := slot.get(v); resp != nil {
+				return resp, nil // a previous leader published while we queued
+			}
+			snap, err := snapshotFor(ctx, e)
+			if err != nil {
+				return nil, err
+			}
+			s.metrics.renders.Add(1)
+			resp := renderCurvesResp(snap, binary)
+			slot.put(resp)
+			return resp, nil
+		})
+	s.observeFlight(led)
+	return resp, false, err
+}
+
+// renderCheck computes eq. (8) on snap and renders the answer; computation
+// errors keep their 409 JSON shape whatever format was negotiated.
+func renderCheck(snap stream.Snapshot, req checkRequest, binary bool) *cachedResp {
+	ok, err := snap.CheckService(req.FreqHz, req.LatencyNs, req.Buffer)
+	if err != nil {
+		resp := renderJSON(http.StatusConflict, errorResponse{err.Error()})
+		resp.version = snap.Version
+		return resp
+	}
+	return renderCheckResp(snap.Version, ok, binary)
+}
+
+func (s *Server) resolveCheck(ctx context.Context, e *entry, req checkRequest, binary bool) (resp *cachedResp, hit bool, err error) {
+	if s.cfg.DisableQueryCache {
+		snap, err := freshSnapshot(ctx, e)
+		if err != nil {
+			return nil, false, err
+		}
+		if binary {
+			return renderCheck(snap, req, true), false, nil
+		}
+		ok, cerr := snap.CheckService(req.FreqHz, req.LatencyNs, req.Buffer)
+		if cerr != nil {
+			return renderJSON(http.StatusConflict, errorResponse{cerr.Error()}), false, nil
+		}
+		return renderJSON(http.StatusOK, checkResponse{Version: snap.Version, OK: ok}), false, nil
+	}
+	key := checkKey{freqHz: req.FreqHz, latencyNs: req.LatencyNs, buffer: req.Buffer}
+	pc := e.cache.checkCache(binary)
+	v := e.st.Version()
+	if resp := pc.get(v, key); resp != nil {
+		return resp, true, nil
+	}
+	resp, led, err := e.cache.flights.do(ctx, flightKey{ep: epCheck, binary: binary, version: v, ck: key},
+		func() (*cachedResp, error) {
+			if resp := pc.get(v, key); resp != nil {
+				return resp, nil
+			}
+			snap, err := snapshotFor(ctx, e)
+			if err != nil {
+				return nil, err
+			}
+			s.metrics.renders.Add(1)
+			resp := renderCheck(snap, req, binary)
+			if pc.put(snap.Version, key, resp) {
+				s.metrics.epochResets.Add(1)
+			}
+			return resp, nil
+		})
+	s.observeFlight(led)
+	return resp, false, err
+}
+
+// renderMinFreq computes eq. (9)/(10) on snap and renders the answer.
+func renderMinFreq(snap stream.Snapshot, b int, binary bool) *cachedResp {
+	cmp, err := snap.MinFrequency(b)
+	if err != nil {
+		resp := renderJSON(http.StatusConflict, errorResponse{err.Error()})
+		resp.version = snap.Version
+		return resp
+	}
+	return renderMinFreqResp(minFreqResponse{
+		Version:       snap.Version,
+		GammaHz:       cmp.Gamma.Hz,
+		GammaAtK:      cmp.Gamma.AtK,
+		GammaAtSpanNs: cmp.Gamma.AtSpanNs,
+		WCETHz:        cmp.WCET.Hz,
+		WCETAtK:       cmp.WCET.AtK,
+		Saving:        cmp.Saving,
+		Buffer:        b,
+	}, binary)
+}
+
+func (s *Server) resolveMinFreq(ctx context.Context, e *entry, b int, binary bool) (resp *cachedResp, hit bool, err error) {
+	if s.cfg.DisableQueryCache {
+		snap, err := freshSnapshot(ctx, e)
+		if err != nil {
+			return nil, false, err
+		}
+		if binary {
+			return renderMinFreq(snap, b, true), false, nil
+		}
+		cmp, merr := snap.MinFrequency(b)
+		if merr != nil {
+			return renderJSON(http.StatusConflict, errorResponse{merr.Error()}), false, nil
+		}
+		return renderJSON(http.StatusOK, minFreqResponse{
+			Version:       snap.Version,
+			GammaHz:       cmp.Gamma.Hz,
+			GammaAtK:      cmp.Gamma.AtK,
+			GammaAtSpanNs: cmp.Gamma.AtSpanNs,
+			WCETHz:        cmp.WCET.Hz,
+			WCETAtK:       cmp.WCET.AtK,
+			Saving:        cmp.Saving,
+			Buffer:        b,
+		}), false, nil
+	}
+	pc := e.cache.minfreqCache(binary)
+	v := e.st.Version()
+	if resp := pc.get(v, b); resp != nil {
+		return resp, true, nil
+	}
+	resp, led, err := e.cache.flights.do(ctx, flightKey{ep: epMinFreq, binary: binary, version: v, b: b},
+		func() (*cachedResp, error) {
+			if resp := pc.get(v, b); resp != nil {
+				return resp, nil
+			}
+			snap, err := snapshotFor(ctx, e)
+			if err != nil {
+				return nil, err
+			}
+			s.metrics.renders.Add(1)
+			resp := renderMinFreq(snap, b, binary)
+			if pc.put(snap.Version, b, resp) {
+				s.metrics.epochResets.Add(1)
+			}
+			return resp, nil
+		})
+	s.observeFlight(led)
+	return resp, false, err
+}
+
+// renderVerdict renders the /verdict answer (JSON only).
+func renderVerdict(stats stream.Stats) *cachedResp {
+	resp := renderJSON(http.StatusOK, verdictResponse{
+		Version:        stats.Version,
+		Admitted:       stats.Violations == 0,
+		ContractSet:    stats.ContractSet,
+		Total:          stats.Total,
+		Violations:     stats.Violations,
+		FirstViolation: violationFrom(stats.FirstViolation),
+		Drift:          stats.Drift,
+	})
+	resp.version = stats.Version
+	return resp
+}
+
+func (s *Server) resolveVerdict(ctx context.Context, e *entry) (resp *cachedResp, hit bool, err error) {
+	if s.cfg.DisableQueryCache {
+		stats, err := statsFor(ctx, e)
+		if err != nil {
+			return nil, false, err
+		}
+		return renderVerdict(stats), false, nil
+	}
+	v := e.st.Version()
+	if resp := e.cache.verdict.get(v); resp != nil {
+		return resp, true, nil
+	}
+	resp, led, err := e.cache.flights.do(ctx, flightKey{ep: epVerdict, version: v},
+		func() (*cachedResp, error) {
+			if resp := e.cache.verdict.get(v); resp != nil {
+				return resp, nil
+			}
+			stats, err := statsFor(ctx, e)
+			if err != nil {
+				return nil, err
+			}
+			s.metrics.renders.Add(1)
+			resp := renderVerdict(stats)
+			e.cache.verdict.put(resp)
+			return resp, nil
+		})
+	s.observeFlight(led)
+	return resp, false, err
 }
 
 // ---- degraded reads --------------------------------------------------------
@@ -812,10 +1079,14 @@ func degradedBody(resp *cachedResp) []byte {
 // serveDegraded writes a stale-but-valid cached answer marked degraded,
 // with the X-Wcm-Degraded header for clients that route on headers, and
 // logs how stale the data is.
-func (s *Server) serveDegraded(w http.ResponseWriter, r *http.Request, e *entry, body []byte) {
+func (s *Server) serveDegraded(w http.ResponseWriter, r *http.Request, e *entry, body []byte, binary bool) {
 	s.metrics.degraded.Add(1)
 	w.Header().Set("X-Wcm-Degraded", "true")
-	w.Header().Set("Content-Type", "application/json")
+	ct := "application/json"
+	if binary {
+		ct = ContentTypeQueryBinary
+	}
+	w.Header().Set("Content-Type", ct)
 	w.WriteHeader(http.StatusOK)
 	w.Write(body) //nolint:errcheck // client gone; nothing to do
 	var age time.Duration
@@ -824,6 +1095,26 @@ func (s *Server) serveDegraded(w http.ResponseWriter, r *http.Request, e *entry,
 	}
 	obs.LoggerFrom(r.Context()).LogAttrs(r.Context(), slog.LevelWarn, "degraded response",
 		slog.String("path", r.URL.Path), slog.Float64("staleness_seconds", age.Seconds()))
+}
+
+// serveStale serves resp as an explicitly degraded answer when usable (a
+// rendered 200). JSON bodies get "degraded":true spliced in; binary bodies
+// are served unmodified — the X-Wcm-Degraded header is the only staleness
+// marker the columnar encoding carries.
+func (s *Server) serveStale(w http.ResponseWriter, r *http.Request, e *entry, resp *cachedResp) bool {
+	if resp == nil || resp.status != http.StatusOK {
+		return false
+	}
+	if resp.binary {
+		s.serveDegraded(w, r, e, resp.body, true)
+		return true
+	}
+	body := degradedBody(resp)
+	if body == nil {
+		return false
+	}
+	s.serveDegraded(w, r, e, body, false)
+	return true
 }
 
 // writeBusy is the answer of last resort on a read or ingest path that ran
@@ -835,19 +1126,17 @@ func writeBusy(w http.ResponseWriter, msg string) {
 }
 
 // busyFallback resolves a snapshot/stats failure on a read path: ErrBusy
-// (lock contended past the request deadline) degrades to the last cached
-// answer when one exists — 503 otherwise — and every other error keeps its
-// 409 shape from before the resilience layer.
-func (s *Server) busyFallback(w http.ResponseWriter, r *http.Request, e *entry, err error, pick func(*cacheState) *cachedResp) {
+// (lock contended past the request deadline, or a singleflight wait that
+// outlived the deadline) degrades to the last cached answer when one
+// exists — 503 otherwise — and every other error keeps its 409 shape from
+// before the resilience layer.
+func (s *Server) busyFallback(w http.ResponseWriter, r *http.Request, e *entry, err error, last *cachedResp) {
 	if !errors.Is(err, stream.ErrBusy) {
 		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
 		return
 	}
-	if cs := e.cache.load(); cs != nil {
-		if body := degradedBody(pick(cs)); body != nil {
-			s.serveDegraded(w, r, e, body)
-			return
-		}
+	if s.serveStale(w, r, e, last) {
+		return
 	}
 	writeBusy(w, "stream busy past request deadline; no cached answer")
 }
@@ -856,27 +1145,19 @@ func (s *Server) busyFallback(w http.ResponseWriter, r *http.Request, e *entry, 
 // answer (stream version unchanged) is served normally — a shed read that
 // costs one atomic load is not worth turning away — a stale one is served
 // marked degraded, and with nothing cached the request is shed with 429.
-func (s *Server) degradeOr(w http.ResponseWriter, r *http.Request, e *entry, pick func(*cacheState) *cachedResp) {
-	cs := e.cache.load()
-	if cs == nil {
-		writeShed(w, "read")
-		return
-	}
-	resp := pick(cs)
+func (s *Server) degradeOr(w http.ResponseWriter, r *http.Request, e *entry, resp *cachedResp) {
 	if resp == nil {
 		writeShed(w, "read")
 		return
 	}
-	if cs.version == e.st.Version() {
+	if resp.version == e.st.Version() {
 		writeCached(w, resp)
 		return
 	}
-	body := degradedBody(resp)
-	if body == nil {
-		writeShed(w, "read")
+	if s.serveStale(w, r, e, resp) {
 		return
 	}
-	s.serveDegraded(w, r, e, body)
+	writeShed(w, "read")
 }
 
 // shedCurves — shed fallback for GET /curves (see degradeOr).
@@ -886,7 +1167,7 @@ func (s *Server) shedCurves(w http.ResponseWriter, r *http.Request) {
 		writeShed(w, "read")
 		return
 	}
-	s.degradeOr(w, r, e, func(cs *cacheState) *cachedResp { return cs.curves })
+	s.degradeOr(w, r, e, e.cache.curvesSlot(acceptsBinary(r)).last())
 }
 
 // shedVerdict — shed fallback for GET /verdict.
@@ -896,15 +1177,17 @@ func (s *Server) shedVerdict(w http.ResponseWriter, r *http.Request) {
 		writeShed(w, "read")
 		return
 	}
-	s.degradeOr(w, r, e, func(cs *cacheState) *cachedResp { return cs.verdict })
+	s.degradeOr(w, r, e, e.cache.verdict.last())
 }
 
 // shedCheck — shed fallback for POST /check. The body still has to be
 // decoded (the cache is keyed by the query parameters), but the stream
 // lock is never touched.
 func (s *Server) shedCheck(w http.ResponseWriter, r *http.Request) {
-	var req checkRequest
-	if err := decodeJSON(r.Body, &req); err != nil {
+	sc := queryScratchPool.Get().(*queryScratch)
+	defer queryScratchPool.Put(sc)
+	req := &sc.req
+	if err := decodeCheckRequest(r, sc, req); err != nil {
 		writeDecodeError(w, err)
 		return
 	}
@@ -914,26 +1197,22 @@ func (s *Server) shedCheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := checkKey{freqHz: req.FreqHz, latencyNs: req.LatencyNs, buffer: req.Buffer}
-	s.degradeOr(w, r, e, func(cs *cacheState) *cachedResp { return cs.check[key] })
+	s.degradeOr(w, r, e, e.cache.checkCache(acceptsBinary(r)).getAny(key))
 }
 
 // shedMinFreq — shed fallback for GET /minfreq.
 func (s *Server) shedMinFreq(w http.ResponseWriter, r *http.Request) {
-	b := 1
-	if q := r.URL.Query().Get("b"); q != "" {
-		v, err := strconv.Atoi(q)
-		if err != nil || v < 0 {
-			writeJSON(w, http.StatusBadRequest, errorResponse{"b must be a non-negative integer"})
-			return
-		}
-		b = v
+	b, ok := minfreqB(r)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"b must be a non-negative integer"})
+		return
 	}
 	e := s.get(r.PathValue("id"))
 	if e == nil {
 		writeShed(w, "read")
 		return
 	}
-	s.degradeOr(w, r, e, func(cs *cacheState) *cachedResp { return cs.minfreq[b] })
+	s.degradeOr(w, r, e, e.cache.minfreqCache(acceptsBinary(r)).getAny(b))
 }
 
 // observeCacheHit / observeCacheMiss close a cached-query stage span that
@@ -955,33 +1234,29 @@ func (s *Server) handleCurves(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{"unknown stream"})
 		return
 	}
-	if cs := e.cache.load(); cs != nil && cs.version == e.st.Version() && cs.curves != nil {
-		writeCached(w, cs.curves)
-		s.observeCacheHit(start)
-		return
+	binary := acceptsBinary(r)
+	if binary {
+		s.metrics.binaryQueries.Add(1)
 	}
-	defer s.observeCacheMiss(start)
-	snap, err := snapshotFor(r.Context(), e)
+	resp, hit, err := s.resolveCurves(r.Context(), e, binary)
 	if err != nil {
-		s.busyFallback(w, r, e, err, func(cs *cacheState) *cachedResp { return cs.curves })
+		s.observeCacheMiss(start)
+		s.busyFallback(w, r, e, err, e.cache.curvesSlot(binary).last())
 		return
 	}
-	resp := renderJSON(http.StatusOK, curvesResponse{
-		Version:  snap.Version,
-		Total:    snap.Total,
-		InWindow: snap.InWindow,
-		Upper:    snap.Workload.Upper.Values(),
-		Lower:    snap.Workload.Lower.Values(),
-		DMin:     snap.Spans,
-		DMax:     snap.MaxSpans,
-	})
-	e.cache.publish(snap.Version, func(ns *cacheState) { ns.curves = resp })
 	writeCached(w, resp)
+	if hit {
+		s.observeCacheHit(start)
+	} else {
+		s.observeCacheMiss(start)
+	}
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
-	var req checkRequest
-	if err := decodeJSON(r.Body, &req); err != nil {
+	sc := queryScratchPool.Get().(*queryScratch)
+	defer queryScratchPool.Put(sc)
+	req := &sc.req
+	if err := decodeCheckRequest(r, sc, req); err != nil {
 		writeDecodeError(w, err)
 		return
 	}
@@ -996,40 +1271,30 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	key := checkKey{freqHz: req.FreqHz, latencyNs: req.LatencyNs, buffer: req.Buffer}
-	if cs := e.cache.load(); cs != nil && cs.version == e.st.Version() {
-		if resp, ok := cs.check[key]; ok {
-			writeCached(w, resp)
-			s.observeCacheHit(start)
-			return
-		}
+	binary := acceptsBinary(r)
+	if binary {
+		s.metrics.binaryQueries.Add(1)
 	}
-	defer s.observeCacheMiss(start)
-	snap, err := snapshotFor(r.Context(), e)
+	resp, hit, err := s.resolveCheck(r.Context(), e, *req, binary)
 	if err != nil {
-		s.busyFallback(w, r, e, err, func(cs *cacheState) *cachedResp { return cs.check[key] })
+		s.observeCacheMiss(start)
+		key := checkKey{freqHz: req.FreqHz, latencyNs: req.LatencyNs, buffer: req.Buffer}
+		s.busyFallback(w, r, e, err, e.cache.checkCache(binary).getAny(key))
 		return
 	}
-	var resp *cachedResp
-	ok, err := snap.CheckService(req.FreqHz, req.LatencyNs, req.Buffer)
-	if err != nil {
-		resp = renderJSON(http.StatusConflict, errorResponse{err.Error()})
-	} else {
-		resp = renderJSON(http.StatusOK, checkResponse{Version: snap.Version, OK: ok})
-	}
-	e.cache.publish(snap.Version, func(ns *cacheState) { ns.setCheck(key, resp) })
 	writeCached(w, resp)
+	if hit {
+		s.observeCacheHit(start)
+	} else {
+		s.observeCacheMiss(start)
+	}
 }
 
 func (s *Server) handleMinFreq(w http.ResponseWriter, r *http.Request) {
-	b := 1
-	if q := r.URL.Query().Get("b"); q != "" {
-		v, err := strconv.Atoi(q)
-		if err != nil || v < 0 {
-			writeJSON(w, http.StatusBadRequest, errorResponse{"b must be a non-negative integer"})
-			return
-		}
-		b = v
+	b, okB := minfreqB(r)
+	if !okB {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"b must be a non-negative integer"})
+		return
 	}
 	e := s.get(r.PathValue("id"))
 	if e == nil {
@@ -1037,37 +1302,22 @@ func (s *Server) handleMinFreq(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	if cs := e.cache.load(); cs != nil && cs.version == e.st.Version() {
-		if resp, ok := cs.minfreq[b]; ok {
-			writeCached(w, resp)
-			s.observeCacheHit(start)
-			return
-		}
+	binary := acceptsBinary(r)
+	if binary {
+		s.metrics.binaryQueries.Add(1)
 	}
-	defer s.observeCacheMiss(start)
-	snap, err := snapshotFor(r.Context(), e)
+	resp, hit, err := s.resolveMinFreq(r.Context(), e, b, binary)
 	if err != nil {
-		s.busyFallback(w, r, e, err, func(cs *cacheState) *cachedResp { return cs.minfreq[b] })
+		s.observeCacheMiss(start)
+		s.busyFallback(w, r, e, err, e.cache.minfreqCache(binary).getAny(b))
 		return
 	}
-	var resp *cachedResp
-	cmp, err := snap.MinFrequency(b)
-	if err != nil {
-		resp = renderJSON(http.StatusConflict, errorResponse{err.Error()})
-	} else {
-		resp = renderJSON(http.StatusOK, minFreqResponse{
-			Version:       snap.Version,
-			GammaHz:       cmp.Gamma.Hz,
-			GammaAtK:      cmp.Gamma.AtK,
-			GammaAtSpanNs: cmp.Gamma.AtSpanNs,
-			WCETHz:        cmp.WCET.Hz,
-			WCETAtK:       cmp.WCET.AtK,
-			Saving:        cmp.Saving,
-			Buffer:        b,
-		})
-	}
-	e.cache.publish(snap.Version, func(ns *cacheState) { ns.setMinFreq(b, resp) })
 	writeCached(w, resp)
+	if hit {
+		s.observeCacheHit(start)
+	} else {
+		s.observeCacheMiss(start)
+	}
 }
 
 func (s *Server) handleContract(w http.ResponseWriter, r *http.Request) {
@@ -1121,33 +1371,18 @@ func (s *Server) handleVerdict(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{"unknown stream"})
 		return
 	}
-	if cs := e.cache.load(); cs != nil && cs.version == e.st.Version() && cs.verdict != nil {
-		writeCached(w, cs.verdict)
-		s.observeCacheHit(start)
+	resp, hit, err := s.resolveVerdict(r.Context(), e)
+	if err != nil {
+		s.observeCacheMiss(start)
+		s.busyFallback(w, r, e, err, e.cache.verdict.last())
 		return
 	}
-	defer s.observeCacheMiss(start)
-	var stats stream.Stats
-	if dl, ok := r.Context().Deadline(); ok {
-		var err error
-		if stats, err = e.st.StatsWithin(time.Until(dl)); err != nil {
-			s.busyFallback(w, r, e, err, func(cs *cacheState) *cachedResp { return cs.verdict })
-			return
-		}
-	} else {
-		stats = e.st.Stats()
-	}
-	resp := renderJSON(http.StatusOK, verdictResponse{
-		Version:        stats.Version,
-		Admitted:       stats.Violations == 0,
-		ContractSet:    stats.ContractSet,
-		Total:          stats.Total,
-		Violations:     stats.Violations,
-		FirstViolation: violationFrom(stats.FirstViolation),
-		Drift:          stats.Drift,
-	})
-	e.cache.publish(stats.Version, func(ns *cacheState) { ns.verdict = resp })
 	writeCached(w, resp)
+	if hit {
+		s.observeCacheHit(start)
+	} else {
+		s.observeCacheMiss(start)
+	}
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -1476,7 +1711,7 @@ func (s *Server) instrument(name string, class epClass, h, shed http.HandlerFunc
 		if id == "" || len(id) > maxTraceIDLen {
 			id = obs.NewTraceID()
 		}
-		w.Header().Set("X-Request-Id", id)
+		setHeaderValue(w.Header(), "X-Request-Id", id)
 
 		handler := h
 		if lim.acquire() {
@@ -1488,14 +1723,21 @@ func (s *Server) instrument(name string, class epClass, h, shed http.HandlerFunc
 		sc := s.scopes.Get().(*reqScope)
 		sc.rec.ResponseWriter, sc.rec.status, sc.rec.wrote = w, http.StatusOK, false
 		sc.req.Reset(id, name, s.logger)
-		ctx := r.Context()
-		if s.cfg.RequestTimeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
-			defer cancel()
+		if !s.bareCtx {
+			// The context wrap copies the request (WithContext allocates a
+			// fresh http.Request). With no deadline to attach and a logger
+			// that discards everything, nothing can observe the wrap —
+			// obs.LoggerFrom falls back to the same discarding logger — so
+			// the bare-context fast path skips it entirely.
+			ctx := r.Context()
+			if s.cfg.RequestTimeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+				defer cancel()
+			}
+			sc.ctx.Reset(ctx, &sc.req)
+			r = r.WithContext(&sc.ctx)
 		}
-		sc.ctx.Reset(ctx, &sc.req)
-		r = r.WithContext(&sc.ctx)
 
 		start := time.Now()
 		s.serveRecovered(name, point, handler, &sc.rec, r, &sc.req)

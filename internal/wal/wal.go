@@ -357,6 +357,60 @@ func (l *ShardLog) AppendIngest(id string, version int64, ts, ds []int64) error 
 	return l.appendLocked(recIngest, id, version, ts, ds)
 }
 
+// IngestRec is one applied batch of an AppendIngestGroup call.
+type IngestRec struct {
+	ID      string
+	Version int64
+	Ts, Ds  []int64
+}
+
+// AppendIngestGroup logs a whole coalesced group of applied batches with ONE
+// write syscall. Each record is framed exactly as AppendIngest frames it —
+// replay cannot tell the two apart — but the group shares a single encode
+// buffer fill, lock acquisition and kernel crossing. This is the async
+// pipeline's group-commit companion: per-record AppendIngest calls paid a
+// buffer reset, counter pair and write per job, which at high coalesce
+// ratios dominated the ingest allocation profile; a drain's records now
+// amortize all of it. The appends counter still advances once per RECORD,
+// so wcmd_wal_appends_total means the same thing on both paths.
+func (l *ShardLog) AppendIngestGroup(recs []IngestRec) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	for i := range recs {
+		if len(recs[i].ID) > maxIDLen {
+			return fmt.Errorf("wal: stream id %d bytes exceeds %d", len(recs[i].ID), maxIDLen)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: shard log closed")
+	}
+	if l.off >= l.mgr.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	start := time.Now()
+	l.buf = l.buf[:0]
+	for i := range recs {
+		l.buf = appendRecord(l.buf, recIngest, recs[i].ID, recs[i].Version, recs[i].Ts, recs[i].Ds)
+	}
+	n, err := l.f.Write(l.buf)
+	l.off += int64(n)
+	l.mgr.bytes.Add(uint64(n))
+	l.mgr.appends.Add(uint64(len(recs)))
+	if h := l.mgr.appendH.Load(); h != nil {
+		h.Observe(time.Since(start))
+	}
+	if err != nil {
+		return err
+	}
+	l.dirty = true
+	return nil
+}
+
 // AppendTombstone logs a DELETE. Same contract as AppendIngest.
 func (l *ShardLog) AppendTombstone(id string) error {
 	if len(id) > maxIDLen {

@@ -1,0 +1,257 @@
+package wirefmt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary query response encodings (Content-Type application/x-wcm-curves).
+//
+// These mirror the ingest encoding above: columnar, little-endian, exact
+// length, shared verbatim between the HTTP query fast path and any client
+// that wants to skip JSON (a DVS governor polling /minfreq every scheduling
+// quantum has no business parsing text). Every payload opens with a kind
+// byte so a client can sniff what it received:
+//
+//	kind 1 — curves (GET /curves)
+//	  byte    kind = 1
+//	  int64   version
+//	  int64   total
+//	  uint32  in_window
+//	  4 × (uint32 n, int64×n values)   upper, lower, dmin, dmax in order
+//
+//	kind 2 — check (POST /check)
+//	  byte    kind = 2
+//	  int64   version
+//	  byte    ok (0 or 1)
+//
+//	kind 3 — minfreq (GET /minfreq)
+//	  byte    kind = 3
+//	  int64   version
+//	  float64 gamma_hz        (IEEE 754 bits)
+//	  uint32  gamma_at_k
+//	  int64   gamma_at_span_ns
+//	  float64 wcet_hz
+//	  uint32  wcet_at_k
+//	  float64 saving
+//	  uint32  buffer
+//
+// Errors never travel in this format: a non-200 response is always the
+// JSON error object, whatever Accept asked for, so the status code is the
+// only discriminator a client needs.
+
+// Query payload kind bytes.
+const (
+	KindCurves  byte = 1
+	KindCheck   byte = 2
+	KindMinFreq byte = 3
+)
+
+// Curves is the decoded form of a kind-1 payload.
+type Curves struct {
+	Version  int64
+	Total    int64
+	InWindow int
+	Upper    []int64
+	Lower    []int64
+	DMin     []int64
+	DMax     []int64
+}
+
+// Check is the decoded form of a kind-2 payload.
+type Check struct {
+	Version int64
+	OK      bool
+}
+
+// MinFreq is the decoded form of a kind-3 payload.
+type MinFreq struct {
+	Version       int64
+	GammaHz       float64
+	GammaAtK      int
+	GammaAtSpanNs int64
+	WCETHz        float64
+	WCETAtK       int
+	Saving        float64
+	Buffer        int
+}
+
+func appendCol(dst []byte, vs []int64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	return dst
+}
+
+// AppendCurves appends the kind-1 encoding of c to dst.
+func AppendCurves(dst []byte, c Curves) []byte {
+	dst = append(dst, KindCurves)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(c.Version))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(c.Total))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(c.InWindow))
+	dst = appendCol(dst, c.Upper)
+	dst = appendCol(dst, c.Lower)
+	dst = appendCol(dst, c.DMin)
+	return appendCol(dst, c.DMax)
+}
+
+// AppendCheck appends the kind-2 encoding to dst.
+func AppendCheck(dst []byte, version int64, ok bool) []byte {
+	dst = append(dst, KindCheck)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(version))
+	b := byte(0)
+	if ok {
+		b = 1
+	}
+	return append(dst, b)
+}
+
+// AppendMinFreq appends the kind-3 encoding of m to dst.
+func AppendMinFreq(dst []byte, m MinFreq) []byte {
+	dst = append(dst, KindMinFreq)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(m.Version))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.GammaHz))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.GammaAtK))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(m.GammaAtSpanNs))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.WCETHz))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.WCETAtK))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.Saving))
+	return binary.LittleEndian.AppendUint32(dst, uint32(m.Buffer))
+}
+
+// cursor is a bounds-checked little-endian reader over a payload. Decoders
+// must never panic on arbitrary input — fuzz harnesses feed them garbage —
+// so every read goes through it.
+type cursor struct {
+	b   []byte
+	err error
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil || len(c.b) < n {
+		c.err = fmt.Errorf("binary query: payload truncated")
+		return nil
+	}
+	out := c.b[:n]
+	c.b = c.b[n:]
+	return out
+}
+
+func (c *cursor) u8() byte {
+	if b := c.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (c *cursor) u32() uint32 {
+	if b := c.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (c *cursor) u64() uint64 {
+	if b := c.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+// maxQueryCol bounds a declared column length so a corrupted prefix cannot
+// demand a multi-GiB allocation (a window rarely exceeds a few thousand k).
+const maxQueryCol = 1 << 24
+
+func (c *cursor) col() []int64 {
+	n := int(c.u32())
+	if c.err != nil {
+		return nil
+	}
+	if n > maxQueryCol || len(c.b) < 8*n {
+		c.err = fmt.Errorf("binary query: column length %d exceeds payload", n)
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(c.b[8*i:]))
+	}
+	c.b = c.b[8*n:]
+	return out
+}
+
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.b) != 0 {
+		return fmt.Errorf("binary query: %d trailing bytes", len(c.b))
+	}
+	return nil
+}
+
+func expectKind(c *cursor, want byte) {
+	if k := c.u8(); c.err == nil && k != want {
+		c.err = fmt.Errorf("binary query: kind %d, want %d", k, want)
+	}
+}
+
+// DecodeCurves decodes a kind-1 payload.
+func DecodeCurves(b []byte) (Curves, error) {
+	c := cursor{b: b}
+	expectKind(&c, KindCurves)
+	out := Curves{
+		Version:  int64(c.u64()),
+		Total:    int64(c.u64()),
+		InWindow: int(c.u32()),
+	}
+	out.Upper = c.col()
+	out.Lower = c.col()
+	out.DMin = c.col()
+	out.DMax = c.col()
+	if err := c.done(); err != nil {
+		return Curves{}, err
+	}
+	return out, nil
+}
+
+// DecodeCheck decodes a kind-2 payload.
+func DecodeCheck(b []byte) (Check, error) {
+	c := cursor{b: b}
+	expectKind(&c, KindCheck)
+	out := Check{Version: int64(c.u64())}
+	switch v := c.u8(); v {
+	case 0:
+	case 1:
+		out.OK = true
+	default:
+		if c.err == nil {
+			c.err = fmt.Errorf("binary query: ok byte %d", v)
+		}
+	}
+	if err := c.done(); err != nil {
+		return Check{}, err
+	}
+	return out, nil
+}
+
+// DecodeMinFreq decodes a kind-3 payload.
+func DecodeMinFreq(b []byte) (MinFreq, error) {
+	c := cursor{b: b}
+	expectKind(&c, KindMinFreq)
+	out := MinFreq{
+		Version:       int64(c.u64()),
+		GammaHz:       math.Float64frombits(c.u64()),
+		GammaAtK:      int(c.u32()),
+		GammaAtSpanNs: int64(c.u64()),
+		WCETHz:        math.Float64frombits(c.u64()),
+		WCETAtK:       int(c.u32()),
+		Saving:        math.Float64frombits(c.u64()),
+		Buffer:        int(c.u32()),
+	}
+	if err := c.done(); err != nil {
+		return MinFreq{}, err
+	}
+	return out, nil
+}

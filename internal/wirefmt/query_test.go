@@ -1,0 +1,172 @@
+package wirefmt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleCurves() Curves {
+	return Curves{
+		Version:  42,
+		Total:    1000,
+		InWindow: 7,
+		Upper:    []int64{0, 10, 25, 90},
+		Lower:    []int64{0, 1, 2, 3},
+		DMin:     []int64{0, 4, 9},
+		DMax:     []int64{0, 5, 9},
+	}
+}
+
+func TestQueryCurvesRoundTrip(t *testing.T) {
+	want := sampleCurves()
+	b := AppendCurves(nil, want)
+	got, err := DecodeCurves(b)
+	if err != nil {
+		t.Fatalf("DecodeCurves: %v", err)
+	}
+	if got.Version != want.Version || got.Total != want.Total || got.InWindow != want.InWindow {
+		t.Fatalf("header mismatch: %+v vs %+v", got, want)
+	}
+	for i, pair := range [][2][]int64{
+		{got.Upper, want.Upper}, {got.Lower, want.Lower}, {got.DMin, want.DMin}, {got.DMax, want.DMax},
+	} {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("col %d length %d vs %d", i, len(pair[0]), len(pair[1]))
+		}
+		for j := range pair[0] {
+			if pair[0][j] != pair[1][j] {
+				t.Fatalf("col %d[%d]: %d vs %d", i, j, pair[0][j], pair[1][j])
+			}
+		}
+	}
+
+	// Empty columns survive too (nil in → empty out).
+	empty := Curves{Version: 1}
+	got, err = DecodeCurves(AppendCurves(nil, empty))
+	if err != nil {
+		t.Fatalf("empty curves: %v", err)
+	}
+	if len(got.Upper) != 0 || len(got.Lower) != 0 || len(got.DMin) != 0 || len(got.DMax) != 0 {
+		t.Fatalf("empty curves decoded non-empty: %+v", got)
+	}
+}
+
+func TestQueryCheckRoundTrip(t *testing.T) {
+	for _, ok := range []bool{true, false} {
+		b := AppendCheck(nil, 9, ok)
+		got, err := DecodeCheck(b)
+		if err != nil {
+			t.Fatalf("DecodeCheck(ok=%v): %v", ok, err)
+		}
+		if got.Version != 9 || got.OK != ok {
+			t.Fatalf("check round trip: %+v", got)
+		}
+	}
+	// The ok byte is strict: anything but 0/1 is a corrupt answer.
+	b := AppendCheck(nil, 9, true)
+	b[len(b)-1] = 2
+	if _, err := DecodeCheck(b); err == nil {
+		t.Fatal("ok byte 2 accepted")
+	}
+}
+
+func TestQueryMinFreqRoundTrip(t *testing.T) {
+	want := MinFreq{
+		Version: 5, GammaHz: 1.25e9, GammaAtK: 3, GammaAtSpanNs: 99,
+		WCETHz: 2.5e9, WCETAtK: 7, Saving: 0.5, Buffer: 2,
+	}
+	got, err := DecodeMinFreq(AppendMinFreq(nil, want))
+	if err != nil {
+		t.Fatalf("DecodeMinFreq: %v", err)
+	}
+	if got != want {
+		t.Fatalf("minfreq round trip: %+v vs %+v", got, want)
+	}
+}
+
+// TestQueryDecodeRejectsDamage: every truncation of a valid encoding, every
+// trailing addition, and a kind mixup must error — never panic, never
+// misparse.
+func TestQueryDecodeRejectsDamage(t *testing.T) {
+	curves := AppendCurves(nil, sampleCurves())
+	check := AppendCheck(nil, 1, true)
+	minfreq := AppendMinFreq(nil, MinFreq{Version: 1, GammaHz: 1e9})
+
+	for i := 0; i < len(curves); i++ {
+		if _, err := DecodeCurves(curves[:i]); err == nil {
+			t.Fatalf("curves truncated to %d bytes accepted", i)
+		}
+	}
+	for i := 0; i < len(check); i++ {
+		if _, err := DecodeCheck(check[:i]); err == nil {
+			t.Fatalf("check truncated to %d bytes accepted", i)
+		}
+	}
+	for i := 0; i < len(minfreq); i++ {
+		if _, err := DecodeMinFreq(minfreq[:i]); err == nil {
+			t.Fatalf("minfreq truncated to %d bytes accepted", i)
+		}
+	}
+
+	for name, b := range map[string][]byte{
+		"curves": append(bytes.Clone(curves), 0),
+		"check":  append(bytes.Clone(check), 0),
+	} {
+		var err error
+		if name == "curves" {
+			_, err = DecodeCurves(b)
+		} else {
+			_, err = DecodeCheck(b)
+		}
+		if err == nil {
+			t.Fatalf("%s with trailing byte accepted", name)
+		}
+	}
+
+	if _, err := DecodeCurves(check); err == nil {
+		t.Fatal("check bytes accepted as curves")
+	}
+	if _, err := DecodeCheck(curves); err == nil {
+		t.Fatal("curves bytes accepted as check")
+	}
+	if _, err := DecodeMinFreq(curves); err == nil {
+		t.Fatal("curves bytes accepted as minfreq")
+	}
+
+	// A column count chosen to demand a giant allocation must be rejected
+	// by the bound, not attempted.
+	huge := []byte{KindCurves}
+	huge = append(huge, make([]byte, 8+8+4)...) // version, total, in_window
+	huge = append(huge, 0xFF, 0xFF, 0xFF, 0xFF) // upper: n = 2^32-1
+	if _, err := DecodeCurves(huge); err == nil {
+		t.Fatal("absurd column count accepted")
+	}
+}
+
+// FuzzQueryDecode feeds arbitrary bytes to all three decoders: they must
+// never panic, and on a successful decode, re-encoding must reproduce the
+// input exactly (the format has a single canonical encoding).
+func FuzzQueryDecode(f *testing.F) {
+	f.Add(AppendCurves(nil, sampleCurves()))
+	f.Add(AppendCheck(nil, 3, true))
+	f.Add(AppendMinFreq(nil, MinFreq{Version: 2, GammaHz: 1e9, Buffer: 1}))
+	f.Add([]byte{})
+	f.Add([]byte{KindCurves})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if c, err := DecodeCurves(b); err == nil {
+			if !bytes.Equal(AppendCurves(nil, c), b) {
+				t.Fatalf("curves decode/encode not canonical for %x", b)
+			}
+		}
+		if c, err := DecodeCheck(b); err == nil {
+			if !bytes.Equal(AppendCheck(nil, c.Version, c.OK), b) {
+				t.Fatalf("check decode/encode not canonical for %x", b)
+			}
+		}
+		if m, err := DecodeMinFreq(b); err == nil {
+			if !bytes.Equal(AppendMinFreq(nil, m), b) {
+				t.Fatalf("minfreq decode/encode not canonical for %x", b)
+			}
+		}
+	})
+}

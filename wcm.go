@@ -49,6 +49,7 @@ import (
 	"wcm/internal/service"
 	"wcm/internal/shaper"
 	"wcm/internal/stream"
+	"wcm/internal/wirefmt"
 )
 
 // ---- Curves -------------------------------------------------------------
@@ -564,6 +565,30 @@ const BinaryIngestContentType = server.ContentTypeBinary
 func AppendBinaryIngestBatch(dst []byte, t, demand []int64) []byte {
 	return server.AppendBinaryBatch(dst, t, demand)
 }
+
+// BinaryQueryContentType is the Accept / Content-Type value selecting the
+// columnar binary query response encoding on /curves, /check and /minfreq
+// (see DESIGN.md §14).
+const BinaryQueryContentType = server.ContentTypeQueryBinary
+
+// Decoded forms of the binary query answers, and their decoders. One answer
+// has exactly one encoding; the decoders reject any damaged or trailing
+// bytes. Errors never travel in this format — a non-200 response is always
+// the JSON error object.
+type (
+	BinaryCurves  = wirefmt.Curves
+	BinaryCheck   = wirefmt.Check
+	BinaryMinFreq = wirefmt.MinFreq
+)
+
+// DecodeBinaryCurves decodes a kind-1 (GET /curves) binary answer.
+func DecodeBinaryCurves(b []byte) (BinaryCurves, error) { return wirefmt.DecodeCurves(b) }
+
+// DecodeBinaryCheck decodes a kind-2 (POST /check) binary answer.
+func DecodeBinaryCheck(b []byte) (BinaryCheck, error) { return wirefmt.DecodeCheck(b) }
+
+// DecodeBinaryMinFreq decodes a kind-3 (GET /minfreq) binary answer.
+func DecodeBinaryMinFreq(b []byte) (BinaryMinFreq, error) { return wirefmt.DecodeMinFreq(b) }
 
 // DeconvolveArrival computes the exact output arrival curve a ⊘ b of a
 // flow with arrival a served by b, over u ∈ [0, uMax].
