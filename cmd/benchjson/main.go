@@ -20,7 +20,9 @@
 // where there is no parallelism to measure); -assert-query-cache requires
 // the 95/5 read-heavy mix to run at least that many times faster with the
 // query cache than without it; -max-hit-allocs bounds the cache-hit path's
-// allocations absolutely. -procs groups larger than the host's CPU count
+// allocations absolutely; -max-trace-overhead bounds the fractional latency
+// cost of default-rate tracing (ingest_http_binary_traced vs
+// ingest_http_binary at GOMAXPROCS=1). -procs groups larger than the host's CPU count
 // are skipped with a note — oversubscribed numbers measure scheduler churn.
 //
 // The HTTP benches run with Config.SelfCurves enabled and send X-Request-Id,
@@ -102,6 +104,7 @@ type options struct {
 	assertScaling    float64 // required sharded samples/s ratio, largest vs smallest procs group; 0 disables
 	assertQueryCache float64 // required query_mixed_uncached/cached ratio; 0 disables
 	maxHitAllocs     float64 // absolute allocs/op bound for query_check_cached at GOMAXPROCS=1; 0 disables
+	maxTraceOverhead float64 // allowed fractional traced-vs-untraced ingest latency growth at GOMAXPROCS=1; 0 disables
 }
 
 // measure times fn until minTime has elapsed (at least once) and reports
@@ -465,6 +468,33 @@ func run(opts options) (*Report, error) {
 		if opts.maxBinaryAllocs > 0 && p == 1 && httpBinary.AllocsPerOp > opts.maxBinaryAllocs {
 			return nil, fmt.Errorf("ingest_http_binary allocates %.1f/op, bound %.1f (GOMAXPROCS=%d)",
 				httpBinary.AllocsPerOp, opts.maxBinaryAllocs, p)
+		}
+
+		// Same path with tracing at the default 1-in-N sample rate: every
+		// request records its span tree (the recording cost is paid whether
+		// or not the trace is kept), and the client sends a W3C traceparent
+		// so the parse/echo path is inside the measurement. trace_overhead
+		// is the fractional latency cost vs the untraced server above.
+		tsrv, err := server.New(server.Config{
+			Stream: ingestCfg, SelfCurves: true, TraceSample: server.DefaultTraceSample,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb := newIngestBench(tsrv.Handler(), "t", server.ContentTypeBinary, batchDemands, 3)
+		tb.req.Header.Set("traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+		httpTraced := measure("ingest_http_binary_traced", minTime, func() { tb.op(true) })
+		httpTraced.SamplesPerSec = float64(len(batchDemands)) / (httpTraced.NsPerOp / 1e9)
+		add(httpTraced)
+		overhead := httpTraced.NsPerOp / httpBinary.NsPerOp
+		report.Speedups["trace_overhead"] = overhead
+		// Guarded at GOMAXPROCS=1 only (multi-proc latency picks up GC and
+		// scheduler noise), with 1µs absolute slack so a tight fractional
+		// budget on a fast baseline isn't below clock jitter.
+		if opts.maxTraceOverhead > 0 && p == 1 &&
+			httpTraced.NsPerOp > httpBinary.NsPerOp*(1+opts.maxTraceOverhead)+1000 {
+			return nil, fmt.Errorf("ingest_http_binary_traced is %.0f ns/op vs %.0f untraced (%.1f%% overhead), budget %.1f%% (GOMAXPROCS=%d)",
+				httpTraced.NsPerOp, httpBinary.NsPerOp, (overhead-1)*100, opts.maxTraceOverhead*100, p)
 		}
 
 		// Async pipeline: concurrent clients drive the same handler with the
@@ -834,6 +864,7 @@ func main() {
 	assertScaling := flag.Float64("assert-scaling", 0, "required sharded ingest scaling ratio, largest vs smallest -procs group (0 = off; skipped under 4 CPUs)")
 	assertQueryCache := flag.Float64("assert-query-cache", 0, "required query_mixed_uncached/cached ns/op ratio (0 = off)")
 	maxHitAllocs := flag.Float64("max-hit-allocs", 0, "allocs/op bound for query_check_cached at GOMAXPROCS=1 (0 = off)")
+	maxTraceOverhead := flag.Float64("max-trace-overhead", 0, "allowed fractional latency cost of default-rate tracing at GOMAXPROCS=1 (0 = off)")
 	flag.Parse()
 	pr, err := parseProcs(*procs)
 	if err != nil {
@@ -845,7 +876,7 @@ func main() {
 		baseline: *baseline, maxAllocGrowth: *maxAllocGrowth,
 		maxBinaryAllocs: *maxBinaryAllocs, maxLatencyGrowth: *maxLatencyGrowth,
 		assertScaling: *assertScaling, assertQueryCache: *assertQueryCache,
-		maxHitAllocs: *maxHitAllocs,
+		maxHitAllocs: *maxHitAllocs, maxTraceOverhead: *maxTraceOverhead,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -43,7 +43,7 @@ func TestRunWritesReport(t *testing.T) {
 	if err := json.Unmarshal(raw, &decoded); err != nil {
 		t.Fatalf("emitted JSON does not parse: %v", err)
 	}
-	want := 5 + 14*len(ranProcs)
+	want := 5 + 15*len(ranProcs)
 	if len(decoded.Results) != want {
 		t.Fatalf("got %d results, want %d", len(decoded.Results), want)
 	}
@@ -67,8 +67,8 @@ func TestRunWritesReport(t *testing.T) {
 	}
 	for _, name := range []string{
 		"ingest_single_stream", "ingest_sharded_streams",
-		"ingest_http_json", "ingest_http_binary", "ingest_async_pipeline",
-		"ingest_wal_always", "ingest_wal_batch",
+		"ingest_http_json", "ingest_http_binary", "ingest_http_binary_traced",
+		"ingest_async_pipeline", "ingest_wal_always", "ingest_wal_batch",
 		"query_check_cached", "query_check_uncached",
 		"query_curves_cached", "query_curves_binary", "query_batch_all",
 		"query_mixed_cached", "query_mixed_uncached",
@@ -95,7 +95,7 @@ func TestRunWritesReport(t *testing.T) {
 		"workload", "spans", "admits", "ingest_scaling", "ingest_sharding_gain",
 		"ingest_binary_vs_json", "ingest_async_vs_sync", "query_cached_vs_uncached",
 		"query_check_cached_vs_uncached", "query_binary_vs_json",
-		"wal_overhead",
+		"wal_overhead", "trace_overhead",
 	} {
 		if decoded.Speedups[key] <= 0 {
 			t.Fatalf("speedup %q = %v, want > 0", key, decoded.Speedups[key])

@@ -13,6 +13,14 @@
 // its own per-request cost into a built-in curve stream and serves its own
 // workload characterization at /debug/self.
 //
+// Every request is traced end to end: a span tree (decode → ring enqueue →
+// queue wait → coalesced apply → WAL append/fsync → render) recorded under
+// the request's X-Request-Id and W3C traceparent (accepted from the caller
+// when well formed, echoed on every response). Retention is tail-based —
+// slow, errored, shed, degraded and panicking requests are always kept,
+// ordinary ones 1-in-N per -trace-sample — into a memory-capped store
+// (-trace-store) served at /debug/traces and /debug/traces/{id}.
+//
 // The serving path is hardened against hostile traffic: connection-level
 // timeouts (-read-timeout, -write-timeout, -idle-timeout) cut slow-loris
 // clients, -request-timeout bounds each handler (contended reads past it
@@ -128,6 +136,10 @@ func parseFlags(args []string) (server.Config, serveOpts, error) {
 		"per-shard async ingest queue capacity; concurrent batches coalesce into fused stream updates (0 = synchronous ingest)")
 	coalesce := fs.Int("coalesce", server.DefaultCoalesceBudget,
 		"max queued ingest batches fused per pipeline worker wakeup")
+	traceSample := fs.Int("trace-sample", server.DefaultTraceSample,
+		"keep 1 in N ordinary request traces (anomalous ones are always kept) in the /debug/traces store; 0 disables tracing")
+	traceStore := fs.Int64("trace-store", 0,
+		"trace store memory cap in bytes; oldest traces evicted past it (0 = 4MiB default)")
 	dataDir := fs.String("data-dir", "",
 		"directory for the write-ahead log and snapshots; empty = in-memory only (no durability)")
 	fsyncMode := fs.String("fsync", "batch",
@@ -174,6 +186,8 @@ func parseFlags(args []string) (server.Config, serveOpts, error) {
 		MaxInflightRead:   *maxInflightRead,
 		IngestRing:        *ingestRing,
 		CoalesceBudget:    *coalesce,
+		TraceSample:       *traceSample,
+		TraceStoreBytes:   *traceStore,
 		SnapshotInterval:  *snapshotInterval,
 		Faults:            faults,
 	}

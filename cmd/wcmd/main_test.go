@@ -111,8 +111,21 @@ func TestParseFlagsObservability(t *testing.T) {
 	if cfg.Logger == nil || !cfg.SelfCurves || cfg.SlowRequest != 50*time.Millisecond {
 		t.Fatalf("cfg = %+v", cfg)
 	}
+	if cfg.TraceSample != server.DefaultTraceSample || cfg.TraceStoreBytes != 0 {
+		t.Fatalf("trace defaults = %d/%d", cfg.TraceSample, cfg.TraceStoreBytes)
+	}
 	if !cfg.Logger.Enabled(context.Background(), slog.LevelDebug) {
 		t.Fatal("-log-level debug not applied")
+	}
+	cfg, _, err = parseFlags([]string{"-trace-sample", "1", "-trace-store", "65536"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TraceSample != 1 || cfg.TraceStoreBytes != 65536 {
+		t.Fatalf("trace flags = %d/%d", cfg.TraceSample, cfg.TraceStoreBytes)
+	}
+	if cfg, _, err = parseFlags([]string{"-trace-sample", "0"}); err != nil || cfg.TraceSample != 0 {
+		t.Fatalf("-trace-sample 0: %v, %d", err, cfg.TraceSample)
 	}
 	if _, _, err := parseFlags([]string{"-log-format", "yaml"}); err == nil {
 		t.Fatal("bad log format accepted")

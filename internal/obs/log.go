@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"wcm/internal/obs/trace"
 )
 
 // ---- logger construction ----------------------------------------------------
@@ -106,6 +108,11 @@ type Request struct {
 	ID       string // trace ID (propagated X-Request-Id or generated)
 	Endpoint string // route name the request resolved to
 
+	// Trace is the request's span tree when tracing is enabled, nil
+	// otherwise. Handlers reach it via TraceFrom; the HTTP layer owns its
+	// lifecycle (StartRequest/Finish).
+	Trace *trace.Active
+
 	base    *slog.Logger // service logger
 	derived *slog.Logger // base.With(trace/endpoint), built on first Logger()
 }
@@ -113,6 +120,7 @@ type Request struct {
 // Reset re-initializes a (possibly pooled) scope for a new request.
 func (r *Request) Reset(id, endpoint string, base *slog.Logger) {
 	r.ID, r.Endpoint, r.base, r.derived = id, endpoint, base, nil
+	r.Trace = nil
 }
 
 // Logger returns the request-scoped logger: the service logger with
@@ -170,6 +178,17 @@ func (c *RequestContext) Value(key any) any {
 func FromContext(ctx context.Context) *Request {
 	r, _ := ctx.Value(ctxKey{}).(*Request)
 	return r
+}
+
+// TraceFrom returns the request's active trace, or nil when the context
+// carries no scope or tracing is off. The nil return composes with the
+// trace package's nil-safe methods, so handlers record spans
+// unconditionally.
+func TraceFrom(ctx context.Context) *trace.Active {
+	if r := FromContext(ctx); r != nil {
+		return r.Trace
+	}
+	return nil
 }
 
 // LoggerFrom returns the request-scoped logger from ctx, or a discarding

@@ -1,0 +1,103 @@
+package trace
+
+import "sync/atomic"
+
+// store retains kept traces in sharded lock-free rings. Each shard is a
+// power-of-two slot array with a monotone cursor: insert is one atomic add
+// plus one pointer swap, eviction is implicit (the swapped-out oldest trace
+// is released to the GC — never back to the pool, since a concurrent
+// reader may still hold the pointer). The byte cap is hard by
+// construction: slot count = limit / estimated-max-trace-size, so retained
+// bytes can never exceed the limit even with every slot full, and the
+// bytes counter tracks the actual footprint for the store-bytes gauge.
+type store struct {
+	shards  []storeShard
+	mask    uint64
+	limit   int64
+	bytes   atomic.Int64
+	evicted atomic.Uint64
+}
+
+type storeShard struct {
+	cursor atomic.Uint64
+	slots  []atomic.Pointer[Active]
+	mask   uint64
+	_      [40]byte // keep neighboring shards' cursors off one cache line
+}
+
+// newStore sizes the shard rings from the byte cap. At least one slot per
+// shard survives even absurdly small caps so the store always holds the
+// most recent anomalies.
+func newStore(limitBytes, estTrace int64) *store {
+	slots := limitBytes / estTrace
+	if slots < 4 {
+		slots = 4
+	}
+	nShards := 4
+	if slots < 16 {
+		nShards = 1
+	}
+	perShard := 1
+	for int64(perShard)*2*int64(nShards) <= slots {
+		perShard *= 2
+	}
+	st := &store{
+		shards: make([]storeShard, nShards),
+		mask:   uint64(nShards - 1),
+		limit:  limitBytes,
+	}
+	for i := range st.shards {
+		st.shards[i].slots = make([]atomic.Pointer[Active], perShard)
+		st.shards[i].mask = uint64(perShard - 1)
+	}
+	return st
+}
+
+// insert stores a finished trace, evicting the oldest in its shard's ring
+// when the ring has wrapped.
+func (st *store) insert(t *Active) {
+	sh := &st.shards[t.lo&st.mask]
+	i := sh.cursor.Add(1) - 1
+	old := sh.slots[i&sh.mask].Swap(t)
+	st.bytes.Add(t.szBytes)
+	if old != nil {
+		st.bytes.Add(-old.szBytes)
+		st.evicted.Add(1)
+	}
+}
+
+// snapshot collects the currently stored traces, newest first.
+func (st *store) snapshot() []*Active {
+	var out []*Active
+	for s := range st.shards {
+		sh := &st.shards[s]
+		for i := range sh.slots {
+			if t := sh.slots[i].Load(); t != nil {
+				out = append(out, t)
+			}
+		}
+	}
+	// Insertion-sort by start time descending: slot counts are small and
+	// each shard is already nearly ordered.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].start.After(out[j-1].start); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// lookup returns the newest stored trace with the given request ID.
+func (st *store) lookup(reqID string) *Active {
+	var best *Active
+	for s := range st.shards {
+		sh := &st.shards[s]
+		for i := range sh.slots {
+			t := sh.slots[i].Load()
+			if t != nil && t.reqID == reqID && (best == nil || t.start.After(best.start)) {
+				best = t
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,93 @@
+package trace
+
+// W3C Trace Context "traceparent" handling: version-00 wire format
+// "vv-tttttttttttttttttttttttttttttttt-pppppppppppppppp-ff" (2-hex
+// version, 32-hex trace-id, 16-hex parent-id, 2-hex flags). Parsing is
+// forgiving per spec — unknown versions are accepted as long as the
+// version-00 prefix shape holds, version ff and all-zero IDs are invalid —
+// and a malformed header is simply ignored (the caller mints fresh IDs).
+
+const traceparentLen = 55 // 2 + 1 + 32 + 1 + 16 + 1 + 2
+
+const hexdig = "0123456789abcdef"
+
+// ParseTraceparent extracts the trace-id halves, parent span-id, and flags
+// from a traceparent header. ok is false for anything malformed.
+func ParseTraceparent(s string) (hi, lo, parent uint64, flags byte, ok bool) {
+	if len(s) < traceparentLen {
+		return 0, 0, 0, 0, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return 0, 0, 0, 0, false
+	}
+	ver, ok1 := parseHexByte(s[0:2])
+	if !ok1 || ver == 0xff {
+		return 0, 0, 0, 0, false
+	}
+	// Version 00 is exactly 55 chars; future versions may append
+	// dash-separated fields but must keep the prefix shape.
+	if len(s) > traceparentLen && (ver == 0 || s[traceparentLen] != '-') {
+		return 0, 0, 0, 0, false
+	}
+	hi, ok1 = parseHex64(s[3:19])
+	lo, ok2 := parseHex64(s[19:35])
+	parent, ok3 := parseHex64(s[36:52])
+	fl, ok4 := parseHexByte(s[53:55])
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return 0, 0, 0, 0, false
+	}
+	if hi == 0 && lo == 0 || parent == 0 {
+		return 0, 0, 0, 0, false
+	}
+	return hi, lo, parent, fl, true
+}
+
+// FormatTraceparent renders a version-00 traceparent with the sampled flag
+// set. One string allocation.
+func FormatTraceparent(hi, lo, span uint64) string {
+	var b [traceparentLen]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	putHex(b[3:19], hi)
+	putHex(b[19:35], lo)
+	b[35] = '-'
+	putHex(b[36:52], span)
+	b[52] = '-'
+	b[53], b[54] = '0', '1'
+	return string(b[:])
+}
+
+// putHex writes v into dst as 16 lowercase hex digits.
+func putHex(dst []byte, v uint64) {
+	for i := 0; i < 16; i++ {
+		dst[i] = hexdig[(v>>(60-4*i))&0xf]
+	}
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	// Uppercase hex is invalid in traceparent.
+	return 0, false
+}
+
+func parseHexByte(s string) (byte, bool) {
+	h, ok1 := hexVal(s[0])
+	l, ok2 := hexVal(s[1])
+	return h<<4 | l, ok1 && ok2
+}
+
+func parseHex64(s string) (uint64, bool) {
+	var v uint64
+	for i := 0; i < 16; i++ {
+		d, ok := hexVal(s[i])
+		if !ok {
+			return 0, false
+		}
+		v = v<<4 | uint64(d)
+	}
+	return v, true
+}

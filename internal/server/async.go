@@ -9,6 +9,8 @@ import (
 	"sync"
 	"time"
 
+	"wcm/internal/obs"
+	"wcm/internal/obs/trace"
 	"wcm/internal/ringbuf"
 	"wcm/internal/stream"
 	"wcm/internal/wal"
@@ -59,11 +61,34 @@ type ingestJob struct {
 	created bool
 	ts, ds  []int64
 
+	// Request context carried across the async hop. scope is the
+	// originating request's observability scope — worker-side log lines go
+	// through it so they keep the request's trace_id/endpoint attribution.
+	// tr/parent/enq stitch worker-side spans (queue wait, apply, WAL
+	// append/fsync) into the request's trace under the handler's update
+	// span; all nil/zero when the request is untraced. The handler always
+	// parks on done until the worker finishes, so every worker-side use of
+	// these fields happens-before the scope and trace are recycled.
+	scope  *obs.Request
+	tr     *trace.Active
+	parent trace.SpanRef
+	enq    time.Time
+
 	res     stream.IngestResult
 	err     error // stream rejection → 400 (same shape as the sync path)
 	errCode int   // overrides the 400 for err: 409 (registry race), 500 (worker panic)
 
 	done chan struct{}
+}
+
+// logger returns the originating request's logger (trace_id and endpoint
+// attached) for worker-side log lines, falling back to the service logger
+// for jobs that carried no scope.
+func (j *ingestJob) logger(fallback *slog.Logger) *slog.Logger {
+	if j.scope != nil {
+		return j.scope.Logger()
+	}
+	return fallback
 }
 
 var jobPool = sync.Pool{New: func() any {
@@ -220,6 +245,15 @@ func (s *Server) ingestWorker(p *ingestPipe) {
 		}
 		s.metrics.coalesce.Observe(int64(n))
 		jobs := p.jobs[:n]
+		// One timestamp per drain, taken only when some job is traced —
+		// untraced drains never touch the clock for tracing.
+		var tPop time.Time
+		for i := 0; i < n; i++ {
+			if jobs[i] != nil && jobs[i].tr != nil {
+				tPop = time.Now()
+				break
+			}
+		}
 		for i := 0; i < n; i++ {
 			if jobs[i] == nil {
 				continue
@@ -236,14 +270,27 @@ func (s *Server) ingestWorker(p *ingestPipe) {
 					jobs[k] = nil
 				}
 			}
-			s.applyGroup(p, lead.e, p.group, p.batches, p.results[:len(p.group)])
+			s.applyGroup(p, lead.e, p.group, p.batches, p.results[:len(p.group)], tPop)
 		}
 		// Wakeup-wide group commit (fsync policy "batch"): every group of
 		// this drain is applied and appended; one fsync makes them all
 		// durable before ANY of their handlers is released.
 		if len(p.pending) > 0 {
-			if err := s.walShards[p.idx].Commit(); err != nil {
-				failPending(p.pending, err)
+			t0 := tPop
+			if !t0.IsZero() {
+				t0 = time.Now()
+			}
+			err := s.walShards[p.idx].Commit()
+			if !t0.IsZero() {
+				t1 := time.Now()
+				for _, job := range p.pending {
+					if job.tr != nil {
+						job.tr.RecordAt("wal_fsync", job.parent, t0, t1)
+					}
+				}
+			}
+			if err != nil {
+				s.failPending(p.pending, err)
 			}
 			for _, job := range p.pending {
 				job.done <- struct{}{}
@@ -266,7 +313,26 @@ func (s *Server) ingestWorker(p *ingestPipe) {
 // rides the wakeup-wide commit depends on the policy — "always" commits
 // per group, "batch" defers the jobs onto p.pending for one commit per
 // drain, "none" never waits for the disk.
-func (s *Server) applyGroup(p *ingestPipe, e *entry, group []*ingestJob, batches []stream.Batch, results []stream.BatchResult) {
+func (s *Server) applyGroup(p *ingestPipe, e *entry, group []*ingestJob, batches []stream.Batch, results []stream.BatchResult, tPop time.Time) {
+	// Worker-side trace spans: queue wait ends at the drain timestamp, the
+	// apply span covers the fused IngestBatches call. Zero clock reads when
+	// no job of the group is traced.
+	traced := false
+	for _, job := range group {
+		if job.tr != nil {
+			traced = true
+			break
+		}
+	}
+	var tApply time.Time
+	if traced {
+		tApply = time.Now()
+		for _, job := range group {
+			if job.tr != nil {
+				job.tr.RecordAt("queue_wait", job.parent, job.enq, tPop)
+			}
+		}
+	}
 	panicked := func() (p any) {
 		defer func() { p = recover() }()
 		e.st.IngestBatches(batches, results)
@@ -274,15 +340,29 @@ func (s *Server) applyGroup(p *ingestPipe, e *entry, group []*ingestJob, batches
 	}()
 	if panicked != nil {
 		s.metrics.panics.Add(1)
-		s.logger.LogAttrs(context.Background(), slog.LevelError, "ingest worker panic",
-			slog.String("panic", fmt.Sprint(panicked)),
-			slog.String("stack", string(debug.Stack())))
+		// One Error line per affected request, through each request's own
+		// logger, so every worker-side line carries the originating
+		// trace_id — a grouped apply fails a whole coalesced group at once.
+		stack := string(debug.Stack())
 		for _, job := range group {
+			job.logger(s.logger).LogAttrs(context.Background(), slog.LevelError, "ingest worker panic",
+				slog.String("panic", fmt.Sprint(panicked)),
+				slog.String("stack", stack))
+			job.tr.Mark(trace.KeepPanic)
 			job.err = fmt.Errorf("internal error applying ingest batch")
 			job.errCode = http.StatusInternalServerError
 			job.done <- struct{}{}
 		}
 		return
+	}
+	if traced {
+		tApplied := time.Now()
+		for _, job := range group {
+			if job.tr != nil {
+				job.tr.RecordAt("apply", job.parent, tApply, tApplied).
+					Int("coalesced", int64(len(group)))
+			}
+		}
 	}
 	for gi, job := range group {
 		job.res, job.err = results[gi].Res, results[gi].Err
@@ -308,11 +388,24 @@ func (s *Server) applyGroup(p *ingestPipe, e *entry, group []*ingestJob, batches
 		}
 		return
 	}
-	s.walLogGroup(p, e, group)
+	s.walLogGroup(p, e, group, traced)
 	switch s.wal.Policy() {
 	case wal.PolicyAlways:
-		if err := s.walShards[p.idx].Commit(); err != nil {
-			failPending(group, err)
+		var t0 time.Time
+		if traced {
+			t0 = time.Now()
+		}
+		err := s.walShards[p.idx].Commit()
+		if traced {
+			t1 := time.Now()
+			for _, job := range group {
+				if job.tr != nil && job.err == nil {
+					job.tr.RecordAt("wal_fsync", job.parent, t0, t1)
+				}
+			}
+		}
+		if err != nil {
+			s.failPending(group, err)
 		}
 		for _, job := range group {
 			job.done <- struct{}{}
@@ -347,15 +440,27 @@ func (s *Server) ingestAsync(w http.ResponseWriter, r *http.Request, sc *ingestS
 	job.e, job.id, job.created = e, id, created
 	job.ts, job.ds = ts, ds
 	job.res, job.err, job.errCode = stream.IngestResult{}, nil, 0
+	// Hand the request's observability scope and span context across the
+	// hop. The update span opens here and closes when the handler resumes,
+	// so it brackets the worker-side queue_wait/apply/WAL children.
+	job.scope = obs.FromContext(r.Context())
+	tr := obs.TraceFrom(r.Context())
+	var upd trace.SpanRef
+	if tr != nil {
+		upd = tr.StartAt("update", tr.Root(), tDecoded)
+		job.tr, job.parent, job.enq = tr, upd, tDecoded
+	}
 
 	p := s.pipes[s.shardIndex(id)]
 	accepted, ringClosed := s.enqueueIngest(p, job, r)
 	if !accepted {
 		job.e, job.ts, job.ds = nil, nil, nil
+		job.scope, job.tr, job.parent = nil, nil, trace.SpanRef{}
 		jobPool.Put(job)
 		if ringClosed {
 			return false // shutting down: caller ingests synchronously
 		}
+		upd.EndAt(time.Now())
 		if created {
 			s.dropIfEmpty(id, e)
 		}
@@ -366,10 +471,12 @@ func (s *Server) ingestAsync(w http.ResponseWriter, r *http.Request, sc *ingestS
 
 	res, err, code := job.res, job.err, job.errCode
 	job.e, job.ts, job.ds = nil, nil, nil
+	job.scope, job.tr, job.parent = nil, nil, trace.SpanRef{}
 	jobPool.Put(job)
 
 	tUpdated := time.Now()
 	s.stUpdate.Observe(tUpdated.Sub(tDecoded))
+	upd.EndAt(tUpdated)
 	if err != nil {
 		if code == 0 {
 			code = http.StatusBadRequest
@@ -386,15 +493,25 @@ func (s *Server) ingestAsync(w http.ResponseWriter, r *http.Request, sc *ingestS
 			Violations: res.Violations,
 			Drift:      res.Drift,
 		})
-		s.stRender.Observe(time.Since(tUpdated))
+		s.observeRender(tr, tUpdated)
 		return true
 	}
 	sc.out = appendIngestResponse(sc.out[:0], res)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(sc.out) //nolint:errcheck // client gone; nothing to do
-	s.stRender.Observe(time.Since(tUpdated))
+	s.observeRender(tr, tUpdated)
 	return true
+}
+
+// observeRender closes the ingest render stage span and, on a traced
+// request, records it as a span too.
+func (s *Server) observeRender(tr *trace.Active, tUpdated time.Time) {
+	end := time.Now()
+	s.stRender.Observe(end.Sub(tUpdated))
+	if tr != nil {
+		tr.RecordAt("render", tr.Root(), tUpdated, end)
+	}
 }
 
 // asyncDepths samples every shard ring's occupancy at scrape time — the

@@ -53,7 +53,7 @@ type batchQueryRequest struct {
 // batchAnswer holds one stream's resolved sub-objects (spliced JSON object
 // bytes, no trailing newline). missing marks an unknown id.
 type batchAnswer struct {
-	missing                        bool
+	missing                         bool
 	curves, check, minfreq, verdict []byte
 }
 

@@ -159,8 +159,10 @@ func (s *Server) walLogSync(id string, e *entry, res stream.IngestResult, ts, ds
 // encode-and-write. An append failure marks every still-successful job of
 // the group failed (500): the write is all-or-nothing from the group's
 // perspective (a partial write is a torn tail recovery refuses to trust),
-// and an applied-but-unlogged batch must not be acknowledged.
-func (s *Server) walLogGroup(p *ingestPipe, e *entry, group []*ingestJob) {
+// and an applied-but-unlogged batch must not be acknowledged. Failures are
+// logged per job through the originating request's logger (trace_id
+// attached); traced jobs get a wal_append span covering the group write.
+func (s *Server) walLogGroup(p *ingestPipe, e *entry, group []*ingestJob, traced bool) {
 	l := s.walShards[p.idx]
 	sh := s.shards[p.idx]
 	p.recs = p.recs[:0]
@@ -173,9 +175,24 @@ func (s *Server) walLogGroup(p *ingestPipe, e *entry, group []*ingestJob) {
 			}
 		}
 		if len(p.recs) > 0 {
-			if err := l.AppendIngestGroup(p.recs); err != nil {
+			var t0 time.Time
+			if traced {
+				t0 = time.Now()
+			}
+			err := l.AppendIngestGroup(p.recs)
+			if traced {
+				t1 := time.Now()
+				for _, job := range group {
+					if job.tr != nil && job.err == nil {
+						job.tr.RecordAt("wal_append", job.parent, t0, t1)
+					}
+				}
+			}
+			if err != nil {
 				for _, job := range group {
 					if job.err == nil {
+						job.logger(s.logger).LogAttrs(context.Background(), slog.LevelError,
+							"wal append failed", slog.String("error", err.Error()))
 						job.err = fmt.Errorf("wal append failed: %w", err)
 						job.errCode = 500
 					}
@@ -193,10 +210,13 @@ func (s *Server) walLogGroup(p *ingestPipe, e *entry, group []*ingestJob) {
 }
 
 // failPending marks every still-pending job of a wakeup failed after a
-// group-commit fsync error.
-func failPending(pending []*ingestJob, err error) {
+// group-commit fsync error, logging each through its request's logger so
+// the lines carry the originating trace IDs.
+func (s *Server) failPending(pending []*ingestJob, err error) {
 	for _, job := range pending {
 		if job.err == nil {
+			job.logger(s.logger).LogAttrs(context.Background(), slog.LevelError,
+				"wal commit failed", slog.String("error", err.Error()))
 			job.err = fmt.Errorf("wal commit failed: %w", err)
 			job.errCode = 500
 		}

@@ -81,6 +81,10 @@ type metrics struct {
 	// batch amortizes.
 	batchStreams obs.CountHist
 
+	// traceSpans records spans-per-trace for every traced request (kept or
+	// not) — the span-depth distribution of the tracing subsystem.
+	traceSpans obs.CountHist
+
 	build buildInfo
 
 	endpoints map[string]*endpointStats // immutable after newMetrics
@@ -191,6 +195,10 @@ type gauges struct {
 	// wal carries the durability counters; nil when the server runs
 	// without a write-ahead log.
 	wal *walGauges
+
+	// trace carries the tracing counters and store accounting; nil when
+	// tracing is off.
+	trace *traceGauges
 }
 
 // ---- Prometheus text exposition ---------------------------------------------
@@ -344,6 +352,34 @@ func (m *metrics) write(w io.Writer, g gauges) {
 			"# TYPE wcmd_ingest_queue_depth gauge\n")
 		for i, d := range g.queueDepths {
 			fmt.Fprintf(w, "wcmd_ingest_queue_depth{shard=\"%d\"} %d\n", i, d)
+		}
+	}
+
+	if g.trace != nil {
+		emit("Finished traces retained by tail-based sampling.", "counter",
+			"wcmd_trace_kept_total", g.trace.kept)
+		emit("Finished traces discarded (ordinary and not sampled).", "counter",
+			"wcmd_trace_dropped_total", g.trace.dropped)
+		emit("Traces kept by the 1-in-N sampler alone (no anomaly).", "counter",
+			"wcmd_trace_sampled_total", g.trace.sampled)
+		emit("Stored traces evicted to keep the store inside its byte cap.", "counter",
+			"wcmd_trace_evicted_total", g.trace.evicted)
+		emit("Spans dropped because a trace hit its span cap.", "counter",
+			"wcmd_trace_truncated_spans_total", g.trace.truncated)
+		emit("Bytes currently retained by the trace store.", "gauge",
+			"wcmd_trace_store_bytes", g.trace.storeBytes)
+		emit("Hard cap on trace store memory (oldest traces evicted).", "gauge",
+			"wcmd_trace_store_bytes_limit", g.trace.storeLimit)
+		if s := m.traceSpans.Snapshot(); s.Count > 0 {
+			fmt.Fprintf(w, "# HELP wcmd_trace_spans Spans recorded per traced request.\n"+
+				"# TYPE wcmd_trace_spans histogram\n")
+			for i := 0; i < obs.CountNumBuckets; i++ {
+				fmt.Fprintf(w, "wcmd_trace_spans_bucket{le=\"%s\"} %d\n",
+					formatLe(obs.CountUpperBound(i)), s.CumulativeCount(i))
+			}
+			fmt.Fprintf(w, "wcmd_trace_spans_bucket{le=\"+Inf\"} %d\n", s.Count)
+			fmt.Fprintf(w, "wcmd_trace_spans_sum %d\n", s.Sum)
+			fmt.Fprintf(w, "wcmd_trace_spans_count %d\n", s.Count)
 		}
 	}
 

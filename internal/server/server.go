@@ -24,6 +24,8 @@
 //	GET    /healthz                   liveness + build info + uptime
 //	GET    /metrics                   Prometheus text exposition
 //	GET    /debug/self                the service's own workload curves (-self-curves)
+//	GET    /debug/traces              recent kept traces (Config.TraceSample > 0)
+//	GET    /debug/traces/{id}         one trace's full span tree as JSON
 //
 // Observability (see internal/obs): every instrumented request carries a
 // trace ID — the client's X-Request-Id when present, generated otherwise —
@@ -67,6 +69,7 @@ import (
 	"wcm/internal/core"
 	"wcm/internal/curve"
 	"wcm/internal/obs"
+	"wcm/internal/obs/trace"
 	"wcm/internal/stream"
 	"wcm/internal/wal"
 )
@@ -83,6 +86,9 @@ const (
 	// ever-growing convoy on the stream locks.
 	DefaultMaxInflightIngest = 256
 	DefaultMaxInflightRead   = 1024
+	// DefaultTraceSample is the 1-in-N keep rate wcmd uses for ordinary
+	// traces when tracing is enabled (anomalous traces are always kept).
+	DefaultTraceSample = trace.DefaultSampleN
 )
 
 // Config parameterizes a Server. The zero value picks service defaults.
@@ -156,6 +162,18 @@ type Config struct {
 	// checkpoints — Close still runs a final one. Only meaningful with
 	// WAL set.
 	SnapshotInterval time.Duration
+	// TraceSample enables end-to-end request tracing: every request records
+	// a span tree (decode → enqueue → queue wait → apply → WAL append/fsync
+	// → render, stitched across the async hop), and at completion tail-based
+	// retention keeps slow/errored/shed/degraded/panicking traces always and
+	// 1 in TraceSample ordinary ones. Kept traces are served at
+	// /debug/traces. 0 disables tracing entirely (the default — embedded
+	// uses pay nothing); negative is invalid.
+	TraceSample int
+	// TraceStoreBytes hard-caps the in-memory trace store (oldest evicted).
+	// 0 picks the trace package default (4 MiB). Only meaningful with
+	// TraceSample > 0.
+	TraceStoreBytes int64
 	// DisableQueryCache turns the version-keyed query cache off: every
 	// read takes a fresh snapshot and renders from scratch (json.Marshal,
 	// no singleflight, no memoization). It exists for benchmarks — an
@@ -175,7 +193,8 @@ type Server struct {
 	logger *slog.Logger
 	slow   time.Duration // 0 = slow-request logging disabled
 	self   *obs.SelfStream
-	scopes sync.Pool // *reqScope
+	tracer *trace.Tracer // nil = tracing off
+	scopes sync.Pool     // *reqScope
 
 	// bareCtx skips the per-request context wrap (one http.Request copy
 	// per request) when nothing could observe it: no request deadline and
@@ -287,8 +306,19 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.self = self
 	}
+	if cfg.TraceSample < 0 {
+		return nil, fmt.Errorf("server: trace sample=%d", cfg.TraceSample)
+	}
+	if cfg.TraceSample > 0 {
+		s.tracer = trace.New(trace.Config{
+			SampleN:    cfg.TraceSample,
+			StoreBytes: cfg.TraceStoreBytes,
+		})
+	}
 	s.scopes.New = func() any { return new(reqScope) }
-	s.bareCtx = cfg.RequestTimeout <= 0 && s.logger == obs.Discard()
+	// Tracing needs the request scope reachable from handler and worker
+	// contexts, so it forces the context wrap even with no deadline/logger.
+	s.bareCtx = cfg.RequestTimeout <= 0 && s.logger == obs.Discard() && s.tracer == nil
 	s.stDecode = s.metrics.stage(stageDecode)
 	s.stUpdate = s.metrics.stage(stageUpdate)
 	s.stRender = s.metrics.stage(stageRender)
@@ -329,6 +359,7 @@ func New(cfg Config) (*Server, error) {
 var endpointNames = []string{
 	"ingest", "curves", "check", "minfreq", "contract", "verdict",
 	"list", "delete", "stats", "healthz", "metrics", "self", "query",
+	"traces", "trace",
 }
 
 func (s *Server) routes() {
@@ -345,6 +376,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", classNone, s.handleHealthz, nil))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", classNone, s.handleMetrics, nil))
 	s.mux.HandleFunc("GET /debug/self", s.instrument("self", classNone, s.handleSelf, nil))
+	// classNone: the trace store is the tool for diagnosing overload, so
+	// scraping it must never shed (mirrors healthz/metrics).
+	s.mux.HandleFunc("GET /debug/traces", s.instrument("traces", classNone, s.handleTraces, nil))
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.instrument("trace", classNone, s.handleTraceByID, nil))
 	if s.cfg.EnablePprof {
 		// Mounted on the service mux (not http.DefaultServeMux) so only
 		// this handler serves them, and only when opted in.
@@ -673,6 +708,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	tDecoded := time.Now()
 	s.stDecode.Observe(tDecoded.Sub(tStart))
+	tr := obs.TraceFrom(r.Context())
+	tr.RecordAt("decode", tr.Root(), tStart, tDecoded)
 	if err != nil {
 		writeDecodeError(w, err)
 		return
@@ -700,6 +737,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	res, err := e.st.Ingest(ts, ds)
 	tUpdated := time.Now()
 	s.stUpdate.Observe(tUpdated.Sub(tDecoded))
+	tr.RecordAt("update", tr.Root(), tDecoded, tUpdated)
 	if err != nil {
 		if created {
 			s.dropIfEmpty(id, e)
@@ -714,9 +752,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.wal != nil {
 		// Durability before acknowledgement: the batch is applied, now it
 		// must survive a crash before the client is told it was accepted.
-		if err := s.walLogSync(id, e, res, ts, ds); err != nil {
+		t0 := time.Now()
+		werr := s.walLogSync(id, e, res, ts, ds)
+		tr.RecordAt("wal_commit", tr.Root(), t0, time.Now())
+		if werr != nil {
 			writeJSON(w, http.StatusInternalServerError,
-				errorResponse{fmt.Sprintf("wal append failed: %v", err)})
+				errorResponse{fmt.Sprintf("wal append failed: %v", werr)})
 			return
 		}
 	}
@@ -731,14 +772,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			Violations: res.Violations,
 			Drift:      res.Drift,
 		})
-		s.stRender.Observe(time.Since(tUpdated))
+		s.observeRender(tr, tUpdated)
 		return
 	}
 	sc.out = appendIngestResponse(sc.out[:0], res)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(sc.out) //nolint:errcheck // client gone; nothing to do
-	s.stRender.Observe(time.Since(tUpdated))
+	s.observeRender(tr, tUpdated)
 }
 
 // unmarshalIngest strictly decodes a JSON ingest body from pre-read bytes
@@ -835,11 +876,21 @@ func statsFor(ctx context.Context, e *entry) (stream.Stats, error) {
 // observeFlight counts singleflight outcomes: a led flight performed (at
 // most) the one render for its (key, generation); shared flights
 // piggybacked on a leader.
-func (s *Server) observeFlight(led bool) {
+func (s *Server) observeFlight(ctx context.Context, led bool) {
 	if led {
 		s.metrics.sfLeader.Add(1)
 	} else {
 		s.metrics.sfShared.Add(1)
+	}
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		// Marker span: the role decides whether this request paid for the
+		// render or piggybacked; the duration lives in the resolve span.
+		role := "follower"
+		if led {
+			role = "leader"
+		}
+		now := time.Now()
+		tr.RecordAt("singleflight", tr.Root(), now, now).Str("role", role)
 	}
 }
 
@@ -881,7 +932,7 @@ func (s *Server) resolveCurves(ctx context.Context, e *entry, binary bool) (resp
 			slot.put(resp)
 			return resp, nil
 		})
-	s.observeFlight(led)
+	s.observeFlight(ctx, led)
 	return resp, false, err
 }
 
@@ -934,7 +985,7 @@ func (s *Server) resolveCheck(ctx context.Context, e *entry, req checkRequest, b
 			}
 			return resp, nil
 		})
-	s.observeFlight(led)
+	s.observeFlight(ctx, led)
 	return resp, false, err
 }
 
@@ -1003,7 +1054,7 @@ func (s *Server) resolveMinFreq(ctx context.Context, e *entry, b int, binary boo
 			}
 			return resp, nil
 		})
-	s.observeFlight(led)
+	s.observeFlight(ctx, led)
 	return resp, false, err
 }
 
@@ -1048,7 +1099,7 @@ func (s *Server) resolveVerdict(ctx context.Context, e *entry) (resp *cachedResp
 			e.cache.verdict.put(resp)
 			return resp, nil
 		})
-	s.observeFlight(led)
+	s.observeFlight(ctx, led)
 	return resp, false, err
 }
 
@@ -1081,6 +1132,7 @@ func degradedBody(resp *cachedResp) []byte {
 // logs how stale the data is.
 func (s *Server) serveDegraded(w http.ResponseWriter, r *http.Request, e *entry, body []byte, binary bool) {
 	s.metrics.degraded.Add(1)
+	obs.TraceFrom(r.Context()).Mark(trace.KeepDegraded)
 	w.Header().Set("X-Wcm-Degraded", "true")
 	ct := "application/json"
 	if binary {
@@ -1216,15 +1268,24 @@ func (s *Server) shedMinFreq(w http.ResponseWriter, r *http.Request) {
 }
 
 // observeCacheHit / observeCacheMiss close a cached-query stage span that
-// opened at start, alongside the hit/miss counters.
-func (s *Server) observeCacheHit(start time.Time) {
+// opened at start, alongside the hit/miss counters, and record the resolve
+// span (with its hit/miss outcome) on a traced request.
+func (s *Server) observeCacheHit(ctx context.Context, start time.Time) {
 	s.metrics.cacheHits.Add(1)
-	s.stCacheHit.Observe(time.Since(start))
+	end := time.Now()
+	s.stCacheHit.Observe(end.Sub(start))
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		tr.RecordAt("resolve", tr.Root(), start, end).Str("outcome", "hit")
+	}
 }
 
-func (s *Server) observeCacheMiss(start time.Time) {
+func (s *Server) observeCacheMiss(ctx context.Context, start time.Time) {
 	s.metrics.cacheMisses.Add(1)
-	s.stCacheMiss.Observe(time.Since(start))
+	end := time.Now()
+	s.stCacheMiss.Observe(end.Sub(start))
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		tr.RecordAt("resolve", tr.Root(), start, end).Str("outcome", "miss")
+	}
 }
 
 func (s *Server) handleCurves(w http.ResponseWriter, r *http.Request) {
@@ -1240,15 +1301,15 @@ func (s *Server) handleCurves(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, hit, err := s.resolveCurves(r.Context(), e, binary)
 	if err != nil {
-		s.observeCacheMiss(start)
+		s.observeCacheMiss(r.Context(), start)
 		s.busyFallback(w, r, e, err, e.cache.curvesSlot(binary).last())
 		return
 	}
 	writeCached(w, resp)
 	if hit {
-		s.observeCacheHit(start)
+		s.observeCacheHit(r.Context(), start)
 	} else {
-		s.observeCacheMiss(start)
+		s.observeCacheMiss(r.Context(), start)
 	}
 }
 
@@ -1277,16 +1338,16 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, hit, err := s.resolveCheck(r.Context(), e, *req, binary)
 	if err != nil {
-		s.observeCacheMiss(start)
+		s.observeCacheMiss(r.Context(), start)
 		key := checkKey{freqHz: req.FreqHz, latencyNs: req.LatencyNs, buffer: req.Buffer}
 		s.busyFallback(w, r, e, err, e.cache.checkCache(binary).getAny(key))
 		return
 	}
 	writeCached(w, resp)
 	if hit {
-		s.observeCacheHit(start)
+		s.observeCacheHit(r.Context(), start)
 	} else {
-		s.observeCacheMiss(start)
+		s.observeCacheMiss(r.Context(), start)
 	}
 }
 
@@ -1308,15 +1369,15 @@ func (s *Server) handleMinFreq(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, hit, err := s.resolveMinFreq(r.Context(), e, b, binary)
 	if err != nil {
-		s.observeCacheMiss(start)
+		s.observeCacheMiss(r.Context(), start)
 		s.busyFallback(w, r, e, err, e.cache.minfreqCache(binary).getAny(b))
 		return
 	}
 	writeCached(w, resp)
 	if hit {
-		s.observeCacheHit(start)
+		s.observeCacheHit(r.Context(), start)
 	} else {
-		s.observeCacheMiss(start)
+		s.observeCacheMiss(r.Context(), start)
 	}
 }
 
@@ -1373,15 +1434,15 @@ func (s *Server) handleVerdict(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, hit, err := s.resolveVerdict(r.Context(), e)
 	if err != nil {
-		s.observeCacheMiss(start)
+		s.observeCacheMiss(r.Context(), start)
 		s.busyFallback(w, r, e, err, e.cache.verdict.last())
 		return
 	}
 	writeCached(w, resp)
 	if hit {
-		s.observeCacheHit(start)
+		s.observeCacheHit(r.Context(), start)
 	} else {
-		s.observeCacheMiss(start)
+		s.observeCacheMiss(r.Context(), start)
 	}
 }
 
@@ -1514,11 +1575,38 @@ type classLimitJSON struct {
 	Shed     uint64 `json:"shed"`
 }
 
+// walStatsJSON mirrors the wcmd_wal_* / wcmd_recovery_* Prometheus series
+// in the JSON stats payload, so both surfaces report the same durability
+// totals (asserted by TestStatsMetricsParity).
+type walStatsJSON struct {
+	BytesTotal       uint64 `json:"bytes_total"`
+	AppendsTotal     uint64 `json:"appends_total"`
+	FsyncsTotal      uint64 `json:"fsyncs_total"`
+	TornTails        uint64 `json:"torn_tails"`
+	ReplayedBatches  uint64 `json:"replayed_batches"`
+	ReplayedSamples  uint64 `json:"replayed_samples"`
+	RecoveredStreams uint64 `json:"recovered_streams"`
+	CleanStart       bool   `json:"clean_start"`
+}
+
+// traceStatsJSON mirrors the wcmd_trace_* series.
+type traceStatsJSON struct {
+	Kept            uint64 `json:"kept"`
+	Dropped         uint64 `json:"dropped"`
+	Sampled         uint64 `json:"sampled"`
+	Evicted         uint64 `json:"evicted"`
+	TruncatedSpans  uint64 `json:"truncated_spans"`
+	StoreBytes      int64  `json:"store_bytes"`
+	StoreBytesLimit int64  `json:"store_bytes_limit"`
+}
+
 type statsResponse struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	Panics        uint64                      `json:"panics"`
 	Degraded      uint64                      `json:"degraded"`
 	Limits        map[string]classLimitJSON   `json:"limits"`
+	WAL           *walStatsJSON               `json:"wal,omitempty"`
+	Trace         *traceStatsJSON             `json:"trace,omitempty"`
 	Endpoints     map[string]latencyStatsJSON `json:"endpoints"`
 	Stages        map[string]latencyStatsJSON `json:"stages"`
 }
@@ -1537,6 +1625,29 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Endpoints: make(map[string]latencyStatsJSON),
 		Stages:    make(map[string]latencyStatsJSON),
+	}
+	if wg := s.walGaugesNow(); wg != nil {
+		resp.WAL = &walStatsJSON{
+			BytesTotal:       wg.bytes,
+			AppendsTotal:     wg.appends,
+			FsyncsTotal:      wg.fsyncs,
+			TornTails:        wg.torn,
+			ReplayedBatches:  wg.replayedBatches,
+			ReplayedSamples:  wg.replayedSamples,
+			RecoveredStreams: wg.recoveredStreams,
+			CleanStart:       wg.cleanStart,
+		}
+	}
+	if tg := s.traceGaugesNow(); tg != nil {
+		resp.Trace = &traceStatsJSON{
+			Kept:            tg.kept,
+			Dropped:         tg.dropped,
+			Sampled:         tg.sampled,
+			Evicted:         tg.evicted,
+			TruncatedSpans:  tg.truncated,
+			StoreBytes:      tg.storeBytes,
+			StoreBytesLimit: tg.storeLimit,
+		}
 	}
 	for _, name := range s.metrics.epNames {
 		ep := s.metrics.endpoints[name]
@@ -1569,6 +1680,19 @@ type selfResponse struct {
 	WCETHz   float64 `json:"wcet_hz"`  // eq. (10) WCET-based bound
 	Saving   float64 `json:"saving"`
 	Buffer   int     `json:"buffer"`
+
+	// Stages breaks the demand down by pipeline stage — where the cycles
+	// the curves above characterize are actually spent. Fed from the same
+	// stage timestamps the trace spans record; stages with no traffic are
+	// omitted.
+	Stages map[string]selfStageJSON `json:"stages,omitempty"`
+}
+
+// selfStageJSON is one pipeline stage's contribution to the self demand.
+type selfStageJSON struct {
+	Count   uint64  `json:"count"`
+	TotalUs float64 `json:"total_us"`
+	MeanUs  float64 `json:"mean_us"`
 }
 
 // handleSelf serves the self-characterization stream: the server applies
@@ -1609,6 +1733,21 @@ func (s *Server) handleSelf(w http.ResponseWriter, r *http.Request) {
 		resp.GammaHz = cmp.Gamma.Hz
 		resp.WCETHz = cmp.WCET.Hz
 		resp.Saving = cmp.Saving
+	}
+	for _, name := range stageNames {
+		hs := s.metrics.stages[name].Snapshot()
+		if hs.Count == 0 {
+			continue
+		}
+		if resp.Stages == nil {
+			resp.Stages = make(map[string]selfStageJSON)
+		}
+		total := hs.SumSeconds() * 1e6
+		resp.Stages[name] = selfStageJSON{
+			Count:   hs.Count,
+			TotalUs: total,
+			MeanUs:  total / float64(hs.Count),
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -1703,7 +1842,14 @@ func (s *Server) instrument(name string, class epClass, h, shed http.HandlerFunc
 		cn := className
 		shed = func(w http.ResponseWriter, r *http.Request) { writeShed(w, cn) }
 	}
+	// The trace endpoints themselves stay out of the self-curves feed:
+	// scraping the trace store is observer traffic, and letting it into the
+	// service's own demand curves would make /debug/self describe the
+	// debugging session instead of the workload (healthz/metrics get no such
+	// carve-out because their cost IS steady-state serving work).
+	feedSelf := name != "traces" && name != "trace"
 	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		if r.Body != nil && (r.ContentLength < 0 || r.ContentLength > s.cfg.MaxBodyBytes) {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
@@ -1712,6 +1858,13 @@ func (s *Server) instrument(name string, class epClass, h, shed http.HandlerFunc
 			id = obs.NewTraceID()
 		}
 		setHeaderValue(w.Header(), "X-Request-Id", id)
+		var tr *trace.Active
+		if s.tracer != nil {
+			tr = s.tracer.StartRequest(name, id, r.Header.Get("traceparent"), start)
+			// Echo W3C trace context on every response — including shed,
+			// degraded and panic answers, whose headers are already set here.
+			setHeaderValue(w.Header(), "Traceparent", tr.Traceparent())
+		}
 
 		handler := h
 		if lim.acquire() {
@@ -1723,6 +1876,7 @@ func (s *Server) instrument(name string, class epClass, h, shed http.HandlerFunc
 		sc := s.scopes.Get().(*reqScope)
 		sc.rec.ResponseWriter, sc.rec.status, sc.rec.wrote = w, http.StatusOK, false
 		sc.req.Reset(id, name, s.logger)
+		sc.req.Trace = tr
 		if !s.bareCtx {
 			// The context wrap copies the request (WithContext allocates a
 			// fresh http.Request). With no deadline to attach and a logger
@@ -1739,17 +1893,22 @@ func (s *Server) instrument(name string, class epClass, h, shed http.HandlerFunc
 			r = r.WithContext(&sc.ctx)
 		}
 
-		start := time.Now()
 		s.serveRecovered(name, point, handler, &sc.rec, r, &sc.req)
 		d := time.Since(start)
 
 		status := sc.rec.status
 		ep.observe(d, status)
-		if s.self != nil {
+		if s.self != nil && feedSelf {
 			s.self.Observe(d)
 		}
+		slow := s.slow > 0 && d >= s.slow
+		if tr != nil {
+			s.metrics.traceSpans.Observe(int64(tr.SpanCount()))
+			sc.req.Trace = nil // Finish may pool the trace; drop the alias first
+			s.tracer.Finish(tr, status, d, slow)
+		}
 		switch {
-		case s.slow > 0 && d >= s.slow:
+		case slow:
 			sc.req.Logger().LogAttrs(r.Context(), slog.LevelWarn, "slow request",
 				slog.String("method", r.Method), slog.String("path", r.URL.Path),
 				slog.Int("status", status), obs.DurationSeconds(d))
@@ -1785,6 +1944,7 @@ func (s *Server) serveRecovered(name, point string, h http.HandlerFunc, rec *sta
 			panic(p)
 		}
 		s.metrics.panics.Add(1)
+		req.Trace.Mark(trace.KeepPanic)
 		req.Logger().LogAttrs(r.Context(), slog.LevelError, "handler panic",
 			slog.String("endpoint", name),
 			slog.String("panic", fmt.Sprint(p)),
@@ -1836,5 +1996,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 		queueDepths: s.asyncDepths(),
 		wal:         s.walGaugesNow(),
+		trace:       s.traceGaugesNow(),
 	})
 }
