@@ -22,7 +22,11 @@
 // query cache than without it; -max-hit-allocs bounds the cache-hit path's
 // allocations absolutely; -max-trace-overhead bounds the fractional latency
 // cost of default-rate tracing (ingest_http_binary_traced vs
-// ingest_http_binary at GOMAXPROCS=1). -procs groups larger than the host's CPU count
+// ingest_http_binary at GOMAXPROCS=1); -max-qos-overhead bounds the cost
+// configured tenants impose on untagged ingest (ingest_http_binary_qos vs
+// ingest_http_binary); -assert-qos-isolation requires the quiet tenant in
+// the isolation bench to keep at least that admitted fraction while the
+// noisy tenant is throttled. -procs groups larger than the host's CPU count
 // are skipped with a note — oversubscribed numbers measure scheduler churn.
 //
 // The HTTP benches run with Config.SelfCurves enabled and send X-Request-Id,
@@ -55,6 +59,7 @@ import (
 	"wcm/internal/core"
 	"wcm/internal/events"
 	"wcm/internal/kernel"
+	"wcm/internal/qos"
 	"wcm/internal/server"
 	"wcm/internal/stream"
 	"wcm/internal/wal"
@@ -93,18 +98,20 @@ type Params struct {
 
 // options collects the flag surface of run.
 type options struct {
-	n, maxK          int
-	minTime          time.Duration
-	out              string
-	procs            []int
-	baseline         string  // prior BENCH_extract.json to guard against; "" disables
-	maxAllocGrowth   float64 // allowed fractional allocs/op growth over baseline
-	maxBinaryAllocs  float64 // absolute allocs/op bound for ingest_http_binary; 0 disables
-	maxLatencyGrowth float64 // allowed fractional ns/op growth over baseline; 0 disables
-	assertScaling    float64 // required sharded samples/s ratio, largest vs smallest procs group; 0 disables
-	assertQueryCache float64 // required query_mixed_uncached/cached ratio; 0 disables
-	maxHitAllocs     float64 // absolute allocs/op bound for query_check_cached at GOMAXPROCS=1; 0 disables
-	maxTraceOverhead float64 // allowed fractional traced-vs-untraced ingest latency growth at GOMAXPROCS=1; 0 disables
+	n, maxK            int
+	minTime            time.Duration
+	out                string
+	procs              []int
+	baseline           string  // prior BENCH_extract.json to guard against; "" disables
+	maxAllocGrowth     float64 // allowed fractional allocs/op growth over baseline
+	maxBinaryAllocs    float64 // absolute allocs/op bound for ingest_http_binary; 0 disables
+	maxLatencyGrowth   float64 // allowed fractional ns/op growth over baseline; 0 disables
+	assertScaling      float64 // required sharded samples/s ratio, largest vs smallest procs group; 0 disables
+	assertQueryCache   float64 // required query_mixed_uncached/cached ratio; 0 disables
+	maxHitAllocs       float64 // absolute allocs/op bound for query_check_cached at GOMAXPROCS=1; 0 disables
+	maxTraceOverhead   float64 // allowed fractional traced-vs-untraced ingest latency growth at GOMAXPROCS=1; 0 disables
+	maxQosOverhead     float64 // allowed fractional untagged-ingest latency growth with tenants configured, at GOMAXPROCS=1; 0 disables
+	assertQosIsolation float64 // required fraction of quiet-tenant requests admitted while a noisy tenant is throttled; 0 disables
 }
 
 // measure times fn until minTime has elapsed (at least once) and reports
@@ -214,6 +221,30 @@ func (b *ingestBench) op(binary bool) {
 		b.body.Reset(b.buf)
 		b.req.ContentLength = int64(len(b.buf))
 	})
+}
+
+// opStatus drives one attempt without the retry wrapper and reports the
+// HTTP status. The QoS isolation bench uses it for traffic that is
+// deliberately rate-limited: there a 429 is the datum being counted, not
+// a transient failure to back off from.
+func (b *ingestBench) opStatus(binary bool) int {
+	for i := range b.ts {
+		b.now += b.hop
+		b.ts[i] = b.now
+	}
+	if binary {
+		b.buf = server.AppendBinaryBatch(b.buf[:0], b.ts, b.ds)
+	} else {
+		b.encodeJSON()
+	}
+	b.body.Reset(b.buf)
+	b.req.ContentLength = int64(len(b.buf))
+	b.rw.status = 0
+	b.h.ServeHTTP(&b.rw, b.req)
+	if b.rw.status == 0 {
+		return http.StatusOK // implicit 200: body written without WriteHeader
+	}
+	return b.rw.status
 }
 
 // Retry policy for transient overload answers from the server's load
@@ -730,6 +761,86 @@ func run(opts options) (*Report, error) {
 			return nil, fmt.Errorf("query_mixed_cached is only %.2f× faster than uncached, need ≥ %.2f× (GOMAXPROCS=%d)",
 				ratio, opts.assertQueryCache, p)
 		}
+
+		// ---- qos group -----------------------------------------------------
+		// Multi-tenant admission on the binary ingest path. One server, three
+		// tenants: "acme" with a bucket generous enough to never reject (the
+		// full tagged path — header parse, registry lookup, GCRA take),
+		// "noisy" with a bucket the serial bench saturates immediately, and
+		// "quiet" with no bucket at all. qos_overhead is untagged traffic on
+		// this server vs the tenant-free server above: configuring tenants
+		// must not tax clients that never opted in.
+		qosSrv, err := server.New(server.Config{
+			Stream: ingestCfg, SelfCurves: true,
+			Tenants: []qos.TenantConfig{
+				{Name: "acme", SLO: "interactive", RatePerSec: 1e8, Burst: 1024},
+				{Name: "noisy", SLO: "besteffort", RatePerSec: 500, Burst: 32},
+				{Name: "quiet", SLO: "interactive"},
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		qub := newIngestBench(qosSrv.Handler(), "b", server.ContentTypeBinary, batchDemands, 3)
+		qosUntagged := measure("ingest_http_binary_qos", minTime, func() { qub.op(true) })
+		qosUntagged.SamplesPerSec = float64(len(batchDemands)) / (qosUntagged.NsPerOp / 1e9)
+		add(qosUntagged)
+		qosOverhead := qosUntagged.NsPerOp / httpBinary.NsPerOp
+		report.Speedups["qos_overhead"] = qosOverhead
+		// Same guard shape as trace_overhead: GOMAXPROCS=1 only, 1µs
+		// absolute slack under the fractional budget.
+		if opts.maxQosOverhead > 0 && p == 1 &&
+			qosUntagged.NsPerOp > httpBinary.NsPerOp*(1+opts.maxQosOverhead)+1000 {
+			return nil, fmt.Errorf("ingest_http_binary_qos is %.0f ns/op vs %.0f without tenants (%.1f%% overhead), budget %.1f%% (GOMAXPROCS=%d)",
+				qosUntagged.NsPerOp, httpBinary.NsPerOp, (qosOverhead-1)*100, opts.maxQosOverhead*100, p)
+		}
+		qtb := newIngestBench(qosSrv.Handler(), "bt", server.ContentTypeBinary, batchDemands, 3)
+		qtb.req.Header.Set("X-Wcm-Tenant", "acme")
+		qosTagged := measure("ingest_http_binary_tenant", minTime, func() { qtb.op(true) })
+		qosTagged.SamplesPerSec = float64(len(batchDemands)) / (qosTagged.NsPerOp / 1e9)
+		add(qosTagged)
+		report.Speedups["qos_overhead_tagged"] = qosTagged.NsPerOp / httpBinary.NsPerOp
+
+		// qos_isolation: alternate one noisy-tenant attempt with one
+		// quiet-tenant attempt. The noisy bucket drains after its burst, so
+		// almost every noisy op eats a 429 — and none of that pressure may
+		// leak onto quiet, whose admitted fraction is the isolation figure.
+		nzb := newIngestBench(qosSrv.Handler(), "nz", server.ContentTypeBinary, mixDemands, 3)
+		nzb.req.Header.Set("X-Wcm-Tenant", "noisy")
+		qtb2 := newIngestBench(qosSrv.Handler(), "qt", server.ContentTypeBinary, mixDemands, 3)
+		qtb2.req.Header.Set("X-Wcm-Tenant", "quiet")
+		var noisyOK, noisyThrottled, noisyOther, quietOK, quietBad int
+		iso := measure("qos_isolation_mixed", minTime, func() {
+			switch nzb.opStatus(true) {
+			case http.StatusOK:
+				noisyOK++
+			case http.StatusTooManyRequests:
+				noisyThrottled++
+			default:
+				noisyOther++
+			}
+			if qtb2.opStatus(true) == http.StatusOK {
+				quietOK++
+			} else {
+				quietBad++
+			}
+		})
+		add(iso)
+		if noisyOther > 0 || quietOK == 0 {
+			return nil, fmt.Errorf("qos_isolation_mixed: unexpected statuses (noisy other=%d, quiet ok=%d of %d)",
+				noisyOther, quietOK, quietOK+quietBad)
+		}
+		isoRatio := float64(quietOK) / float64(quietOK+quietBad)
+		report.Speedups["qos_isolation"] = isoRatio
+		if opts.assertQosIsolation > 0 {
+			if noisyThrottled == 0 {
+				return nil, fmt.Errorf("qos_isolation_mixed: the noisy tenant was never throttled (%d ops) — the scenario did not engage", noisyOK)
+			}
+			if isoRatio < opts.assertQosIsolation {
+				return nil, fmt.Errorf("qos_isolation: only %.4f of quiet-tenant requests admitted while noisy throttled %d times, need ≥ %.4f (GOMAXPROCS=%d)",
+					isoRatio, noisyThrottled, opts.assertQosIsolation, p)
+			}
+		}
 	}
 	runtime.GOMAXPROCS(prev)
 
@@ -865,6 +976,8 @@ func main() {
 	assertQueryCache := flag.Float64("assert-query-cache", 0, "required query_mixed_uncached/cached ns/op ratio (0 = off)")
 	maxHitAllocs := flag.Float64("max-hit-allocs", 0, "allocs/op bound for query_check_cached at GOMAXPROCS=1 (0 = off)")
 	maxTraceOverhead := flag.Float64("max-trace-overhead", 0, "allowed fractional latency cost of default-rate tracing at GOMAXPROCS=1 (0 = off)")
+	maxQosOverhead := flag.Float64("max-qos-overhead", 0, "allowed fractional untagged-ingest latency cost of configuring tenants, at GOMAXPROCS=1 (0 = off)")
+	assertQosIsolation := flag.Float64("assert-qos-isolation", 0, "required admitted fraction for the quiet tenant in the isolation bench (0 = off)")
 	flag.Parse()
 	pr, err := parseProcs(*procs)
 	if err != nil {
@@ -877,6 +990,7 @@ func main() {
 		maxBinaryAllocs: *maxBinaryAllocs, maxLatencyGrowth: *maxLatencyGrowth,
 		assertScaling: *assertScaling, assertQueryCache: *assertQueryCache,
 		maxHitAllocs: *maxHitAllocs, maxTraceOverhead: *maxTraceOverhead,
+		maxQosOverhead: *maxQosOverhead, assertQosIsolation: *assertQosIsolation,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

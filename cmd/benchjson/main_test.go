@@ -21,7 +21,7 @@ func toyOptions(t *testing.T, procs []int) options {
 
 // TestRunWritesReport runs the harness at a toy size and checks the JSON
 // it emits is well-formed and internally consistent: 5 extraction results
-// plus 14 serving results per requested GOMAXPROCS value, each stamped
+// plus 18 serving results per requested GOMAXPROCS value, each stamped
 // with the GOMAXPROCS it ran under. Requested values exceeding the host's
 // CPU count are skipped (they would measure fake parallelism), so the
 // expectations below are phrased against the values that actually ran.
@@ -43,7 +43,7 @@ func TestRunWritesReport(t *testing.T) {
 	if err := json.Unmarshal(raw, &decoded); err != nil {
 		t.Fatalf("emitted JSON does not parse: %v", err)
 	}
-	want := 5 + 15*len(ranProcs)
+	want := 5 + 18*len(ranProcs)
 	if len(decoded.Results) != want {
 		t.Fatalf("got %d results, want %d", len(decoded.Results), want)
 	}
@@ -55,7 +55,8 @@ func TestRunWritesReport(t *testing.T) {
 		if m.GOMAXPROCS < 1 {
 			t.Fatalf("%s: gomaxprocs not recorded", m.Name)
 		}
-		if strings.HasPrefix(m.Name, "ingest_") || strings.HasPrefix(m.Name, "query_") {
+		if strings.HasPrefix(m.Name, "ingest_") || strings.HasPrefix(m.Name, "query_") ||
+			strings.HasPrefix(m.Name, "qos_") {
 			if servingProcs[m.Name] == nil {
 				servingProcs[m.Name] = map[int]bool{}
 			}
@@ -72,6 +73,7 @@ func TestRunWritesReport(t *testing.T) {
 		"query_check_cached", "query_check_uncached",
 		"query_curves_cached", "query_curves_binary", "query_batch_all",
 		"query_mixed_cached", "query_mixed_uncached",
+		"ingest_http_binary_qos", "ingest_http_binary_tenant", "qos_isolation_mixed",
 	} {
 		for _, p := range ranProcs {
 			if !servingProcs[name][p] {
@@ -96,6 +98,7 @@ func TestRunWritesReport(t *testing.T) {
 		"ingest_binary_vs_json", "ingest_async_vs_sync", "query_cached_vs_uncached",
 		"query_check_cached_vs_uncached", "query_binary_vs_json",
 		"wal_overhead", "trace_overhead",
+		"qos_overhead", "qos_overhead_tagged", "qos_isolation",
 	} {
 		if decoded.Speedups[key] <= 0 {
 			t.Fatalf("speedup %q = %v, want > 0", key, decoded.Speedups[key])

@@ -30,6 +30,15 @@
 // and are counted in wcmd_panics_total. Builds with the faultinject tag
 // additionally expose -inject-fault for resilience smoke tests.
 //
+// Multi-tenant QoS: requests name their tenant via the X-Wcm-Tenant header
+// or ?tenant= query parameter (unknown and untagged requests share the
+// "default" tenant). Each -tenant flag (repeatable) or -tenant-config JSON
+// file declares one tenant's policy — SLO class (interactive|batch|
+// besteffort, shed in reverse order under load), token-bucket request rate
+// and burst, and a stream-count quota. Throttled reads are still served
+// from the cached degraded path when possible; per-tenant counters are at
+// /v1/tenants and wcmd_tenant_* in /metrics.
+//
 // With -data-dir set, wcmd is durable: every acknowledged ingest batch is
 // in a per-shard write-ahead log before its 200 goes out (group-committed
 // per -fsync), streams are snapshotted every -snapshot-interval, and a
@@ -56,10 +65,26 @@ import (
 	"time"
 
 	"wcm/internal/obs"
+	"wcm/internal/qos"
 	"wcm/internal/server"
 	"wcm/internal/stream"
 	"wcm/internal/wal"
 )
+
+// tenantFlagList collects repeated -tenant flags, each parsed eagerly so a
+// typo fails at flag-parse time with the offending value named.
+type tenantFlagList []qos.TenantConfig
+
+func (l *tenantFlagList) String() string { return fmt.Sprintf("%d tenants", len(*l)) }
+
+func (l *tenantFlagList) Set(v string) error {
+	tc, err := qos.ParseTenantFlag(v)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, tc)
+	return nil
+}
 
 // Transport-level defaults. ReadTimeout covers the whole request read
 // including the body — the slow-loris bound — while the shorter header
@@ -148,9 +173,30 @@ func parseFlags(args []string) (server.Config, serveOpts, error) {
 		"WAL segment rotation size in bytes")
 	snapshotInterval := fs.Duration("snapshot-interval", time.Minute,
 		"how often to snapshot streams and truncate replayed WAL segments (0 disables periodic checkpoints)")
+	var tenantFlags tenantFlagList
+	fs.Var(&tenantFlags, "tenant",
+		`tenant QoS policy "name:slo[:rate[:burst[:maxstreams]]]" (repeatable); slo is interactive|batch|besteffort`)
+	tenantConfig := fs.String("tenant-config", "",
+		`JSON file declaring tenant QoS policies ({"tenants":[{"name":...,"slo":...,"rate":...,"burst":...,"max_streams":...}]})`)
+	defaultSLO := fs.String("default-slo", "",
+		"SLO class for untagged requests and tenants that declare none (default interactive)")
 	getFaults := addFaultFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return server.Config{}, serveOpts{}, err
+	}
+	tenants := []qos.TenantConfig(tenantFlags)
+	if *tenantConfig != "" {
+		raw, err := os.ReadFile(*tenantConfig)
+		if err != nil {
+			return server.Config{}, serveOpts{}, fmt.Errorf("-tenant-config: %w", err)
+		}
+		fromFile, err := qos.ParseTenantsJSON(raw)
+		if err != nil {
+			return server.Config{}, serveOpts{}, fmt.Errorf("-tenant-config %s: %w", *tenantConfig, err)
+		}
+		// File entries first; -tenant flags append (duplicates are rejected
+		// by the server's registry construction, not silently merged).
+		tenants = append(fromFile, tenants...)
 	}
 	fsync, err := wal.ParsePolicy(*fsyncMode)
 	if err != nil {
@@ -190,6 +236,8 @@ func parseFlags(args []string) (server.Config, serveOpts, error) {
 		TraceStoreBytes:   *traceStore,
 		SnapshotInterval:  *snapshotInterval,
 		Faults:            faults,
+		Tenants:           tenants,
+		DefaultSLO:        *defaultSLO,
 	}
 	opts := serveOpts{
 		addr:         *addr,

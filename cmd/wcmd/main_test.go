@@ -8,11 +8,14 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"wcm/internal/qos"
 	"wcm/internal/server"
 	"wcm/internal/stream"
 	"wcm/internal/wal"
@@ -348,6 +351,44 @@ func TestParseFlagsDurability(t *testing.T) {
 	}
 	if cfg.SnapshotInterval != time.Minute {
 		t.Fatalf("snapshot interval default = %v", cfg.SnapshotInterval)
+	}
+}
+
+func TestParseFlagsTenants(t *testing.T) {
+	cfg, _, err := parseFlags([]string{
+		"-tenant", "acme:interactive:100:20:500",
+		"-tenant", "bg:besteffort",
+		"-default-slo", "batch",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Tenants) != 2 || cfg.DefaultSLO != "batch" {
+		t.Fatalf("tenant cfg = %+v", cfg)
+	}
+	if cfg.Tenants[0] != (qos.TenantConfig{Name: "acme", SLO: "interactive", RatePerSec: 100, Burst: 20, MaxStreams: 500}) {
+		t.Fatalf("tenant[0] = %+v", cfg.Tenants[0])
+	}
+	if _, _, err := parseFlags([]string{"-tenant", "bad name:batch"}); err == nil {
+		t.Fatal("bad -tenant accepted")
+	}
+
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(`{"tenants":[{"name":"filed","slo":"batch","rate":5,"max_streams":3}]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, err = parseFlags([]string{"-tenant-config", path, "-tenant", "extra:besteffort"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Tenants) != 2 || cfg.Tenants[0].Name != "filed" || cfg.Tenants[1].Name != "extra" {
+		t.Fatalf("merged tenants = %+v", cfg.Tenants)
+	}
+	if _, _, err := parseFlags([]string{"-tenant-config", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Fatal("missing -tenant-config accepted")
+	}
+	if cfg, _, err = parseFlags(nil); err != nil || len(cfg.Tenants) != 0 || cfg.DefaultSLO != "" {
+		t.Fatalf("tenant defaults: %+v, %v", cfg.Tenants, err)
 	}
 }
 

@@ -1,0 +1,257 @@
+// Package qos provides the multi-tenant admission primitives of the wcmd
+// serving layer: SLO classes, per-tenant token buckets and the tenant
+// configuration surface (flag strings and JSON).
+//
+// The paper's workload curves answer "can this demand be admitted without
+// violating its contract?" per stream; qos asks the same question per
+// tenant at the request level. Each tenant carries an SLO class deciding
+// how the server treats it under pressure (besteffort sheds first, batch
+// next, interactive only at the hard in-flight ceiling) and an optional
+// token bucket bounding its request rate. Buckets are lock-free — a single
+// atomic theoretical-arrival-time cell updated by CAS (the GCRA
+// formulation of a token bucket), so admission on the hot path costs one
+// load and one CAS, and a rejected request learns its exact refill deficit
+// for a proportional Retry-After.
+package qos
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// SLO is a tenant's service-level class. Ordering matters: higher values
+// shed earlier under overload.
+type SLO uint8
+
+const (
+	// Interactive tenants shed only at the hard in-flight ceiling and
+	// always get fresh renders. The default for untagged traffic.
+	Interactive SLO = iota
+	// Batch tenants shed once the in-flight level passes 3/4 of the cap,
+	// and degrade to cached answers when over their rate budget.
+	Batch
+	// BestEffort tenants shed once the in-flight level passes 1/2 of the
+	// cap — the first traffic turned away when the server is drowning.
+	BestEffort
+)
+
+// sloNames is index-aligned with the SLO constants.
+var sloNames = [...]string{"interactive", "batch", "besteffort"}
+
+func (s SLO) String() string {
+	if int(s) < len(sloNames) {
+		return sloNames[s]
+	}
+	return "unknown"
+}
+
+// ParseSLO parses an SLO class name ("interactive", "batch", "besteffort").
+func ParseSLO(s string) (SLO, error) {
+	for i, n := range sloNames {
+		if s == n {
+			return SLO(i), nil
+		}
+	}
+	return 0, fmt.Errorf("qos: unknown slo %q (want interactive|batch|besteffort)", s)
+}
+
+// TokenBucket is a lock-free rate limiter: the GCRA formulation, where the
+// whole bucket state is one int64 — the theoretical arrival time (tat) of
+// the next conforming request, in nanoseconds. A take advances tat by the
+// per-request increment; the request conforms while the advanced tat stays
+// within the burst allowance of now. A fresh bucket admits exactly burst
+// requests instantly, then one per 1/rate seconds.
+//
+// Limits are themselves atomics so SetLimits can retune a live bucket
+// (config reload) without stopping concurrent takes; a take that straddles
+// a reload may mix the old increment with the new burst for one request,
+// which is harmless — both values are always ones that were configured.
+type TokenBucket struct {
+	incNs   atomic.Int64 // ns of budget one request consumes; ≤ 0 = unlimited
+	burstNs atomic.Int64 // burst depth in ns (burst * incNs)
+	tat     atomic.Int64 // theoretical arrival time, ns
+}
+
+// NewTokenBucket builds a bucket admitting ratePerSec requests per second
+// with the given burst depth. ratePerSec ≤ 0 returns nil — the unlimited
+// bucket, on which Take is a nil-check. burst < 1 is clamped to 1 (a
+// bucket that could never admit anything is a misconfiguration, not a
+// policy).
+func NewTokenBucket(ratePerSec float64, burst int) *TokenBucket {
+	if ratePerSec <= 0 {
+		return nil
+	}
+	b := &TokenBucket{}
+	b.SetLimits(ratePerSec, burst)
+	return b
+}
+
+// SetLimits retunes the bucket. Safe under concurrent Take. ratePerSec ≤ 0
+// disables limiting until the next SetLimits.
+func (b *TokenBucket) SetLimits(ratePerSec float64, burst int) {
+	if ratePerSec <= 0 {
+		b.incNs.Store(0)
+		return
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	inc := int64(1e9 / ratePerSec)
+	if inc < 1 {
+		inc = 1
+	}
+	// Store burst first: a concurrent take pairing the new burst with the
+	// old increment is closer to the new policy than the reverse.
+	b.burstNs.Store(int64(burst) * inc)
+	b.incNs.Store(inc)
+}
+
+// Take attempts to admit one request at nowNs (UnixNano). On success it
+// returns (true, 0); on rejection (false, deficitNs) where deficitNs is
+// how long until a take at the same rate would conform — the proportional
+// Retry-After. A nil bucket admits everything.
+func (b *TokenBucket) Take(nowNs int64) (ok bool, deficitNs int64) {
+	if b == nil {
+		return true, 0
+	}
+	inc := b.incNs.Load()
+	if inc <= 0 {
+		return true, 0
+	}
+	burst := b.burstNs.Load()
+	for {
+		tat := b.tat.Load()
+		t := tat
+		if nowNs > t {
+			t = nowNs
+		}
+		next := t + inc
+		if next-nowNs > burst {
+			return false, next - nowNs - burst
+		}
+		if b.tat.CompareAndSwap(tat, next) {
+			return true, 0
+		}
+	}
+}
+
+// tenantNameOK reports whether a tenant name is well formed: non-empty
+// ASCII letters, digits, '-' and '_', at most 64 bytes. The restriction
+// keeps names safe as Prometheus label values, log fields and un-decoded
+// query-parameter matches.
+func tenantNameOK(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// TenantConfig declares one tenant's QoS policy.
+type TenantConfig struct {
+	// Name identifies the tenant (X-Wcm-Tenant header / tenant query
+	// param). Letters, digits, '-', '_' only.
+	Name string `json:"name"`
+	// SLO is the service class name: "interactive", "batch" or
+	// "besteffort". Empty picks the server's default SLO.
+	SLO string `json:"slo,omitempty"`
+	// RatePerSec caps the tenant's sustained request rate; ≤ 0 = unlimited.
+	RatePerSec float64 `json:"rate,omitempty"`
+	// Burst is the token-bucket depth (requests admitted instantly from
+	// idle). Only meaningful with RatePerSec > 0; < 1 is clamped to 1.
+	Burst int `json:"burst,omitempty"`
+	// MaxStreams caps how many registered streams the tenant may own
+	// (enforced at stream creation); ≤ 0 = unlimited.
+	MaxStreams int `json:"max_streams,omitempty"`
+}
+
+// Validate checks the config's well-formedness.
+func (c TenantConfig) Validate() error {
+	if !tenantNameOK(c.Name) {
+		return fmt.Errorf("qos: bad tenant name %q (want 1-64 of [A-Za-z0-9_-])", c.Name)
+	}
+	if c.SLO != "" {
+		if _, err := ParseSLO(c.SLO); err != nil {
+			return fmt.Errorf("qos: tenant %q: %w", c.Name, err)
+		}
+	}
+	return nil
+}
+
+// ParseTenantFlag parses the compact -tenant flag form:
+//
+//	name:slo[:rate[:burst[:maxstreams]]]
+//
+// e.g. "acme:interactive:100:20:500". Empty trailing fields may be
+// omitted; slo may be empty ("acme::50") to take the server default.
+func ParseTenantFlag(s string) (TenantConfig, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 1 || len(parts) > 5 {
+		return TenantConfig{}, fmt.Errorf("qos: tenant flag %q: want name:slo[:rate[:burst[:maxstreams]]]", s)
+	}
+	c := TenantConfig{Name: parts[0]}
+	if len(parts) > 1 {
+		c.SLO = parts[1]
+	}
+	var err error
+	if len(parts) > 2 && parts[2] != "" {
+		if c.RatePerSec, err = strconv.ParseFloat(parts[2], 64); err != nil {
+			return TenantConfig{}, fmt.Errorf("qos: tenant flag %q: rate: %v", s, err)
+		}
+	}
+	if len(parts) > 3 && parts[3] != "" {
+		if c.Burst, err = strconv.Atoi(parts[3]); err != nil {
+			return TenantConfig{}, fmt.Errorf("qos: tenant flag %q: burst: %v", s, err)
+		}
+	}
+	if len(parts) > 4 && parts[4] != "" {
+		if c.MaxStreams, err = strconv.Atoi(parts[4]); err != nil {
+			return TenantConfig{}, fmt.Errorf("qos: tenant flag %q: maxstreams: %v", s, err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return TenantConfig{}, err
+	}
+	return c, nil
+}
+
+// ParseTenantsJSON parses a -tenant-config document: either a bare JSON
+// array of TenantConfig objects or {"tenants":[...]}.
+func ParseTenantsJSON(data []byte) ([]TenantConfig, error) {
+	trimmed := strings.TrimSpace(string(data))
+	var list []TenantConfig
+	if strings.HasPrefix(trimmed, "[") {
+		if err := json.Unmarshal(data, &list); err != nil {
+			return nil, fmt.Errorf("qos: tenant config: %v", err)
+		}
+	} else {
+		var doc struct {
+			Tenants []TenantConfig `json:"tenants"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("qos: tenant config: %v", err)
+		}
+		list = doc.Tenants
+	}
+	seen := make(map[string]bool, len(list))
+	for _, c := range list {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("qos: duplicate tenant %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return list, nil
+}

@@ -464,7 +464,11 @@ func (s *Server) ingestAsync(w http.ResponseWriter, r *http.Request, sc *ingestS
 		if created {
 			s.dropIfEmpty(id, e)
 		}
-		writeBusy(w, "ingest queue full past request deadline")
+		// Hint proportional to the backlog still queued: a ring that is
+		// still full after the deadline's worth of retries earns a longer
+		// backoff than one that drained while we waited.
+		writeBusy(w, "ingest queue full past request deadline",
+			retryAfterFloorSeconds+p.ring.Len()/p.ring.Cap())
 		return true
 	}
 	<-job.done // unconditional: the worker reads buffers this handler owns

@@ -120,17 +120,32 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 	// Resolve in shard order — consecutive streams of one shard touch the
 	// same registry lock and likely the same cache lines — but remember
 	// each id's request position so the response preserves request order.
+	// Duplicate ids resolve once: dup[i] names the first occurrence whose
+	// answer position i copies after the resolution pass (the sub-objects
+	// are immutable spliced bytes, so sharing them is free).
 	shards := make([]uint32, len(req.IDs))
 	order := make([]int, len(req.IDs))
+	dup := make([]int, len(req.IDs))
+	firstAt := make(map[string]int, len(req.IDs))
 	for i, id := range req.IDs {
 		shards[i] = s.shardIndex(id)
 		order[i] = i
+		if j, seen := firstAt[id]; seen {
+			dup[i] = j
+		} else {
+			firstAt[id] = i
+			dup[i] = i
+		}
 	}
 	sort.SliceStable(order, func(a, b int) bool { return shards[order[a]] < shards[order[b]] })
 
 	ctx := r.Context()
+	tenant := s.tenantFor(r).name
 	answers := make([]batchAnswer, len(req.IDs))
 	for _, i := range order {
+		if dup[i] != i {
+			continue // a duplicate; copies its first occurrence's answer below
+		}
 		e := s.get(req.IDs[i])
 		if e == nil {
 			answers[i].missing = true
@@ -142,17 +157,22 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 			a.curves = s.batchSub(resp, hit, err, e.cache.curves.last())
 		}
 		if req.Check != nil {
-			resp, hit, err := s.resolveCheck(ctx, e, *req.Check, false)
+			resp, hit, err := s.resolveCheck(ctx, e, *req.Check, false, tenant)
 			key := checkKey{freqHz: req.Check.FreqHz, latencyNs: req.Check.LatencyNs, buffer: req.Check.Buffer}
-			a.check = s.batchSub(resp, hit, err, e.cache.check.getAny(key))
+			a.check = s.batchSub(resp, hit, err, e.cache.check.getAny(tenant, key))
 		}
 		if req.MinFreqB != nil {
-			resp, hit, err := s.resolveMinFreq(ctx, e, *req.MinFreqB, false)
-			a.minfreq = s.batchSub(resp, hit, err, e.cache.minfreq.getAny(*req.MinFreqB))
+			resp, hit, err := s.resolveMinFreq(ctx, e, *req.MinFreqB, false, tenant)
+			a.minfreq = s.batchSub(resp, hit, err, e.cache.minfreq.getAny(tenant, *req.MinFreqB))
 		}
 		if req.Verdict {
 			resp, hit, err := s.resolveVerdict(ctx, e)
 			a.verdict = s.batchSub(resp, hit, err, e.cache.verdict.last())
+		}
+	}
+	for i := range answers {
+		if dup[i] != i {
+			answers[i] = answers[dup[i]]
 		}
 	}
 

@@ -9,13 +9,17 @@ import (
 	"wcm/internal/stream"
 )
 
-// maxCachedQueries caps the per-stream parameterized result maps (/check and
-// /minfreq keys). A stream version rarely sees more than a handful of
-// distinct query parameters; the cap only guards against a client sweeping
-// parameters faster than the stream ingests. On overflow the map starts a
-// fresh epoch rather than evicting — simpler, and the whole map dies at the
-// next version bump anyway. Epoch resets are counted (wcmd_query_cache_epoch
-// _resets_total) so an operator can see a parameter sweep happening.
+// maxCachedQueries caps the per-stream, per-tenant parameterized result
+// maps (/check and /minfreq keys). A stream version rarely sees more than
+// a handful of distinct query parameters; the cap only guards against a
+// client sweeping parameters faster than the stream ingests. On overflow
+// the tenant's bucket starts a fresh epoch rather than evicting — simpler,
+// and the whole map dies at the next version bump anyway. The cap is
+// scoped per tenant bucket on purpose: one tenant spinning distinct
+// parameters resets only its own bucket and can never evict another
+// tenant's cached entries. Epoch resets are counted
+// (wcmd_query_cache_epoch_resets_total) so an operator can see a
+// parameter sweep happening.
 const maxCachedQueries = 256
 
 // cachedResp is one fully rendered HTTP answer: status plus the exact body
@@ -72,15 +76,18 @@ func (s *respSlot) put(r *cachedResp) {
 	}
 }
 
-// paramMap is an immutable-after-publish map of parameterized answers at
-// one version. Readers obtain it with a single atomic load and may look up
-// any key without synchronization; writers never mutate a published map —
-// they clone, extend and compare-and-swap. Unlike the old whole-cache
-// clone-on-miss, only this small capped map is ever copied, and only when a
-// genuinely new parameter shows up at an unchanged version.
+// paramMap is an immutable-after-publish two-level map of parameterized
+// answers at one version: tenant name → key → answer. Readers obtain it
+// with a single atomic load and may look up any key without
+// synchronization; writers never mutate a published map — they clone the
+// outer map (inner maps are shared by reference, being immutable too),
+// extend the one tenant bucket they touch and compare-and-swap. Unlike
+// the old whole-cache clone-on-miss, only these small capped maps are
+// ever copied, and only when a genuinely new parameter shows up at an
+// unchanged version.
 type paramMap[K comparable] struct {
 	version int64
-	m       map[K]*cachedResp
+	m       map[string]map[K]*cachedResp
 }
 
 // paramCache is the per-(endpoint, format) parameterized answer cache.
@@ -89,27 +96,39 @@ type paramCache[K comparable] struct {
 	p atomic.Pointer[paramMap[K]]
 }
 
-// get returns the answer for k iff the published map is at version.
-func (c *paramCache[K]) get(version int64, k K) *cachedResp {
+// get returns tenant's answer for k iff the published map is at version.
+func (c *paramCache[K]) get(version int64, tenant string, k K) *cachedResp {
 	if pm := c.p.Load(); pm != nil && pm.version == version {
-		return pm.m[k]
+		return pm.m[tenant][k]
 	}
 	return nil
 }
 
-// getAny returns the answer for k at whatever version is published — the
-// degraded-read fallback.
-func (c *paramCache[K]) getAny(k K) *cachedResp {
-	if pm := c.p.Load(); pm != nil {
-		return pm.m[k]
+// getAny returns an answer for k at whatever version is published — the
+// degraded-read fallback. The tenant's own bucket is preferred; failing
+// that, any tenant's entry serves: cached bodies are functions of the
+// stream alone, so cross-tenant reuse of stale bytes is sound.
+func (c *paramCache[K]) getAny(tenant string, k K) *cachedResp {
+	pm := c.p.Load()
+	if pm == nil {
+		return nil
+	}
+	if r := pm.m[tenant][k]; r != nil {
+		return r
+	}
+	for _, bucket := range pm.m {
+		if r := bucket[k]; r != nil {
+			return r
+		}
 	}
 	return nil
 }
 
-// put records the answer for k at version. reset reports that the cap was
-// hit and a fresh epoch replaced the map (the caller counts those).
+// put records tenant's answer for k at version. reset reports that the
+// tenant's bucket hit the cap and a fresh epoch replaced it (the caller
+// counts those); other tenants' buckets are never touched by a reset.
 // A stale version (older than the published map) is dropped.
-func (c *paramCache[K]) put(version int64, k K, r *cachedResp) (reset bool) {
+func (c *paramCache[K]) put(version int64, tenant string, k K, r *cachedResp) (reset bool) {
 	for {
 		old := c.p.Load()
 		if old != nil && old.version > version {
@@ -117,18 +136,24 @@ func (c *paramCache[K]) put(version int64, k K, r *cachedResp) (reset bool) {
 		}
 		next := &paramMap[K]{version: version}
 		if old != nil && old.version == version {
-			if len(old.m) >= maxCachedQueries {
+			bucket := old.m[tenant]
+			next.m = make(map[string]map[K]*cachedResp, len(old.m)+1)
+			for ot, ob := range old.m {
+				next.m[ot] = ob
+			}
+			if len(bucket) >= maxCachedQueries {
 				reset = true
-				next.m = map[K]*cachedResp{k: r}
+				next.m[tenant] = map[K]*cachedResp{k: r}
 			} else {
-				next.m = make(map[K]*cachedResp, len(old.m)+1)
-				for ok, ov := range old.m {
-					next.m[ok] = ov
+				nb := make(map[K]*cachedResp, len(bucket)+1)
+				for ok, ov := range bucket {
+					nb[ok] = ov
 				}
-				next.m[k] = r
+				nb[k] = r
+				next.m[tenant] = nb
 			}
 		} else {
-			next.m = map[K]*cachedResp{k: r}
+			next.m = map[string]map[K]*cachedResp{tenant: {k: r}}
 		}
 		if c.p.CompareAndSwap(old, next) {
 			return reset

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -287,7 +288,8 @@ func TestSheddingIngest(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-budget ingest: %d %s", resp.StatusCode, body)
 	}
-	if resp.Header.Get("Retry-After") != retryAfterSeconds {
+	// First shed in the pressure window: the hint is exactly the floor.
+	if resp.Header.Get("Retry-After") != strconv.Itoa(retryAfterFloorSeconds) {
 		t.Fatalf("shed Retry-After = %q", resp.Header.Get("Retry-After"))
 	}
 	if !strings.Contains(string(body), "overloaded") {
@@ -372,10 +374,18 @@ func TestSheddingReadDegrades(t *testing.T) {
 		t.Fatalf("degraded shed body:\n got %q\nwant %q", body, want)
 	}
 
-	// Nothing cached (unknown stream): plain shed.
+	// Nothing cached (unknown stream): plain shed. The hint grows with
+	// shed pressure (this is the third shed in the window on a 1-slot
+	// limiter), so only its clamp range is asserted here — the exact
+	// proportionality is pinned down by TestRetryAfterProportional.
 	code, hdr, _ = rawGet(t, ts.URL+"/v1/streams/nope/curves")
-	if code != http.StatusTooManyRequests || hdr.Get("Retry-After") != retryAfterSeconds {
+	if code != http.StatusTooManyRequests {
 		t.Fatalf("shed read with no cache: %d", code)
+	}
+	if secs, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil ||
+		secs < retryAfterFloorSeconds || secs > maxRetryAfterSeconds {
+		t.Fatalf("shed Retry-After = %q, want integer in [%d,%d]",
+			hdr.Get("Retry-After"), retryAfterFloorSeconds, maxRetryAfterSeconds)
 	}
 
 	pw.Close() // unblock; the parked /check fails decode, that's fine
@@ -402,7 +412,7 @@ func TestLockHoldFault(t *testing.T) {
 
 	// Seed the stream and its cache through direct handler state (the HTTP
 	// ingest path would trip the fault): version 1, cached curves.
-	e, _, err := s.getOrCreate("lh")
+	e, _, err := s.getOrCreate("lh", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,7 +461,7 @@ func TestDropIfEmptyIngestRace(t *testing.T) {
 	}
 	for round := 0; round < 300; round++ {
 		id := fmt.Sprintf("race-%d", round)
-		e, created, err := s.getOrCreate(id)
+		e, created, err := s.getOrCreate(id, nil)
 		if err != nil || !created {
 			t.Fatalf("round %d: getOrCreate: created=%v err=%v", round, created, err)
 		}

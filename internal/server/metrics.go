@@ -199,6 +199,25 @@ type gauges struct {
 	// trace carries the tracing counters and store accounting; nil when
 	// tracing is off.
 	trace *traceGauges
+
+	// tenants carries the per-tenant QoS counters, sampled per scrape.
+	// Always non-empty (the default tenant exists unconditionally).
+	tenants []tenantGauges
+}
+
+// tenantGauges is one tenant's QoS reading at scrape time: the admission
+// counter quartet, the live stream count against the quota, and the
+// request latency distribution. slo rides along as a second metric label
+// so per-class aggregation needs no join.
+type tenantGauges struct {
+	name      string
+	slo       string
+	admitted  uint64
+	throttled uint64
+	shed      uint64
+	degraded  uint64
+	streams   int64
+	latency   obs.HistSnapshot
 }
 
 // ---- Prometheus text exposition ---------------------------------------------
@@ -380,6 +399,49 @@ func (m *metrics) write(w io.Writer, g gauges) {
 			fmt.Fprintf(w, "wcmd_trace_spans_bucket{le=\"+Inf\"} %d\n", s.Count)
 			fmt.Fprintf(w, "wcmd_trace_spans_sum %d\n", s.Sum)
 			fmt.Fprintf(w, "wcmd_trace_spans_count %d\n", s.Count)
+		}
+	}
+
+	if len(g.tenants) > 0 {
+		tenantCounter := func(family, help string, v func(tenantGauges) uint64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", family, help, family)
+			for _, t := range g.tenants {
+				fmt.Fprintf(w, "%s{tenant=\"%s\",slo=\"%s\"} %d\n",
+					family, escapeLabel(t.name), escapeLabel(t.slo), v(t))
+			}
+		}
+		tenantCounter("wcmd_tenant_admitted_total",
+			"Requests that passed tenant rate admission, by tenant and SLO class.",
+			func(t tenantGauges) uint64 { return t.admitted })
+		tenantCounter("wcmd_tenant_throttled_total",
+			"Requests rejected by the tenant's token bucket, by tenant and SLO class.",
+			func(t tenantGauges) uint64 { return t.throttled })
+		tenantCounter("wcmd_tenant_shed_total",
+			"Requests turned away by SLO-ordered in-flight shedding, by tenant and SLO class.",
+			func(t tenantGauges) uint64 { return t.shed })
+		tenantCounter("wcmd_tenant_degraded_total",
+			"Throttled or shed reads still answered from the cached degraded path, by tenant and SLO class.",
+			func(t tenantGauges) uint64 { return t.degraded })
+		fmt.Fprintf(w, "# HELP wcmd_tenant_streams Live streams owned by each tenant.\n"+
+			"# TYPE wcmd_tenant_streams gauge\n")
+		for _, t := range g.tenants {
+			fmt.Fprintf(w, "wcmd_tenant_streams{tenant=\"%s\",slo=\"%s\"} %d\n",
+				escapeLabel(t.name), escapeLabel(t.slo), t.streams)
+		}
+		fmt.Fprintf(w, "# HELP wcmd_tenant_request_latency_seconds Handler latency distribution, by tenant and SLO class.\n"+
+			"# TYPE wcmd_tenant_request_latency_seconds histogram\n")
+		for _, t := range g.tenants {
+			lt, ls := escapeLabel(t.name), escapeLabel(t.slo)
+			for _, i := range emittedBuckets {
+				fmt.Fprintf(w, "wcmd_tenant_request_latency_seconds_bucket{tenant=\"%s\",slo=\"%s\",le=\"%s\"} %d\n",
+					lt, ls, formatLe(obs.UpperBoundSeconds(i)), t.latency.CumulativeCount(i))
+			}
+			fmt.Fprintf(w, "wcmd_tenant_request_latency_seconds_bucket{tenant=\"%s\",slo=\"%s\",le=\"+Inf\"} %d\n",
+				lt, ls, t.latency.Count)
+			fmt.Fprintf(w, "wcmd_tenant_request_latency_seconds_sum{tenant=\"%s\",slo=\"%s\"} %g\n",
+				lt, ls, t.latency.SumSeconds())
+			fmt.Fprintf(w, "wcmd_tenant_request_latency_seconds_count{tenant=\"%s\",slo=\"%s\"} %d\n",
+				lt, ls, t.latency.Count)
 		}
 	}
 

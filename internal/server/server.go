@@ -70,6 +70,7 @@ import (
 	"wcm/internal/curve"
 	"wcm/internal/obs"
 	"wcm/internal/obs/trace"
+	"wcm/internal/qos"
 	"wcm/internal/stream"
 	"wcm/internal/wal"
 )
@@ -180,6 +181,18 @@ type Config struct {
 	// honest cached-vs-uncached comparison must run both sides through the
 	// same handler stack — and for debugging cache suspicion in the field.
 	DisableQueryCache bool
+	// Tenants declares the multi-tenant QoS policies: per-tenant token
+	// buckets, SLO classes and stream quotas (see internal/qos and
+	// qos.go). Requests name their tenant via the X-Wcm-Tenant header or
+	// ?tenant= query param; untagged and unknown-tenant requests resolve
+	// to the default tenant (name "default" — configure a tenant with
+	// that name to give the default traffic a policy). Empty leaves every
+	// request on an unlimited default tenant.
+	Tenants []qos.TenantConfig
+	// DefaultSLO is the SLO class for tenants that declare none and for
+	// the default tenant: "interactive" (the default), "batch" or
+	// "besteffort".
+	DefaultSLO string
 }
 
 // Server is the wcmd HTTP service: a sharded registry of streams plus the
@@ -204,6 +217,7 @@ type Server struct {
 	limIngest *inflightLimiter // nil = unlimited
 	limRead   *inflightLimiter // nil = unlimited
 	faults    map[string]Fault // nil = no fault injection
+	qos       *qosRegistry     // never nil; holds at least the default tenant
 
 	// Async ingest pipeline (nil/zero when Config.IngestRing == 0).
 	pipes   []*ingestPipe // one per shard, index-aligned with shards
@@ -245,6 +259,11 @@ type entry struct {
 	st    *stream.Stream
 	cache queryCache
 	state atomic.Int32
+	// owner is the tenant whose stream quota this entry occupies — the
+	// tenant that created it. nil for entries restored by WAL recovery
+	// (the creating request's identity is not in the log) and for
+	// servers without quotas; such entries count against no one.
+	owner *tenantState
 }
 
 type shard struct {
@@ -280,6 +299,10 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	qreg, err := newQoSRegistry(cfg.Tenants, cfg.DefaultSLO)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:       cfg,
 		shards:    make([]*shard, cfg.Shards),
@@ -289,6 +312,7 @@ func New(cfg Config) (*Server, error) {
 		limIngest: newLimiter(cfg.MaxInflightIngest),
 		limRead:   newLimiter(cfg.MaxInflightRead),
 		faults:    faults,
+		qos:       qreg,
 	}
 	if s.logger == nil {
 		s.logger = obs.Discard()
@@ -359,7 +383,7 @@ func New(cfg Config) (*Server, error) {
 var endpointNames = []string{
 	"ingest", "curves", "check", "minfreq", "contract", "verdict",
 	"list", "delete", "stats", "healthz", "metrics", "self", "query",
-	"traces", "trace",
+	"traces", "trace", "tenants",
 }
 
 func (s *Server) routes() {
@@ -373,6 +397,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/streams", s.instrument("list", classRead, s.handleList, nil))
 	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.instrument("delete", classIngest, s.handleDelete, nil))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", classNone, s.handleStats, nil))
+	// classNone: the QoS introspection surface must answer exactly when
+	// tenants are being throttled or shed (mirrors /metrics).
+	s.mux.HandleFunc("GET /v1/tenants", s.instrument("tenants", classNone, s.handleTenants, nil))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", classNone, s.handleHealthz, nil))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", classNone, s.handleMetrics, nil))
 	s.mux.HandleFunc("GET /debug/self", s.instrument("self", classNone, s.handleSelf, nil))
@@ -430,7 +457,13 @@ func (s *Server) get(id string) *entry {
 // stream defaults on first use. created reports whether this call made it;
 // callers that then fail before any state lands may dropIfEmpty the stream
 // so rejected requests don't register ghosts.
-func (s *Server) getOrCreate(id string) (e *entry, created bool, err error) {
+//
+// Creation is where per-tenant stream quotas bite: the requesting tenant
+// (owner; nil skips quota accounting, as for WAL recovery and tests) must
+// reserve a quota slot before the entry is registered. The slot is
+// reserved with a CAS on the tenant's counter, so concurrent creates
+// across shards cannot oversubscribe the quota.
+func (s *Server) getOrCreate(id string, owner *tenantState) (e *entry, created bool, err error) {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
 	e = sh.streams[id]
@@ -438,16 +471,21 @@ func (s *Server) getOrCreate(id string) (e *entry, created bool, err error) {
 	if e != nil {
 		return e, false, nil
 	}
+	if !owner.reserveStream() {
+		return nil, false, fmt.Errorf("tenant %q %w (max %d)", owner.name, errStreamQuota, owner.maxStreams)
+	}
 	st, err := stream.New(s.cfg.Stream) // built outside the shard lock
 	if err != nil {
+		owner.releaseStream()
 		return nil, false, err
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if e := sh.streams[id]; e != nil {
+		owner.releaseStream() // lost the creation race; no entry to own
 		return e, false, nil
 	}
-	e = &entry{st: st}
+	e = &entry{st: st, owner: owner}
 	sh.streams[id] = e
 	return e, true, nil
 }
@@ -472,6 +510,7 @@ func (s *Server) dropIfEmpty(id string, e *entry) {
 	if cur, ok := sh.streams[id]; ok && cur == e && cur.st.Version() == 0 {
 		e.state.Store(entryDroppedEmpty)
 		delete(sh.streams, id)
+		e.owner.releaseStream()
 	}
 	sh.mu.Unlock()
 }
@@ -499,6 +538,7 @@ func (s *Server) ensureRegistered(id string, e *entry) error {
 	}
 	sh.streams[id] = e
 	e.state.Store(entryLive)
+	e.owner.reclaimStream()
 	return nil
 }
 
@@ -718,14 +758,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// A request already past its deadline must not start a stream update:
 	// the client has given up, and the work would only grow the convoy.
 	if r.Context().Err() != nil {
-		writeBusy(w, "request deadline exceeded before stream update")
+		writeBusy(w, "request deadline exceeded before stream update", retryAfterFloorSeconds)
 		return
 	}
 
 	id := r.PathValue("id")
-	e, created, err := s.getOrCreate(id)
+	e, created, err := s.getOrCreate(id, s.tenantFor(r))
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		writeCreateError(w, err)
 		return
 	}
 	if s.faults != nil {
@@ -948,7 +988,7 @@ func renderCheck(snap stream.Snapshot, req checkRequest, binary bool) *cachedRes
 	return renderCheckResp(snap.Version, ok, binary)
 }
 
-func (s *Server) resolveCheck(ctx context.Context, e *entry, req checkRequest, binary bool) (resp *cachedResp, hit bool, err error) {
+func (s *Server) resolveCheck(ctx context.Context, e *entry, req checkRequest, binary bool, tenant string) (resp *cachedResp, hit bool, err error) {
 	if s.cfg.DisableQueryCache {
 		snap, err := freshSnapshot(ctx, e)
 		if err != nil {
@@ -966,12 +1006,12 @@ func (s *Server) resolveCheck(ctx context.Context, e *entry, req checkRequest, b
 	key := checkKey{freqHz: req.FreqHz, latencyNs: req.LatencyNs, buffer: req.Buffer}
 	pc := e.cache.checkCache(binary)
 	v := e.st.Version()
-	if resp := pc.get(v, key); resp != nil {
+	if resp := pc.get(v, tenant, key); resp != nil {
 		return resp, true, nil
 	}
 	resp, led, err := e.cache.flights.do(ctx, flightKey{ep: epCheck, binary: binary, version: v, ck: key},
 		func() (*cachedResp, error) {
-			if resp := pc.get(v, key); resp != nil {
+			if resp := pc.get(v, tenant, key); resp != nil {
 				return resp, nil
 			}
 			snap, err := snapshotFor(ctx, e)
@@ -980,7 +1020,7 @@ func (s *Server) resolveCheck(ctx context.Context, e *entry, req checkRequest, b
 			}
 			s.metrics.renders.Add(1)
 			resp := renderCheck(snap, req, binary)
-			if pc.put(snap.Version, key, resp) {
+			if pc.put(snap.Version, tenant, key, resp) {
 				s.metrics.epochResets.Add(1)
 			}
 			return resp, nil
@@ -1009,7 +1049,7 @@ func renderMinFreq(snap stream.Snapshot, b int, binary bool) *cachedResp {
 	}, binary)
 }
 
-func (s *Server) resolveMinFreq(ctx context.Context, e *entry, b int, binary bool) (resp *cachedResp, hit bool, err error) {
+func (s *Server) resolveMinFreq(ctx context.Context, e *entry, b int, binary bool, tenant string) (resp *cachedResp, hit bool, err error) {
 	if s.cfg.DisableQueryCache {
 		snap, err := freshSnapshot(ctx, e)
 		if err != nil {
@@ -1035,12 +1075,12 @@ func (s *Server) resolveMinFreq(ctx context.Context, e *entry, b int, binary boo
 	}
 	pc := e.cache.minfreqCache(binary)
 	v := e.st.Version()
-	if resp := pc.get(v, b); resp != nil {
+	if resp := pc.get(v, tenant, b); resp != nil {
 		return resp, true, nil
 	}
 	resp, led, err := e.cache.flights.do(ctx, flightKey{ep: epMinFreq, binary: binary, version: v, b: b},
 		func() (*cachedResp, error) {
-			if resp := pc.get(v, b); resp != nil {
+			if resp := pc.get(v, tenant, b); resp != nil {
 				return resp, nil
 			}
 			snap, err := snapshotFor(ctx, e)
@@ -1049,7 +1089,7 @@ func (s *Server) resolveMinFreq(ctx context.Context, e *entry, b int, binary boo
 			}
 			s.metrics.renders.Add(1)
 			resp := renderMinFreq(snap, b, binary)
-			if pc.put(snap.Version, b, resp) {
+			if pc.put(snap.Version, tenant, b, resp) {
 				s.metrics.epochResets.Add(1)
 			}
 			return resp, nil
@@ -1170,10 +1210,10 @@ func (s *Server) serveStale(w http.ResponseWriter, r *http.Request, e *entry, re
 }
 
 // writeBusy is the answer of last resort on a read or ingest path that ran
-// out of deadline budget with nothing cached to fall back on: 503 with the
-// same Retry-After hint as a shed.
-func writeBusy(w http.ResponseWriter, msg string) {
-	w.Header().Set("Retry-After", retryAfterSeconds)
+// out of deadline budget with nothing cached to fall back on: 503 with a
+// Retry-After hint (seconds, clamped like every other hint).
+func writeBusy(w http.ResponseWriter, msg string, hint int) {
+	w.Header().Set("Retry-After", retryAfterValue(hint))
 	writeJSON(w, http.StatusServiceUnavailable, errorResponse{msg})
 }
 
@@ -1190,16 +1230,22 @@ func (s *Server) busyFallback(w http.ResponseWriter, r *http.Request, e *entry, 
 	if s.serveStale(w, r, e, last) {
 		return
 	}
-	writeBusy(w, "stream busy past request deadline; no cached answer")
+	// Deadline contention, not queue pressure: the floor hint is honest.
+	writeBusy(w, "stream busy past request deadline; no cached answer", retryAfterFloorSeconds)
 }
+
+// shedFunc is a shed/throttle fallback handler: it answers a request that
+// was refused admission, carrying the Retry-After hint (seconds) computed
+// from the pressure that refused it.
+type shedFunc func(w http.ResponseWriter, r *http.Request, hint int)
 
 // degradeOr is the shed fallback core for read endpoints: a fresh cached
 // answer (stream version unchanged) is served normally — a shed read that
 // costs one atomic load is not worth turning away — a stale one is served
 // marked degraded, and with nothing cached the request is shed with 429.
-func (s *Server) degradeOr(w http.ResponseWriter, r *http.Request, e *entry, resp *cachedResp) {
+func (s *Server) degradeOr(w http.ResponseWriter, r *http.Request, e *entry, resp *cachedResp, hint int) {
 	if resp == nil {
-		writeShed(w, "read")
+		writeShed(w, "read", hint)
 		return
 	}
 	if resp.version == e.st.Version() {
@@ -1209,33 +1255,33 @@ func (s *Server) degradeOr(w http.ResponseWriter, r *http.Request, e *entry, res
 	if s.serveStale(w, r, e, resp) {
 		return
 	}
-	writeShed(w, "read")
+	writeShed(w, "read", hint)
 }
 
 // shedCurves — shed fallback for GET /curves (see degradeOr).
-func (s *Server) shedCurves(w http.ResponseWriter, r *http.Request) {
+func (s *Server) shedCurves(w http.ResponseWriter, r *http.Request, hint int) {
 	e := s.get(r.PathValue("id"))
 	if e == nil {
-		writeShed(w, "read")
+		writeShed(w, "read", hint)
 		return
 	}
-	s.degradeOr(w, r, e, e.cache.curvesSlot(acceptsBinary(r)).last())
+	s.degradeOr(w, r, e, e.cache.curvesSlot(acceptsBinary(r)).last(), hint)
 }
 
 // shedVerdict — shed fallback for GET /verdict.
-func (s *Server) shedVerdict(w http.ResponseWriter, r *http.Request) {
+func (s *Server) shedVerdict(w http.ResponseWriter, r *http.Request, hint int) {
 	e := s.get(r.PathValue("id"))
 	if e == nil {
-		writeShed(w, "read")
+		writeShed(w, "read", hint)
 		return
 	}
-	s.degradeOr(w, r, e, e.cache.verdict.last())
+	s.degradeOr(w, r, e, e.cache.verdict.last(), hint)
 }
 
 // shedCheck — shed fallback for POST /check. The body still has to be
 // decoded (the cache is keyed by the query parameters), but the stream
 // lock is never touched.
-func (s *Server) shedCheck(w http.ResponseWriter, r *http.Request) {
+func (s *Server) shedCheck(w http.ResponseWriter, r *http.Request, hint int) {
 	sc := queryScratchPool.Get().(*queryScratch)
 	defer queryScratchPool.Put(sc)
 	req := &sc.req
@@ -1245,15 +1291,15 @@ func (s *Server) shedCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	e := s.get(r.PathValue("id"))
 	if e == nil {
-		writeShed(w, "read")
+		writeShed(w, "read", hint)
 		return
 	}
 	key := checkKey{freqHz: req.FreqHz, latencyNs: req.LatencyNs, buffer: req.Buffer}
-	s.degradeOr(w, r, e, e.cache.checkCache(acceptsBinary(r)).getAny(key))
+	s.degradeOr(w, r, e, e.cache.checkCache(acceptsBinary(r)).getAny(s.tenantFor(r).name, key), hint)
 }
 
 // shedMinFreq — shed fallback for GET /minfreq.
-func (s *Server) shedMinFreq(w http.ResponseWriter, r *http.Request) {
+func (s *Server) shedMinFreq(w http.ResponseWriter, r *http.Request, hint int) {
 	b, ok := minfreqB(r)
 	if !ok {
 		writeJSON(w, http.StatusBadRequest, errorResponse{"b must be a non-negative integer"})
@@ -1261,10 +1307,10 @@ func (s *Server) shedMinFreq(w http.ResponseWriter, r *http.Request) {
 	}
 	e := s.get(r.PathValue("id"))
 	if e == nil {
-		writeShed(w, "read")
+		writeShed(w, "read", hint)
 		return
 	}
-	s.degradeOr(w, r, e, e.cache.minfreqCache(acceptsBinary(r)).getAny(b))
+	s.degradeOr(w, r, e, e.cache.minfreqCache(acceptsBinary(r)).getAny(s.tenantFor(r).name, b), hint)
 }
 
 // observeCacheHit / observeCacheMiss close a cached-query stage span that
@@ -1336,11 +1382,12 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if binary {
 		s.metrics.binaryQueries.Add(1)
 	}
-	resp, hit, err := s.resolveCheck(r.Context(), e, *req, binary)
+	tenant := s.tenantFor(r).name
+	resp, hit, err := s.resolveCheck(r.Context(), e, *req, binary, tenant)
 	if err != nil {
 		s.observeCacheMiss(r.Context(), start)
 		key := checkKey{freqHz: req.FreqHz, latencyNs: req.LatencyNs, buffer: req.Buffer}
-		s.busyFallback(w, r, e, err, e.cache.checkCache(binary).getAny(key))
+		s.busyFallback(w, r, e, err, e.cache.checkCache(binary).getAny(tenant, key))
 		return
 	}
 	writeCached(w, resp)
@@ -1367,10 +1414,11 @@ func (s *Server) handleMinFreq(w http.ResponseWriter, r *http.Request) {
 	if binary {
 		s.metrics.binaryQueries.Add(1)
 	}
-	resp, hit, err := s.resolveMinFreq(r.Context(), e, b, binary)
+	tenant := s.tenantFor(r).name
+	resp, hit, err := s.resolveMinFreq(r.Context(), e, b, binary, tenant)
 	if err != nil {
 		s.observeCacheMiss(r.Context(), start)
-		s.busyFallback(w, r, e, err, e.cache.minfreqCache(binary).getAny(b))
+		s.busyFallback(w, r, e, err, e.cache.minfreqCache(binary).getAny(tenant, b))
 		return
 	}
 	writeCached(w, resp)
@@ -1402,13 +1450,13 @@ func (s *Server) handleContract(w http.ResponseWriter, r *http.Request) {
 		window = up.MaxK()
 	}
 	if r.Context().Err() != nil {
-		writeBusy(w, "request deadline exceeded before contract update")
+		writeBusy(w, "request deadline exceeded before contract update", retryAfterFloorSeconds)
 		return
 	}
 	id := r.PathValue("id")
-	e, created, err := s.getOrCreate(id)
+	e, created, err := s.getOrCreate(id, s.tenantFor(r))
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		writeCreateError(w, err)
 		return
 	}
 	if err := e.st.SetContract(core.Workload{Upper: up, Lower: lo}, window); err != nil {
@@ -1480,6 +1528,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if ok {
 		e.state.Store(entryDeleted)
 		delete(sh.streams, id)
+		e.owner.releaseStream()
 		if s.wal != nil {
 			// Under the shard write lock: every ingest append happens under
 			// the read lock with a not-deleted check, so no record for this
@@ -1600,6 +1649,18 @@ type traceStatsJSON struct {
 	StoreBytesLimit int64  `json:"store_bytes_limit"`
 }
 
+// tenantStatsJSON is one tenant's QoS block in /v1/stats: the same
+// counters as /v1/tenants plus the latency summary.
+type tenantStatsJSON struct {
+	SLO       string           `json:"slo"`
+	Streams   int64            `json:"streams"`
+	Admitted  uint64           `json:"admitted"`
+	Throttled uint64           `json:"throttled"`
+	Shed      uint64           `json:"shed"`
+	Degraded  uint64           `json:"degraded"`
+	Latency   latencyStatsJSON `json:"latency"`
+}
+
 type statsResponse struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	Panics        uint64                      `json:"panics"`
@@ -1607,6 +1668,7 @@ type statsResponse struct {
 	Limits        map[string]classLimitJSON   `json:"limits"`
 	WAL           *walStatsJSON               `json:"wal,omitempty"`
 	Trace         *traceStatsJSON             `json:"trace,omitempty"`
+	Tenants       map[string]tenantStatsJSON  `json:"tenants"`
 	Endpoints     map[string]latencyStatsJSON `json:"endpoints"`
 	Stages        map[string]latencyStatsJSON `json:"stages"`
 }
@@ -1647,6 +1709,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			TruncatedSpans:  tg.truncated,
 			StoreBytes:      tg.storeBytes,
 			StoreBytesLimit: tg.storeLimit,
+		}
+	}
+	resp.Tenants = make(map[string]tenantStatsJSON, len(s.qos.names))
+	for _, tg := range s.tenantGaugesNow() {
+		resp.Tenants[tg.name] = tenantStatsJSON{
+			SLO:       tg.slo,
+			Streams:   tg.streams,
+			Admitted:  tg.admitted,
+			Throttled: tg.throttled,
+			Shed:      tg.shed,
+			Degraded:  tg.degraded,
+			Latency:   latencyStatsFrom(tg.latency, 0),
 		}
 	}
 	for _, name := range s.metrics.epNames {
@@ -1761,6 +1835,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
 }
 
+// writeCreateError maps getOrCreate failures: a tenant stream-quota
+// rejection is the client's standing, not a server fault — 429, no
+// Retry-After (quota slots free only when the tenant deletes streams);
+// anything else stays a 500.
+func writeCreateError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errStreamQuota) {
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+}
+
 // writeDecodeError maps body-decoding failures to 413 (body too large) or
 // 400 (malformed input).
 func writeDecodeError(w http.ResponseWriter, err error) {
@@ -1807,6 +1893,24 @@ type reqScope struct {
 // replaced so a hostile client can't bloat every log line.
 const maxTraceIDLen = 64
 
+// traceIDOK reports whether a client-supplied X-Request-Id is safe to echo
+// and log: non-empty, bounded, and printable ASCII only. CR/LF would split
+// log lines and (for paranoid clients of the echoed header) open header
+// injection; control bytes and non-ASCII would corrupt the text /metrics
+// and log streams. Anything unacceptable is replaced wholesale — there is
+// no value in sanitizing a hostile ID char by char.
+func traceIDOK(id string) bool {
+	if id == "" || len(id) > maxTraceIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if c := id[i]; c < 0x20 || c > 0x7e {
+			return false
+		}
+	}
+	return true
+}
+
 // instrument wraps a handler with the body-size limit, the resilience
 // envelope and the per-request observability envelope.
 //
@@ -1819,15 +1923,25 @@ const maxTraceIDLen = 64
 // the same accounting below, so the histogram-totals == request-counter
 // invariants hold for them too.
 //
-// Observability: trace-ID propagation (client X-Request-Id kept, otherwise
-// generated; always echoed on the response), a request-scoped logger
-// reachable via obs.LoggerFrom(r.Context()), per-endpoint
-// request/error/latency accounting, self-characterization feed, and
-// slow-request logging. When the declared Content-Length already fits the
-// limit the MaxBytesReader wrapper is skipped — net/http bounds body reads
-// by the declared length, so the limit cannot be exceeded and the
-// per-request wrapper allocation is pure overhead.
-func (s *Server) instrument(name string, class epClass, h, shed http.HandlerFunc) http.HandlerFunc {
+// QoS: shed-able requests (classIngest, classRead) resolve their tenant
+// and pass two admission gates in order — the tenant's own token bucket
+// (reject ⇒ throttled, Retry-After from the refill deficit), then the
+// class limiter at the tenant's SLO threshold (reject ⇒ shed, Retry-After
+// from shed pressure). Rejected reads run the shed fallback, which may
+// still answer 200 from cache — counted as degraded, the
+// mixed-criticality outcome. classNone endpoints skip all of it: the
+// observability plane must answer even for a throttled tenant.
+//
+// Observability: trace-ID propagation (client X-Request-Id kept when it
+// passes traceIDOK, otherwise generated; always echoed on the response), a
+// request-scoped logger reachable via obs.LoggerFrom(r.Context()),
+// per-endpoint and per-tenant request/error/latency accounting,
+// self-characterization feed, and slow-request logging. When the declared
+// Content-Length already fits the limit the MaxBytesReader wrapper is
+// skipped — net/http bounds body reads by the declared length, so the
+// limit cannot be exceeded and the per-request wrapper allocation is pure
+// overhead.
+func (s *Server) instrument(name string, class epClass, h http.HandlerFunc, shed shedFunc) http.HandlerFunc {
 	ep := s.metrics.endpoint(name)
 	point := "handler:" + name // fault point, concatenated once
 	var lim *inflightLimiter
@@ -1840,7 +1954,7 @@ func (s *Server) instrument(name string, class epClass, h, shed http.HandlerFunc
 	}
 	if shed == nil {
 		cn := className
-		shed = func(w http.ResponseWriter, r *http.Request) { writeShed(w, cn) }
+		shed = func(w http.ResponseWriter, r *http.Request, hint int) { writeShed(w, cn, hint) }
 	}
 	// The trace endpoints themselves stay out of the self-curves feed:
 	// scraping the trace store is observer traffic, and letting it into the
@@ -1854,23 +1968,62 @@ func (s *Server) instrument(name string, class epClass, h, shed http.HandlerFunc
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
 		id := r.Header.Get("X-Request-Id")
-		if id == "" || len(id) > maxTraceIDLen {
+		if !traceIDOK(id) {
 			id = obs.NewTraceID()
 		}
 		setHeaderValue(w.Header(), "X-Request-Id", id)
+		var ten *tenantState
+		decision := admitOK
+		if class != classNone {
+			ten = s.tenantFor(r)
+		}
 		var tr *trace.Active
 		if s.tracer != nil {
 			tr = s.tracer.StartRequest(name, id, r.Header.Get("traceparent"), start)
 			// Echo W3C trace context on every response — including shed,
 			// degraded and panic answers, whose headers are already set here.
 			setHeaderValue(w.Header(), "Traceparent", tr.Traceparent())
+			if ten != nil {
+				tr.Root().Str("tenant", ten.name).Str("slo", ten.slo.String())
+			}
 		}
 
 		handler := h
-		if lim.acquire() {
-			defer lim.release() // deferred: must pair even when h panics
-		} else {
-			handler = shed
+		if ten != nil {
+			// Admission, in order: the tenant's own rate budget first — a
+			// throttled tenant must not consume an in-flight slot — then the
+			// class limiter at the tenant's SLO threshold.
+			var hint int
+			if ten.bucket != nil {
+				if ok, deficit := ten.bucket.Take(start.UnixNano()); !ok {
+					decision, hint = admitThrottled, retrySecsFromNs(deficit)
+				}
+			}
+			if decision == admitOK {
+				if lim.acquireFor(ten.slo) {
+					defer lim.release() // deferred: must pair even when h panics
+				} else {
+					decision, hint = admitShed, lim.shedHint()
+				}
+			}
+			switch {
+			case decision == admitThrottled && class == classIngest:
+				// Mutations have no degraded answer; reject outright.
+				tn, secs := ten.name, hint
+				handler = func(w http.ResponseWriter, _ *http.Request) {
+					writeThrottled(w, tn, secs)
+				}
+			case decision != admitOK:
+				// Reads fall back to the degraded cached path whether
+				// throttled or shed — serving stale bytes costs the server
+				// almost nothing and keeps low-criticality readers alive.
+				sf, secs := shed, hint
+				handler = func(w http.ResponseWriter, r *http.Request) { sf(w, r, secs) }
+			}
+			if tr != nil && decision != admitOK {
+				tr.Root().Str("admission", decision.String())
+				tr.Mark(trace.KeepDegraded)
+			}
 		}
 
 		sc := s.scopes.Get().(*reqScope)
@@ -1898,6 +2051,9 @@ func (s *Server) instrument(name string, class epClass, h, shed http.HandlerFunc
 
 		status := sc.rec.status
 		ep.observe(d, status)
+		if ten != nil {
+			ten.account(decision, status, d)
+		}
 		if s.self != nil && feedSelf {
 			s.self.Observe(d)
 		}
@@ -1997,5 +2153,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		queueDepths: s.asyncDepths(),
 		wal:         s.walGaugesNow(),
 		trace:       s.traceGaugesNow(),
+		tenants:     s.tenantGaugesNow(),
 	})
 }
